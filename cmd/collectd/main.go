@@ -1,0 +1,77 @@
+// Command collectd runs the EnergyDx trace-collection server. Phones
+// (or cmd/tracegen) upload JSON-lines trace bundles over TCP; on
+// shutdown (SIGINT/SIGTERM) the server dumps its stored corpus as one
+// JSONL file per app.
+//
+// Usage:
+//
+//	collectd -addr 127.0.0.1:7600 -out ./corpora
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/collect"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collectd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "listen address")
+		out      = flag.String("out", ".", "directory for per-app corpus dumps on shutdown")
+		storeDir = flag.String("store", "", "durable store directory: bundles are persisted as they arrive and reloaded on restart")
+	)
+	flag.Parse()
+
+	var opts []collect.ServerOption
+	if *storeDir != "" {
+		store, err := collect.NewFileStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		opts = append(opts, collect.WithFileStore(store))
+	}
+	srv, err := collect.NewServer(*addr, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "collectd: listening on %s (%d bundles restored)\n", srv.Addr(), srv.Count())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintf(os.Stderr, "collectd: shutting down with %d bundles\n", srv.Count())
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	for _, appID := range srv.Apps() {
+		path := filepath.Join(*out, appID+".jsonl")
+		if err := dump(path, srv.Bundles(appID)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "collectd: wrote %s\n", path)
+	}
+	return nil
+}
+
+func dump(path string, bundles []*trace.TraceBundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteBundles(f, bundles)
+}

@@ -1,0 +1,100 @@
+// Command energydx runs the 5-step manifestation analysis over a corpus
+// of trace bundles (JSON lines, as produced by cmd/tracegen or dumped by
+// cmd/collectd) and prints the diagnosis report. When the corpus belongs
+// to one of the catalog apps, the code-reduction metric is computed
+// against that app's APK model.
+//
+// Usage:
+//
+//	tracegen -app k9mail -out corpus.jsonl
+//	energydx -in corpus.jsonl -impacted-pct 15
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "energydx:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in       = flag.String("in", "-", "corpus file of JSON-lines bundles ('-' for stdin)")
+		impacted = flag.Float64("impacted-pct", 0, "developer-estimated percentage of impacted users (0 = sort by impact)")
+		window   = flag.Int("window", 2, "manifestation window half-width in events")
+		fence    = flag.Float64("fence", 3, "IQR fence multiplier")
+		normBase = flag.Float64("norm-base", 10, "normalization base percentile")
+		top      = flag.Int("top", 6, "events to report for the code-reduction metric")
+		asJSON   = flag.Bool("json", false, "emit the full report as JSON instead of text")
+		par      = flag.Int("parallel", 0, "Step-1 worker goroutines (0 = serial)")
+	)
+	flag.Parse()
+
+	bundles, err := readCorpus(*in)
+	if err != nil {
+		return err
+	}
+	if len(bundles) == 0 {
+		return errors.New("corpus is empty")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.DeveloperImpactPercent = *impacted
+	cfg.WindowEvents = *window
+	cfg.FenceMultiplier = *fence
+	cfg.NormBasePercentile = *normBase
+	cfg.Parallelism = *par
+	analyzer, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		return err
+	}
+	report, err := analyzer.Analyze(bundles)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	if err := report.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	// Code reduction, when we know the app's APK model.
+	if app, err := apps.ByAppID(report.AppID); err == nil {
+		cr, err := core.ComputeCodeReduction(report, app.Package(), *top)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncode reduction: %d of %d lines to inspect (%.1f%% reduction)\n",
+			cr.DiagnosisLines, cr.TotalLines, cr.Reduction*100)
+	}
+	return nil
+}
+
+func readCorpus(path string) ([]*trace.TraceBundle, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadBundles(r)
+}

@@ -1,0 +1,99 @@
+// Command reproduce regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	reproduce -exp all            # every experiment, paper order
+//	reproduce -exp fig16          # one experiment
+//	reproduce -list               # list experiment IDs
+//	reproduce -exp table3 -seed 7 # different corpus seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		seed   = flag.Int64("seed", 2020, "corpus generation seed")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir = flag.String("csv", "", "also write the experiments' data series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+			res, err := e.Run(*seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Println(res.Render())
+			if err := exportCSV(*csvDir, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runner, title, err := experiments.Lookup(*exp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==== %s: %s ====\n", *exp, title)
+	res, err := runner(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return exportCSV(*csvDir, res)
+}
+
+// exportCSV writes the result's data tables when it has any.
+func exportCSV(dir string, res experiments.Result) error {
+	if dir == "" {
+		return nil
+	}
+	exporter, ok := res.(experiments.CSVExporter)
+	if !ok {
+		return nil
+	}
+	for name, rows := range exporter.CSVFiles() {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = experiments.WriteCSV(f, rows)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "reproduce: wrote %s\n", path)
+	}
+	return nil
+}

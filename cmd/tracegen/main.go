@@ -1,0 +1,77 @@
+// Command tracegen generates a synthetic trace corpus for one of the
+// evaluated apps and writes it as JSON-lines bundles, or uploads it to a
+// running collection server (cmd/collectd).
+//
+// Usage:
+//
+//	tracegen -app k9mail -users 30 -impacted 0.15 -out corpus.jsonl
+//	tracegen -app opengps -upload 127.0.0.1:7600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/collect"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appID    = flag.String("app", "k9mail", "app to simulate (catalog ID, e.g. k9mail, opengps)")
+		users    = flag.Int("users", 30, "number of volunteer users")
+		impacted = flag.Float64("impacted", 0.15, "fraction of users that trigger the ABD")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		fixed    = flag.Bool("fixed", false, "simulate the fixed app variant")
+		out      = flag.String("out", "-", "output file ('-' for stdout)")
+		upload   = flag.String("upload", "", "upload to a collectd address instead of writing a file")
+	)
+	flag.Parse()
+
+	app, err := apps.ByAppID(*appID)
+	if err != nil {
+		return err
+	}
+	cfg := workload.DefaultConfig(app, *seed)
+	cfg.Users = *users
+	cfg.ImpactedFraction = *impacted
+	cfg.Fixed = *fixed
+	res, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d bundles for %s (%.1f%% of users impacted)\n",
+		len(res.Bundles), app.Name, res.ImpactedPercent)
+
+	if *upload != "" {
+		client := collect.NewClient(*upload)
+		state := collect.PhoneState{Charging: true, OnWiFi: true}
+		if err := client.Upload(state, res.Bundles); err != nil {
+			return fmt.Errorf("upload: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: uploaded to %s\n", *upload)
+		return nil
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.WriteBundles(w, res.Bundles)
+}

@@ -1,0 +1,104 @@
+// Fleet: the distributed trace-collection tier end to end.
+//
+// A collection server starts on the loopback interface; a fleet of
+// simulated phones generates sessions of the Wallabag app and uploads
+// its trace bundles over TCP — but only when the phone is charging on
+// WiFi (the paper's upload policy). Phones that are not eligible defer;
+// a later retry succeeds once they plug in. The backend then runs the
+// manifestation analysis over everything the server stored.
+//
+// Run with: go run ./examples/fleet
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	srv, err := collect.NewServer("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("collection server on %s\n", srv.Addr())
+
+	app, err := apps.ByAppID("wallabag")
+	if err != nil {
+		return err
+	}
+	// Generate the whole study corpus, then partition it into per-phone
+	// shards: each phone holds one user's bundle and uploads it itself.
+	cfg := workload.DefaultConfig(app, 33)
+	cfg.Users = 18
+	cfg.ImpactedFraction = 0.22
+	cfg.Scrub = false // the *client* scrubs before upload, like a phone would
+	corpus, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	client := collect.NewClient(srv.Addr())
+	deferred := 0
+	var retry []*trace.TraceBundle
+	for i, bundle := range corpus.Bundles {
+		// A third of the phones are unplugged or on cellular when the
+		// uploader wakes up; their uploads are deferred.
+		state := collect.PhoneState{Charging: i%3 != 1, OnWiFi: i%4 != 2}
+		err := client.Upload(state, []*trace.TraceBundle{bundle})
+		switch {
+		case errors.Is(err, collect.ErrNotEligible):
+			deferred++
+			retry = append(retry, bundle)
+		case err != nil:
+			return fmt.Errorf("phone %d: %w", i, err)
+		}
+	}
+	fmt.Printf("first pass: %d stored, %d deferred by the charging/WiFi policy\n",
+		srv.Count(), deferred)
+
+	// Overnight, everyone is charging on WiFi.
+	plugged := collect.PhoneState{Charging: true, OnWiFi: true}
+	if err := client.Upload(plugged, retry); err != nil {
+		return fmt.Errorf("retry: %w", err)
+	}
+	fmt.Printf("after retries: %d bundles on the server\n\n", srv.Count())
+
+	// Backend analysis over the server's stored (scrubbed) corpus.
+	stored := srv.Bundles(app.AppID)
+	acfg := core.DefaultConfig()
+	acfg.DeveloperImpactPercent = corpus.ImpactedPercent
+	analyzer, err := core.NewAnalyzer(acfg)
+	if err != nil {
+		return err
+	}
+	report, err := analyzer.Analyze(stored)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("diagnosis over %d traces (%d with manifestation points):\n",
+		report.TotalTraces, report.ImpactedTraces)
+	for i, im := range report.TopEvents(6) {
+		fmt.Printf("%d, [%s] %.1f%%\n", i+1, trace.ShortKey(im.Key), im.Percent)
+	}
+	cr, err := core.ComputeCodeReduction(report, app.Package(), 6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncode reduction: %d of %d lines (%.1f%%)\n",
+		cr.DiagnosisLines, cr.TotalLines, cr.Reduction*100)
+	return nil
+}

@@ -1,0 +1,239 @@
+// Package abd models the three classes of abnormal-battery-drain root
+// causes the paper evaluates (§IV-A): no-sleep (a resource such as a
+// wakelock, GPS listener or sensor registration is not released), loop
+// (the app periodically performs unnecessary work), and configuration
+// (a misconfiguration makes the app burn power, e.g. K-9 Mail retrying
+// connections after the user sets an IMAP connection count the server
+// rejects). Per the paper's cited study [2], these three classes cover
+// about 89.3% of real ABD causes.
+//
+// A Fault can be injected both dynamically (into an app's behavior map,
+// so the simulated app actually drains power) and statically (into its
+// APK model, so the static No-sleep Detection baseline has real code
+// paths to analyze). Each fault also knows how to produce the *fixed*
+// behavior, which the Fig-17 before/after power comparison needs.
+package abd
+
+import (
+	"fmt"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+// Kind classifies an ABD root cause.
+type Kind int
+
+const (
+	// NoSleep is an acquire-without-release resource leak.
+	NoSleep Kind = iota + 1
+	// Loop is an unnecessary periodic task that is never stopped.
+	Loop
+	// Configuration is a misconfiguration-driven drain.
+	Configuration
+)
+
+// String names the root-cause class as Table III does.
+func (k Kind) String() string {
+	switch k {
+	case NoSleep:
+		return "no-sleep"
+	case Loop:
+		return "loop"
+	case Configuration:
+		return "configuration"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses a Table III root-cause string.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "no-sleep":
+		return NoSleep, nil
+	case "loop":
+		return Loop, nil
+	case "configuration":
+		return Configuration, nil
+	default:
+		return 0, fmt.Errorf("abd: unknown root cause %q", s)
+	}
+}
+
+// Fault describes one injectable ABD.
+type Fault struct {
+	// Kind is the root-cause class.
+	Kind Kind
+
+	// Trigger is the callback whose execution starts the drain (the
+	// root-cause event in the paper's event-distance analysis).
+	Trigger trace.EventKey
+
+	// ReleasePoint is the callback that *should* stop the drain; the
+	// buggy app omits it, the fixed app performs it. For a no-sleep GPS
+	// leak this is typically onPause of the tracking activity.
+	ReleasePoint trace.EventKey
+
+	// Resource names the leaked resource or runaway loop.
+	Resource string
+
+	// Component and Level describe the hardware drain of a no-sleep
+	// hold.
+	Component trace.Component
+	Level     float64
+
+	// LoopSpec describes the periodic drain of loop/configuration ABDs.
+	LoopSpec android.LoopSpec
+
+	// ConfigKey/ConfigValue guard configuration ABDs: the drain starts
+	// only when the app's config matches (the user misconfigured it).
+	ConfigKey   string
+	ConfigValue string
+}
+
+// Validate checks the fault is fully specified for its kind.
+func (f *Fault) Validate() error {
+	if f.Trigger.Class == "" || f.Trigger.Callback == "" {
+		return fmt.Errorf("abd: fault has no trigger event")
+	}
+	if f.Resource == "" {
+		return fmt.Errorf("abd: fault has no resource name")
+	}
+	switch f.Kind {
+	case NoSleep:
+		if f.Level <= 0 {
+			return fmt.Errorf("abd: no-sleep fault needs a positive hold level")
+		}
+	case Loop:
+		if f.LoopSpec.PeriodMS <= 0 || f.LoopSpec.BurstMS <= 0 {
+			return fmt.Errorf("abd: loop fault needs a loop spec")
+		}
+	case Configuration:
+		if f.LoopSpec.PeriodMS <= 0 || f.LoopSpec.BurstMS <= 0 {
+			return fmt.Errorf("abd: configuration fault needs a loop spec")
+		}
+		if f.ConfigKey == "" {
+			return fmt.Errorf("abd: configuration fault needs a config key")
+		}
+	default:
+		return fmt.Errorf("abd: unknown fault kind %d", f.Kind)
+	}
+	return nil
+}
+
+// InjectBehavior adds the buggy drain to a behavior map. When fixed is
+// true the *correct* behavior is installed instead: the drain still
+// starts (the feature is legitimate) but the release point stops it.
+func (f *Fault) InjectBehavior(b android.BehaviorMap, fixed bool) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if f.Kind == Configuration && fixed {
+		// The real-world fix for configuration ABDs validates the
+		// setting (e.g. K-9 Mail clamping the IMAP connection count), so
+		// the drain never starts at all.
+		return nil
+	}
+	tb := b[f.Trigger]
+	switch f.Kind {
+	case NoSleep:
+		tb.Effects = append(tb.Effects, android.Effect{
+			Kind:          android.EffectAcquire,
+			Name:          f.Resource,
+			HoldComponent: f.Component,
+			HoldLevel:     f.Level,
+		})
+	case Loop:
+		tb.Effects = append(tb.Effects, android.Effect{
+			Kind: android.EffectStartLoop,
+			Name: f.Resource,
+			Loop: f.LoopSpec,
+		})
+	case Configuration:
+		tb.Effects = append(tb.Effects, android.Effect{
+			Kind:        android.EffectConditionalStartLoop,
+			Name:        f.Resource,
+			Loop:        f.LoopSpec,
+			ConfigKey:   f.ConfigKey,
+			ConfigValue: f.ConfigValue,
+		})
+	}
+	b[f.Trigger] = tb
+
+	if !fixed {
+		return nil
+	}
+	if f.ReleasePoint.Class == "" {
+		return fmt.Errorf("abd: fixed variant needs a release point")
+	}
+	rb := b[f.ReleasePoint]
+	switch f.Kind {
+	case NoSleep:
+		rb.Effects = append(rb.Effects, android.Effect{
+			Kind: android.EffectRelease,
+			Name: f.Resource,
+		})
+	case Loop, Configuration:
+		rb.Effects = append(rb.Effects, android.Effect{
+			Kind: android.EffectStopLoop,
+			Name: f.Resource,
+		})
+	}
+	b[f.ReleasePoint] = rb
+	return nil
+}
+
+// InjectAPK rewrites the trigger method's body so the static structure of
+// the bug is analyzable: a no-sleep fault becomes an acquire with a
+// leaking early-return path, a loop fault a scheduling call, and a
+// configuration fault a config-guarded scheduling call. When fixed is
+// true the no-sleep body releases on every path.
+func (f *Fault) InjectAPK(p *apk.Package, fixed bool) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	m, err := p.Lookup(f.Trigger)
+	if err != nil {
+		return fmt.Errorf("abd: trigger method: %w", err)
+	}
+	switch f.Kind {
+	case NoSleep:
+		if fixed {
+			m.Body = []apk.Instruction{
+				{Op: apk.OpAcquire, Args: []string{f.Resource}},
+				{Op: apk.OpWork},
+				{Op: apk.OpRelease, Args: []string{f.Resource}},
+				{Op: apk.OpReturn},
+			}
+		} else {
+			// The classic shape from [9]: an early-return path that
+			// skips the release.
+			m.Body = []apk.Instruction{
+				{Op: apk.OpAcquire, Args: []string{f.Resource}},
+				{Op: apk.OpIf, Args: []string{"early"}},
+				{Op: apk.OpWork},
+				{Op: apk.OpRelease, Args: []string{f.Resource}},
+				{Op: apk.OpReturn},
+				{Op: apk.OpLabel, Args: []string{"early"}},
+				{Op: apk.OpReturn},
+			}
+		}
+	case Loop:
+		m.Body = []apk.Instruction{
+			{Op: apk.OpWork},
+			{Op: apk.OpCall, Args: []string{"Ljava/util/Timer;->schedule"}},
+			{Op: apk.OpReturn},
+		}
+	case Configuration:
+		m.Body = []apk.Instruction{
+			{Op: apk.OpCall, Args: []string{"Landroid/content/SharedPreferences;->get"}},
+			{Op: apk.OpIf, Args: []string{"skip"}},
+			{Op: apk.OpCall, Args: []string{"Ljava/util/Timer;->schedule"}},
+			{Op: apk.OpLabel, Args: []string{"skip"}},
+			{Op: apk.OpReturn},
+		}
+	}
+	return nil
+}

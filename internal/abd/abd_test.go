@@ -1,0 +1,305 @@
+package abd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+func gpsFault() Fault {
+	return Fault{
+		Kind:         NoSleep,
+		Trigger:      trace.EventKey{Class: "LTracker/LoggerMap", Callback: "onResume"},
+		ReleasePoint: trace.EventKey{Class: "LTracker/LoggerMap", Callback: "onPause"},
+		Resource:     "gps",
+		Component:    trace.GPS,
+		Level:        1,
+	}
+}
+
+func loopFault() Fault {
+	return Fault{
+		Kind:         Loop,
+		Trigger:      trace.EventKey{Class: "LFeed", Callback: "menu_item_newsfeed"},
+		ReleasePoint: trace.EventKey{Class: "LFeed", Callback: "onPause"},
+		Resource:     "sync",
+		LoopSpec: android.LoopSpec{
+			PeriodMS: 2000, BurstMS: 500,
+			Usages: []android.ComponentUsage{{Component: trace.WiFi, Level: 0.9}},
+		},
+	}
+}
+
+func configFault() Fault {
+	return Fault{
+		Kind:         Configuration,
+		Trigger:      trace.EventKey{Class: "LMail/MessageList", Callback: "onResume"},
+		ReleasePoint: trace.EventKey{Class: "LMail/MessageList", Callback: "onPause"},
+		Resource:     "retry",
+		ConfigKey:    "imapConnections",
+		ConfigValue:  "50",
+		LoopSpec: android.LoopSpec{
+			PeriodMS: 3000, BurstMS: 1000,
+			Usages: []android.ComponentUsage{{Component: trace.WiFi, Level: 0.85}},
+		},
+	}
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range []Kind{NoSleep, Loop, Configuration} {
+		back, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k.String(), err)
+		}
+		if back != k {
+			t.Errorf("round trip %v -> %v", k, back)
+		}
+	}
+	if _, err := ParseKind("cosmic-rays"); err == nil {
+		t.Error("unknown kind parsed")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind String")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []Fault{gpsFault(), loopFault(), configFault()}
+	for i, f := range valid {
+		if err := f.Validate(); err != nil {
+			t.Errorf("valid fault %d rejected: %v", i, err)
+		}
+	}
+	bad := gpsFault()
+	bad.Trigger = trace.EventKey{}
+	if err := bad.Validate(); err == nil {
+		t.Error("missing trigger accepted")
+	}
+	bad = gpsFault()
+	bad.Resource = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("missing resource accepted")
+	}
+	bad = gpsFault()
+	bad.Level = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero level accepted")
+	}
+	bad = loopFault()
+	bad.LoopSpec.PeriodMS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("loop without spec accepted")
+	}
+	bad = configFault()
+	bad.ConfigKey = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("config fault without key accepted")
+	}
+	bad = Fault{Kind: Kind(9), Trigger: gpsFault().Trigger, Resource: "x"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// driveGPS runs a session that triggers the fault and backgrounds the app.
+func driveGPS(t *testing.T, behaviors android.BehaviorMap) (*android.System, *android.Process) {
+	t.Helper()
+	sys := android.NewSystem(0)
+	p := sys.NewProcess("opengps", WithBehaviorsForTest(behaviors))
+	if err := p.LaunchActivity("LTracker/LoggerMap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Background(); err != nil { // fires onPause -> release point
+		t.Fatal(err)
+	}
+	if err := p.Idle(60_000); err != nil {
+		t.Fatal(err)
+	}
+	return sys, p
+}
+
+// WithBehaviorsForTest adapts android.WithBehaviors for brevity here.
+func WithBehaviorsForTest(b android.BehaviorMap) android.ProcessOption {
+	return android.WithBehaviors(b)
+}
+
+func TestNoSleepBuggyVsFixed(t *testing.T) {
+	f := gpsFault()
+
+	buggy := android.BehaviorMap{}
+	if err := f.InjectBehavior(buggy, false); err != nil {
+		t.Fatal(err)
+	}
+	sysB, pB := driveGPS(t, buggy)
+	uB := sysB.Ledger().UtilizationAt(pB.PID(), sysB.NowMS()-1)
+	if uB.Get(trace.GPS) != 1 {
+		t.Errorf("buggy app GPS in background = %v, want 1 (leak)", uB.Get(trace.GPS))
+	}
+
+	fixed := android.BehaviorMap{}
+	if err := f.InjectBehavior(fixed, true); err != nil {
+		t.Fatal(err)
+	}
+	sysF, pF := driveGPS(t, fixed)
+	uF := sysF.Ledger().UtilizationAt(pF.PID(), sysF.NowMS()-1)
+	if uF.Get(trace.GPS) != 0 {
+		t.Errorf("fixed app GPS in background = %v, want 0", uF.Get(trace.GPS))
+	}
+}
+
+func TestLoopBuggyNeverStops(t *testing.T) {
+	f := loopFault()
+	buggy := android.BehaviorMap{}
+	if err := f.InjectBehavior(buggy, false); err != nil {
+		t.Fatal(err)
+	}
+	sys := android.NewSystem(0)
+	p := sys.NewProcess("tinfoil", android.WithBehaviors(buggy))
+	if err := p.LaunchActivity("LFeed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("menu_item_newsfeed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.LoopActive("sync") {
+		t.Error("buggy loop stopped by backgrounding")
+	}
+
+	fixed := android.BehaviorMap{}
+	if err := f.InjectBehavior(fixed, true); err != nil {
+		t.Fatal(err)
+	}
+	p2 := sys.NewProcess("tinfoil-fixed", android.WithBehaviors(fixed))
+	if err := p2.LaunchActivity("LFeed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Tap("menu_item_newsfeed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Background(); err != nil { // onPause stops the loop
+		t.Fatal(err)
+	}
+	if p2.LoopActive("sync") {
+		t.Error("fixed loop still running after release point")
+	}
+}
+
+func TestConfigurationOnlyDrainsWhenMisconfigured(t *testing.T) {
+	f := configFault()
+	behaviors := android.BehaviorMap{}
+	if err := f.InjectBehavior(behaviors, false); err != nil {
+		t.Fatal(err)
+	}
+	sys := android.NewSystem(0)
+	good := sys.NewProcess("k9-good", android.WithBehaviors(behaviors))
+	if err := good.LaunchActivity("LMail/MessageList"); err != nil {
+		t.Fatal(err)
+	}
+	if good.LoopActive("retry") {
+		t.Error("well-configured app drains")
+	}
+	badP := sys.NewProcess("k9-bad", android.WithBehaviors(behaviors))
+	badP.SetConfig("imapConnections", "50")
+	if err := badP.LaunchActivity("LMail/MessageList"); err != nil {
+		t.Fatal(err)
+	}
+	if !badP.LoopActive("retry") {
+		t.Error("misconfigured app does not drain")
+	}
+}
+
+func TestInjectBehaviorFixedNeedsReleasePoint(t *testing.T) {
+	f := gpsFault()
+	f.ReleasePoint = trace.EventKey{}
+	if err := f.InjectBehavior(android.BehaviorMap{}, true); err == nil {
+		t.Error("fixed variant without release point accepted")
+	}
+}
+
+func triggerPkg(f Fault) *apk.Package {
+	return &apk.Package{
+		AppID: "app",
+		Classes: []apk.Class{{
+			Name: f.Trigger.Class,
+			Methods: []apk.Method{
+				{Name: f.Trigger.Callback, SourceLines: 40,
+					Body: []apk.Instruction{{Op: apk.OpReturn}}},
+			},
+		}},
+	}
+}
+
+func TestInjectAPKNoSleepShapes(t *testing.T) {
+	f := gpsFault()
+	pkg := triggerPkg(f)
+	if err := f.InjectAPK(pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	m, err := pkg.Lookup(f.Trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := apk.BuildCFG(m.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq := apk.Acquires(m.Body)
+	if len(acq) != 1 {
+		t.Fatalf("acquires = %v", acq)
+	}
+	if !g.LeakPathExists(acq[0].Index, f.Resource) {
+		t.Error("buggy body has no leaking path")
+	}
+
+	fixedPkg := triggerPkg(f)
+	if err := f.InjectAPK(fixedPkg, true); err != nil {
+		t.Fatal(err)
+	}
+	m, err = fixedPkg.Lookup(f.Trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = apk.BuildCFG(m.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq = apk.Acquires(m.Body)
+	if g.LeakPathExists(acq[0].Index, f.Resource) {
+		t.Error("fixed body still leaks")
+	}
+}
+
+func TestInjectAPKLoopAndConfigBodiesBuild(t *testing.T) {
+	for _, f := range []Fault{loopFault(), configFault()} {
+		pkg := triggerPkg(f)
+		if err := f.InjectAPK(pkg, false); err != nil {
+			t.Fatal(err)
+		}
+		m, err := pkg.Lookup(f.Trigger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := apk.BuildCFG(m.Body); err != nil {
+			t.Errorf("%v body has invalid CFG: %v", f.Kind, err)
+		}
+		// Loop/config bugs must not look like no-sleep bugs to the
+		// static baseline.
+		if len(apk.Acquires(m.Body)) != 0 {
+			t.Errorf("%v body contains acquires", f.Kind)
+		}
+	}
+}
+
+func TestInjectAPKMissingMethod(t *testing.T) {
+	f := gpsFault()
+	pkg := &apk.Package{AppID: "empty"}
+	if err := f.InjectAPK(pkg, false); err == nil {
+		t.Error("missing trigger method accepted")
+	}
+}

@@ -1,0 +1,540 @@
+package android
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/procfs"
+	"repro/internal/trace"
+)
+
+func newForegroundApp(t *testing.T) (*System, *Process) {
+	t.Helper()
+	sys := NewSystem(0)
+	p := sys.NewProcess("app", WithInstrumentation(DefaultInstrumentation()))
+	if err := p.LaunchActivity("LMain"); err != nil {
+		t.Fatal(err)
+	}
+	return sys, p
+}
+
+func TestClockMonotone(t *testing.T) {
+	c := NewClock(100)
+	if c.NowMS() != 100 {
+		t.Errorf("start = %d", c.NowMS())
+	}
+	if err := c.advance(50); err != nil {
+		t.Fatal(err)
+	}
+	if c.NowMS() != 150 {
+		t.Errorf("now = %d", c.NowMS())
+	}
+	if err := c.advance(-1); err == nil {
+		t.Error("negative advance accepted")
+	}
+}
+
+func TestLaunchFirstActivityEmitsCreateStartResume(t *testing.T) {
+	_, p := newForegroundApp(t)
+	tr := p.EventTrace()
+	ins, err := tr.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var callbacks []string
+	for _, in := range ins {
+		callbacks = append(callbacks, in.Key.Callback)
+	}
+	want := []string{OnCreate, OnStart, OnResume}
+	if len(callbacks) != 3 {
+		t.Fatalf("callbacks = %v", callbacks)
+	}
+	for i := range want {
+		if callbacks[i] != want[i] {
+			t.Errorf("callback %d = %q, want %q", i, callbacks[i], want[i])
+		}
+	}
+	if !p.Foreground() {
+		t.Error("app should be foreground")
+	}
+	if p.ActivityState("LMain") != StateResumed {
+		t.Errorf("state = %v", p.ActivityState("LMain"))
+	}
+}
+
+func TestActivitySwitchFiveEvents(t *testing.T) {
+	// Paper §II-A: "five events will typically be generated when a user
+	// simply switches from one activity to another."
+	_, p := newForegroundApp(t)
+	before := len(p.records) / 2
+	if err := p.LaunchActivity("LSettings"); err != nil {
+		t.Fatal(err)
+	}
+	after := len(p.records) / 2
+	if got := after - before; got != 5 {
+		t.Fatalf("activity switch generated %d events, want 5", got)
+	}
+	tr := p.EventTrace()
+	ins, err := tr.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ins[len(ins)-5:]
+	wantSeq := []struct{ cls, cb string }{
+		{"LMain", OnPause},
+		{"LSettings", OnCreate},
+		{"LSettings", OnStart},
+		{"LSettings", OnResume},
+		{"LMain", OnStop},
+	}
+	for i, w := range wantSeq {
+		if seq[i].Key.Class != w.cls || seq[i].Key.Callback != w.cb {
+			t.Errorf("event %d = %v, want %s;%s", i, seq[i].Key, w.cls, w.cb)
+		}
+	}
+	if p.CurrentActivity() != "LSettings" {
+		t.Errorf("current = %q", p.CurrentActivity())
+	}
+	if p.ActivityState("LMain") != StateStopped {
+		t.Errorf("LMain state = %v", p.ActivityState("LMain"))
+	}
+}
+
+func TestBackPopsStack(t *testing.T) {
+	_, p := newForegroundApp(t)
+	if err := p.LaunchActivity("LSettings"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Back(); err != nil {
+		t.Fatal(err)
+	}
+	if p.CurrentActivity() != "LMain" {
+		t.Errorf("current = %q", p.CurrentActivity())
+	}
+	if p.ActivityState("LSettings") != StateDestroyed {
+		t.Errorf("LSettings state = %v", p.ActivityState("LSettings"))
+	}
+	if p.ActivityState("LMain") != StateResumed {
+		t.Errorf("LMain state = %v", p.ActivityState("LMain"))
+	}
+}
+
+func TestBackOnRootBackgrounds(t *testing.T) {
+	_, p := newForegroundApp(t)
+	if err := p.Back(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Foreground() {
+		t.Error("root back should background the app")
+	}
+}
+
+func TestBackgroundForegroundCycle(t *testing.T) {
+	sys, p := newForegroundApp(t)
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Foreground() {
+		t.Error("still foreground after Background")
+	}
+	// Display released: no display utilization after backgrounding.
+	u := sys.Ledger().UtilizationAt(p.PID(), sys.NowMS()+1)
+	if u.Get(trace.Display) != 0 {
+		t.Errorf("display still on in background: %v", u.Get(trace.Display))
+	}
+	if err := p.Background(); !errors.Is(err, ErrNotForeground) {
+		t.Errorf("double background: %v", err)
+	}
+	if err := p.ForegroundApp(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Foreground() {
+		t.Error("not foreground after ForegroundApp")
+	}
+	if err := p.ForegroundApp(); !errors.Is(err, ErrAlreadyForeground) {
+		t.Errorf("double foreground: %v", err)
+	}
+	u = sys.Ledger().UtilizationAt(p.PID(), sys.NowMS())
+	if u.Get(trace.Display) == 0 {
+		t.Error("display off while foreground")
+	}
+}
+
+func TestBackgroundIdleLogsIdleEvent(t *testing.T) {
+	_, p := newForegroundApp(t)
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Idle(5_000); err != nil {
+		t.Fatal(err)
+	}
+	tr := p.EventTrace()
+	found := false
+	for _, r := range tr.Records {
+		if r.Key == IdleKey() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Idle(No_Display) event not logged for background idle")
+	}
+}
+
+func TestIdleInBackgroundSpansEvent(t *testing.T) {
+	_, p := newForegroundApp(t)
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Idle(60_000); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := p.EventTrace().Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var longest int64
+	for _, in := range ins {
+		if in.Key == IdleKey() && in.DurationMS() > longest {
+			longest = in.DurationMS()
+		}
+	}
+	if longest != 60_000 {
+		t.Errorf("idle event duration = %d, want 60000", longest)
+	}
+}
+
+func TestIdleRejectsNonPositive(t *testing.T) {
+	_, p := newForegroundApp(t)
+	if err := p.Idle(0); err == nil {
+		t.Error("zero idle accepted")
+	}
+}
+
+func TestTapRequiresForeground(t *testing.T) {
+	_, p := newForegroundApp(t)
+	if err := p.Tap("onClick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("onClick"); !errors.Is(err, ErrNotForeground) {
+		t.Errorf("background tap: %v", err)
+	}
+	if err := p.TapOn("LWidget", "onTouch"); !errors.Is(err, ErrNotForeground) {
+		t.Errorf("background TapOn: %v", err)
+	}
+}
+
+func TestBehaviorUsageRecorded(t *testing.T) {
+	sys := NewSystem(0)
+	key := trace.EventKey{Class: "LMail", Callback: "checkMail"}
+	behaviors := BehaviorMap{
+		key: {
+			LatencyMS: 10,
+			Usages: []ComponentUsage{
+				{Component: trace.WiFi, Level: 0.8, DurationMS: 3000},
+			},
+		},
+	}
+	p := sys.NewProcess("k9", WithBehaviors(behaviors), WithInstrumentation(DefaultInstrumentation()))
+	if err := p.LaunchActivity("LMail"); err != nil {
+		t.Fatal(err)
+	}
+	start := sys.NowMS()
+	if err := p.Tap("checkMail"); err != nil {
+		t.Fatal(err)
+	}
+	u := sys.Ledger().UtilizationAt(p.PID(), start+1000)
+	if u.Get(trace.WiFi) != 0.8 {
+		t.Errorf("wifi = %v, want 0.8", u.Get(trace.WiFi))
+	}
+	u = sys.Ledger().UtilizationAt(p.PID(), start+3001)
+	if u.Get(trace.WiFi) != 0 {
+		t.Errorf("wifi after burst = %v, want 0", u.Get(trace.WiFi))
+	}
+}
+
+func TestAcquireReleaseHold(t *testing.T) {
+	sys := NewSystem(0)
+	acquire := trace.EventKey{Class: "LTracker", Callback: "startGPS"}
+	release := trace.EventKey{Class: "LTracker", Callback: "stopGPS"}
+	behaviors := BehaviorMap{
+		acquire: {LatencyMS: 5, Effects: []Effect{{
+			Kind: EffectAcquire, Name: "gps", HoldComponent: trace.GPS, HoldLevel: 1,
+		}}},
+		release: {LatencyMS: 5, Effects: []Effect{{Kind: EffectRelease, Name: "gps"}}},
+	}
+	p := sys.NewProcess("gpsapp", WithBehaviors(behaviors))
+	if err := p.LaunchActivity("LTracker"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("startGPS"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HoldActive("gps") {
+		t.Fatal("gps hold not active")
+	}
+	// Re-acquire is a no-op, not a leak.
+	if err := p.Tap("startGPS"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Sleep(10_000); err != nil {
+		t.Fatal(err)
+	}
+	u := sys.Ledger().UtilizationAt(p.PID(), sys.NowMS()-1)
+	if u.Get(trace.GPS) != 1 {
+		t.Errorf("gps = %v while held", u.Get(trace.GPS))
+	}
+	if err := p.Tap("stopGPS"); err != nil {
+		t.Fatal(err)
+	}
+	if p.HoldActive("gps") {
+		t.Error("gps hold still active after release")
+	}
+	if err := sys.Sleep(1000); err != nil {
+		t.Fatal(err)
+	}
+	u = sys.Ledger().UtilizationAt(p.PID(), sys.NowMS()-1)
+	if u.Get(trace.GPS) != 0 {
+		t.Errorf("gps = %v after release", u.Get(trace.GPS))
+	}
+	// Releasing an unheld resource is a no-op.
+	if err := p.Tap("stopGPS"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopTicksMaterialize(t *testing.T) {
+	sys := NewSystem(0)
+	start := trace.EventKey{Class: "LSync", Callback: "startSync"}
+	behaviors := BehaviorMap{
+		start: {LatencyMS: 5, Effects: []Effect{{
+			Kind: EffectStartLoop, Name: "sync",
+			Loop: LoopSpec{
+				PeriodMS: 1000, BurstMS: 400,
+				Usages: []ComponentUsage{{Component: trace.WiFi, Level: 0.9}},
+			},
+		}}},
+	}
+	p := sys.NewProcess("syncapp", WithBehaviors(behaviors))
+	if err := p.LaunchActivity("LSync"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := sys.NowMS()
+	if err := p.Tap("startSync"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.LoopActive("sync") {
+		t.Fatal("loop not active")
+	}
+	if err := sys.Sleep(5000); err != nil {
+		t.Fatal(err)
+	}
+	// Inside a burst window (t0 + period*k + small offset).
+	inBurst := sys.Ledger().UtilizationAt(p.PID(), t0+2005+100)
+	_ = inBurst
+	var burstSeen, gapSeen bool
+	for off := int64(0); off < 1000; off += 50 {
+		u := sys.Ledger().UtilizationAt(p.PID(), t0+3000+off)
+		if u.Get(trace.WiFi) > 0 {
+			burstSeen = true
+		} else {
+			gapSeen = true
+		}
+	}
+	if !burstSeen {
+		t.Error("loop bursts never observed")
+	}
+	if !gapSeen {
+		t.Error("loop runs continuously; duty cycle lost")
+	}
+}
+
+func TestConditionalLoopRespectsConfig(t *testing.T) {
+	sys := NewSystem(0)
+	resume := trace.EventKey{Class: "LMail", Callback: OnResume}
+	behaviors := BehaviorMap{
+		resume: {LatencyMS: 5, Effects: []Effect{{
+			Kind: EffectConditionalStartLoop, Name: "retry",
+			ConfigKey: "imapConnections", ConfigValue: "50",
+			Loop: LoopSpec{PeriodMS: 2000, BurstMS: 800,
+				Usages: []ComponentUsage{{Component: trace.WiFi, Level: 0.9}}},
+		}}},
+	}
+	p := sys.NewProcess("k9", WithBehaviors(behaviors))
+	if err := p.LaunchActivity("LMail"); err != nil {
+		t.Fatal(err)
+	}
+	if p.LoopActive("retry") {
+		t.Fatal("loop started without misconfiguration")
+	}
+	p.SetConfig("imapConnections", "50")
+	if err := p.ForegroundApp(); err == nil {
+		t.Fatal("expected already-foreground error")
+	}
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ForegroundApp(); err != nil { // re-fires onResume
+		t.Fatal(err)
+	}
+	if !p.LoopActive("retry") {
+		t.Error("loop not started after misconfiguration")
+	}
+}
+
+func TestSetConfigEffect(t *testing.T) {
+	sys := NewSystem(0)
+	key := trace.EventKey{Class: "LSettings", Callback: "onClick"}
+	behaviors := BehaviorMap{
+		key: {LatencyMS: 3, Effects: []Effect{{
+			Kind: EffectSetConfig, ConfigKey: "sync", ConfigValue: "aggressive",
+		}}},
+	}
+	p := sys.NewProcess("app", WithBehaviors(behaviors))
+	if err := p.LaunchActivity("LSettings"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("onClick"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Config("sync") != "aggressive" {
+		t.Errorf("config = %q", p.Config("sync"))
+	}
+}
+
+func TestKillClosesEverything(t *testing.T) {
+	sys := NewSystem(0)
+	key := trace.EventKey{Class: "LA", Callback: "go"}
+	behaviors := BehaviorMap{
+		key: {LatencyMS: 3, Effects: []Effect{
+			{Kind: EffectAcquire, Name: "wl", HoldComponent: trace.CPU, HoldLevel: 0.1},
+			{Kind: EffectStartLoop, Name: "l", Loop: LoopSpec{PeriodMS: 100, BurstMS: 50,
+				Usages: []ComponentUsage{{Component: trace.CPU, Level: 0.5}}}},
+		}},
+	}
+	p := sys.NewProcess("app", WithBehaviors(behaviors))
+	if err := p.LaunchActivity("LA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("go"); err != nil {
+		t.Fatal(err)
+	}
+	p.Kill()
+	if p.HoldActive("wl") || p.LoopActive("l") || p.Foreground() {
+		t.Error("Kill left state behind")
+	}
+	after := sys.NowMS() + 10_000
+	u := sys.Ledger().UtilizationAt(p.PID(), after)
+	if u.Get(trace.CPU) != 0 || u.Get(trace.Display) != 0 {
+		t.Errorf("utilization after kill: %v", u)
+	}
+}
+
+func TestInstrumentationOverheadAccounting(t *testing.T) {
+	sys := NewSystem(0)
+	plain := sys.NewProcess("app")
+	instr := sys.NewProcess("app", WithInstrumentation(DefaultInstrumentation()))
+	for _, p := range []*Process{plain, instr} {
+		if err := p.LaunchActivity("LMain"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := p.Tap("onClick"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, lat0, ovh0 := plain.Stats()
+	_, lat1, ovh1 := instr.Stats()
+	if ovh0 != 0 {
+		t.Errorf("uninstrumented overhead = %d", ovh0)
+	}
+	if ovh1 == 0 {
+		t.Error("instrumented overhead is zero")
+	}
+	if lat0 != lat1 {
+		t.Errorf("base latency differs: %d vs %d", lat0, lat1)
+	}
+	// Uninstrumented apps must not log records.
+	if n := len(plain.EventTrace().Records); n != 0 {
+		t.Errorf("uninstrumented app logged %d records", n)
+	}
+	if n := len(instr.EventTrace().Records); n == 0 {
+		t.Error("instrumented app logged nothing")
+	}
+}
+
+func TestEventTraceValidates(t *testing.T) {
+	_, p := newForegroundApp(t)
+	for i := 0; i < 5; i++ {
+		if err := p.Tap("onClick"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.LaunchActivity("LOther"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	tr := p.EventTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v\n%s", err, tr.Text())
+	}
+}
+
+func TestServices(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app", WithInstrumentation(DefaultInstrumentation()))
+	if err := p.StartService("LMailService"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StopService("LMailService"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := p.EventTrace().Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 2 || ins[0].Key.Callback != OnCreate || ins[1].Key.Callback != OnDestroy {
+		t.Errorf("service events = %v", ins)
+	}
+}
+
+func TestMultiProcessIsolationViaSampler(t *testing.T) {
+	sys := NewSystem(0)
+	a := sys.NewProcess("appA")
+	b := sys.NewProcess("appB")
+	if err := a.LaunchActivity("LA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Background(); err != nil {
+		t.Fatal(err)
+	}
+	backgroundedAt := sys.NowMS()
+	if err := b.LaunchActivity("LB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Sleep(5000); err != nil {
+		t.Fatal(err)
+	}
+	s := procfs.NewSampler(sys.Ledger(), 500)
+	ta := s.Trace("appA", a.PID(), 0, sys.NowMS())
+	for _, smp := range ta.Samples {
+		if smp.TimestampMS > backgroundedAt && smp.Util.Get(trace.Display) > 0 {
+			t.Errorf("appA shows display power from appB at %d", smp.TimestampMS)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	states := []ActivityState{StateNotCreated, StateCreated, StateStarted,
+		StateResumed, StatePaused, StateStopped, StateDestroyed, ActivityState(99)}
+	for _, s := range states {
+		if s.String() == "" {
+			t.Errorf("state %d has empty string", s)
+		}
+	}
+}

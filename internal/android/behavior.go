@@ -1,0 +1,98 @@
+package android
+
+import (
+	"repro/internal/trace"
+)
+
+// ComponentUsage describes one hardware-usage burst caused by a callback:
+// the component runs at Level for DurationMS starting when the callback
+// begins. DurationMS may exceed the callback latency (asynchronous work
+// such as a network fetch kicked off by onClick).
+type ComponentUsage struct {
+	Component  trace.Component
+	Level      float64
+	DurationMS int64
+}
+
+// EffectKind enumerates the state-changing side effects a callback can
+// have on its process. These are the hooks through which ABD faults are
+// injected: a no-sleep bug is an Acquire whose matching Release was
+// removed, a loop bug is a StartLoop that is never stopped, and a
+// configuration bug conditionally starts a retry loop.
+type EffectKind int
+
+const (
+	// EffectAcquire opens a named long-lived resource hold (wakelock,
+	// GPS listener, sensor registration).
+	EffectAcquire EffectKind = iota + 1
+	// EffectRelease closes a named resource hold.
+	EffectRelease
+	// EffectStartLoop starts a named periodic task.
+	EffectStartLoop
+	// EffectStopLoop stops a named periodic task.
+	EffectStopLoop
+	// EffectSetConfig stores a key/value in the app's configuration.
+	EffectSetConfig
+	// EffectConditionalStartLoop starts the named loop only when the
+	// app's configuration matches ConfigKey=ConfigValue. This models
+	// misconfiguration ABDs (e.g. K-9 Mail's connection-limit setting).
+	EffectConditionalStartLoop
+	// EffectStopApp terminates all holds and loops (process teardown).
+	EffectStopApp
+)
+
+// Effect is one side effect of a callback.
+type Effect struct {
+	Kind EffectKind
+
+	// Name identifies the hold or loop for Acquire/Release/Start/Stop.
+	Name string
+
+	// Hold parameters (EffectAcquire).
+	HoldComponent trace.Component
+	HoldLevel     float64
+
+	// Loop parameters (EffectStartLoop / EffectConditionalStartLoop).
+	Loop LoopSpec
+
+	// Config parameters (EffectSetConfig and the conditional guard).
+	ConfigKey   string
+	ConfigValue string
+}
+
+// LoopSpec describes a periodic background task: every PeriodMS the task
+// runs for BurstMS, consuming the listed component usages.
+type LoopSpec struct {
+	PeriodMS int64
+	BurstMS  int64
+	Usages   []ComponentUsage
+}
+
+// Behavior describes what one callback does when invoked.
+type Behavior struct {
+	// LatencyMS is the callback's execution time on the main thread.
+	LatencyMS int64
+	// Usages are hardware bursts started at callback entry.
+	Usages []ComponentUsage
+	// Effects are applied after the usages are recorded.
+	Effects []Effect
+}
+
+// BehaviorMap assigns behaviors to event keys. Keys without an entry get
+// DefaultBehavior.
+type BehaviorMap map[trace.EventKey]Behavior
+
+// DefaultBehavior is the behavior of an un-modelled callback: a modest
+// CPU burst for the framework dispatch plus the UI work it fronts. The
+// duration is kept at or above the 500 ms utilization sampling period so
+// every instance contains at least one procfs sample — events shorter
+// than the sampling period cannot be attributed stable power (the same
+// resolution limit the paper's 500 ms trade-off accepts).
+func DefaultBehavior() Behavior {
+	return Behavior{
+		LatencyMS: 520,
+		Usages: []ComponentUsage{
+			{Component: trace.CPU, Level: 0.30, DurationMS: 520},
+		},
+	}
+}

@@ -1,0 +1,36 @@
+// Package android simulates the slice of the Android runtime that
+// EnergyDx instruments and observes: activity lifecycle state machines,
+// widget event dispatch, background services, wakelocks, the location and
+// connectivity managers, and foreground/background transitions. Apps run
+// against a simulated millisecond clock; their component usage is
+// attributed to their PID in a procfs ledger, from which the EnergyDx
+// background sampler produces utilization traces.
+//
+// The simulation is fully deterministic: all timing comes from the
+// simulated clock and all randomness is injected by callers.
+package android
+
+import "fmt"
+
+// Clock is a simulated millisecond clock shared by all processes in a
+// System. It only moves forward.
+type Clock struct {
+	nowMS int64
+}
+
+// NewClock returns a clock starting at startMS.
+func NewClock(startMS int64) *Clock {
+	return &Clock{nowMS: startMS}
+}
+
+// NowMS returns the current simulated time in milliseconds.
+func (c *Clock) NowMS() int64 { return c.nowMS }
+
+// advance moves the clock forward by d milliseconds.
+func (c *Clock) advance(d int64) error {
+	if d < 0 {
+		return fmt.Errorf("android: clock cannot move backwards (%d ms)", d)
+	}
+	c.nowMS += d
+	return nil
+}

@@ -1,0 +1,659 @@
+package android
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/procfs"
+	"repro/internal/trace"
+)
+
+// Standard Android lifecycle callback names (paper Table I).
+const (
+	OnCreate  = "onCreate"
+	OnStart   = "onStart"
+	OnRestart = "onRestart"
+	OnResume  = "onResume"
+	OnPause   = "onPause"
+	OnStop    = "onStop"
+	OnDestroy = "onDestroy"
+)
+
+// IdleClass is the pseudo-class under which the simulator logs the
+// Idle(No_Display) event the paper's case-study tables report for
+// backgrounded apps (Tables IV and VI).
+const IdleClass = "Landroid/system/Idle"
+
+// IdleKey is the event key of the backgrounded-idle pseudo-event.
+func IdleKey() trace.EventKey {
+	return trace.EventKey{Class: IdleClass, Callback: "Idle(No_Display)"}
+}
+
+// ActivityState tracks where an activity is in its lifecycle.
+type ActivityState int
+
+const (
+	StateNotCreated ActivityState = iota + 1
+	StateCreated
+	StateStarted
+	StateResumed
+	StatePaused
+	StateStopped
+	StateDestroyed
+)
+
+// String names the state for diagnostics.
+func (s ActivityState) String() string {
+	switch s {
+	case StateNotCreated:
+		return "not-created"
+	case StateCreated:
+		return "created"
+	case StateStarted:
+		return "started"
+	case StateResumed:
+		return "resumed"
+	case StatePaused:
+		return "paused"
+	case StateStopped:
+		return "stopped"
+	case StateDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Lifecycle errors.
+var (
+	ErrNotForeground     = errors.New("android: app is not in the foreground")
+	ErrAlreadyForeground = errors.New("android: app is already in the foreground")
+	ErrNoActivity        = errors.New("android: no activity on the back stack")
+)
+
+// System owns the simulated clock, the procfs ledger and the running
+// processes. It is the root object a workload drives.
+type System struct {
+	clock     *Clock
+	ledger    *procfs.Ledger
+	nextPID   int
+	processes []*Process
+}
+
+// NewSystem creates a system with its clock at startMS.
+func NewSystem(startMS int64) *System {
+	return &System{
+		clock:   NewClock(startMS),
+		ledger:  procfs.NewLedger(),
+		nextPID: 1000,
+	}
+}
+
+// NowMS returns the current simulated time.
+func (s *System) NowMS() int64 { return s.clock.NowMS() }
+
+// Ledger exposes the procfs ledger for the utilization sampler.
+func (s *System) Ledger() *procfs.Ledger { return s.ledger }
+
+// Sleep advances simulated time by d milliseconds, materializing loop
+// ticks in every process along the way.
+func (s *System) Sleep(d int64) error {
+	if err := s.clock.advance(d); err != nil {
+		return err
+	}
+	now := s.clock.NowMS()
+	for _, p := range s.processes {
+		p.materializeLoops(now)
+	}
+	return nil
+}
+
+// InstrumentationConfig models the cost of EnergyDx's injected probes
+// (paper §IV-F: average event-latency increase of 8.3%, average power
+// overhead 32 mW on a Nexus 6).
+type InstrumentationConfig struct {
+	// Enabled turns event logging on.
+	Enabled bool
+	// ProbeLatencyFracx1000 is the per-event latency overhead in
+	// thousandths (83 = +8.3% per event).
+	ProbeLatencyFracx1000 int64
+	// ProbeCPULevel is the extra CPU utilization drawn while a probe
+	// writes its log records.
+	ProbeCPULevel float64
+}
+
+// DefaultInstrumentation returns probes calibrated to the paper's
+// reported overheads.
+func DefaultInstrumentation() InstrumentationConfig {
+	return InstrumentationConfig{
+		Enabled:               true,
+		ProbeLatencyFracx1000: 83,
+		ProbeCPULevel:         0.03,
+	}
+}
+
+// Process is one running app instance.
+type Process struct {
+	sys *System
+
+	pid    int
+	appID  string
+	device string
+	userID string
+
+	instr InstrumentationConfig
+
+	behaviors BehaviorMap
+	config    map[string]string
+
+	records []trace.Record
+
+	// Activity back stack; the top is the visible activity when
+	// foreground is true.
+	stack      []string
+	states     map[string]ActivityState
+	foreground bool
+
+	displayHold *procfs.OpenUsage
+	holds       map[string]*procfs.OpenUsage
+	loops       map[string]*runningLoop
+
+	// Aggregate instrumentation accounting for the overhead experiment.
+	eventCount        int64
+	totalLatencyMS    int64
+	totalOverheadMS   int64
+	displayBrightness float64
+}
+
+// runningLoop is a started periodic task.
+type runningLoop struct {
+	spec       LoopSpec
+	nextTickMS int64
+}
+
+// ProcessOption configures a new process.
+type ProcessOption func(*Process)
+
+// WithInstrumentation sets the instrumentation configuration.
+func WithInstrumentation(cfg InstrumentationConfig) ProcessOption {
+	return func(p *Process) { p.instr = cfg }
+}
+
+// WithBehaviors sets the app's callback behaviors.
+func WithBehaviors(b BehaviorMap) ProcessOption {
+	return func(p *Process) { p.behaviors = b }
+}
+
+// WithUser tags the process with the interacting user's ID.
+func WithUser(userID string) ProcessOption {
+	return func(p *Process) { p.userID = userID }
+}
+
+// WithDevice tags the process with the device profile name.
+func WithDevice(device string) ProcessOption {
+	return func(p *Process) { p.device = device }
+}
+
+// WithDisplayBrightness overrides the display utilization level used
+// while the app is foreground (default 0.65).
+func WithDisplayBrightness(level float64) ProcessOption {
+	return func(p *Process) { p.displayBrightness = level }
+}
+
+// NewProcess starts a new app process. The app begins backgrounded with
+// an empty back stack; call LaunchActivity to bring up its first UI.
+func (s *System) NewProcess(appID string, opts ...ProcessOption) *Process {
+	p := &Process{
+		sys:               s,
+		pid:               s.nextPID,
+		appID:             appID,
+		behaviors:         BehaviorMap{},
+		config:            make(map[string]string),
+		states:            make(map[string]ActivityState),
+		holds:             make(map[string]*procfs.OpenUsage),
+		loops:             make(map[string]*runningLoop),
+		displayBrightness: 0.65,
+	}
+	s.nextPID++
+	for _, o := range opts {
+		o(p)
+	}
+	s.processes = append(s.processes, p)
+	return p
+}
+
+// PID returns the process ID used for procfs attribution.
+func (p *Process) PID() int { return p.pid }
+
+// AppID returns the app identifier.
+func (p *Process) AppID() string { return p.appID }
+
+// Foreground reports whether the app currently owns the display.
+func (p *Process) Foreground() bool { return p.foreground }
+
+// CurrentActivity returns the top of the back stack ("" when empty).
+func (p *Process) CurrentActivity() string {
+	if len(p.stack) == 0 {
+		return ""
+	}
+	return p.stack[len(p.stack)-1]
+}
+
+// ActivityState returns the lifecycle state of the named activity.
+func (p *Process) ActivityState(name string) ActivityState {
+	st, ok := p.states[name]
+	if !ok {
+		return StateNotCreated
+	}
+	return st
+}
+
+// Config returns the app's configuration value for key.
+func (p *Process) Config(key string) string { return p.config[key] }
+
+// SetConfig stores a configuration value directly (used by workloads to
+// model pre-existing settings).
+func (p *Process) SetConfig(key, value string) { p.config[key] = value }
+
+// HoldActive reports whether a named resource hold is currently open.
+func (p *Process) HoldActive(name string) bool {
+	_, ok := p.holds[name]
+	return ok
+}
+
+// LoopActive reports whether a named loop is currently running.
+func (p *Process) LoopActive(name string) bool {
+	_, ok := p.loops[name]
+	return ok
+}
+
+// EventTrace returns the instrumentation log collected so far.
+func (p *Process) EventTrace() *trace.EventTrace {
+	t := &trace.EventTrace{
+		AppID:   p.appID,
+		UserID:  p.userID,
+		Device:  p.device,
+		Records: make([]trace.Record, len(p.records)),
+	}
+	copy(t.Records, p.records)
+	// Entries are appended in time order, but exits of nested events can
+	// interleave; restore global order defensively.
+	sort.SliceStable(t.Records, func(a, b int) bool {
+		return t.Records[a].TimestampMS < t.Records[b].TimestampMS
+	})
+	return t
+}
+
+// Stats returns aggregate event accounting for the overhead experiment:
+// events dispatched, their total base latency, and the added probe time.
+func (p *Process) Stats() (events, totalLatencyMS, totalOverheadMS int64) {
+	return p.eventCount, p.totalLatencyMS, p.totalOverheadMS
+}
+
+// Invoke dispatches one callback: logs the entry record, records hardware
+// bursts, applies effects, advances the clock by the callback latency
+// (plus probe overhead when instrumented), and logs the exit record.
+func (p *Process) Invoke(key trace.EventKey) error {
+	b, ok := p.behaviors[key]
+	if !ok {
+		b = DefaultBehavior()
+	}
+	return p.invokeBehavior(key, b)
+}
+
+func (p *Process) invokeBehavior(key trace.EventKey, b Behavior) error {
+	start := p.sys.NowMS()
+	latency := b.LatencyMS
+	if latency < 1 {
+		latency = 1
+	}
+	var overhead int64
+	if p.instr.Enabled {
+		overhead = latency * p.instr.ProbeLatencyFracx1000 / 1000
+		if overhead < 1 {
+			overhead = 1
+		}
+		p.records = append(p.records, trace.Record{TimestampMS: start, Dir: trace.Enter, Key: key})
+		if p.instr.ProbeCPULevel > 0 {
+			if err := p.sys.ledger.Record(p.pid, trace.CPU, start, start+latency+overhead, p.instr.ProbeCPULevel); err != nil {
+				return fmt.Errorf("record probe cpu: %w", err)
+			}
+		}
+	}
+
+	for _, u := range b.Usages {
+		if u.DurationMS <= 0 || u.Level <= 0 {
+			continue
+		}
+		if err := p.sys.ledger.Record(p.pid, u.Component, start, start+u.DurationMS, u.Level); err != nil {
+			return fmt.Errorf("record usage for %s: %w", key, err)
+		}
+	}
+	for _, e := range b.Effects {
+		if err := p.applyEffect(e, start); err != nil {
+			return fmt.Errorf("apply effect of %s: %w", key, err)
+		}
+	}
+
+	if err := p.sys.Sleep(latency + overhead); err != nil {
+		return err
+	}
+	p.eventCount++
+	p.totalLatencyMS += latency
+	p.totalOverheadMS += overhead
+
+	if p.instr.Enabled {
+		p.records = append(p.records, trace.Record{TimestampMS: p.sys.NowMS(), Dir: trace.Exit, Key: key})
+	}
+	return nil
+}
+
+// applyEffect mutates process state for one callback side effect.
+func (p *Process) applyEffect(e Effect, nowMS int64) error {
+	switch e.Kind {
+	case EffectAcquire:
+		if _, exists := p.holds[e.Name]; exists {
+			return nil // re-acquiring an already-held resource is a no-op
+		}
+		p.holds[e.Name] = p.sys.ledger.Open(p.pid, e.HoldComponent, nowMS, e.HoldLevel)
+	case EffectRelease:
+		if h, exists := p.holds[e.Name]; exists {
+			h.Close(nowMS)
+			delete(p.holds, e.Name)
+		}
+	case EffectStartLoop:
+		p.startLoop(e.Name, e.Loop, nowMS)
+	case EffectConditionalStartLoop:
+		if p.config[e.ConfigKey] == e.ConfigValue {
+			p.startLoop(e.Name, e.Loop, nowMS)
+		}
+	case EffectStopLoop:
+		delete(p.loops, e.Name)
+	case EffectSetConfig:
+		p.config[e.ConfigKey] = e.ConfigValue
+	case EffectStopApp:
+		p.stopAll(nowMS)
+	default:
+		return fmt.Errorf("android: unknown effect kind %d", e.Kind)
+	}
+	return nil
+}
+
+func (p *Process) startLoop(name string, spec LoopSpec, nowMS int64) {
+	if spec.PeriodMS <= 0 || spec.BurstMS <= 0 {
+		return
+	}
+	if _, exists := p.loops[name]; exists {
+		return
+	}
+	p.loops[name] = &runningLoop{spec: spec, nextTickMS: nowMS}
+}
+
+// materializeLoops records the bursts of all running loops whose ticks
+// fall before nowMS.
+func (p *Process) materializeLoops(nowMS int64) {
+	for _, l := range p.loops {
+		for l.nextTickMS < nowMS {
+			start := l.nextTickMS
+			end := start + l.spec.BurstMS
+			for _, u := range l.spec.Usages {
+				if u.Level <= 0 {
+					continue
+				}
+				// Loop bursts last BurstMS regardless of per-usage duration.
+				_ = p.sys.ledger.Record(p.pid, u.Component, start, end, u.Level)
+			}
+			l.nextTickMS += l.spec.PeriodMS
+		}
+	}
+}
+
+// stopAll closes every hold and loop (process teardown).
+func (p *Process) stopAll(nowMS int64) {
+	for name, h := range p.holds {
+		h.Close(nowMS)
+		delete(p.holds, name)
+	}
+	for name := range p.loops {
+		delete(p.loops, name)
+	}
+}
+
+// lifecycle invokes one lifecycle callback on an activity class and
+// transitions its state.
+func (p *Process) lifecycle(activity, callback string, to ActivityState) error {
+	if err := p.Invoke(trace.EventKey{Class: activity, Callback: callback}); err != nil {
+		return err
+	}
+	p.states[activity] = to
+	return nil
+}
+
+// LaunchActivity brings a new activity to the foreground. If another
+// activity is currently resumed, the paper's canonical 5-event switch
+// sequence is generated: onPause(old), onCreate(new), onStart(new),
+// onResume(new), onStop(old). Launching the first activity also moves the
+// app to the foreground.
+func (p *Process) LaunchActivity(name string) error {
+	old := ""
+	if p.foreground {
+		old = p.CurrentActivity()
+	}
+	if old != "" {
+		if err := p.lifecycle(old, OnPause, StatePaused); err != nil {
+			return err
+		}
+	}
+	if !p.foreground {
+		p.openDisplay()
+		p.foreground = true
+	}
+	if err := p.lifecycle(name, OnCreate, StateCreated); err != nil {
+		return err
+	}
+	if err := p.lifecycle(name, OnStart, StateStarted); err != nil {
+		return err
+	}
+	if err := p.lifecycle(name, OnResume, StateResumed); err != nil {
+		return err
+	}
+	p.stack = append(p.stack, name)
+	if old != "" {
+		if err := p.lifecycle(old, OnStop, StateStopped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Back finishes the current activity and returns to the previous one:
+// onPause(cur), onRestart/onStart/onResume(prev), onStop(cur),
+// onDestroy(cur). With a single activity on the stack, Back backgrounds
+// the app instead (like pressing back on the root activity).
+func (p *Process) Back() error {
+	if !p.foreground {
+		return ErrNotForeground
+	}
+	if len(p.stack) == 0 {
+		return ErrNoActivity
+	}
+	cur := p.stack[len(p.stack)-1]
+	if len(p.stack) == 1 {
+		if err := p.Background(); err != nil {
+			return err
+		}
+		return nil
+	}
+	prev := p.stack[len(p.stack)-2]
+	if err := p.lifecycle(cur, OnPause, StatePaused); err != nil {
+		return err
+	}
+	if err := p.lifecycle(prev, OnRestart, StateStarted); err != nil {
+		return err
+	}
+	if err := p.lifecycle(prev, OnStart, StateStarted); err != nil {
+		return err
+	}
+	if err := p.lifecycle(prev, OnResume, StateResumed); err != nil {
+		return err
+	}
+	if err := p.lifecycle(cur, OnStop, StateStopped); err != nil {
+		return err
+	}
+	if err := p.lifecycle(cur, OnDestroy, StateDestroyed); err != nil {
+		return err
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	return nil
+}
+
+// Background sends the app to the background (home button): the current
+// activity is paused and stopped and the display is released. Subsequent
+// background Idle() calls log the Idle(No_Display) pseudo-event spanning
+// the idle period.
+func (p *Process) Background() error {
+	if !p.foreground {
+		return ErrNotForeground
+	}
+	cur := p.CurrentActivity()
+	if cur != "" {
+		if err := p.lifecycle(cur, OnPause, StatePaused); err != nil {
+			return err
+		}
+		if err := p.lifecycle(cur, OnStop, StateStopped); err != nil {
+			return err
+		}
+	}
+	p.closeDisplay()
+	p.foreground = false
+	return nil
+}
+
+// Foreground returns the app to the foreground: onRestart, onStart,
+// onResume of the top activity, display re-acquired.
+func (p *Process) ForegroundApp() error {
+	if p.foreground {
+		return ErrAlreadyForeground
+	}
+	cur := p.CurrentActivity()
+	if cur == "" {
+		return ErrNoActivity
+	}
+	p.openDisplay()
+	p.foreground = true
+	if err := p.lifecycle(cur, OnRestart, StateStarted); err != nil {
+		return err
+	}
+	if err := p.lifecycle(cur, OnStart, StateStarted); err != nil {
+		return err
+	}
+	return p.lifecycle(cur, OnResume, StateResumed)
+}
+
+// Rotate simulates a configuration change (screen rotation): Android
+// destroys and recreates the visible activity, generating the
+// onPause/onStop/onDestroy/onCreate/onStart/onResume burst that real
+// traces are full of. The cited energy-bug study [19] notes that
+// mishandled lifecycle interactions like this are a common ABD source.
+func (p *Process) Rotate() error {
+	if !p.foreground {
+		return ErrNotForeground
+	}
+	cur := p.CurrentActivity()
+	if cur == "" {
+		return ErrNoActivity
+	}
+	for _, step := range []struct {
+		cb string
+		to ActivityState
+	}{
+		{OnPause, StatePaused},
+		{OnStop, StateStopped},
+		{OnDestroy, StateDestroyed},
+		{OnCreate, StateCreated},
+		{OnStart, StateStarted},
+		{OnResume, StateResumed},
+	} {
+		if err := p.lifecycle(cur, step.cb, step.to); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tap dispatches a widget interaction callback (onClick, onItemClick,
+// onTouch, menu selections, ...) on the current activity. The app must be
+// foreground: you cannot tap an invisible widget.
+func (p *Process) Tap(callback string) error {
+	if !p.foreground {
+		return ErrNotForeground
+	}
+	cur := p.CurrentActivity()
+	if cur == "" {
+		return ErrNoActivity
+	}
+	return p.Invoke(trace.EventKey{Class: cur, Callback: callback})
+}
+
+// TapOn dispatches a widget interaction on an explicit class (for widgets
+// owned by fragments or custom views whose class differs from the
+// activity).
+func (p *Process) TapOn(class, callback string) error {
+	if !p.foreground {
+		return ErrNotForeground
+	}
+	return p.Invoke(trace.EventKey{Class: class, Callback: callback})
+}
+
+// StartService dispatches a service lifecycle callback (services run
+// regardless of foreground state).
+func (p *Process) StartService(class string) error {
+	return p.Invoke(trace.EventKey{Class: class, Callback: OnCreate})
+}
+
+// StopService dispatches the service's onDestroy.
+func (p *Process) StopService(class string) error {
+	return p.Invoke(trace.EventKey{Class: class, Callback: OnDestroy})
+}
+
+// Idle advances simulated time with no user interaction. While the app is
+// backgrounded, an Idle(No_Display) event instance spans the idle period
+// so background power is attributable to an observable event, matching
+// the Idle(No_Display) rows of the paper's Tables IV and VI.
+func (p *Process) Idle(durationMS int64) error {
+	if durationMS <= 0 {
+		return fmt.Errorf("android: idle duration must be positive, got %d", durationMS)
+	}
+	if !p.foreground && p.instr.Enabled {
+		start := p.sys.NowMS()
+		p.records = append(p.records, trace.Record{TimestampMS: start, Dir: trace.Enter, Key: IdleKey()})
+		if err := p.sys.Sleep(durationMS); err != nil {
+			return err
+		}
+		p.records = append(p.records, trace.Record{TimestampMS: p.sys.NowMS(), Dir: trace.Exit, Key: IdleKey()})
+		p.eventCount++
+		return nil
+	}
+	return p.sys.Sleep(durationMS)
+}
+
+// Kill tears the process down, closing every hold and loop.
+func (p *Process) Kill() {
+	p.closeDisplay()
+	p.stopAll(p.sys.NowMS())
+	p.foreground = false
+}
+
+func (p *Process) openDisplay() {
+	if p.displayHold == nil {
+		p.displayHold = p.sys.ledger.Open(p.pid, trace.Display, p.sys.NowMS(), p.displayBrightness)
+	}
+}
+
+func (p *Process) closeDisplay() {
+	if p.displayHold != nil {
+		p.displayHold.Close(p.sys.NowMS())
+		p.displayHold = nil
+	}
+}

@@ -1,0 +1,115 @@
+package android
+
+import "fmt"
+
+// StepKind enumerates scripted user actions. Scripts are the simulator's
+// analogue of UI test scripts: the workload generator composes them into
+// user sessions.
+type StepKind int
+
+const (
+	// StepLaunch starts (or switches to) an activity.
+	StepLaunch StepKind = iota + 1
+	// StepTap taps a widget on the current activity.
+	StepTap
+	// StepTapOn taps a widget on an explicit class.
+	StepTapOn
+	// StepBack presses the back button.
+	StepBack
+	// StepBackground presses home.
+	StepBackground
+	// StepForeground returns the app to the foreground.
+	StepForeground
+	// StepIdle advances time without interaction.
+	StepIdle
+	// StepStartService starts a background service.
+	StepStartService
+	// StepStopService stops a background service.
+	StepStopService
+	// StepSetConfig writes an app configuration value (modelling a
+	// settings change the user makes through the UI).
+	StepSetConfig
+)
+
+// Step is one scripted user action.
+type Step struct {
+	Kind     StepKind
+	Class    string // activity/service/widget class, when relevant
+	Callback string // widget callback for StepTap/StepTapOn
+	DurMS    int64  // idle duration for StepIdle
+	Key      string // config key for StepSetConfig
+	Value    string // config value for StepSetConfig
+}
+
+// Convenience constructors keep scripts readable.
+
+// Launch returns a step that opens an activity.
+func Launch(activity string) Step { return Step{Kind: StepLaunch, Class: activity} }
+
+// Tap returns a step that taps a widget on the current activity.
+func Tap(callback string) Step { return Step{Kind: StepTap, Callback: callback} }
+
+// TapOn returns a step that taps a widget on an explicit class.
+func TapOn(class, callback string) Step {
+	return Step{Kind: StepTapOn, Class: class, Callback: callback}
+}
+
+// Back returns a back-button step.
+func Back() Step { return Step{Kind: StepBack} }
+
+// Home returns a background (home-button) step.
+func Home() Step { return Step{Kind: StepBackground} }
+
+// Resume returns a foreground step.
+func Resume() Step { return Step{Kind: StepForeground} }
+
+// Wait returns an idle step.
+func Wait(durMS int64) Step { return Step{Kind: StepIdle, DurMS: durMS} }
+
+// StartSvc returns a start-service step.
+func StartSvc(class string) Step { return Step{Kind: StepStartService, Class: class} }
+
+// StopSvc returns a stop-service step.
+func StopSvc(class string) Step { return Step{Kind: StepStopService, Class: class} }
+
+// SetCfg returns a configuration-change step.
+func SetCfg(key, value string) Step { return Step{Kind: StepSetConfig, Key: key, Value: value} }
+
+// RunScript executes the steps against a process, stopping at the first
+// error.
+func RunScript(p *Process, steps []Step) error {
+	for i, s := range steps {
+		if err := runStep(p, s); err != nil {
+			return fmt.Errorf("step %d (%v): %w", i, s.Kind, err)
+		}
+	}
+	return nil
+}
+
+func runStep(p *Process, s Step) error {
+	switch s.Kind {
+	case StepLaunch:
+		return p.LaunchActivity(s.Class)
+	case StepTap:
+		return p.Tap(s.Callback)
+	case StepTapOn:
+		return p.TapOn(s.Class, s.Callback)
+	case StepBack:
+		return p.Back()
+	case StepBackground:
+		return p.Background()
+	case StepForeground:
+		return p.ForegroundApp()
+	case StepIdle:
+		return p.Idle(s.DurMS)
+	case StepStartService:
+		return p.StartService(s.Class)
+	case StepStopService:
+		return p.StopService(s.Class)
+	case StepSetConfig:
+		p.SetConfig(s.Key, s.Value)
+		return nil
+	default:
+		return fmt.Errorf("android: unknown step kind %d", s.Kind)
+	}
+}

@@ -1,0 +1,280 @@
+package android
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunScriptFullSession(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app", WithInstrumentation(DefaultInstrumentation()))
+	script := []Step{
+		Launch("LMain"),
+		Tap("onClick"),
+		Launch("LSettings"),
+		TapOn("LWidget", "onTouch"),
+		SetCfg("theme", "dark"),
+		Back(),
+		StartSvc("LSyncService"),
+		StopSvc("LSyncService"),
+		Home(),
+		Wait(5_000),
+		Resume(),
+	}
+	if err := RunScript(p, script); err != nil {
+		t.Fatal(err)
+	}
+	if p.Config("theme") != "dark" {
+		t.Errorf("config = %q", p.Config("theme"))
+	}
+	if !p.Foreground() {
+		t.Error("should be foreground after Resume")
+	}
+	if p.CurrentActivity() != "LMain" {
+		t.Errorf("current = %q", p.CurrentActivity())
+	}
+	if err := p.EventTrace().Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}
+
+func TestRunScriptStopsAtFirstError(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app")
+	// Tap before any activity exists must fail at step 0 and not
+	// execute the rest.
+	err := RunScript(p, []Step{Tap("onClick"), Launch("LMain")})
+	if err == nil {
+		t.Fatal("invalid script succeeded")
+	}
+	if !errors.Is(err, ErrNotForeground) {
+		t.Errorf("err = %v", err)
+	}
+	if p.CurrentActivity() != "" {
+		t.Error("later steps executed after failure")
+	}
+}
+
+func TestRunScriptUnknownStep(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app")
+	if err := RunScript(p, []Step{{Kind: StepKind(99)}}); err == nil {
+		t.Error("unknown step kind accepted")
+	}
+}
+
+func TestScriptConstructors(t *testing.T) {
+	tests := []struct {
+		step Step
+		kind StepKind
+	}{
+		{Launch("A"), StepLaunch},
+		{Tap("cb"), StepTap},
+		{TapOn("C", "cb"), StepTapOn},
+		{Back(), StepBack},
+		{Home(), StepBackground},
+		{Resume(), StepForeground},
+		{Wait(10), StepIdle},
+		{StartSvc("S"), StepStartService},
+		{StopSvc("S"), StepStopService},
+		{SetCfg("k", "v"), StepSetConfig},
+	}
+	for i, tt := range tests {
+		if tt.step.Kind != tt.kind {
+			t.Errorf("constructor %d: kind = %v, want %v", i, tt.step.Kind, tt.kind)
+		}
+	}
+}
+
+func TestBackOnBackgroundedApp(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app")
+	if err := p.LaunchActivity("LMain"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Back(); !errors.Is(err, ErrNotForeground) {
+		t.Errorf("Back in background: %v", err)
+	}
+}
+
+func TestForegroundWithoutActivity(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app")
+	if err := p.ForegroundApp(); !errors.Is(err, ErrNoActivity) {
+		t.Errorf("foreground with empty stack: %v", err)
+	}
+}
+
+func TestDeepBackStack(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app", WithInstrumentation(DefaultInstrumentation()))
+	activities := []string{"LA", "LB", "LC", "LD"}
+	for _, a := range activities {
+		if err := p.LaunchActivity(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unwind the whole stack.
+	for i := len(activities) - 1; i > 0; i-- {
+		if err := p.Back(); err != nil {
+			t.Fatalf("back from %s: %v", activities[i], err)
+		}
+		if p.CurrentActivity() != activities[i-1] {
+			t.Fatalf("after back: current = %q, want %q", p.CurrentActivity(), activities[i-1])
+		}
+	}
+	// Back on the root backgrounds.
+	if err := p.Back(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Foreground() {
+		t.Error("root back should background")
+	}
+	if err := p.EventTrace().Validate(); err != nil {
+		t.Errorf("trace invalid after deep unwind: %v", err)
+	}
+}
+
+func TestRotateRecreatesActivity(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app", WithInstrumentation(DefaultInstrumentation()))
+	if err := p.LaunchActivity("LMain"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(p.EventTrace().Records) / 2
+	if err := p.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	after := len(p.EventTrace().Records) / 2
+	if got := after - before; got != 6 {
+		t.Errorf("rotation generated %d events, want 6", got)
+	}
+	if p.ActivityState("LMain") != StateResumed {
+		t.Errorf("state after rotation = %v", p.ActivityState("LMain"))
+	}
+	if p.CurrentActivity() != "LMain" {
+		t.Errorf("current = %q", p.CurrentActivity())
+	}
+	if err := p.EventTrace().Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+	// Rotation in the background is impossible.
+	if err := p.Background(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rotate(); !errors.Is(err, ErrNotForeground) {
+		t.Errorf("background rotate: %v", err)
+	}
+}
+
+func TestProcessOptions(t *testing.T) {
+	sys := NewSystem(0)
+	p := sys.NewProcess("app",
+		WithUser("alice"),
+		WithDevice("motog"),
+		WithDisplayBrightness(0.4),
+		WithInstrumentation(DefaultInstrumentation()),
+	)
+	if p.AppID() != "app" {
+		t.Errorf("AppID = %q", p.AppID())
+	}
+	if err := p.LaunchActivity("LMain"); err != nil {
+		t.Fatal(err)
+	}
+	tr := p.EventTrace()
+	if tr.UserID != "alice" || tr.Device != "motog" {
+		t.Errorf("trace metadata = %q/%q", tr.UserID, tr.Device)
+	}
+	// Custom brightness flows into the display hold level.
+	u := sys.Ledger().UtilizationAt(p.PID(), sys.NowMS())
+	if got := u.Get(trace.Display); got != 0.4 {
+		t.Errorf("display level = %v, want 0.4", got)
+	}
+}
+
+func TestStartLoopIgnoresInvalidSpecs(t *testing.T) {
+	sys := NewSystem(0)
+	behaviors := BehaviorMap{
+		{Class: "LA", Callback: "bad"}: {LatencyMS: 5, Effects: []Effect{
+			{Kind: EffectStartLoop, Name: "zero-period", Loop: LoopSpec{PeriodMS: 0, BurstMS: 100}},
+			{Kind: EffectStartLoop, Name: "zero-burst", Loop: LoopSpec{PeriodMS: 100, BurstMS: 0}},
+		}},
+		{Class: "LA", Callback: "dup"}: {LatencyMS: 5, Effects: []Effect{
+			{Kind: EffectStartLoop, Name: "l", Loop: LoopSpec{PeriodMS: 100, BurstMS: 50,
+				Usages: []ComponentUsage{{Component: trace.CPU, Level: 0.5}}}},
+			{Kind: EffectStartLoop, Name: "l", Loop: LoopSpec{PeriodMS: 999, BurstMS: 999}},
+		}},
+	}
+	p := sys.NewProcess("app", WithBehaviors(behaviors))
+	if err := p.LaunchActivity("LA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("bad"); err != nil {
+		t.Fatal(err)
+	}
+	if p.LoopActive("zero-period") || p.LoopActive("zero-burst") {
+		t.Error("invalid loop specs started")
+	}
+	if err := p.Tap("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.LoopActive("l") {
+		t.Error("loop not started")
+	}
+}
+
+func TestInvokeUnknownEffectKind(t *testing.T) {
+	sys := NewSystem(0)
+	behaviors := BehaviorMap{
+		{Class: "LA", Callback: "weird"}: {LatencyMS: 5, Effects: []Effect{{Kind: EffectKind(42)}}},
+	}
+	p := sys.NewProcess("app", WithBehaviors(behaviors))
+	if err := p.LaunchActivity("LA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("weird"); err == nil {
+		t.Error("unknown effect kind accepted")
+	}
+}
+
+func TestStopAppEffect(t *testing.T) {
+	sys := NewSystem(0)
+	behaviors := BehaviorMap{
+		{Class: "LA", Callback: "setup"}: {LatencyMS: 5, Effects: []Effect{
+			{Kind: EffectAcquire, Name: "wl", HoldComponent: trace.CPU, HoldLevel: 0.2},
+			{Kind: EffectStartLoop, Name: "l", Loop: LoopSpec{PeriodMS: 100, BurstMS: 50,
+				Usages: []ComponentUsage{{Component: trace.CPU, Level: 0.5}}}},
+		}},
+		{Class: "LA", Callback: "shutdown"}: {LatencyMS: 5, Effects: []Effect{
+			{Kind: EffectStopApp},
+		}},
+	}
+	p := sys.NewProcess("app", WithBehaviors(behaviors))
+	if err := p.LaunchActivity("LA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("setup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tap("shutdown"); err != nil {
+		t.Fatal(err)
+	}
+	if p.HoldActive("wl") || p.LoopActive("l") {
+		t.Error("StopApp left holds or loops running")
+	}
+}
+
+func TestIdleKeyStable(t *testing.T) {
+	k := IdleKey()
+	if k.Class != IdleClass || k.Callback != "Idle(No_Display)" {
+		t.Errorf("IdleKey = %+v", k)
+	}
+	if got := trace.ShortKey(k); got != "Idle:Idle(No_Display)" {
+		t.Errorf("ShortKey(IdleKey) = %q", got)
+	}
+}

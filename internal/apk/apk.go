@@ -1,0 +1,179 @@
+// Package apk models Android application packages at the level EnergyDx
+// needs: classes, callback methods, smali-like bytecode bodies, and
+// source-line accounting. The instrumenter (package instrument) consumes
+// this model to inject entry/exit probes, and the No-sleep Detection
+// baseline runs static dataflow analysis over method bodies.
+//
+// The paper's pipeline — "EnergyDx first unpacks the APK file and
+// disassembles the Dalvik byte code files into assembly-like format ...
+// then compiles the instrumented files back" (§II-C) — is reproduced by
+// the Assemble/Disassemble text codec.
+package apk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Opcodes of the simplified smali-like instruction set. The set is small
+// but sufficient to express the control flow and resource usage that the
+// static baseline analyzes.
+const (
+	OpNop     = "nop"
+	OpWork    = "work"    // arbitrary computation
+	OpCall    = "call"    // call <Class;->method>
+	OpAcquire = "acquire" // acquire <resource>
+	OpRelease = "release" // release <resource>
+	OpIf      = "if"      // if <label> (conditional branch)
+	OpGoto    = "goto"    // goto <label>
+	OpLabel   = "label"   // label <name>
+	OpReturn  = "return"
+	OpLog     = "log" // log <enter|exit> (injected by the instrumenter)
+)
+
+// Instruction is one smali-like instruction.
+type Instruction struct {
+	Op   string   `json:"op"`
+	Args []string `json:"args,omitempty"`
+}
+
+// String renders the instruction in disassembly syntax.
+func (i Instruction) String() string {
+	if len(i.Args) == 0 {
+		return i.Op
+	}
+	return i.Op + " " + strings.Join(i.Args, " ")
+}
+
+// Method is one method of a class.
+type Method struct {
+	// Name is the method name (e.g. "onResume").
+	Name string `json:"name"`
+	// SourceLines is the number of source lines backing the method; the
+	// code-reduction metric sums these.
+	SourceLines int `json:"sourceLines"`
+	// Body is the method's bytecode.
+	Body []Instruction `json:"body"`
+}
+
+// Class is one class in the package.
+type Class struct {
+	// Name is the class descriptor (e.g. "Lcom/fsck/k9/activity/MessageList").
+	Name    string   `json:"name"`
+	Methods []Method `json:"methods"`
+}
+
+// Method returns the named method, or nil.
+func (c *Class) Method(name string) *Method {
+	for i := range c.Methods {
+		if c.Methods[i].Name == name {
+			return &c.Methods[i]
+		}
+	}
+	return nil
+}
+
+// Package is the APK model.
+type Package struct {
+	// AppID identifies the app (e.g. "k9mail").
+	AppID   string  `json:"appId"`
+	Classes []Class `json:"classes"`
+}
+
+// ErrNoSuchMethod is returned when a lookup misses.
+var ErrNoSuchMethod = errors.New("apk: no such method")
+
+// Class returns the named class, or nil.
+func (p *Package) Class(name string) *Class {
+	for i := range p.Classes {
+		if p.Classes[i].Name == name {
+			return &p.Classes[i]
+		}
+	}
+	return nil
+}
+
+// Lookup resolves an event key to its method.
+func (p *Package) Lookup(key trace.EventKey) (*Method, error) {
+	c := p.Class(key.Class)
+	if c == nil {
+		return nil, fmt.Errorf("%w: class %q", ErrNoSuchMethod, key.Class)
+	}
+	m := c.Method(key.Callback)
+	if m == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, key)
+	}
+	return m, nil
+}
+
+// TotalSourceLines sums the source lines of every method, the paper's
+// N_All in the code-reduction metric.
+func (p *Package) TotalSourceLines() int {
+	total := 0
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			total += m.SourceLines
+		}
+	}
+	return total
+}
+
+// LinesFor sums the source lines of the methods behind the given event
+// keys (the paper's N_Diagnosis). Unknown keys contribute zero lines:
+// pseudo-events like Idle(No_Display) have no app code behind them.
+func (p *Package) LinesFor(keys []trace.EventKey) int {
+	total := 0
+	seen := make(map[trace.EventKey]struct{}, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if m, err := p.Lookup(k); err == nil {
+			total += m.SourceLines
+		}
+	}
+	return total
+}
+
+// EventKeys lists every (class, method) pair in the package as event
+// keys, sorted, for exhaustive instrumentation-pool matching.
+func (p *Package) EventKeys() []trace.EventKey {
+	var keys []trace.EventKey
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			keys = append(keys, trace.EventKey{Class: c.Name, Callback: m.Name})
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Class != keys[b].Class {
+			return keys[a].Class < keys[b].Class
+		}
+		return keys[a].Callback < keys[b].Callback
+	})
+	return keys
+}
+
+// Clone deep-copies the package so instrumentation never mutates the
+// original APK.
+func (p *Package) Clone() *Package {
+	out := &Package{AppID: p.AppID, Classes: make([]Class, len(p.Classes))}
+	for i, c := range p.Classes {
+		nc := Class{Name: c.Name, Methods: make([]Method, len(c.Methods))}
+		for j, m := range c.Methods {
+			nm := Method{Name: m.Name, SourceLines: m.SourceLines, Body: make([]Instruction, len(m.Body))}
+			for k, ins := range m.Body {
+				args := make([]string, len(ins.Args))
+				copy(args, ins.Args)
+				nm.Body[k] = Instruction{Op: ins.Op, Args: args}
+			}
+			nc.Methods[j] = nm
+		}
+		out.Classes[i] = nc
+	}
+	return out
+}

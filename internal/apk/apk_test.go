@@ -1,0 +1,305 @@
+package apk
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func samplePackage() *Package {
+	return &Package{
+		AppID: "k9mail",
+		Classes: []Class{
+			{
+				Name: "Lcom/fsck/k9/activity/MessageList",
+				Methods: []Method{
+					{Name: "onCreate", SourceLines: 80, Body: []Instruction{
+						{Op: OpWork}, {Op: OpReturn},
+					}},
+					{Name: "onResume", SourceLines: 42, Body: []Instruction{
+						{Op: OpWork},
+						{Op: OpCall, Args: []string{"Lcom/fsck/k9/K9;->checkMail"}},
+						{Op: OpReturn},
+					}},
+				},
+			},
+			{
+				Name: "Lcom/fsck/k9/service/MailService",
+				Methods: []Method{
+					{Name: "onCreate", SourceLines: 39, Body: []Instruction{
+						{Op: OpAcquire, Args: []string{"wakelock"}},
+						{Op: OpWork},
+						{Op: OpRelease, Args: []string{"wakelock"}},
+						{Op: OpReturn},
+					}},
+				},
+			},
+		},
+	}
+}
+
+func TestLookupAndLines(t *testing.T) {
+	p := samplePackage()
+	m, err := p.Lookup(trace.EventKey{Class: "Lcom/fsck/k9/activity/MessageList", Callback: "onResume"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SourceLines != 42 {
+		t.Errorf("lines = %d", m.SourceLines)
+	}
+	if _, err := p.Lookup(trace.EventKey{Class: "LMissing", Callback: "x"}); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing class err = %v", err)
+	}
+	if _, err := p.Lookup(trace.EventKey{Class: "Lcom/fsck/k9/service/MailService", Callback: "nope"}); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing method err = %v", err)
+	}
+	if got := p.TotalSourceLines(); got != 161 {
+		t.Errorf("total lines = %d, want 161", got)
+	}
+}
+
+func TestLinesFor(t *testing.T) {
+	p := samplePackage()
+	keys := []trace.EventKey{
+		{Class: "Lcom/fsck/k9/activity/MessageList", Callback: "onResume"},
+		{Class: "Lcom/fsck/k9/service/MailService", Callback: "onCreate"},
+		{Class: "Lcom/fsck/k9/activity/MessageList", Callback: "onResume"}, // duplicate
+		{Class: "Landroid/system/Idle", Callback: "Idle(No_Display)"},      // pseudo-event
+	}
+	if got := p.LinesFor(keys); got != 81 {
+		t.Errorf("LinesFor = %d, want 81 (42+39, dup and pseudo ignored)", got)
+	}
+}
+
+func TestEventKeysSorted(t *testing.T) {
+	keys := samplePackage().EventKeys()
+	if len(keys) != 3 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		a, b := keys[i-1], keys[i]
+		if a.Class > b.Class || (a.Class == b.Class && a.Callback > b.Callback) {
+			t.Errorf("keys not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := samplePackage()
+	c := p.Clone()
+	c.Classes[0].Methods[0].Body[0].Op = OpNop
+	c.Classes[0].Methods[0].SourceLines = 9999
+	if p.Classes[0].Methods[0].Body[0].Op != OpWork {
+		t.Error("clone shares instruction storage")
+	}
+	if p.Classes[0].Methods[0].SourceLines != 80 {
+		t.Error("clone shares method storage")
+	}
+}
+
+func TestSmaliRoundTrip(t *testing.T) {
+	p := samplePackage()
+	text := DisassembleString(p)
+	if !strings.Contains(text, ".class Lcom/fsck/k9/service/MailService") {
+		t.Fatalf("disassembly missing class:\n%s", text)
+	}
+	if !strings.Contains(text, "acquire wakelock") {
+		t.Fatalf("disassembly missing instruction:\n%s", text)
+	}
+	back, err := Assemble(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.AppID != p.AppID {
+		t.Errorf("appID = %q", back.AppID)
+	}
+	if DisassembleString(back) != text {
+		t.Error("round trip not stable")
+	}
+	if back.TotalSourceLines() != p.TotalSourceLines() {
+		t.Error("line counts lost in round trip")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		".class A\n.class B\n",                             // nested class
+		".end class\n",                                     // end outside
+		".method m\n",                                      // method outside class
+		".class A\n.method m\n.method n\n",                 // nested method
+		".class A\n.end method\n",                          // end method outside
+		".class A\nwork\n",                                 // instruction outside method
+		".class A\n.method m lines=abc\n",                  // bad lines
+		".class A\n.method m foo=1\n",                      // unknown attribute
+		".class A\n.method m lines=1\n.end class\n",        // end class inside method
+		".class A\n.method m lines=1\nwork\n.end method\n", // unterminated class
+		".class A\n.method m lines=1\nwork\n",              // unterminated method
+	}
+	for _, in := range bad {
+		if _, err := Assemble(strings.NewReader(in)); err == nil {
+			t.Errorf("input accepted:\n%s", in)
+		}
+	}
+}
+
+func TestAssembleSkipsComments(t *testing.T) {
+	in := "# generated\n.app x\n.class A\n.method m lines=3\n\nwork\n.end method\n.end class\n"
+	p, err := Assemble(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Classes) != 1 || len(p.Classes[0].Methods) != 1 {
+		t.Errorf("parsed = %+v", p)
+	}
+}
+
+func TestBuildCFGLinear(t *testing.T) {
+	body := []Instruction{{Op: OpWork}, {Op: OpWork}, {Op: OpReturn}}
+	g, err := BuildCFG(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Succ[0]) != 1 || g.Succ[0][0] != 1 {
+		t.Errorf("succ[0] = %v", g.Succ[0])
+	}
+	if len(g.Succ[2]) != 0 {
+		t.Errorf("return has successors: %v", g.Succ[2])
+	}
+}
+
+func TestBuildCFGBranches(t *testing.T) {
+	body := []Instruction{
+		{Op: OpIf, Args: []string{"skip"}}, // 0 -> 2 (label), 1
+		{Op: OpWork},                       // 1 -> 2
+		{Op: OpLabel, Args: []string{"skip"}},
+		{Op: OpGoto, Args: []string{"skip"}}, // 3 -> 2 (loop)
+	}
+	g, err := BuildCFG(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Succ[0]) != 2 {
+		t.Errorf("if succ = %v", g.Succ[0])
+	}
+	if len(g.Succ[3]) != 1 || g.Succ[3][0] != 2 {
+		t.Errorf("goto succ = %v", g.Succ[3])
+	}
+}
+
+func TestBuildCFGErrors(t *testing.T) {
+	cases := [][]Instruction{
+		{{Op: OpGoto, Args: []string{"missing"}}},
+		{{Op: OpIf, Args: []string{"missing"}}},
+		{{Op: OpGoto}},
+		{{Op: OpIf}},
+		{{Op: OpLabel}},
+		{{Op: OpLabel, Args: []string{"a"}}, {Op: OpLabel, Args: []string{"a"}}},
+	}
+	for i, body := range cases {
+		if _, err := BuildCFG(body); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLeakPathBalanced(t *testing.T) {
+	body := []Instruction{
+		{Op: OpAcquire, Args: []string{"wakelock"}},
+		{Op: OpWork},
+		{Op: OpRelease, Args: []string{"wakelock"}},
+		{Op: OpReturn},
+	}
+	g, err := BuildCFG(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LeakPathExists(0, "wakelock") {
+		t.Error("balanced acquire/release flagged as leak")
+	}
+}
+
+func TestLeakPathOnBranch(t *testing.T) {
+	// The classic no-sleep shape from [9]: an early-return path skips
+	// the release.
+	body := []Instruction{
+		{Op: OpAcquire, Args: []string{"wakelock"}}, // 0
+		{Op: OpIf, Args: []string{"early"}},         // 1
+		{Op: OpRelease, Args: []string{"wakelock"}}, // 2
+		{Op: OpReturn},                         // 3
+		{Op: OpLabel, Args: []string{"early"}}, // 4
+		{Op: OpReturn},                         // 5  <- leaks
+	}
+	g, err := BuildCFG(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.LeakPathExists(0, "wakelock") {
+		t.Error("leaking branch not detected")
+	}
+	// A different resource is not leaked by this acquire.
+	if g.LeakPathExists(0, "gps") {
+		// the path never releases "gps" but also never acquired it;
+		// LeakPathExists only answers for the resource asked about, so
+		// this returning true is expected behaviour of the query —
+		// the *baseline* pairs it with Acquires(). Document by asserting
+		// the raw query result.
+		t.Log("raw query flags unrelated resource; baseline filters via Acquires()")
+	}
+}
+
+func TestLeakPathNoReturnFallsOffEnd(t *testing.T) {
+	body := []Instruction{
+		{Op: OpAcquire, Args: []string{"gps"}},
+		{Op: OpWork},
+	}
+	g, err := BuildCFG(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.LeakPathExists(0, "gps") {
+		t.Error("falling off the end while holding not detected")
+	}
+}
+
+func TestLeakPathWithLoop(t *testing.T) {
+	// Release inside a loop that always executes before return.
+	body := []Instruction{
+		{Op: OpAcquire, Args: []string{"sensor"}}, // 0
+		{Op: OpLabel, Args: []string{"top"}},      // 1
+		{Op: OpWork},                              // 2
+		{Op: OpIf, Args: []string{"top"}},         // 3 (loop back or fall through)
+		{Op: OpRelease, Args: []string{"sensor"}}, // 4
+		{Op: OpReturn},                            // 5
+	}
+	g, err := BuildCFG(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LeakPathExists(0, "sensor") {
+		t.Error("loop with guaranteed release flagged as leak")
+	}
+}
+
+func TestAcquires(t *testing.T) {
+	body := []Instruction{
+		{Op: OpWork},
+		{Op: OpAcquire, Args: []string{"wakelock"}},
+		{Op: OpAcquire, Args: []string{"gps"}},
+	}
+	acq := Acquires(body)
+	if len(acq) != 2 || acq[0].Resource != "wakelock" || acq[1].Index != 2 {
+		t.Errorf("Acquires = %v", acq)
+	}
+}
+
+func TestLeakPathOutOfRange(t *testing.T) {
+	g, err := BuildCFG([]Instruction{{Op: OpReturn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LeakPathExists(-1, "x") || g.LeakPathExists(5, "x") {
+		t.Error("out-of-range index flagged")
+	}
+}

@@ -1,0 +1,128 @@
+package apk
+
+import "fmt"
+
+// This file builds intra-method control-flow graphs over the smali-like
+// instruction set. The No-sleep Detection baseline (Pathak et al. [9])
+// uses them for its acquire/release path analysis: a no-sleep bug exists
+// when some path from an `acquire R` reaches a `return` without passing
+// a `release R`.
+
+// CFG is the control-flow graph of one method body: succ[i] lists the
+// instruction indices reachable directly from instruction i.
+type CFG struct {
+	Body []Instruction
+	Succ [][]int
+}
+
+// BuildCFG constructs the control-flow graph of a method body.
+// `if L` has two successors (fallthrough and the label), `goto L` one
+// (the label), `return` none, everything else falls through.
+func BuildCFG(body []Instruction) (*CFG, error) {
+	labels := make(map[string]int)
+	for i, ins := range body {
+		if ins.Op == OpLabel {
+			if len(ins.Args) != 1 {
+				return nil, fmt.Errorf("apk: label at %d needs exactly one name", i)
+			}
+			if _, dup := labels[ins.Args[0]]; dup {
+				return nil, fmt.Errorf("apk: duplicate label %q", ins.Args[0])
+			}
+			labels[ins.Args[0]] = i
+		}
+	}
+	g := &CFG{Body: body, Succ: make([][]int, len(body))}
+	for i, ins := range body {
+		switch ins.Op {
+		case OpReturn:
+			// no successors
+		case OpGoto:
+			if len(ins.Args) != 1 {
+				return nil, fmt.Errorf("apk: goto at %d needs a label", i)
+			}
+			tgt, ok := labels[ins.Args[0]]
+			if !ok {
+				return nil, fmt.Errorf("apk: goto to unknown label %q", ins.Args[0])
+			}
+			g.Succ[i] = []int{tgt}
+		case OpIf:
+			if len(ins.Args) != 1 {
+				return nil, fmt.Errorf("apk: if at %d needs a label", i)
+			}
+			tgt, ok := labels[ins.Args[0]]
+			if !ok {
+				return nil, fmt.Errorf("apk: if to unknown label %q", ins.Args[0])
+			}
+			succ := []int{tgt}
+			if i+1 < len(body) {
+				succ = append(succ, i+1)
+			}
+			g.Succ[i] = succ
+		default:
+			if i+1 < len(body) {
+				g.Succ[i] = []int{i + 1}
+			}
+		}
+	}
+	return g, nil
+}
+
+// LeakPathExists reports whether a path from instruction `from` reaches
+// either a return or the end of the method without executing
+// `release resource`. This is the core query of the no-sleep dataflow
+// analysis.
+func (g *CFG) LeakPathExists(from int, resource string) bool {
+	if from < 0 || from >= len(g.Body) {
+		return false
+	}
+	visited := make([]bool, len(g.Body))
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if visited[i] {
+			return false
+		}
+		visited[i] = true
+		ins := g.Body[i]
+		if ins.Op == OpRelease && len(ins.Args) == 1 && ins.Args[0] == resource {
+			return false // this path releases; stop exploring it
+		}
+		if ins.Op == OpReturn || len(g.Succ[i]) == 0 {
+			return true // reached an exit while still holding
+		}
+		for _, s := range g.Succ[i] {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	// Start the search *after* the acquire itself.
+	for _, s := range g.Succ[from] {
+		if dfs(s) {
+			return true
+		}
+	}
+	// Acquire with no successors: method ends immediately while holding.
+	return len(g.Succ[from]) == 0
+}
+
+// Acquires returns the indices and resources of all acquire instructions
+// in the body.
+func Acquires(body []Instruction) []struct {
+	Index    int
+	Resource string
+} {
+	var out []struct {
+		Index    int
+		Resource string
+	}
+	for i, ins := range body {
+		if ins.Op == OpAcquire && len(ins.Args) == 1 {
+			out = append(out, struct {
+				Index    int
+				Resource string
+			}{i, ins.Args[0]})
+		}
+	}
+	return out
+}

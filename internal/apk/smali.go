@@ -1,0 +1,149 @@
+package apk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the assembly-like text format the EnergyDx
+// instrumenter works on: the analogue of baksmali/smali in the paper's
+// unpack → disassemble → instrument → reassemble → repack pipeline.
+//
+// Format:
+//
+//	.class Lcom/fsck/k9/activity/MessageList
+//	.method onResume lines=42
+//	    work
+//	    acquire wakelock
+//	    if skip
+//	    release wakelock
+//	    label skip
+//	    return
+//	.end method
+//	.end class
+
+// Disassemble renders the package in the text format.
+func Disassemble(p *Package, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".app %s\n", p.AppID)
+	for _, c := range p.Classes {
+		fmt.Fprintf(bw, ".class %s\n", c.Name)
+		for _, m := range c.Methods {
+			fmt.Fprintf(bw, ".method %s lines=%d\n", m.Name, m.SourceLines)
+			for _, ins := range m.Body {
+				fmt.Fprintf(bw, "    %s\n", ins.String())
+			}
+			fmt.Fprintln(bw, ".end method")
+		}
+		fmt.Fprintln(bw, ".end class")
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("disassemble: %w", err)
+	}
+	return nil
+}
+
+// DisassembleString renders the package to a string.
+func DisassembleString(p *Package) string {
+	var sb strings.Builder
+	_ = Disassemble(p, &sb) // strings.Builder never errors
+	return sb.String()
+}
+
+// AssembleError reports a malformed disassembly line.
+type AssembleError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *AssembleError) Error() string {
+	return fmt.Sprintf("apk: line %d %q: %s", e.Line, e.Text, e.Msg)
+}
+
+// Assemble parses the text format back into a package.
+func Assemble(r io.Reader) (*Package, error) {
+	p := &Package{}
+	var curClass *Class
+	var curMethod *Method
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	fail := func(text, msg string) error {
+		return &AssembleError{Line: lineNo, Text: text, Msg: msg}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".app "):
+			p.AppID = strings.TrimSpace(strings.TrimPrefix(line, ".app "))
+		case strings.HasPrefix(line, ".class "):
+			if curClass != nil {
+				return nil, fail(line, "nested .class")
+			}
+			p.Classes = append(p.Classes, Class{Name: strings.TrimSpace(strings.TrimPrefix(line, ".class "))})
+			curClass = &p.Classes[len(p.Classes)-1]
+		case line == ".end class":
+			if curClass == nil {
+				return nil, fail(line, ".end class outside class")
+			}
+			if curMethod != nil {
+				return nil, fail(line, ".end class inside method")
+			}
+			curClass = nil
+		case strings.HasPrefix(line, ".method "):
+			if curClass == nil {
+				return nil, fail(line, ".method outside class")
+			}
+			if curMethod != nil {
+				return nil, fail(line, "nested .method")
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(line, ".method "))
+			name, attr, _ := strings.Cut(rest, " ")
+			lines := 0
+			if attr != "" {
+				val, found := strings.CutPrefix(strings.TrimSpace(attr), "lines=")
+				if !found {
+					return nil, fail(line, "unknown method attribute")
+				}
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fail(line, "bad lines= value")
+				}
+				lines = n
+			}
+			curClass.Methods = append(curClass.Methods, Method{Name: name, SourceLines: lines})
+			curMethod = &curClass.Methods[len(curClass.Methods)-1]
+		case line == ".end method":
+			if curMethod == nil {
+				return nil, fail(line, ".end method outside method")
+			}
+			curMethod = nil
+		default:
+			if curMethod == nil {
+				return nil, fail(line, "instruction outside method")
+			}
+			fields := strings.Fields(line)
+			ins := Instruction{Op: fields[0]}
+			if len(fields) > 1 {
+				ins.Args = fields[1:]
+			}
+			curMethod.Body = append(curMethod.Body, ins)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("assemble: %w", err)
+	}
+	if curClass != nil || curMethod != nil {
+		return nil, fmt.Errorf("apk: unexpected end of input (unterminated %s)",
+			map[bool]string{true: "method", false: "class"}[curMethod != nil])
+	}
+	return p, nil
+}

@@ -1,0 +1,50 @@
+package apk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors.
+var (
+	ErrDuplicateClass  = errors.New("apk: duplicate class")
+	ErrDuplicateMethod = errors.New("apk: duplicate method")
+)
+
+// Validate checks the structural integrity of the package: non-empty
+// app ID, unique class names, unique method names per class,
+// non-negative line counts, and control-flow graphs that build for
+// every method body. App models are validated at construction so a
+// malformed catalog entry fails fast instead of skewing an experiment.
+func (p *Package) Validate() error {
+	if p.AppID == "" {
+		return errors.New("apk: package has no app ID")
+	}
+	classes := make(map[string]struct{}, len(p.Classes))
+	for _, c := range p.Classes {
+		if c.Name == "" {
+			return errors.New("apk: class with empty name")
+		}
+		if _, dup := classes[c.Name]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateClass, c.Name)
+		}
+		classes[c.Name] = struct{}{}
+		methods := make(map[string]struct{}, len(c.Methods))
+		for _, m := range c.Methods {
+			if m.Name == "" {
+				return fmt.Errorf("apk: class %s has a method with empty name", c.Name)
+			}
+			if _, dup := methods[m.Name]; dup {
+				return fmt.Errorf("%w: %s.%s", ErrDuplicateMethod, c.Name, m.Name)
+			}
+			methods[m.Name] = struct{}{}
+			if m.SourceLines < 0 {
+				return fmt.Errorf("apk: %s.%s has negative line count %d", c.Name, m.Name, m.SourceLines)
+			}
+			if _, err := BuildCFG(m.Body); err != nil {
+				return fmt.Errorf("apk: %s.%s: %w", c.Name, m.Name, err)
+			}
+		}
+	}
+	return nil
+}

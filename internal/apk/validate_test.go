@@ -1,0 +1,68 @@
+package apk
+
+import (
+	"errors"
+	"testing"
+)
+
+func validPkg() *Package {
+	return &Package{
+		AppID: "app",
+		Classes: []Class{
+			{Name: "LA", Methods: []Method{
+				{Name: "m", SourceLines: 10, Body: []Instruction{{Op: OpReturn}}},
+			}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validPkg().Validate(); err != nil {
+		t.Errorf("valid package rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	noID := validPkg()
+	noID.AppID = ""
+	if err := noID.Validate(); err == nil {
+		t.Error("missing app ID accepted")
+	}
+
+	dupClass := validPkg()
+	dupClass.Classes = append(dupClass.Classes, Class{Name: "LA"})
+	if err := dupClass.Validate(); !errors.Is(err, ErrDuplicateClass) {
+		t.Errorf("duplicate class: %v", err)
+	}
+
+	dupMethod := validPkg()
+	dupMethod.Classes[0].Methods = append(dupMethod.Classes[0].Methods,
+		Method{Name: "m", Body: []Instruction{{Op: OpReturn}}})
+	if err := dupMethod.Validate(); !errors.Is(err, ErrDuplicateMethod) {
+		t.Errorf("duplicate method: %v", err)
+	}
+
+	emptyClass := validPkg()
+	emptyClass.Classes[0].Name = ""
+	if err := emptyClass.Validate(); err == nil {
+		t.Error("empty class name accepted")
+	}
+
+	emptyMethod := validPkg()
+	emptyMethod.Classes[0].Methods[0].Name = ""
+	if err := emptyMethod.Validate(); err == nil {
+		t.Error("empty method name accepted")
+	}
+
+	negLines := validPkg()
+	negLines.Classes[0].Methods[0].SourceLines = -1
+	if err := negLines.Validate(); err == nil {
+		t.Error("negative line count accepted")
+	}
+
+	badBody := validPkg()
+	badBody.Classes[0].Methods[0].Body = []Instruction{{Op: OpGoto, Args: []string{"nowhere"}}}
+	if err := badBody.Validate(); err == nil {
+		t.Error("broken CFG accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/abd"
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/instrument"
+	"repro/internal/trace"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	apps, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 40 {
+		t.Fatalf("catalog has %d apps, want 40", len(apps))
+	}
+	seen := make(map[string]bool)
+	for i, a := range apps {
+		if a.ID != i+1 {
+			t.Errorf("app %d has ID %d", i, a.ID)
+		}
+		if seen[a.AppID] {
+			t.Errorf("duplicate app ID %q", a.AppID)
+		}
+		seen[a.AppID] = true
+		if a.TotalSourceLines() <= 0 {
+			t.Errorf("%s: no source lines", a.AppID)
+		}
+		if a.MainActivity == "" || len(a.BrowseActivities) == 0 {
+			t.Errorf("%s: no browse surface", a.AppID)
+		}
+		if len(a.TriggerScript) == 0 {
+			t.Errorf("%s: no trigger script", a.AppID)
+		}
+		if a.PaperCodeReduction <= 0 || a.PaperCodeReduction > 100 {
+			t.Errorf("%s: paper reduction %v", a.AppID, a.PaperCodeReduction)
+		}
+	}
+}
+
+func TestCountByCauseMatchesTable(t *testing.T) {
+	counts := CountByCause()
+	// Table III tallies (the paper's §IV-B text says 21 no-sleep; the
+	// table itself lists 24 — we follow the table).
+	if counts[abd.NoSleep] != 24 {
+		t.Errorf("no-sleep = %d, want 24", counts[abd.NoSleep])
+	}
+	if counts[abd.Configuration] != 10 {
+		t.Errorf("configuration = %d, want 10", counts[abd.Configuration])
+	}
+	if counts[abd.Loop] != 6 {
+		t.Errorf("loop = %d, want 6", counts[abd.Loop])
+	}
+}
+
+func TestCaseStudyLineTotalsMatchPaper(t *testing.T) {
+	tests := []struct {
+		build func() (*App, error)
+		total int
+	}{
+		{K9Mail, 98532},
+		{OpenGPS, 5060},
+		{Wallabag, 21424},
+		{Tinfoil, 4226},
+	}
+	for _, tt := range tests {
+		a, err := tt.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.TotalSourceLines(); got != tt.total {
+			t.Errorf("%s: total lines = %d, want %d", a.AppID, got, tt.total)
+		}
+	}
+}
+
+func TestByAppID(t *testing.T) {
+	for _, id := range []string{"k9mail", "tinfoil", "wallabag", "opengps", "facebook"} {
+		a, err := ByAppID(id)
+		if err != nil {
+			t.Errorf("ByAppID(%q): %v", id, err)
+			continue
+		}
+		if a.AppID != id {
+			t.Errorf("ByAppID(%q) returned %q", id, a.AppID)
+		}
+	}
+	if _, err := ByAppID("flappy-bird"); err == nil {
+		t.Error("unknown app resolved")
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a1, err := ByAppID("facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ByAppID("facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.TotalSourceLines() != a2.TotalSourceLines() {
+		t.Error("generation not deterministic in line counts")
+	}
+	if apk.DisassembleString(a1.Package()) != apk.DisassembleString(a2.Package()) {
+		t.Error("generation not deterministic in APK content")
+	}
+}
+
+func TestBehaviorsAreCopies(t *testing.T) {
+	a, err := ByAppID("k9mail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := a.Behaviors(false)
+	delete(b1, a.Fault.Trigger)
+	b2 := a.Behaviors(false)
+	if _, ok := b2[a.Fault.Trigger]; !ok {
+		t.Error("Behaviors returns shared map")
+	}
+}
+
+func TestBuggyBehaviorContainsFaultFixedStopsIt(t *testing.T) {
+	apps, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		buggy := a.Behaviors(false)
+		tb, ok := buggy[a.Fault.Trigger]
+		if !ok || len(tb.Effects) == 0 {
+			t.Errorf("%s: buggy trigger has no effects", a.AppID)
+			continue
+		}
+		fixed := a.Behaviors(true)
+		switch a.RootCause {
+		case abd.Configuration:
+			// Fix validates the configuration: no drain installed.
+			fb := fixed[a.Fault.Trigger]
+			for _, e := range fb.Effects {
+				if e.Kind == android.EffectConditionalStartLoop {
+					t.Errorf("%s: fixed variant still has the conditional drain", a.AppID)
+				}
+			}
+		default:
+			rb, ok := fixed[a.Fault.ReleasePoint]
+			if !ok || len(rb.Effects) == 0 {
+				t.Errorf("%s: fixed variant has no release at %s", a.AppID, a.Fault.ReleasePoint)
+			}
+		}
+	}
+}
+
+func TestTriggerScriptsRun(t *testing.T) {
+	apps, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, err := OpenGPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps = append(apps, og)
+	for _, a := range apps {
+		sys := android.NewSystem(0)
+		p := sys.NewProcess(a.AppID,
+			android.WithBehaviors(a.Behaviors(false)),
+			android.WithInstrumentation(android.DefaultInstrumentation()))
+		if err := p.LaunchActivity(a.MainActivity); err != nil {
+			t.Fatalf("%s: launch: %v", a.AppID, err)
+		}
+		if err := android.RunScript(p, a.TriggerScript); err != nil {
+			t.Fatalf("%s: trigger script: %v", a.AppID, err)
+		}
+		if err := p.Idle(30_000); err != nil {
+			t.Fatal(err)
+		}
+		// After the trigger script the app must actually be draining:
+		// some component (besides display) is busy in the background.
+		u := sys.Ledger().UtilizationAt(p.PID(), sys.NowMS()-200)
+		drain := 0.0
+		for _, c := range trace.Components() {
+			if c == trace.Display {
+				continue
+			}
+			drain += u.Get(c)
+		}
+		// Loops have duty cycles; probe a few points.
+		if drain == 0 {
+			for off := int64(0); off < 5000 && drain == 0; off += 250 {
+				u = sys.Ledger().UtilizationAt(p.PID(), sys.NowMS()-5000+off)
+				for _, c := range trace.Components() {
+					if c != trace.Display {
+						drain += u.Get(c)
+					}
+				}
+			}
+		}
+		if drain == 0 {
+			t.Errorf("%s (%v): no drain after trigger script", a.AppID, a.RootCause)
+		}
+		if err := p.EventTrace().Validate(); err != nil {
+			t.Errorf("%s: invalid trace: %v", a.AppID, err)
+		}
+	}
+}
+
+func TestFixedVariantStopsDrainAfterRelease(t *testing.T) {
+	apps, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, err := OpenGPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps = append(apps, og)
+	for _, a := range apps {
+		sys := android.NewSystem(0)
+		p := sys.NewProcess(a.AppID, android.WithBehaviors(a.Behaviors(true)))
+		if err := p.LaunchActivity(a.MainActivity); err != nil {
+			t.Fatalf("%s: %v", a.AppID, err)
+		}
+		if err := android.RunScript(p, a.TriggerScript); err != nil {
+			t.Fatalf("%s: %v", a.AppID, err)
+		}
+		if err := p.Idle(30_000); err != nil {
+			t.Fatal(err)
+		}
+		// Trigger scripts end with Home(), which passes the release
+		// point (onPause). Long after, nothing should drain.
+		var drain float64
+		for off := int64(0); off < 5000; off += 250 {
+			u := sys.Ledger().UtilizationAt(p.PID(), sys.NowMS()-5000+off)
+			for _, c := range trace.Components() {
+				drain += u.Get(c)
+			}
+		}
+		if drain > 0 {
+			t.Errorf("%s (%v): fixed variant still drains %.2f", a.AppID, a.RootCause, drain)
+		}
+	}
+}
+
+func TestNoSleepAppsHaveStaticLeak(t *testing.T) {
+	apps, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		m, err := a.Package().Lookup(a.Fault.Trigger)
+		if err != nil {
+			t.Fatalf("%s: trigger method missing: %v", a.AppID, err)
+		}
+		g, err := apk.BuildCFG(m.Body)
+		if err != nil {
+			t.Fatalf("%s: CFG: %v", a.AppID, err)
+		}
+		acquires := apk.Acquires(m.Body)
+		if a.RootCause == abd.NoSleep {
+			if len(acquires) == 0 {
+				t.Errorf("%s: no-sleep app has no acquire", a.AppID)
+				continue
+			}
+			if !g.LeakPathExists(acquires[0].Index, acquires[0].Resource) {
+				t.Errorf("%s: no-sleep app has no leaking path", a.AppID)
+			}
+		} else if len(acquires) != 0 {
+			t.Errorf("%s (%v): unexpected acquires in trigger", a.AppID, a.RootCause)
+		}
+	}
+}
+
+func TestInstrumentationCoversTriggerSurface(t *testing.T) {
+	// Every fault trigger that is a pool event must be instrumentable.
+	apps, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := instrument.DefaultPool()
+	for _, a := range apps {
+		res, err := instrument.Instrument(a.Package(), pool)
+		if err != nil {
+			t.Fatalf("%s: %v", a.AppID, err)
+		}
+		if res.ProbeCount == 0 {
+			t.Errorf("%s: nothing instrumented", a.AppID)
+		}
+		// The trigger callback itself is pool-eligible for widget/
+		// lifecycle triggers (all catalog faults use those).
+		if !pool.Contains(a.Fault.Trigger.Callback) {
+			t.Errorf("%s: trigger %q not in instrumentation pool",
+				a.AppID, a.Fault.Trigger.Callback)
+		}
+	}
+}

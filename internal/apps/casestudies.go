@@ -1,0 +1,404 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/abd"
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+// This file hand-models the paper's four case-study apps so the
+// diagnosis reproduces the published event vocabularies and line counts:
+//
+//	K-9 Mail (§III-B, Figs 3/7/8, Table II): misconfigured IMAP
+//	    connection limit -> periodic reconnect attempts. 98,532 lines.
+//	OpenGPS (§IV-C, Figs 9-11, Table IV): location listener not released
+//	    when LoggerMap is backgrounded. 5,060 lines.
+//	Wallabag (§IV-C, Figs 12-14, Table V): deleting an article already
+//	    deleted server-side -> CPU-heavy sync retry. 21,424 lines.
+//	Tinfoil (§IV-C, Fig 15, Table VI): newsfeed keeps refreshing an
+//	    invisible interface in the background. 4,226 lines.
+
+// method is a terse method constructor for the hand-built models.
+func method(name string, lines int) apk.Method {
+	return apk.Method{
+		Name: name, SourceLines: lines,
+		Body: []apk.Instruction{{Op: apk.OpWork}, {Op: apk.OpReturn}},
+	}
+}
+
+// lifecycleClass builds a class with the full lifecycle plus extra
+// methods, and registers light default behaviors for the lifecycle.
+func lifecycleClass(name string, b android.BehaviorMap, extra ...apk.Method) apk.Class {
+	cls := apk.Class{Name: name}
+	lines := map[string]int{
+		android.OnCreate: 70, android.OnStart: 12, android.OnRestart: 8,
+		android.OnResume: 26, android.OnPause: 18, android.OnStop: 10, android.OnDestroy: 14,
+	}
+	for _, cb := range lifecycleNames {
+		cls.Methods = append(cls.Methods, method(cb, lines[cb]))
+		usage := android.ComponentUsage{Component: trace.CPU, Level: 0.3, DurationMS: 540}
+		if cb == android.OnCreate {
+			usage = android.ComponentUsage{Component: trace.CPU, Level: 0.5, DurationMS: 650}
+		}
+		b[trace.EventKey{Class: name, Callback: cb}] = android.Behavior{
+			LatencyMS: usage.DurationMS,
+			Usages:    []android.ComponentUsage{usage},
+		}
+	}
+	cls.Methods = append(cls.Methods, extra...)
+	return cls
+}
+
+// padToTotal appends filler helper methods to a dedicated core class so
+// the package's total line count matches the paper's reported total.
+func padToTotal(pkg *apk.Package, coreClass string, target int) error {
+	current := pkg.TotalSourceLines()
+	if current > target {
+		return fmt.Errorf("apps: %s already has %d lines, above the paper total %d",
+			pkg.AppID, current, target)
+	}
+	cls := apk.Class{Name: coreClass}
+	i := 0
+	for current < target {
+		chunk := 350
+		if target-current < chunk {
+			chunk = target - current
+		}
+		cls.Methods = append(cls.Methods, method(fmt.Sprintf("core%d", i), chunk))
+		current += chunk
+		i++
+	}
+	pkg.Classes = append(pkg.Classes, cls)
+	return nil
+}
+
+// K9Mail models the paper's running example: the user raises the IMAP
+// connection count past the server's limit in AccountSettings; when they
+// return to the MessageList the app starts periodically retrying the
+// rejected connections (paper §III-B). Total 98,532 lines; EnergyDx
+// reports 161 lines (Table II events).
+func K9Mail() (*App, error) {
+	const (
+		accountSettings = "Lcom/fsck/k9/activity/setup/AccountSettings"
+		messageList     = "Lcom/fsck/k9/activity/MessageList"
+		k9Activity      = "Lcom/fsck/k9/K9Activity"
+		messageCompose  = "Lcom/fsck/k9/activity/MessageCompose"
+		mailService     = "Lcom/fsck/k9/service/MailService"
+	)
+	b := android.BehaviorMap{}
+	pkg := &apk.Package{AppID: "k9mail"}
+
+	settings := lifecycleClass(accountSettings, b, method("onClick", 22))
+	// The settings tap writes the over-limit connection count.
+	b[trace.EventKey{Class: accountSettings, Callback: "onClick"}] = android.Behavior{
+		LatencyMS: 520,
+		Effects: []android.Effect{{
+			Kind: android.EffectSetConfig, ConfigKey: "imapConnections", ConfigValue: "50",
+		}},
+	}
+
+	list := lifecycleClass(messageList, b,
+		method("onItemClick", 35), method("checkMail", 48))
+	b[trace.EventKey{Class: messageList, Callback: "onItemClick"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.35, DurationMS: 520}},
+	}
+	// Refreshing the mail list is the expensive-but-normal event whose
+	// raw power transitions Steps 2-3 must remove (Fig 7a).
+	b[trace.EventKey{Class: messageList, Callback: "checkMail"}] = android.Behavior{
+		LatencyMS: 3000,
+		Usages: []android.ComponentUsage{
+			{Component: trace.WiFi, Level: 0.8, DurationMS: 3000},
+			{Component: trace.CPU, Level: 0.35, DurationMS: 2500},
+		},
+	}
+
+	k9act := lifecycleClass(k9Activity, b, method("onClick", 18))
+	b[trace.EventKey{Class: k9Activity, Callback: "onClick"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.25, DurationMS: 520}},
+	}
+
+	compose := lifecycleClass(messageCompose, b, method("onKey", 15))
+	// Composing email: the dashed-box spikes of Fig 3.
+	b[trace.EventKey{Class: messageCompose, Callback: "onKey"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.45, DurationMS: 520}},
+	}
+
+	svc := apk.Class{Name: mailService}
+	svc.Methods = append(svc.Methods, method(android.OnCreate, 39), method(android.OnDestroy, 21))
+
+	pkg.Classes = append(pkg.Classes, settings, list, k9act, compose, svc)
+
+	a := &App{
+		ID: 3, AppID: "k9mail", Name: "K-9 Mail", Downloads: "5M+",
+		RootCause:          abd.Configuration,
+		PaperCodeReduction: 99,
+		MainActivity:       messageList,
+		BrowseActivities:   []string{messageList, k9Activity, messageCompose},
+		Widgets: map[string][]string{
+			messageList:    {"onItemClick", "checkMail"},
+			k9Activity:     {"onClick"},
+			messageCompose: {"onKey"},
+		},
+		Fault: abd.Fault{
+			Kind:         abd.Configuration,
+			Trigger:      trace.EventKey{Class: messageList, Callback: android.OnResume},
+			ReleasePoint: trace.EventKey{Class: messageList, Callback: android.OnPause},
+			Resource:     "imap-retry",
+			ConfigKey:    "imapConnections",
+			ConfigValue:  "50",
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 2500, BurstMS: 2100,
+				Usages: []android.ComponentUsage{
+					{Component: trace.WiFi, Level: 0.85},
+					{Component: trace.CPU, Level: 0.4},
+				},
+			},
+		},
+		// The user flow behind Fig 2: change the account configuration,
+		// the mail service restarts, return to the message list, and
+		// the ABD begins to manifest.
+		TriggerScript: []android.Step{
+			android.Launch(accountSettings),
+			android.Tap("onClick"),
+			android.StopSvc(mailService),
+			android.StartSvc(mailService),
+			android.Launch(messageList), // MessageList:onResume -> retry loop
+			android.Home(),
+		},
+	}
+	a.pkg = pkg
+	a.behaviors = b
+	if err := padToTotal(pkg, "Lcom/fsck/k9/K9Core", 98532); err != nil {
+		return nil, err
+	}
+	if err := a.finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// OpenGPS models the §IV-C location-tracking case study: the GPS listener
+// acquired while the LoggerMap is visible is not released when the
+// activity is backgrounded, so GPS keeps drawing power with the display
+// off (Fig 11). Total 5,060 lines; EnergyDx narrows to 569.
+func OpenGPS() (*App, error) {
+	const (
+		loggerMap       = "Lnl/sogeti/android/gpstracker/LoggerMap"
+		controlTracking = "Lnl/sogeti/android/gpstracker/ControlTracking"
+		aboutActivity   = "Lnl/sogeti/android/gpstracker/About"
+	)
+	b := android.BehaviorMap{}
+	pkg := &apk.Package{AppID: "opengps"}
+
+	logger := lifecycleClass(loggerMap, b, method("onTouch", 24))
+	b[trace.EventKey{Class: loggerMap, Callback: "onTouch"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.4, DurationMS: 520}},
+	}
+	control := lifecycleClass(controlTracking, b, method("onClick", 19))
+	b[trace.EventKey{Class: controlTracking, Callback: "onClick"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.3, DurationMS: 520}},
+	}
+	about := lifecycleClass(aboutActivity, b)
+
+	pkg.Classes = append(pkg.Classes, logger, control, about)
+
+	a := &App{
+		ID: 0, AppID: "opengps", Name: "OpenGPS", Downloads: "n/a",
+		RootCause:          abd.NoSleep,
+		PaperCodeReduction: (5060.0 - 569.0) / 5060.0 * 100,
+		MainActivity:       controlTracking,
+		BrowseActivities:   []string{controlTracking, aboutActivity},
+		Widgets: map[string][]string{
+			controlTracking: {"onClick"},
+		},
+		Fault: abd.Fault{
+			Kind: abd.NoSleep,
+			// Tracking legitimately starts when the map resumes; the
+			// bug is the missing release on pause.
+			Trigger:      trace.EventKey{Class: loggerMap, Callback: android.OnResume},
+			ReleasePoint: trace.EventKey{Class: loggerMap, Callback: android.OnPause},
+			Resource:     "location-listener",
+			Component:    trace.GPS,
+			Level:        1.0,
+		},
+		TriggerScript: []android.Step{
+			android.Launch(loggerMap),
+			android.Wait(4000),
+			android.Home(), // LoggerMap:onPause without release -> Fig 11
+		},
+	}
+	a.pkg = pkg
+	a.behaviors = b
+	if err := padToTotal(pkg, "Lnl/sogeti/android/gpstracker/Core", 5060); err != nil {
+		return nil, err
+	}
+	if err := a.finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Wallabag models the delete-retry case study: deleting an article that
+// the server already deleted makes the app retry the sync indefinitely,
+// burning CPU (Fig 14). Total 21,424 lines; EnergyDx narrows to 306.
+func Wallabag() (*App, error) {
+	const (
+		readArticle   = "Lfr/gaulupeau/apps/ReadArticle"
+		articlesList  = "Lfr/gaulupeau/apps/ArticlesList"
+		libsActivity  = "Lfr/gaulupeau/apps/LibsActivity"
+		baseActionBar = "Lfr/gaulupeau/apps/BaseActionBarActivity"
+	)
+	b := android.BehaviorMap{}
+	pkg := &apk.Package{AppID: "wallabag"}
+
+	read := lifecycleClass(readArticle, b, method("menuDeleted", 31), method("onTouch", 14))
+	// A normal delete is cheap; the *retry loop* is what drains.
+	b[trace.EventKey{Class: readArticle, Callback: "menuDeleted"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.35, DurationMS: 520}},
+	}
+	b[trace.EventKey{Class: readArticle, Callback: "onTouch"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.2, DurationMS: 520}},
+	}
+	list := lifecycleClass(articlesList, b, method("onItemClick", 27), method("syncArticles", 44))
+	b[trace.EventKey{Class: articlesList, Callback: "onItemClick"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.3, DurationMS: 520}},
+	}
+	b[trace.EventKey{Class: articlesList, Callback: "syncArticles"}] = android.Behavior{
+		LatencyMS: 2800,
+		Usages: []android.ComponentUsage{
+			{Component: trace.WiFi, Level: 0.75, DurationMS: 2800},
+			{Component: trace.CPU, Level: 0.3, DurationMS: 2500},
+		},
+	}
+	libs := lifecycleClass(libsActivity, b)
+	base := lifecycleClass(baseActionBar, b)
+
+	pkg.Classes = append(pkg.Classes, read, list, libs, base)
+
+	a := &App{
+		ID: 28, AppID: "wallabag", Name: "Wallabag", Downloads: "1M+",
+		RootCause:          abd.Configuration,
+		PaperCodeReduction: 98.57,
+		MainActivity:       articlesList,
+		BrowseActivities:   []string{articlesList, readArticle, libsActivity},
+		Widgets: map[string][]string{
+			articlesList: {"onItemClick", "syncArticles"},
+			readArticle:  {"onTouch"},
+		},
+		Fault: abd.Fault{
+			Kind: abd.Configuration,
+			// The drain starts at the delete tap, but only when the
+			// article is already gone server-side (the inconsistent
+			// state that acts as the "misconfiguration").
+			Trigger:      trace.EventKey{Class: readArticle, Callback: "menuDeleted"},
+			ReleasePoint: trace.EventKey{Class: readArticle, Callback: android.OnPause},
+			Resource:     "delete-retry",
+			ConfigKey:    "articleDeletedOnServer",
+			ConfigValue:  "true",
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 1800, BurstMS: 1600,
+				Usages: []android.ComponentUsage{
+					{Component: trace.CPU, Level: 0.85},
+					{Component: trace.WiFi, Level: 0.25},
+				},
+			},
+		},
+		TriggerScript: []android.Step{
+			android.SetCfg("articleDeletedOnServer", "true"),
+			android.Launch(articlesList),
+			android.Launch(readArticle),
+			android.Tap("menuDeleted"),
+			android.Back(),
+			android.Home(),
+		},
+	}
+	a.pkg = pkg
+	a.behaviors = b
+	if err := padToTotal(pkg, "Lfr/gaulupeau/apps/Core", 21424); err != nil {
+		return nil, err
+	}
+	if err := a.finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Tinfoil models the background-sync case study: the newsfeed interface
+// keeps refreshing even after the app is backgrounded, rendering an
+// invisible UI. Total 4,226 lines; EnergyDx narrows to 236.
+func Tinfoil() (*App, error) {
+	const (
+		fbWrapper   = "Lcom/danvelazco/fbwrapper/FbWrapper"
+		preferences = "Lcom/danvelazco/fbwrapper/Preferences"
+	)
+	b := android.BehaviorMap{}
+	pkg := &apk.Package{AppID: "tinfoil"}
+
+	wrapper := lifecycleClass(fbWrapper, b,
+		method("menu_item_newsfeed", 38), method("menu_about", 12), method("onClick", 20))
+	b[trace.EventKey{Class: fbWrapper, Callback: "menu_about"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.2, DurationMS: 520}},
+	}
+	b[trace.EventKey{Class: fbWrapper, Callback: "onClick"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.3, DurationMS: 520}},
+	}
+	prefs := lifecycleClass(preferences, b, method("onClick", 16))
+	b[trace.EventKey{Class: preferences, Callback: "onClick"}] = android.Behavior{
+		LatencyMS: 520,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.25, DurationMS: 520}},
+	}
+
+	pkg.Classes = append(pkg.Classes, wrapper, prefs)
+
+	a := &App{
+		ID: 18, AppID: "tinfoil", Name: "Tinfoil", Downloads: "n/a",
+		RootCause:          abd.Loop,
+		PaperCodeReduction: 92.4,
+		MainActivity:       fbWrapper,
+		BrowseActivities:   []string{fbWrapper, preferences},
+		Widgets: map[string][]string{
+			fbWrapper:   {"onClick", "menu_about"},
+			preferences: {"onClick"},
+		},
+		Fault: abd.Fault{
+			Kind:         abd.Loop,
+			Trigger:      trace.EventKey{Class: fbWrapper, Callback: "menu_item_newsfeed"},
+			ReleasePoint: trace.EventKey{Class: fbWrapper, Callback: android.OnPause},
+			Resource:     "newsfeed-refresh",
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 2500, BurstMS: 2000,
+				Usages: []android.ComponentUsage{
+					{Component: trace.WiFi, Level: 0.8},
+					{Component: trace.CPU, Level: 0.45},
+				},
+			},
+		},
+		TriggerScript: []android.Step{
+			android.Launch(fbWrapper),
+			android.Tap("menu_item_newsfeed"),
+			android.Home(), // the invisible interface keeps syncing
+		},
+	}
+	a.pkg = pkg
+	a.behaviors = b
+	if err := padToTotal(pkg, "Lcom/danvelazco/fbwrapper/Core", 4226); err != nil {
+		return nil, err
+	}
+	if err := a.finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/abd"
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+func customParts() (*App, *apk.Package, android.BehaviorMap) {
+	pkg := &apk.Package{
+		AppID: "custom",
+		Classes: []apk.Class{{
+			Name: "LMain",
+			Methods: []apk.Method{
+				{Name: android.OnCreate, SourceLines: 10,
+					Body: []apk.Instruction{{Op: apk.OpReturn}}},
+				{Name: "onClick", SourceLines: 5,
+					Body: []apk.Instruction{{Op: apk.OpReturn}}},
+			},
+		}},
+	}
+	behaviors := android.BehaviorMap{
+		trace.EventKey{Class: "LMain", Callback: "onClick"}: {LatencyMS: 520},
+	}
+	a := &App{
+		AppID: "custom", Name: "Custom", MainActivity: "LMain",
+		BrowseActivities: []string{"LMain"},
+		Widgets:          map[string][]string{"LMain": {"onClick"}},
+		TriggerScript:    []android.Step{android.Tap("onClick")},
+	}
+	return a, pkg, behaviors
+}
+
+func TestNewCustomOK(t *testing.T) {
+	a, pkg, b := customParts()
+	built, err := NewCustom(a, pkg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Package() != pkg {
+		t.Error("package not wired")
+	}
+	// Fixed variant equals buggy for unknown faults, but is a copy.
+	fixed := built.Behaviors(true)
+	delete(fixed, trace.EventKey{Class: "LMain", Callback: "onClick"})
+	if _, ok := built.Behaviors(true)[trace.EventKey{Class: "LMain", Callback: "onClick"}]; !ok {
+		t.Error("fixed behaviors share storage with caller copy")
+	}
+}
+
+func TestNewCustomValidation(t *testing.T) {
+	if _, err := NewCustom(nil, nil, nil); err == nil {
+		t.Error("nil inputs accepted")
+	}
+
+	a, pkg, b := customParts()
+	pkg.AppID = "" // invalid package
+	if _, err := NewCustom(a, pkg, b); err == nil {
+		t.Error("invalid package accepted")
+	}
+
+	a, pkg, b = customParts()
+	a.Widgets["LMain"] = append(a.Widgets["LMain"], "onMissing")
+	if _, err := NewCustom(a, pkg, b); err == nil {
+		t.Error("dangling widget accepted")
+	}
+
+	a, pkg, b = customParts()
+	a.TriggerScript = nil
+	if _, err := NewCustom(a, pkg, b); err == nil {
+		t.Error("missing trigger script accepted")
+	}
+
+	a, pkg, b = customParts()
+	a.MainActivity = ""
+	if _, err := NewCustom(a, pkg, b); err == nil {
+		t.Error("missing main activity accepted")
+	}
+}
+
+func TestFinishRejectsBadModels(t *testing.T) {
+	// A fault whose trigger method does not exist in the APK.
+	a, pkg, b := customParts()
+	a.Fault = k9StyleFault("LMissing", "onResume")
+	a.pkg = pkg
+	a.behaviors = b
+	if err := a.finish(); err == nil {
+		t.Error("fault with missing trigger method accepted")
+	}
+
+	// A widget pointing at a method the APK lacks.
+	a, pkg, b = customParts()
+	a.Fault = k9StyleFault("LMain", android.OnCreate)
+	a.pkg = pkg
+	a.behaviors = b
+	a.Widgets["LMain"] = []string{"onVanished"}
+	if err := a.finish(); err == nil {
+		t.Error("dangling widget accepted by finish")
+	}
+}
+
+// k9StyleFault builds a minimal configuration fault for finish tests.
+func k9StyleFault(cls, cb string) abd.Fault {
+	return abd.Fault{
+		Kind:         abd.Configuration,
+		Trigger:      trace.EventKey{Class: cls, Callback: cb},
+		ReleasePoint: trace.EventKey{Class: cls, Callback: android.OnPause},
+		Resource:     "r",
+		ConfigKey:    "k",
+		ConfigValue:  "v",
+		LoopSpec:     android.LoopSpec{PeriodMS: 1000, BurstMS: 500},
+	}
+}

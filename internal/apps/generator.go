@@ -1,0 +1,293 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/abd"
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+// The generator builds a statistically plausible app from a Table III
+// row: several browsable activities with lifecycle callbacks and widgets,
+// a background service, plenty of non-event helper code (the bulk of the
+// line count the diagnosis prunes away), and the row's ABD fault injected
+// on a trigger surface that normal users never touch.
+
+// widgetProfile classifies a widget's energy character.
+type widgetProfile int
+
+const (
+	lightWidget  widgetProfile = iota + 1 // local UI work
+	mediumWidget                          // CPU-bound processing
+	heavyWidget                           // network fetch (refresh-style)
+)
+
+// lifecycleNames are the activity lifecycle callbacks every activity gets.
+var lifecycleNames = []string{
+	android.OnCreate, android.OnStart, android.OnRestart,
+	android.OnResume, android.OnPause, android.OnStop, android.OnDestroy,
+}
+
+// addLifecycle appends lifecycle methods to a class and their behaviors
+// to the map.
+func addLifecycle(cls *apk.Class, b android.BehaviorMap, rng *rand.Rand) {
+	for _, name := range lifecycleNames {
+		lines := 6 + rng.Intn(18)
+		// The callback blocks until its work completes, so the logged
+		// event interval covers the power it causes (Step 1 maps power
+		// samples onto event intervals by timestamp).
+		usage := android.ComponentUsage{Component: trace.CPU, Level: 0.3, DurationMS: 520 + int64(rng.Intn(200))}
+		if name == android.OnCreate {
+			lines = 40 + rng.Intn(80)
+			usage = android.ComponentUsage{Component: trace.CPU, Level: 0.5, DurationMS: 600 + int64(rng.Intn(300))}
+		}
+		latency := usage.DurationMS
+		cls.Methods = append(cls.Methods, apk.Method{
+			Name: name, SourceLines: lines,
+			Body: []apk.Instruction{{Op: apk.OpWork}, {Op: apk.OpReturn}},
+		})
+		b[trace.EventKey{Class: cls.Name, Callback: name}] = android.Behavior{
+			LatencyMS: latency,
+			Usages:    []android.ComponentUsage{usage},
+		}
+	}
+}
+
+// addWidget appends a widget callback with the given profile.
+func addWidget(cls *apk.Class, b android.BehaviorMap, name string, profile widgetProfile, rng *rand.Rand) {
+	cls.Methods = append(cls.Methods, apk.Method{
+		Name: name, SourceLines: 10 + rng.Intn(50),
+		Body: []apk.Instruction{{Op: apk.OpWork}, {Op: apk.OpCall, Args: []string{"Landroid/view/View;->invalidate"}}, {Op: apk.OpReturn}},
+	})
+	// Widget callbacks block until their operation completes (a refresh
+	// shows a spinner until the fetch is done), so the event interval
+	// covers the operation's power draw.
+	var behavior android.Behavior
+	switch profile {
+	case lightWidget:
+		dur := 520 + int64(rng.Intn(400))
+		behavior = android.Behavior{
+			LatencyMS: dur,
+			Usages: []android.ComponentUsage{
+				{Component: trace.CPU, Level: 0.2 + rng.Float64()*0.15, DurationMS: dur},
+			},
+		}
+	case mediumWidget:
+		dur := 900 + int64(rng.Intn(1200))
+		behavior = android.Behavior{
+			LatencyMS: dur,
+			Usages: []android.ComponentUsage{
+				{Component: trace.CPU, Level: 0.45 + rng.Float64()*0.15, DurationMS: dur},
+			},
+		}
+	case heavyWidget:
+		dur := 2000 + int64(rng.Intn(2000))
+		behavior = android.Behavior{
+			LatencyMS: dur,
+			Usages: []android.ComponentUsage{
+				{Component: trace.WiFi, Level: 0.65 + rng.Float64()*0.25, DurationMS: dur},
+				{Component: trace.CPU, Level: 0.3, DurationMS: dur},
+			},
+		}
+	}
+	b[trace.EventKey{Class: cls.Name, Callback: name}] = behavior
+}
+
+// addHelpers appends non-event methods: the code the diagnosis excludes.
+func addHelpers(cls *apk.Class, count int, rng *rand.Rand) {
+	for i := 0; i < count; i++ {
+		cls.Methods = append(cls.Methods, apk.Method{
+			Name:        fmt.Sprintf("helper%d", i),
+			SourceLines: 60 + rng.Intn(220),
+			Body: []apk.Instruction{
+				{Op: apk.OpWork}, {Op: apk.OpWork}, {Op: apk.OpReturn},
+			},
+		})
+	}
+}
+
+var browseNames = []string{
+	"MainActivity", "ListActivity", "DetailActivity", "SearchActivity", "AboutActivity",
+}
+
+var widgetNames = []string{"onClick", "onItemClick", "onLongClick", "onTouch"}
+
+// generate builds an App from a catalog row, deterministically in the
+// row ID.
+func generate(row catalogRow) (*App, error) {
+	cause, err := abd.ParseKind(row.cause)
+	if err != nil {
+		return nil, fmt.Errorf("apps: row %d: %w", row.id, err)
+	}
+	rng := rand.New(rand.NewSource(int64(row.id)*7919 + 17))
+	base := "Lcom/" + row.appID
+
+	a := &App{
+		ID:                 row.id,
+		AppID:              row.appID,
+		Name:               row.name,
+		Downloads:          row.downloads,
+		RootCause:          cause,
+		PaperCodeReduction: row.paperPct,
+		Widgets:            make(map[string][]string),
+	}
+	pkg := &apk.Package{AppID: row.appID}
+	behaviors := android.BehaviorMap{}
+
+	// Browsable activities.
+	nAct := 3 + rng.Intn(3)
+	for i := 0; i < nAct; i++ {
+		clsName := base + "/" + browseNames[i]
+		cls := apk.Class{Name: clsName}
+		addLifecycle(&cls, behaviors, rng)
+		nWidgets := 1 + rng.Intn(3)
+		for w := 0; w < nWidgets; w++ {
+			name := widgetNames[w]
+			profile := widgetProfile(1 + rng.Intn(3))
+			if i == 0 && w == 0 {
+				profile = heavyWidget // every app has a refresh-style action
+			}
+			addWidget(&cls, behaviors, name, profile, rng)
+			a.Widgets[clsName] = append(a.Widgets[clsName], name)
+		}
+		addHelpers(&cls, 2+rng.Intn(4), rng)
+		pkg.Classes = append(pkg.Classes, cls)
+		a.BrowseActivities = append(a.BrowseActivities, clsName)
+	}
+	a.MainActivity = a.BrowseActivities[0]
+
+	// Background service with helper bulk.
+	svc := apk.Class{Name: base + "/SyncService"}
+	svc.Methods = append(svc.Methods,
+		apk.Method{Name: android.OnCreate, SourceLines: 25 + rng.Intn(40),
+			Body: []apk.Instruction{{Op: apk.OpWork}, {Op: apk.OpReturn}}},
+		apk.Method{Name: android.OnDestroy, SourceLines: 10 + rng.Intn(20),
+			Body: []apk.Instruction{{Op: apk.OpWork}, {Op: apk.OpReturn}}},
+	)
+	addHelpers(&svc, 3+rng.Intn(4), rng)
+	pkg.Classes = append(pkg.Classes, svc)
+
+	// The ABD trigger surface, outside the normal browse set.
+	switch cause {
+	case abd.NoSleep:
+		trg := apk.Class{Name: base + "/TrackerActivity"}
+		addLifecycle(&trg, behaviors, rng)
+		addWidget(&trg, behaviors, "onClick", lightWidget, rng)
+		addHelpers(&trg, 2+rng.Intn(3), rng)
+		pkg.Classes = append(pkg.Classes, trg)
+
+		comp, level := nosleepResource(rng)
+		a.Fault = abd.Fault{
+			Kind:         abd.NoSleep,
+			Trigger:      trace.EventKey{Class: trg.Name, Callback: "onClick"},
+			ReleasePoint: trace.EventKey{Class: trg.Name, Callback: android.OnPause},
+			Resource:     comp.String() + "-hold",
+			Component:    comp,
+			Level:        level,
+		}
+		a.TriggerScript = []android.Step{
+			android.Launch(a.MainActivity),
+			android.Launch(trg.Name),
+			android.Tap("onClick"),
+			android.Home(),
+		}
+	case abd.Loop:
+		trg := apk.Class{Name: base + "/FeedActivity"}
+		addLifecycle(&trg, behaviors, rng)
+		addWidget(&trg, behaviors, "onClick", lightWidget, rng)
+		addHelpers(&trg, 2+rng.Intn(3), rng)
+		pkg.Classes = append(pkg.Classes, trg)
+
+		a.Fault = abd.Fault{
+			Kind:         abd.Loop,
+			Trigger:      trace.EventKey{Class: trg.Name, Callback: "onClick"},
+			ReleasePoint: trace.EventKey{Class: trg.Name, Callback: android.OnPause},
+			Resource:     "refresh-loop",
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 1500 + int64(rng.Intn(2000)),
+				BurstMS:  0, // set below as a high duty cycle
+
+				Usages: []android.ComponentUsage{
+					{Component: trace.WiFi, Level: 0.7 + rng.Float64()*0.2},
+					{Component: trace.CPU, Level: 0.3 + rng.Float64()*0.2},
+				},
+			},
+		}
+		a.Fault.LoopSpec.BurstMS = a.Fault.LoopSpec.PeriodMS * (70 + int64(rng.Intn(25))) / 100
+		a.TriggerScript = []android.Step{
+			android.Launch(a.MainActivity),
+			android.Launch(trg.Name),
+			android.Tap("onClick"),
+			android.Home(),
+		}
+	case abd.Configuration:
+		trg := apk.Class{Name: base + "/SettingsActivity"}
+		addLifecycle(&trg, behaviors, rng)
+		addHelpers(&trg, 2+rng.Intn(3), rng)
+		// The settings widget writes the bad configuration value.
+		trg.Methods = append(trg.Methods, apk.Method{
+			Name: "onClick", SourceLines: 12 + rng.Intn(30),
+			Body: []apk.Instruction{
+				{Op: apk.OpCall, Args: []string{"Landroid/content/SharedPreferences;->put"}},
+				{Op: apk.OpReturn},
+			},
+		})
+		behaviors[trace.EventKey{Class: trg.Name, Callback: "onClick"}] = android.Behavior{
+			LatencyMS: 8,
+			Effects: []android.Effect{{
+				Kind: android.EffectSetConfig, ConfigKey: "syncIntervalSec", ConfigValue: "0",
+			}},
+		}
+		pkg.Classes = append(pkg.Classes, trg)
+
+		a.Fault = abd.Fault{
+			Kind:         abd.Configuration,
+			Trigger:      trace.EventKey{Class: a.MainActivity, Callback: android.OnResume},
+			ReleasePoint: trace.EventKey{Class: a.MainActivity, Callback: android.OnPause},
+			Resource:     "aggressive-sync",
+			ConfigKey:    "syncIntervalSec",
+			ConfigValue:  "0",
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 2000 + int64(rng.Intn(2000)),
+				BurstMS:  0, // set below as a high duty cycle
+
+				Usages: []android.ComponentUsage{
+					{Component: trace.WiFi, Level: 0.75 + rng.Float64()*0.15},
+					{Component: trace.CPU, Level: 0.35 + rng.Float64()*0.2},
+				},
+			},
+		}
+		a.Fault.LoopSpec.BurstMS = a.Fault.LoopSpec.PeriodMS * (70 + int64(rng.Intn(25))) / 100
+		a.TriggerScript = []android.Step{
+			android.Launch(a.MainActivity),
+			android.Launch(trg.Name),
+			android.Tap("onClick"),
+			android.Back(), // returning to Main fires onResume with the bad config
+			android.Home(),
+		}
+	}
+
+	a.pkg = pkg
+	a.behaviors = behaviors
+	if err := a.finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// nosleepResource picks which resource the generated no-sleep bug leaks.
+func nosleepResource(rng *rand.Rand) (trace.Component, float64) {
+	switch rng.Intn(4) {
+	case 0:
+		return trace.GPS, 1.0 // location listener never unregistered
+	case 1:
+		return trace.CPU, 0.5 // wakelock held with a busy worker
+	case 2:
+		return trace.Sensor, 0.9 // sensor listener never unregistered
+	default:
+		return trace.WiFi, 0.6 // radio held by an abandoned transfer
+	}
+}

@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/abd"
+	"repro/internal/apk"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func corpusFor(t *testing.T, appID string, seed int64) (*apps.App, *workload.Result) {
+	t.Helper()
+	app, err := apps.ByAppID(appID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(app, seed)
+	cfg.Users = 12
+	cfg.ImpactedFraction = 0.25
+	res, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, res
+}
+
+func TestCheckAllReportsManyMoreEventsThanEnergyDx(t *testing.T) {
+	app, res := corpusFor(t, "k9mail", 11)
+
+	ca, err := CheckAll(DefaultCheckAllConfig(), res.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Transitions == 0 {
+		t.Fatal("CheckAll found no transitions at all")
+	}
+	if len(ca.Keys) == 0 {
+		t.Fatal("CheckAll reported no events")
+	}
+
+	acfg := core.DefaultConfig()
+	acfg.DeveloperImpactPercent = res.ImpactedPercent
+	analyzer, err := core.NewAnalyzer(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := analyzer.Analyze(res.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dxLines := app.Package().LinesFor(report.TopKeys(6))
+	caLines := app.Package().LinesFor(ca.Keys)
+	if caLines <= dxLines {
+		t.Errorf("CheckAll lines %d <= EnergyDx lines %d; baseline should be worse",
+			caLines, dxLines)
+	}
+}
+
+func TestCheckAllValidation(t *testing.T) {
+	if _, err := CheckAll(DefaultCheckAllConfig(), nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	_, res := corpusFor(t, "tinfoil", 3)
+	cfg := DefaultCheckAllConfig()
+	cfg.WindowEvents = -1
+	if _, err := CheckAll(cfg, res.Bundles); err == nil {
+		t.Error("negative window accepted")
+	}
+	cfg = DefaultCheckAllConfig()
+	cfg.TransitionFraction = 0 // falls back to default rather than flagging all
+	if _, err := CheckAll(cfg, res.Bundles); err != nil {
+		t.Errorf("zero fraction: %v", err)
+	}
+}
+
+func TestNoSleepDetectionOnCatalog(t *testing.T) {
+	catalog, err := apps.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range catalog {
+		report, err := DetectNoSleep(app.Package())
+		if err != nil {
+			t.Fatalf("%s: %v", app.AppID, err)
+		}
+		isNoSleep := app.RootCause == abd.NoSleep
+		if report.Detected() != isNoSleep {
+			t.Errorf("%s (%v): detected=%v", app.AppID, app.RootCause, report.Detected())
+		}
+		if isNoSleep {
+			// The finding must point at the real trigger.
+			found := false
+			for _, f := range report.Findings {
+				if f.Key == app.Fault.Trigger {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: findings %v miss trigger %v",
+					app.AppID, report.Findings, app.Fault.Trigger)
+			}
+		}
+	}
+}
+
+func TestEDeltaDetectsStrongDrainMissesWeak(t *testing.T) {
+	// OpenGPS's leaked GPS listener is a strong (420 mW-class) drain:
+	// eDelta must flag it.
+	_, resStrong := corpusFor(t, "opengps", 21)
+	strong, err := EDelta(DefaultEDeltaConfig(), resStrong.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strong.Detected() {
+		t.Error("eDelta missed the GPS leak")
+	}
+
+	// A clean corpus must not be flagged.
+	app, err := apps.ByAppID("opengps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(app, 22)
+	cfg.Users = 10
+	cfg.ImpactedFraction = 0
+	clean, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanReport, err := EDelta(DefaultEDeltaConfig(), clean.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanReport.Detected() {
+		t.Errorf("eDelta flagged a clean corpus: %+v", cleanReport.Findings)
+	}
+}
+
+func TestEDeltaValidation(t *testing.T) {
+	if _, err := EDelta(DefaultEDeltaConfig(), nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	_, res := corpusFor(t, "tinfoil", 4)
+	cfg := DefaultEDeltaConfig()
+	cfg.DeviationThresholdMW = 0
+	if _, err := EDelta(cfg, res.Bundles); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestDetectNoSleepMalformedBody(t *testing.T) {
+	pkg := &apk.Package{
+		AppID: "broken",
+		Classes: []apk.Class{{
+			Name: "LA",
+			Methods: []apk.Method{{
+				Name: "m", SourceLines: 5,
+				Body: []apk.Instruction{
+					{Op: apk.OpAcquire, Args: []string{"wl"}},
+					{Op: apk.OpGoto, Args: []string{"nowhere"}},
+				},
+			}},
+		}},
+	}
+	if _, err := DetectNoSleep(pkg); err == nil {
+		t.Error("malformed method body silently skipped by the analyzer")
+	}
+}
+
+func TestDetectNoSleepEmptyPackage(t *testing.T) {
+	report, err := DetectNoSleep(&apk.Package{AppID: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Detected() {
+		t.Error("empty package flagged")
+	}
+}
+
+func TestEDeltaMinInstancesFilter(t *testing.T) {
+	_, res := corpusFor(t, "opengps", 31)
+	cfg := DefaultEDeltaConfig()
+	cfg.MinInstances = 1_000_000 // nothing has this many observations
+	report, err := EDelta(cfg, res.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Detected() {
+		t.Errorf("findings despite impossible MinInstances: %+v", report.Findings)
+	}
+	// A too-small MinInstances is clamped, not rejected.
+	cfg = DefaultEDeltaConfig()
+	cfg.MinInstances = 0
+	if _, err := EDelta(cfg, res.Bundles); err != nil {
+		t.Errorf("clamped MinInstances rejected: %v", err)
+	}
+}
+
+func TestEDeltaFindingsSortedByDeviation(t *testing.T) {
+	_, res := corpusFor(t, "opengps", 23)
+	report, err := EDelta(DefaultEDeltaConfig(), res.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(report.Findings); i++ {
+		if report.Findings[i].DeviationMW > report.Findings[i-1].DeviationMW {
+			t.Errorf("findings not sorted: %v", report.Findings)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package baseline implements the three comparison systems of the
+// paper's evaluation:
+//
+//   - CheckAll (§IV-D): performs only Step 1 of EnergyDx and reports the
+//     events around *every* raw power transition point, without
+//     distinguishing real ABD manifestations from normal transitions.
+//   - No-sleep Detection (§IV-B, after Pathak et al. [9]): static
+//     dataflow analysis over app code that finds acquire-without-release
+//     paths; it detects only no-sleep ABDs.
+//   - eDelta (§IV-B, after Li et al. [10]): detects APIs whose energy
+//     deviation rises above a threshold; it misses ABDs whose deviation
+//     is small even if long-lasting.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CheckAllConfig parameterizes the CheckAll baseline.
+type CheckAllConfig struct {
+	// Analysis supplies Step 1 (device registry, reference device).
+	Analysis core.Config
+	// TransitionFraction is the raw power change (relative to the
+	// trace's mean power) above which two consecutive events form a
+	// transition point. CheckAll deliberately has no normalization, so
+	// raw inter-event power differences routinely exceed it.
+	TransitionFraction float64
+	// WindowEvents is the reporting window around each transition.
+	WindowEvents int
+}
+
+// DefaultCheckAllConfig mirrors EnergyDx's window with a 25% transition
+// threshold.
+func DefaultCheckAllConfig() CheckAllConfig {
+	return CheckAllConfig{
+		Analysis:           core.DefaultConfig(),
+		TransitionFraction: 0.25,
+		WindowEvents:       2,
+	}
+}
+
+// CheckAllReport is the CheckAll output: every event near any raw power
+// transition in any trace.
+type CheckAllReport struct {
+	AppID       string           `json:"appId"`
+	TotalTraces int              `json:"totalTraces"`
+	Transitions int              `json:"transitions"`
+	Keys        []trace.EventKey `json:"keys"`
+}
+
+// CheckAll runs the baseline over a corpus.
+func CheckAll(cfg CheckAllConfig, bundles []*trace.TraceBundle) (*CheckAllReport, error) {
+	if len(bundles) == 0 {
+		return nil, core.ErrNoTraces
+	}
+	if cfg.TransitionFraction <= 0 {
+		cfg.TransitionFraction = 0.25
+	}
+	if cfg.WindowEvents < 0 {
+		return nil, fmt.Errorf("baseline: negative window")
+	}
+	analyzer, err := core.NewAnalyzer(cfg.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	report := &CheckAllReport{TotalTraces: len(bundles)}
+	seen := make(map[trace.EventKey]struct{})
+	for i, b := range bundles {
+		at, err := analyzer.StepOne(b)
+		if err != nil {
+			return nil, fmt.Errorf("trace %d: %w", i, err)
+		}
+		if report.AppID == "" {
+			report.AppID = b.Event.AppID
+		}
+		raw := make([]float64, len(at.Events))
+		for j, ep := range at.Events {
+			raw[j] = ep.PowerMW
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		mean, err := stats.Mean(raw)
+		if err != nil {
+			return nil, fmt.Errorf("trace %d: %w", i, err)
+		}
+		threshold := cfg.TransitionFraction * mean
+		for j := 0; j+1 < len(raw); j++ {
+			delta := raw[j+1] - raw[j]
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta <= threshold {
+				continue
+			}
+			report.Transitions++
+			lo, hi := j-cfg.WindowEvents, j+cfg.WindowEvents
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(at.Events) {
+				hi = len(at.Events) - 1
+			}
+			for k := lo; k <= hi; k++ {
+				seen[at.Events[k].Instance.Key] = struct{}{}
+			}
+		}
+	}
+	report.Keys = make([]trace.EventKey, 0, len(seen))
+	for k := range seen {
+		report.Keys = append(report.Keys, k)
+	}
+	sort.Slice(report.Keys, func(a, b int) bool {
+		if report.Keys[a].Class != report.Keys[b].Class {
+			return report.Keys[a].Class < report.Keys[b].Class
+		}
+		return report.Keys[a].Callback < report.Keys[b].Callback
+	})
+	return report, nil
+}

@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// EDeltaConfig parameterizes the eDelta baseline.
+type EDeltaConfig struct {
+	// Analysis supplies Step 1.
+	Analysis core.Config
+	// DeviationThresholdMW is the absolute energy deviation (95th
+	// percentile minus median of an API's instance power) above which an
+	// API is flagged. eDelta "assumes that the energy consumption of
+	// some APIs would rise above a certain threshold after ABD
+	// manifestation"; drains whose deviation stays below it — small but
+	// long-lasting, like a leaked low-power sensor — are missed.
+	DeviationThresholdMW float64
+	// MinInstances is the minimum number of observations of an API
+	// before a deviation is trusted.
+	MinInstances int
+	// MinDurationMS excludes instances shorter than this from the
+	// comparison: eDelta requires fine-grained API instrumentation, and
+	// APIs shorter than the utilization sampling period cannot be
+	// attributed meaningful energy ("an API that is not instrumented"
+	// is the baseline's published blind spot).
+	MinDurationMS int64
+}
+
+// DefaultEDeltaConfig returns a threshold calibrated so strong drains
+// (GPS, radio loops) are caught while weak-but-long drains are missed,
+// matching the baseline's published failure mode.
+func DefaultEDeltaConfig() EDeltaConfig {
+	return EDeltaConfig{
+		Analysis:             core.DefaultConfig(),
+		DeviationThresholdMW: 250,
+		MinInstances:         5,
+		MinDurationMS:        1000,
+	}
+}
+
+// EDeltaFinding is one flagged high-deviation API.
+type EDeltaFinding struct {
+	Key         trace.EventKey `json:"key"`
+	DeviationMW float64        `json:"deviationMilliwatts"`
+	Instances   int            `json:"instances"`
+}
+
+// EDeltaReport is the eDelta output for one corpus.
+type EDeltaReport struct {
+	AppID    string          `json:"appId"`
+	Findings []EDeltaFinding `json:"findings"`
+}
+
+// Detected reports whether any API was flagged.
+func (r *EDeltaReport) Detected() bool { return len(r.Findings) > 0 }
+
+// EDelta runs the comparative trace analysis ("Pinpointing Energy
+// Deviations in Smartphone Apps via Comparative Trace Analysis" [10]):
+// it estimates per-instance power (Step 1), reduces each API to its
+// *typical* (median) power per trace, and flags APIs whose typical power
+// in the most-draining traces exceeds the fleet-wide typical power by
+// more than the threshold. Using per-trace medians makes the comparison
+// robust against within-trace context noise (concurrent fetches, display
+// state), which single-instance power is full of.
+func EDelta(cfg EDeltaConfig, bundles []*trace.TraceBundle) (*EDeltaReport, error) {
+	if len(bundles) == 0 {
+		return nil, core.ErrNoTraces
+	}
+	if cfg.DeviationThresholdMW <= 0 {
+		return nil, fmt.Errorf("baseline: eDelta threshold must be positive")
+	}
+	if cfg.MinInstances < 2 {
+		cfg.MinInstances = 2
+	}
+	analyzer, err := core.NewAnalyzer(cfg.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	report := &EDeltaReport{}
+	perTrace := make(map[trace.EventKey][]float64) // per-trace medians
+	counts := make(map[trace.EventKey]int)         // total instances
+	for i, b := range bundles {
+		at, err := analyzer.StepOne(b)
+		if err != nil {
+			return nil, fmt.Errorf("trace %d: %w", i, err)
+		}
+		if report.AppID == "" {
+			report.AppID = b.Event.AppID
+		}
+		byKey := make(map[trace.EventKey][]float64)
+		for _, ep := range at.Events {
+			if ep.Instance.DurationMS() < cfg.MinDurationMS {
+				continue
+			}
+			byKey[ep.Instance.Key] = append(byKey[ep.Instance.Key], ep.PowerMW)
+			counts[ep.Instance.Key]++
+		}
+		for key, xs := range byKey {
+			med, err := stats.Percentile(xs, 50)
+			if err != nil {
+				return nil, fmt.Errorf("trace %d, %s: %w", i, key, err)
+			}
+			perTrace[key] = append(perTrace[key], med)
+		}
+	}
+	for key, medians := range perTrace {
+		if counts[key] < cfg.MinInstances || len(medians) < 2 {
+			continue
+		}
+		hi, err := stats.Percentile(medians, 95)
+		if err != nil {
+			return nil, fmt.Errorf("deviation of %s: %w", key, err)
+		}
+		typical, err := stats.Percentile(medians, 50)
+		if err != nil {
+			return nil, fmt.Errorf("deviation of %s: %w", key, err)
+		}
+		if dev := hi - typical; dev > cfg.DeviationThresholdMW {
+			report.Findings = append(report.Findings, EDeltaFinding{
+				Key: key, DeviationMW: dev, Instances: counts[key],
+			})
+		}
+	}
+	sort.Slice(report.Findings, func(a, b int) bool {
+		if report.Findings[a].DeviationMW != report.Findings[b].DeviationMW {
+			return report.Findings[a].DeviationMW > report.Findings[b].DeviationMW
+		}
+		ka, kb := report.Findings[a].Key, report.Findings[b].Key
+		if ka.Class != kb.Class {
+			return ka.Class < kb.Class
+		}
+		return ka.Callback < kb.Callback
+	})
+	return report, nil
+}

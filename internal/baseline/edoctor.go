@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// This file implements an eDoctor-style app-level detector (Ma et al.,
+// NSDI'13 — the paper's related-work category 1): given one phone's
+// per-app resource usage, cluster each app's execution into phases and
+// flag the app that entered an abnormal high-drain phase. Its verdict is
+// an *app*, not an event: "the reported app-level information is often
+// too coarse-grained for developers to pinpoint the root cause in the
+// app code" (paper §V), which the comparison experiment quantifies as a
+// 0% code reduction inside the flagged app.
+
+// EDoctorConfig parameterizes the app-level detector.
+type EDoctorConfig struct {
+	// Device names the phone's power profile (default nexus6).
+	Device string
+	// Devices resolves profile names (default built-in registry).
+	Devices *device.Registry
+	// PhaseRatio is the abnormal-phase threshold: an app is flagged
+	// when the mean power of its highest phase exceeds PhaseRatio times
+	// its baseline (lowest) phase and the high phase is sustained.
+	PhaseRatio float64
+	// MinSustainedSamples is how many samples the high phase must last
+	// (transient spikes are normal usage, not ABDs).
+	MinSustainedSamples int
+}
+
+// DefaultEDoctorConfig mirrors eDoctor's "abnormal phase" intuition.
+func DefaultEDoctorConfig() EDoctorConfig {
+	return EDoctorConfig{
+		Device:              "nexus6",
+		PhaseRatio:          3,
+		MinSustainedSamples: 20, // 10 s at the 500 ms period
+	}
+}
+
+// AppSuspicion is one app's verdict.
+type AppSuspicion struct {
+	AppID string `json:"appId"`
+	// PhasePowerRatio is high-phase power over baseline-phase power.
+	PhasePowerRatio float64 `json:"phasePowerRatio"`
+	// SustainedSamples is the length of the high phase.
+	SustainedSamples int  `json:"sustainedSamples"`
+	Flagged          bool `json:"flagged"`
+}
+
+// EDoctorReport ranks a phone's apps by suspicion.
+type EDoctorReport struct {
+	Apps []AppSuspicion `json:"apps"`
+}
+
+// Flagged returns the flagged apps, most suspicious first.
+func (r *EDoctorReport) Flagged() []AppSuspicion {
+	var out []AppSuspicion
+	for _, a := range r.Apps {
+		if a.Flagged {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// EDoctor analyzes one phone's per-app utilization traces and flags the
+// apps with an abnormal sustained high-power phase.
+func EDoctor(cfg EDoctorConfig, utils []*trace.UtilizationTrace) (*EDoctorReport, error) {
+	if len(utils) == 0 {
+		return nil, core.ErrNoTraces
+	}
+	if cfg.PhaseRatio <= 1 {
+		return nil, fmt.Errorf("baseline: eDoctor phase ratio must exceed 1")
+	}
+	if cfg.MinSustainedSamples < 1 {
+		cfg.MinSustainedSamples = 1
+	}
+	if cfg.Devices == nil {
+		cfg.Devices = device.NewRegistry()
+	}
+	if cfg.Device == "" {
+		cfg.Device = "nexus6"
+	}
+	profile, err := cfg.Devices.Lookup(cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	model := power.NewModel(profile)
+
+	report := &EDoctorReport{}
+	for _, ut := range utils {
+		pt, err := model.Estimate(ut)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: eDoctor %s: %w", ut.AppID, err)
+		}
+		s := suspicion(cfg, pt)
+		s.AppID = ut.AppID
+		report.Apps = append(report.Apps, s)
+	}
+	sort.Slice(report.Apps, func(a, b int) bool {
+		if report.Apps[a].PhasePowerRatio != report.Apps[b].PhasePowerRatio {
+			return report.Apps[a].PhasePowerRatio > report.Apps[b].PhasePowerRatio
+		}
+		return report.Apps[a].AppID < report.Apps[b].AppID
+	})
+	return report, nil
+}
+
+// suspicion clusters one app's *screen-off* power series into phases and
+// measures the high phase's power ratio and the longest sustained high
+// run. Foreground samples are excluded: an app legitimately draws power
+// while the user looks at it; the abnormal-battery-drain complaint is
+// about power drawn with the screen off, which is also where eDoctor's
+// phase analysis separates cleanly.
+func suspicion(cfg EDoctorConfig, pt *trace.PowerTrace) AppSuspicion {
+	powers := make([]float64, 0, len(pt.Samples))
+	for _, s := range pt.Samples {
+		if s.Breakdown.Get(trace.Display) > 0 {
+			continue
+		}
+		powers = append(powers, s.PowerMW)
+	}
+	if len(powers) == 0 {
+		return AppSuspicion{}
+	}
+	// Baseline phase: the lower quartile of samples (idle floor).
+	q, err := stats.ComputeQuartiles(powers)
+	if err != nil {
+		return AppSuspicion{}
+	}
+	baseline := q.Q1
+	if baseline <= 0 {
+		baseline = 1
+	}
+	// High phase: the longest run of samples above PhaseRatio*baseline.
+	threshold := cfg.PhaseRatio * baseline
+	longest, cur := 0, 0
+	var highSum float64
+	var highN int
+	for _, p := range powers {
+		if p > threshold {
+			cur++
+			highSum += p
+			highN++
+			if cur > longest {
+				longest = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	s := AppSuspicion{SustainedSamples: longest}
+	if highN > 0 {
+		s.PhasePowerRatio = (highSum / float64(highN)) / baseline
+	} else {
+		s.PhasePowerRatio = 1
+	}
+	s.Flagged = longest >= cfg.MinSustainedSamples
+	return s
+}

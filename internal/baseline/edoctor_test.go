@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/workload"
+)
+
+func phone(t *testing.T, abdIdx int, seed int64) ([]*apps.App, *workload.PhoneResult) {
+	t.Helper()
+	var installed []*apps.App
+	for _, id := range []string{"opengps", "tinfoil", "simplenote"} {
+		a, err := apps.ByAppID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		installed = append(installed, a)
+	}
+	res, err := workload.GeneratePhone(workload.PhoneConfig{
+		Apps: installed, ABDApp: abdIdx, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return installed, res
+}
+
+func TestEDoctorFlagsTheDrainingApp(t *testing.T) {
+	_, res := phone(t, 0, 101) // opengps has the triggered ABD
+	report, err := EDoctor(DefaultEDoctorConfig(), res.Utils)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := report.Flagged()
+	if len(flagged) == 0 {
+		t.Fatalf("nothing flagged; report: %+v", report.Apps)
+	}
+	if flagged[0].AppID != res.ABDAppID {
+		t.Errorf("top suspect = %s, want %s (report %+v)", flagged[0].AppID, res.ABDAppID, report.Apps)
+	}
+}
+
+func TestEDoctorQuietOnHealthyPhone(t *testing.T) {
+	_, res := phone(t, -1, 102)
+	report, err := EDoctor(DefaultEDoctorConfig(), res.Utils)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged := report.Flagged(); len(flagged) != 0 {
+		t.Errorf("healthy phone flagged: %+v", flagged)
+	}
+}
+
+func TestEDoctorValidation(t *testing.T) {
+	if _, err := EDoctor(DefaultEDoctorConfig(), nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	_, res := phone(t, -1, 103)
+	cfg := DefaultEDoctorConfig()
+	cfg.PhaseRatio = 1
+	if _, err := EDoctor(cfg, res.Utils); err == nil {
+		t.Error("ratio <= 1 accepted")
+	}
+	cfg = DefaultEDoctorConfig()
+	cfg.Device = "no-such-phone"
+	if _, err := EDoctor(cfg, res.Utils); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestPhoneIsolationAcrossApps(t *testing.T) {
+	// The healthy apps' utilization must not be contaminated by the
+	// draining app's GPS (the procfs per-PID isolation claim).
+	installed, res := phone(t, 0, 104)
+	for i, ut := range res.Utils {
+		if installed[i].AppID == res.ABDAppID {
+			continue
+		}
+		for _, s := range ut.Samples {
+			if s.Util[4] > 0 { // GPS slot; only opengps holds GPS
+				t.Fatalf("app %s shows GPS utilization at %d",
+					installed[i].AppID, s.TimestampMS)
+			}
+		}
+	}
+}
+
+func TestGeneratePhoneValidation(t *testing.T) {
+	if _, err := workload.GeneratePhone(workload.PhoneConfig{}); err == nil {
+		t.Error("empty phone accepted")
+	}
+	a, err := apps.ByAppID("tinfoil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.GeneratePhone(workload.PhoneConfig{
+		Apps: []*apps.App{a}, ABDApp: 5,
+	}); err == nil {
+		t.Error("out-of-range ABD index accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+// NoSleepFinding is one statically detected acquire-without-release.
+type NoSleepFinding struct {
+	Key      trace.EventKey `json:"key"`
+	Resource string         `json:"resource"`
+}
+
+// NoSleepReport is the static analysis result for one app.
+type NoSleepReport struct {
+	AppID    string           `json:"appId"`
+	Findings []NoSleepFinding `json:"findings"`
+}
+
+// Detected reports whether any leak was found.
+func (r *NoSleepReport) Detected() bool { return len(r.Findings) > 0 }
+
+// DetectNoSleep runs the [9]-style dataflow analysis over every method
+// of the package: for each acquire instruction, it searches the method's
+// control-flow graph for a path that reaches an exit without releasing
+// the same resource. Methods whose CFG cannot be built (malformed
+// bodies) are reported as errors rather than silently skipped — a static
+// analyzer that skips code it cannot parse under-reports leaks.
+func DetectNoSleep(pkg *apk.Package) (*NoSleepReport, error) {
+	report := &NoSleepReport{AppID: pkg.AppID}
+	for _, cls := range pkg.Classes {
+		for _, m := range cls.Methods {
+			acquires := apk.Acquires(m.Body)
+			if len(acquires) == 0 {
+				continue
+			}
+			g, err := apk.BuildCFG(m.Body)
+			if err != nil {
+				return nil, err
+			}
+			for _, acq := range acquires {
+				if g.LeakPathExists(acq.Index, acq.Resource) {
+					report.Findings = append(report.Findings, NoSleepFinding{
+						Key:      trace.EventKey{Class: cls.Name, Callback: m.Name},
+						Resource: acq.Resource,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(report.Findings, func(a, b int) bool {
+		ka, kb := report.Findings[a].Key, report.Findings[b].Key
+		if ka.Class != kb.Class {
+			return ka.Class < kb.Class
+		}
+		if ka.Callback != kb.Callback {
+			return ka.Callback < kb.Callback
+		}
+		return report.Findings[a].Resource < report.Findings[b].Resource
+	})
+	return report, nil
+}

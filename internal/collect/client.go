@@ -1,0 +1,88 @@
+package collect
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// PhoneState is the device condition the upload policy checks.
+type PhoneState struct {
+	// Charging reports whether the phone is on external power.
+	Charging bool
+	// OnWiFi reports whether the phone has an unmetered connection.
+	OnWiFi bool
+}
+
+// Eligible implements the paper's upload policy: only while charging on
+// WiFi, so collection never impacts normal phone usage.
+func (s PhoneState) Eligible() bool { return s.Charging && s.OnWiFi }
+
+// ErrNotEligible is returned when the phone state forbids uploading.
+var ErrNotEligible = errors.New("collect: phone not charging on WiFi; upload deferred")
+
+// ErrRejected is returned when the server refuses a bundle.
+type RejectedError struct {
+	Index  int
+	Reason string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("collect: bundle %d rejected: %s", e.Index, e.Reason)
+}
+
+// Client uploads trace bundles from a phone to the collection server.
+type Client struct {
+	addr    string
+	timeout time.Duration
+}
+
+// NewClient creates a client for the server at addr.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, timeout: 10 * time.Second}
+}
+
+// Upload scrubs and sends the bundles if the phone state allows it.
+// Every bundle is acknowledged before the next is sent; the first
+// rejection aborts the upload with a *RejectedError.
+func (c *Client) Upload(state PhoneState, bundles []*trace.TraceBundle) error {
+	if !state.Eligible() {
+		return ErrNotEligible
+	}
+	if len(bundles) == 0 {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("collect: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return fmt.Errorf("collect: deadline: %w", err)
+	}
+	w := bufio.NewWriter(conn)
+	r := bufio.NewReader(conn)
+	for i, b := range bundles {
+		scrubbed := trace.ScrubBundle(b) // PII never leaves the phone
+		if err := trace.EncodeBundle(w, scrubbed); err != nil {
+			return fmt.Errorf("collect: encode bundle %d: %w", i, err)
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("collect: send bundle %d: %w", i, err)
+		}
+		ack, err := r.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("collect: ack for bundle %d: %w", i, err)
+		}
+		ack = strings.TrimSpace(ack)
+		if ack != ackOK {
+			return &RejectedError{Index: i, Reason: strings.TrimPrefix(ack, ackErrPrefix)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func bundle(app, user, traceID string) *trace.TraceBundle {
+	return &trace.TraceBundle{
+		Event: trace.EventTrace{
+			AppID: app, UserID: user, Device: "nexus6", TraceID: traceID,
+			Records: []trace.Record{
+				{TimestampMS: 1, Dir: trace.Enter, Key: trace.EventKey{Class: "L", Callback: "f"}},
+				{TimestampMS: 5, Dir: trace.Exit, Key: trace.EventKey{Class: "L", Callback: "f"}},
+			},
+		},
+		Util: trace.UtilizationTrace{
+			AppID: app, PID: 42, PeriodMS: 500,
+			Samples: []trace.UtilizationSample{{TimestampMS: 0}},
+		},
+	}
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s
+}
+
+func TestUploadStoresScrubbedBundles(t *testing.T) {
+	s := startServer(t)
+	c := NewClient(s.Addr())
+	err := c.Upload(PhoneState{Charging: true, OnWiFi: true}, []*trace.TraceBundle{
+		bundle("k9mail", "alice@example.com", "t1"),
+		bundle("k9mail", "bob@example.com", "t2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Bundles("k9mail")
+	if len(got) != 2 {
+		t.Fatalf("stored %d bundles, want 2", len(got))
+	}
+	for _, b := range got {
+		if b.Event.UserID == "alice@example.com" || b.Event.UserID == "bob@example.com" {
+			t.Errorf("raw user ID stored: %q", b.Event.UserID)
+		}
+		if b.Util.PID != 0 {
+			t.Errorf("PID stored: %d", b.Util.PID)
+		}
+	}
+	if s.Count() != 2 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if apps := s.Apps(); len(apps) != 1 || apps[0] != "k9mail" {
+		t.Errorf("apps = %v", apps)
+	}
+}
+
+func TestUploadPolicyGating(t *testing.T) {
+	s := startServer(t)
+	c := NewClient(s.Addr())
+	states := []PhoneState{
+		{Charging: false, OnWiFi: false},
+		{Charging: true, OnWiFi: false},
+		{Charging: false, OnWiFi: true},
+	}
+	for _, st := range states {
+		err := c.Upload(st, []*trace.TraceBundle{bundle("app", "u", "t")})
+		if !errors.Is(err, ErrNotEligible) {
+			t.Errorf("state %+v: err = %v, want ErrNotEligible", st, err)
+		}
+	}
+	if s.Count() != 0 {
+		t.Errorf("gated upload stored %d bundles", s.Count())
+	}
+}
+
+func TestUploadEmptyIsNoop(t *testing.T) {
+	s := startServer(t)
+	c := NewClient(s.Addr())
+	if err := c.Upload(PhoneState{Charging: true, OnWiFi: true}, nil); err != nil {
+		t.Errorf("empty upload: %v", err)
+	}
+	_ = s
+}
+
+func TestServerRejectsInvalidBundles(t *testing.T) {
+	s := startServer(t)
+	c := NewClient(s.Addr())
+	bad := bundle("", "u", "t") // no app id
+	err := c.Upload(PhoneState{Charging: true, OnWiFi: true}, []*trace.TraceBundle{bad})
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want *RejectedError", err)
+	}
+	if rej.Index != 0 || rej.Reason == "" {
+		t.Errorf("rejection = %+v", rej)
+	}
+
+	// Structurally broken event trace.
+	broken := bundle("app", "u", "t")
+	broken.Event.Records = broken.Event.Records[:1] // unbalanced
+	err = c.Upload(PhoneState{Charging: true, OnWiFi: true}, []*trace.TraceBundle{broken})
+	if !errors.As(err, &rej) {
+		t.Fatalf("unbalanced trace: err = %v", err)
+	}
+	if s.Count() != 0 {
+		t.Error("invalid bundle stored")
+	}
+}
+
+func TestReuploadIsIdempotent(t *testing.T) {
+	s := startServer(t)
+	c := NewClient(s.Addr())
+	b := bundle("app", "u", "t1")
+	st := PhoneState{Charging: true, OnWiFi: true}
+	for i := 0; i < 3; i++ {
+		if err := c.Upload(st, []*trace.TraceBundle{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Count() != 1 {
+		t.Errorf("re-uploads stored %d bundles, want 1", s.Count())
+	}
+}
+
+func TestConcurrentUploaders(t *testing.T) {
+	s := startServer(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for u := 0; u < 8; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			c := NewClient(s.Addr())
+			var bs []*trace.TraceBundle
+			for i := 0; i < 5; i++ {
+				bs = append(bs, bundle("app", fmt.Sprintf("user%d", u), fmt.Sprintf("t%d", i)))
+			}
+			errs[u] = c.Upload(PhoneState{Charging: true, OnWiFi: true}, bs)
+		}(u)
+	}
+	wg.Wait()
+	for u, err := range errs {
+		if err != nil {
+			t.Errorf("uploader %d: %v", u, err)
+		}
+	}
+	if s.Count() != 40 {
+		t.Errorf("stored %d bundles, want 40", s.Count())
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // nothing listens on port 1
+	err := c.Upload(PhoneState{Charging: true, OnWiFi: true},
+		[]*trace.TraceBundle{bundle("app", "u", "t")})
+	if err == nil {
+		t.Error("dial to dead address succeeded")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package collect
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestFullPipelineOverNetwork exercises the deployed topology end to
+// end: phones generate traces, upload them over TCP under the
+// charging/WiFi policy, and the backend diagnoses the server's stored
+// corpus. This is the system-level integration test.
+func TestFullPipelineOverNetwork(t *testing.T) {
+	srv := startServer(t)
+
+	app, err := apps.ByAppID("opengps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(app, 77)
+	cfg.Users = 15
+	cfg.ImpactedFraction = 0.2
+	cfg.Scrub = false // clients scrub on upload
+	corpus, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewClient(srv.Addr())
+	if err := client.Upload(PhoneState{Charging: true, OnWiFi: true}, corpus.Bundles); err != nil {
+		t.Fatal(err)
+	}
+	stored := srv.Bundles(app.AppID)
+	if len(stored) != 15 {
+		t.Fatalf("server stored %d bundles", len(stored))
+	}
+
+	acfg := core.DefaultConfig()
+	acfg.DeveloperImpactPercent = corpus.ImpactedPercent
+	analyzer, err := core.NewAnalyzer(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := analyzer.Analyze(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImpactedTraces == 0 {
+		t.Fatal("no manifestation points detected over the network path")
+	}
+	// The scrubbed user IDs must still let Step 5 count distinct users.
+	if len(report.Impacted) == 0 {
+		t.Fatal("no events reported")
+	}
+	cr, err := core.ComputeCodeReduction(report, app.Package(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Reduction < 0.8 {
+		t.Errorf("network-path code reduction = %.2f", cr.Reduction)
+	}
+}

@@ -1,0 +1,88 @@
+package collect
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// These tests speak the wire protocol directly to verify the server
+// survives malformed clients.
+
+func dialRaw(t *testing.T, s *Server) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestServerRejectsGarbageLine(t *testing.T) {
+	s := startServer(t)
+	conn := dialRaw(t, s)
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	ack, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ack, "ERR ") {
+		t.Errorf("ack = %q, want ERR", ack)
+	}
+	if s.Count() != 0 {
+		t.Error("garbage stored")
+	}
+}
+
+func TestServerSurvivesGarbageThenAcceptsValid(t *testing.T) {
+	s := startServer(t)
+	conn := dialRaw(t, s)
+	r := bufio.NewReader(conn)
+	if _, err := conn.Write([]byte("{\"broken\": \n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	// The server keeps serving: a fresh client upload still works.
+	c := NewClient(s.Addr())
+	err := c.Upload(PhoneState{Charging: true, OnWiFi: true},
+		[]*trace.TraceBundle{bundle("app", "u", "t1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+func TestServerEmptyLinesIgnored(t *testing.T) {
+	s := startServer(t)
+	conn := dialRaw(t, s)
+	if _, err := conn.Write([]byte("\n\n\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// Give the handler a moment, then confirm nothing was stored and
+	// the server still accepts uploads.
+	c := NewClient(s.Addr())
+	err := c.Upload(PhoneState{Charging: true, OnWiFi: true},
+		[]*trace.TraceBundle{bundle("app", "u", "t2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Errorf("count = %d", s.Count())
+	}
+}

@@ -1,0 +1,215 @@
+// Package collect implements EnergyDx's trace-collection tier: phones
+// upload their event and utilization traces to a backend server "when
+// the smartphone is in charge with WiFi, which is a common practice to
+// upload traces without impacting the normal usage of smartphone"
+// (paper §II-B). Uploads are newline-delimited JSON bundles over TCP,
+// acknowledged per bundle so a client can resume after a dropped
+// connection without duplicating data.
+//
+// Privacy: the client scrubs bundles before they leave the phone, and
+// the server scrubs again on receipt (defense in depth) — the backend
+// never stores raw user identifiers.
+package collect
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+const (
+	// ackOK is sent after a bundle is validated and stored.
+	ackOK = "OK"
+	// ackErrPrefix precedes a rejection reason.
+	ackErrPrefix = "ERR "
+	// maxLineBytes bounds one serialized bundle (16 MiB).
+	maxLineBytes = 16 << 20
+)
+
+// Server receives and stores trace bundles.
+type Server struct {
+	ln    net.Listener
+	store *FileStore // optional durable store
+
+	mu      sync.Mutex
+	byApp   map[string][]*trace.TraceBundle
+	dupes   map[string]struct{} // traceID+user dedup across reconnects
+	closed  bool
+	handler sync.WaitGroup
+}
+
+// ServerOption configures a server.
+type ServerOption func(*Server)
+
+// WithFileStore persists accepted bundles to a durable store and, at
+// startup, reloads (and deduplicates against) everything the store
+// already holds — so a restarted server continues where it stopped.
+func WithFileStore(store *FileStore) ServerOption {
+	return func(s *Server) { s.store = store }
+}
+
+// NewServer starts a collection server on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: listen: %w", err)
+	}
+	s := &Server{
+		ln:    ln,
+		byApp: make(map[string][]*trace.TraceBundle),
+		dupes: make(map[string]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.store != nil {
+		persisted, err := s.store.Load()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		for appID, bundles := range persisted {
+			for _, b := range bundles {
+				s.byApp[appID] = append(s.byApp[appID], b)
+				s.dupes[dedupKey(b)] = struct{}{}
+			}
+		}
+	}
+	s.handler.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// dedupKey identifies a bundle across re-uploads and restarts.
+func dedupKey(b *trace.TraceBundle) string {
+	return b.Event.AppID + "/" + b.Event.UserID + "/" + b.Event.TraceID
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.handler.Wait()
+	return err
+}
+
+// acceptLoop owns the listener; one goroutine per connection, all joined
+// through the WaitGroup so Close is clean.
+func (s *Server) acceptLoop() {
+	defer s.handler.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.handler.Add(1)
+		go func() {
+			defer s.handler.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := s.ingest(line); err != nil {
+			fmt.Fprintf(w, "%s%v\n", ackErrPrefix, err)
+		} else {
+			fmt.Fprintln(w, ackOK)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// ingest validates, scrubs and stores one serialized bundle.
+func (s *Server) ingest(line []byte) error {
+	b, err := trace.DecodeBundle(strings.NewReader(string(line)))
+	if err != nil {
+		return fmt.Errorf("decode: %v", err)
+	}
+	if b.Event.AppID == "" {
+		return errors.New("bundle has no app id")
+	}
+	if err := b.Event.Validate(); err != nil {
+		return fmt.Errorf("event trace: %v", err)
+	}
+	if err := b.Util.Validate(); err != nil {
+		return fmt.Errorf("utilization trace: %v", err)
+	}
+	scrubbed := trace.ScrubBundle(b)
+	key := dedupKey(scrubbed)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("server shutting down")
+	}
+	if _, dup := s.dupes[key]; dup {
+		return nil // idempotent: re-uploads after a lost ack are fine
+	}
+	if s.store != nil {
+		// Persist before acknowledging: an acked bundle survives a
+		// crash; a failed write is reported so the phone retries.
+		if err := s.store.Append(scrubbed); err != nil {
+			return err
+		}
+	}
+	s.dupes[key] = struct{}{}
+	s.byApp[scrubbed.Event.AppID] = append(s.byApp[scrubbed.Event.AppID], scrubbed)
+	return nil
+}
+
+// Bundles returns the stored bundles for one app (a copy of the slice).
+func (s *Server) Bundles(appID string) []*trace.TraceBundle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src := s.byApp[appID]
+	out := make([]*trace.TraceBundle, len(src))
+	copy(out, src)
+	return out
+}
+
+// Count returns the total number of stored bundles.
+func (s *Server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, bs := range s.byApp {
+		n += len(bs)
+	}
+	return n
+}
+
+// Apps returns the app IDs with stored traces.
+func (s *Server) Apps() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	apps := make([]string, 0, len(s.byApp))
+	for id := range s.byApp {
+		apps = append(apps, id)
+	}
+	return apps
+}

@@ -1,0 +1,117 @@
+package collect
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// FileStore persists accepted bundles as they arrive: one append-only
+// JSONL file per app under a directory. Each write is flushed before
+// the upload is acknowledged, so an acknowledged bundle survives a
+// server crash; on restart the server reloads the directory and resumes
+// deduplicating against it.
+type FileStore struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// NewFileStore opens (creating if needed) a store directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("collect: store dir: %w", err)
+	}
+	return &FileStore{dir: dir, files: make(map[string]*os.File)}, nil
+}
+
+// Append durably appends one bundle to its app's file.
+func (s *FileStore) Append(b *trace.TraceBundle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.file(b.Event.AppID)
+	if err != nil {
+		return err
+	}
+	if err := trace.EncodeBundle(f, b); err != nil {
+		return fmt.Errorf("collect: store append: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("collect: store sync: %w", err)
+	}
+	return nil
+}
+
+// file returns (opening if needed) the append handle for one app.
+// Callers hold s.mu.
+func (s *FileStore) file(appID string) (*os.File, error) {
+	if f, ok := s.files[appID]; ok {
+		return f, nil
+	}
+	path := filepath.Join(s.dir, sanitizeAppID(appID)+".jsonl")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("collect: store open: %w", err)
+	}
+	s.files[appID] = f
+	return f, nil
+}
+
+// Load reads every persisted bundle back, keyed by app ID.
+func (s *FileStore) Load() (map[string][]*trace.TraceBundle, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("collect: store load: %w", err)
+	}
+	out := make(map[string][]*trace.TraceBundle)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("collect: store load: %w", err)
+		}
+		bundles, err := trace.ReadBundles(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("collect: store load %s: %w", e.Name(), err)
+		}
+		for _, b := range bundles {
+			out[b.Event.AppID] = append(out[b.Event.AppID], b)
+		}
+	}
+	return out, nil
+}
+
+// Close releases the append handles.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for id, f := range s.files {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("collect: store close %s: %w", id, err)
+		}
+		delete(s.files, id)
+	}
+	return firstErr
+}
+
+// sanitizeAppID keeps store file names path-safe.
+func sanitizeAppID(appID string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, appID)
+}

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// EventPower is one event instance with its Step-1 power estimate, scaled
+// to the reference device.
+type EventPower struct {
+	Instance trace.Instance `json:"instance"`
+	PowerMW  float64        `json:"powerMilliwatts"`
+}
+
+// AnalyzedTrace carries one trace through all five steps; the
+// intermediate vectors are retained because the paper's diagnosis figures
+// (7a/7b/7c, 9, 12, 15) plot exactly them.
+type AnalyzedTrace struct {
+	TraceID string `json:"traceId"`
+	UserID  string `json:"userId"`
+	Device  string `json:"device"`
+
+	// Events in chronological order with raw scaled power (Step 1).
+	Events []EventPower `json:"events"`
+	// Rank[i] is the cross-trace rank of Events[i] among instances of
+	// the same event key (Step 2).
+	Rank []float64 `json:"rank"`
+	// NormPower[i] is Events[i].PowerMW normalized to the event's base
+	// power (Step 3).
+	NormPower []float64 `json:"normPower"`
+	// Amplitude[i] is the variation amplitude of Events[i] (Step 4).
+	Amplitude []float64 `json:"amplitude"`
+	// Fence is the Step-4 upper outer fence for this trace.
+	Fence float64 `json:"fence"`
+	// Manifestations are indices into Events detected as manifestation
+	// points (Step 4).
+	Manifestations []int `json:"manifestations"`
+	// WindowKeys are the distinct event keys inside the manifestation
+	// windows of this trace (Step 5 input).
+	WindowKeys []trace.EventKey `json:"windowKeys"`
+}
+
+// Impact is one reported event with the fraction of traces it impacted
+// (Step 5 output).
+type Impact struct {
+	Key     trace.EventKey `json:"key"`
+	Traces  int            `json:"traces"`
+	Percent float64        `json:"percent"`
+}
+
+// Report is the complete diagnosis for one app's trace corpus.
+type Report struct {
+	AppID       string           `json:"appId"`
+	TotalTraces int              `json:"totalTraces"`
+	Traces      []*AnalyzedTrace `json:"traces"`
+	// Impacted lists every event seen in any manifestation window,
+	// sorted by the Step-5 criterion.
+	Impacted []Impact `json:"impacted"`
+	// ImpactedTraces is the number of traces with at least one detected
+	// manifestation point.
+	ImpactedTraces int `json:"impactedTraces"`
+}
+
+// TopEvents returns the first n reported events (all if n <= 0 or beyond
+// the list).
+func (r *Report) TopEvents(n int) []Impact {
+	if n <= 0 || n > len(r.Impacted) {
+		n = len(r.Impacted)
+	}
+	out := make([]Impact, n)
+	copy(out, r.Impacted[:n])
+	return out
+}
+
+// TopKeys returns the event keys of the first n reported events.
+func (r *Report) TopKeys(n int) []trace.EventKey {
+	top := r.TopEvents(n)
+	keys := make([]trace.EventKey, len(top))
+	for i, im := range top {
+		keys[i] = im.Key
+	}
+	return keys
+}
+
+// Analyzer runs the 5-step manifestation analysis.
+type Analyzer struct {
+	cfg Config
+	ref device.Profile
+}
+
+// NewAnalyzer validates the configuration and builds an analyzer.
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ref, err := cfg.Devices.Lookup(cfg.ReferenceDevice)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{cfg: cfg, ref: ref}, nil
+}
+
+// ErrNoTraces is returned when Analyze receives an empty corpus.
+var ErrNoTraces = errors.New("core: no traces to analyze")
+
+// Analyze runs all five steps over a corpus of trace bundles collected
+// from different users and returns the diagnosis report.
+func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
+	if len(bundles) == 0 {
+		return nil, ErrNoTraces
+	}
+	report := &Report{TotalTraces: len(bundles)}
+
+	// Step 1: power estimation of events, per trace (parallelizable:
+	// traces are independent).
+	traces, err := a.stepOneAll(bundles)
+	if err != nil {
+		return nil, err
+	}
+	report.Traces = traces
+	for _, b := range bundles {
+		if b.Event.AppID != "" {
+			report.AppID = b.Event.AppID
+			break
+		}
+	}
+
+	// Step 2: rank all instances of the same event across all traces.
+	basePower, err := a.rankAndBase(report.Traces)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 3 and 4 per trace: normalize, attribute variation amplitude,
+	// detect manifestation points, collect window keys.
+	for _, at := range report.Traces {
+		a.normalize(at, basePower)
+		if err := a.detect(at); err != nil {
+			return nil, fmt.Errorf("trace %s: %w", at.TraceID, err)
+		}
+		if len(at.Manifestations) > 0 {
+			report.ImpactedTraces++
+		}
+	}
+
+	// Step 5: percentage-based sorting of events in the windows.
+	a.rankImpacts(report)
+	return report, nil
+}
+
+// stepOneAll runs Step 1 across the corpus, fanning out to
+// cfg.Parallelism workers when configured. Output order matches input
+// order, so the analysis is deterministic under any parallelism.
+func (a *Analyzer) stepOneAll(bundles []*trace.TraceBundle) ([]*AnalyzedTrace, error) {
+	workers := a.cfg.Parallelism
+	if workers > len(bundles) {
+		workers = len(bundles)
+	}
+	// Each bundle gets its own power model (and its own seeded noise
+	// RNG), so the fan-out is deterministic under any worker count.
+	if workers <= 1 {
+		out := make([]*AnalyzedTrace, len(bundles))
+		for i, b := range bundles {
+			at, err := a.estimateEvents(b)
+			if err != nil {
+				return nil, fmt.Errorf("trace %d (%s): %w", i, b.Event.TraceID, err)
+			}
+			out[i] = at
+		}
+		return out, nil
+	}
+
+	out := make([]*AnalyzedTrace, len(bundles))
+	errs := make([]error, len(bundles))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				at, err := a.estimateEvents(bundles[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("trace %d (%s): %w", i, bundles[i].Event.TraceID, err)
+					continue
+				}
+				out[i] = at
+			}
+		}()
+	}
+	for i := range bundles {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// StepOne runs only Step 1 (event power estimation with device scaling)
+// on one bundle. The CheckAll baseline of §IV-D is defined as "performs
+// Step 1 of EnergyDx" and then reports every transition point, so it
+// builds on this entry point.
+func (a *Analyzer) StepOne(b *trace.TraceBundle) (*AnalyzedTrace, error) {
+	return a.estimateEvents(b)
+}
+
+// estimateEvents implements Step 1 for one bundle: estimate the app's
+// power from utilization with the device's model, scale to the reference
+// device, and attribute mean power to each paired event instance.
+func (a *Analyzer) estimateEvents(b *trace.TraceBundle) (*AnalyzedTrace, error) {
+	devName := b.Event.Device
+	if devName == "" {
+		devName = a.cfg.ReferenceDevice
+	}
+	profile, err := a.cfg.Devices.Lookup(devName)
+	if err != nil {
+		return nil, fmt.Errorf("step 1: %w", err)
+	}
+	var opts []power.Option
+	if a.cfg.EstimationNoiseFrac > 0 {
+		opts = append(opts, power.WithNoise(a.cfg.EstimationNoiseFrac, a.cfg.NoiseSeed))
+	}
+	model := power.NewModel(profile, opts...)
+	pt, err := model.Estimate(&b.Util)
+	if err != nil {
+		return nil, fmt.Errorf("step 1: %w", err)
+	}
+	pt = power.Scale(pt, &profile, &a.ref)
+
+	instances, err := b.Event.Pair()
+	if err != nil {
+		return nil, fmt.Errorf("step 1: %w", err)
+	}
+	at := &AnalyzedTrace{
+		TraceID: b.Event.TraceID,
+		UserID:  b.Event.UserID,
+		Device:  devName,
+		Events:  make([]EventPower, 0, len(instances)),
+	}
+	for _, in := range instances {
+		p, ok := meanPowerBetween(pt, in.StartMS, in.EndMS)
+		if !ok {
+			continue // no power sample anywhere near the instance
+		}
+		at.Events = append(at.Events, EventPower{Instance: in, PowerMW: p})
+	}
+	return at, nil
+}
+
+// meanPowerBetween averages power samples inside [startMS, endMS),
+// falling back to the nearest sample for instances shorter than the
+// sampling period. The end is exclusive: a sample taken at the exact
+// instant the event completes reflects the state transition the event
+// caused (display released, resources torn down), not the event itself.
+func meanPowerBetween(pt *trace.PowerTrace, startMS, endMS int64) (float64, bool) {
+	if len(pt.Samples) == 0 {
+		return 0, false
+	}
+	var sum float64
+	n := 0
+	for _, s := range pt.Samples {
+		if s.TimestampMS >= startMS && s.TimestampMS < endMS {
+			sum += s.PowerMW
+			n++
+		}
+	}
+	if n > 0 {
+		return sum / float64(n), true
+	}
+	mid := (startMS + endMS) / 2
+	best := pt.Samples[0]
+	bestDist := absInt64(best.TimestampMS - mid)
+	for _, s := range pt.Samples[1:] {
+		if d := absInt64(s.TimestampMS - mid); d < bestDist {
+			best, bestDist = s, d
+		}
+	}
+	return best.PowerMW, true
+}
+
+func absInt64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// rankAndBase implements Step 2 (cross-trace ranking of each event's
+// instances) and derives the Step-3 normalization base: the configured
+// percentile of each event key's power distribution across all traces.
+func (a *Analyzer) rankAndBase(traces []*AnalyzedTrace) (map[trace.EventKey]float64, error) {
+	type ref struct {
+		trace *AnalyzedTrace
+		idx   int
+	}
+	byKey := make(map[trace.EventKey][]ref)
+	powersByKey := make(map[trace.EventKey][]float64)
+	for _, at := range traces {
+		at.Rank = make([]float64, len(at.Events))
+		for i, ep := range at.Events {
+			byKey[ep.Instance.Key] = append(byKey[ep.Instance.Key], ref{at, i})
+			powersByKey[ep.Instance.Key] = append(powersByKey[ep.Instance.Key], ep.PowerMW)
+		}
+	}
+	base := make(map[trace.EventKey]float64, len(byKey))
+	for key, refs := range byKey {
+		powers := powersByKey[key]
+		ranks, err := stats.Ranks(powers)
+		if err != nil {
+			return nil, fmt.Errorf("step 2: rank %s: %w", key, err)
+		}
+		for i, r := range refs {
+			r.trace.Rank[r.idx] = ranks[i]
+		}
+		b, err := stats.Percentile(powers, a.cfg.NormBasePercentile)
+		if err != nil {
+			return nil, fmt.Errorf("step 3: base for %s: %w", key, err)
+		}
+		base[key] = b
+	}
+	return base, nil
+}
+
+// normalize implements Step 3: each instance's power divided by its
+// event's base power, "eliminating the relative power consumption
+// differences among different events but keeping the difference among
+// different instances of the same event".
+func (a *Analyzer) normalize(at *AnalyzedTrace, base map[trace.EventKey]float64) {
+	at.NormPower = make([]float64, len(at.Events))
+	for i, ep := range at.Events {
+		b := base[ep.Instance.Key]
+		if b <= 0 {
+			// Power estimates include the device base term so this only
+			// happens with degenerate inputs; fall back to raw power.
+			at.NormPower[i] = ep.PowerMW
+			continue
+		}
+		at.NormPower[i] = ep.PowerMW / b
+	}
+}
+
+// detect implements Step 4: variation-amplitude attribution over monotone
+// increasing runs, then IQR outlier detection with the upper outer fence.
+func (a *Analyzer) detect(at *AnalyzedTrace) error {
+	if a.cfg.SingleStepAmplitude {
+		at.Amplitude = SingleStepAmplitudes(at.NormPower)
+	} else {
+		at.Amplitude = VariationAmplitudes(at.NormPower)
+	}
+	if len(at.Amplitude) < 2 {
+		at.Manifestations = nil
+		return nil
+	}
+	fences, err := stats.ComputeFences(at.Amplitude, a.cfg.FenceMultiplier)
+	if err != nil {
+		return fmt.Errorf("step 4: %w", err)
+	}
+	at.Fence = fences.UpperOuter
+	at.Manifestations = at.Manifestations[:0]
+	for i, v := range at.Amplitude {
+		// Only positive amplitudes mark a low-to-high transition (the
+		// ABD manifests when power rises, not when it falls back), and
+		// the rise must be material (MinAmplitude) so a degenerate
+		// near-zero IQR on a flat trace cannot promote jitter.
+		if v > fences.UpperOuter && v > 0 && v >= a.cfg.MinAmplitude {
+			at.Manifestations = append(at.Manifestations, i)
+		}
+	}
+	at.WindowKeys = a.windowKeys(at)
+	return nil
+}
+
+// runEpsilon is the minimum relative increase for a step to extend a
+// monotone run: without it, sub-percent measurement jitter bridges flat
+// plateaus into a later jump and smears one manifestation's amplitude
+// across many unrelated events.
+const runEpsilon = 0.01
+
+// VariationAmplitudes computes the Step-4 metric for a normalized power
+// series: V_i = p_{i+1} - p_i, except that when the series keeps
+// increasing from i through i+n, V_i = p_{i+n} - p_i (the paper's
+// monotone-run extension for gradually-manifesting ABDs). The last
+// element's amplitude is 0. Exported for the ablation benchmarks.
+func VariationAmplitudes(norm []float64) []float64 {
+	rising := func(a, b float64) bool { return b > a*(1+runEpsilon) }
+	v := make([]float64, len(norm))
+	for i := 0; i+1 < len(norm); i++ {
+		j := i + 1
+		for j+1 < len(norm) && rising(norm[j], norm[j+1]) && rising(norm[j-1], norm[j]) {
+			j++
+		}
+		if j > i+1 {
+			v[i] = norm[j] - norm[i]
+		} else {
+			v[i] = norm[i+1] - norm[i]
+		}
+	}
+	return v
+}
+
+// SingleStepAmplitudes is the ablation variant of VariationAmplitudes
+// without the monotone-run extension: V_i = p_{i+1} - p_i, 0 for the
+// last element.
+func SingleStepAmplitudes(norm []float64) []float64 {
+	v := make([]float64, len(norm))
+	for i := 0; i+1 < len(norm); i++ {
+		v[i] = norm[i+1] - norm[i]
+	}
+	return v
+}
+
+// windowKeys implements the first half of Step 5: the distinct event keys
+// within the manifestation window of each detected point.
+func (a *Analyzer) windowKeys(at *AnalyzedTrace) []trace.EventKey {
+	seen := make(map[trace.EventKey]struct{})
+	for _, m := range at.Manifestations {
+		lo := m - a.cfg.WindowEvents
+		hi := m + a.cfg.WindowEvents
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(at.Events) {
+			hi = len(at.Events) - 1
+		}
+		for i := lo; i <= hi; i++ {
+			seen[at.Events[i].Instance.Key] = struct{}{}
+		}
+	}
+	keys := make([]trace.EventKey, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		if keys[x].Class != keys[y].Class {
+			return keys[x].Class < keys[y].Class
+		}
+		return keys[x].Callback < keys[y].Callback
+	})
+	return keys
+}
+
+// rankImpacts implements the second half of Step 5: for every event seen
+// in any window, the percentage of traces it impacted, sorted by
+// closeness to the developer-reported impacted-user percentage (or by
+// percentage descending when none was provided).
+func (a *Analyzer) rankImpacts(report *Report) {
+	counts := make(map[trace.EventKey]int)
+	for _, at := range report.Traces {
+		for _, k := range at.WindowKeys {
+			counts[k]++
+		}
+	}
+	impacts := make([]Impact, 0, len(counts))
+	for k, n := range counts {
+		impacts = append(impacts, Impact{
+			Key:     k,
+			Traces:  n,
+			Percent: 100 * float64(n) / float64(report.TotalTraces),
+		})
+	}
+	target := a.cfg.DeveloperImpactPercent
+	sort.Slice(impacts, func(x, y int) bool {
+		a, b := impacts[x], impacts[y]
+		if target > 0 {
+			da, db := absFloat(a.Percent-target), absFloat(b.Percent-target)
+			if da != db {
+				return da < db
+			}
+		} else if a.Percent != b.Percent {
+			return a.Percent > b.Percent
+		}
+		if a.Key.Class != b.Key.Class {
+			return a.Key.Class < b.Key.Class
+		}
+		return a.Key.Callback < b.Key.Callback
+	})
+	report.Impacted = impacts
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,590 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+// spec describes one synthetic event occurrence: the event key, when it
+// runs, and the CPU level the app holds for its duration.
+type spec struct {
+	cls, cb  string
+	durMS    int64
+	cpuLevel float64
+}
+
+// buildBundle lays the specs out back-to-back starting at t=0, emitting
+// enter/exit records and 500 ms utilization samples whose CPU level
+// follows whichever event is active.
+func buildBundle(traceID, userID, dev string, specs []spec) *trace.TraceBundle {
+	b := &trace.TraceBundle{
+		Event: trace.EventTrace{AppID: "test", UserID: userID, Device: dev, TraceID: traceID},
+		Util:  trace.UtilizationTrace{AppID: "test", PID: 1, PeriodMS: 500},
+	}
+	t := int64(0)
+	type span struct {
+		start, end int64
+		level      float64
+	}
+	var spans []span
+	for _, s := range specs {
+		key := trace.EventKey{Class: s.cls, Callback: s.cb}
+		b.Event.Records = append(b.Event.Records,
+			trace.Record{TimestampMS: t, Dir: trace.Enter, Key: key},
+			trace.Record{TimestampMS: t + s.durMS, Dir: trace.Exit, Key: key},
+		)
+		spans = append(spans, span{t, t + s.durMS, s.cpuLevel})
+		t += s.durMS
+	}
+	for ts := int64(0); ts <= t; ts += 500 {
+		var u trace.UtilizationVector
+		for _, sp := range spans {
+			if ts >= sp.start && ts < sp.end {
+				u.Set(trace.CPU, sp.level)
+			}
+		}
+		b.Util.Samples = append(b.Util.Samples, trace.UtilizationSample{TimestampMS: ts, Util: u})
+	}
+	return b
+}
+
+// normalTrace alternates a cheap UI event ("circle") and an expensive
+// fetch event ("square"): raw power transitions exist, but they are
+// caused by event power differences, not an ABD.
+func normalTrace(id, user string) *trace.TraceBundle {
+	var specs []spec
+	for i := 0; i < 8; i++ {
+		specs = append(specs,
+			spec{"LApp", "onClick", 2000, 0.2},
+			spec{"LApp", "checkMail", 2000, 0.8},
+		)
+	}
+	return buildBundle(id, user, "nexus6", specs)
+}
+
+// abdTrace is a normal trace whose tail is impacted by an ABD: after the
+// trigger event, every instance consumes high power regardless of kind.
+func abdTrace(id, user string) *trace.TraceBundle {
+	var specs []spec
+	for i := 0; i < 6; i++ {
+		specs = append(specs,
+			spec{"LApp", "onClick", 2000, 0.2},
+			spec{"LApp", "checkMail", 2000, 0.8},
+		)
+	}
+	specs = append(specs, spec{"LApp/Settings", "onResume", 2000, 0.2}) // trigger
+	for i := 0; i < 6; i++ {
+		specs = append(specs,
+			spec{"LApp", "onClick", 2000, 0.95},
+			spec{"LApp", "checkMail", 2000, 0.98},
+		)
+	}
+	return buildBundle(id, user, "nexus6", specs)
+}
+
+func corpus(nNormal, nABD int) []*trace.TraceBundle {
+	var bundles []*trace.TraceBundle
+	for i := 0; i < nNormal; i++ {
+		bundles = append(bundles, normalTrace(
+			"n"+string(rune('0'+i)), "user-normal-"+string(rune('0'+i))))
+	}
+	for i := 0; i < nABD; i++ {
+		bundles = append(bundles, abdTrace(
+			"a"+string(rune('0'+i)), "user-abd-"+string(rune('0'+i))))
+	}
+	return bundles
+}
+
+func TestNewAnalyzerValidation(t *testing.T) {
+	bad := []Config{
+		{NormBasePercentile: -1, FenceMultiplier: 3, ReferenceDevice: "nexus6"},
+		{NormBasePercentile: 101, FenceMultiplier: 3, ReferenceDevice: "nexus6"},
+		{NormBasePercentile: 10, FenceMultiplier: 0, ReferenceDevice: "nexus6"},
+		{NormBasePercentile: 10, FenceMultiplier: 3, WindowEvents: -1, ReferenceDevice: "nexus6"},
+		{NormBasePercentile: 10, FenceMultiplier: 3, ReferenceDevice: "no-such-device"},
+	}
+	for i, cfg := range bad {
+		if _, err := NewAnalyzer(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewAnalyzer(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a, err := NewAnalyzer(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Analyze(nil); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNormalUsageProducesNoManifestation(t *testing.T) {
+	// The whole point of Steps 2-3: power transitions caused by raw
+	// power differences between event kinds must be normalized away.
+	a, err := NewAnalyzer(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Analyze(corpus(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImpactedTraces != 0 {
+		for _, at := range report.Traces {
+			if len(at.Manifestations) > 0 {
+				t.Logf("trace %s norm=%v", at.TraceID, at.NormPower)
+			}
+		}
+		t.Fatalf("%d normal traces flagged as impacted", report.ImpactedTraces)
+	}
+	if len(report.Impacted) != 0 {
+		t.Errorf("events reported on normal corpus: %v", report.Impacted)
+	}
+}
+
+func TestABDDetectedNearTrigger(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Analyze(corpus(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImpactedTraces != 2 {
+		t.Fatalf("impacted traces = %d, want 2", report.ImpactedTraces)
+	}
+	// The trigger event (Settings onResume) must be inside a
+	// manifestation window of every ABD trace.
+	trigger := trace.EventKey{Class: "LApp/Settings", Callback: "onResume"}
+	var triggerImpact *Impact
+	for i := range report.Impacted {
+		if report.Impacted[i].Key == trigger {
+			triggerImpact = &report.Impacted[i]
+		}
+	}
+	if triggerImpact == nil {
+		t.Fatalf("trigger event not reported; impacted = %v", report.Impacted)
+	}
+	if triggerImpact.Traces != 2 {
+		t.Errorf("trigger impacted %d traces, want 2", triggerImpact.Traces)
+	}
+	wantPct := 100 * 2.0 / 8.0
+	if math.Abs(triggerImpact.Percent-wantPct) > 1e-9 {
+		t.Errorf("trigger percent = %v, want %v", triggerImpact.Percent, wantPct)
+	}
+}
+
+func TestDeveloperPercentSorting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeveloperImpactPercent = 25 // 2 ABD traces of 8
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Analyze(corpus(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Impacted) == 0 {
+		t.Fatal("nothing reported")
+	}
+	// Every event at the front must be at least as close to 25% as the
+	// ones behind it.
+	for i := 1; i < len(report.Impacted); i++ {
+		da := math.Abs(report.Impacted[i-1].Percent - 25)
+		db := math.Abs(report.Impacted[i].Percent - 25)
+		if da > db {
+			t.Errorf("impact %d (%.1f%%) further from target than %d (%.1f%%)",
+				i-1, report.Impacted[i-1].Percent, i, report.Impacted[i].Percent)
+		}
+	}
+	// The trigger event must be in the tied group of events exactly at
+	// the target percentage (paper Table II shows the same ties).
+	foundTrigger := false
+	for _, im := range report.Impacted {
+		if math.Abs(im.Percent-25) > 1e-9 {
+			break
+		}
+		if im.Key.Class == "LApp/Settings" {
+			foundTrigger = true
+		}
+	}
+	if !foundTrigger {
+		t.Errorf("trigger not in the exact-match group: %v", report.Impacted)
+	}
+}
+
+func TestTopEventsAndKeys(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeveloperImpactPercent = 25
+	a, _ := NewAnalyzer(cfg)
+	report, err := a.Analyze(corpus(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := report.TopEvents(0)
+	if len(all) != len(report.Impacted) {
+		t.Errorf("TopEvents(0) = %d, want all %d", len(all), len(report.Impacted))
+	}
+	one := report.TopEvents(1)
+	if len(one) != 1 {
+		t.Fatalf("TopEvents(1) = %v", one)
+	}
+	keys := report.TopKeys(1)
+	if len(keys) != 1 || keys[0] != one[0].Key {
+		t.Errorf("TopKeys mismatch: %v vs %v", keys, one)
+	}
+	over := report.TopEvents(1000)
+	if len(over) != len(report.Impacted) {
+		t.Errorf("TopEvents(1000) = %d", len(over))
+	}
+}
+
+func TestVariationAmplitudes(t *testing.T) {
+	tests := []struct {
+		name string
+		norm []float64
+		want []float64
+	}{
+		{"empty", nil, []float64{}},
+		{"single", []float64{1}, []float64{0}},
+		{"flat", []float64{1, 1, 1}, []float64{0, 0, 0}},
+		{"single step", []float64{1, 3, 3}, []float64{2, 0, 0}},
+		{"negative step", []float64{3, 1, 1}, []float64{-2, 0, 0}},
+		// Monotone run: amplitude of the run start spans the whole rise.
+		{"gradual rise", []float64{1, 2, 3, 4, 4}, []float64{3, 2, 1, 0, 0}},
+		{"rise then fall", []float64{1, 2, 3, 1}, []float64{2, 1, -2, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := VariationAmplitudes(tt.norm)
+			if len(got) != len(tt.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tt.want))
+			}
+			for i := range tt.want {
+				if math.Abs(got[i]-tt.want[i]) > 1e-12 {
+					t.Fatalf("V = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestIntermediateVectorsExposed(t *testing.T) {
+	a, _ := NewAnalyzer(DefaultConfig())
+	report, err := a.Analyze(corpus(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range report.Traces {
+		n := len(at.Events)
+		if len(at.Rank) != n || len(at.NormPower) != n || len(at.Amplitude) != n {
+			t.Errorf("trace %s: vector lengths %d/%d/%d for %d events",
+				at.TraceID, len(at.Rank), len(at.NormPower), len(at.Amplitude), n)
+		}
+		for i, r := range at.Rank {
+			if r < 1 {
+				t.Errorf("trace %s event %d rank %v < 1", at.TraceID, i, r)
+			}
+		}
+		for i, p := range at.NormPower {
+			if p <= 0 {
+				t.Errorf("trace %s event %d norm power %v <= 0", at.TraceID, i, p)
+			}
+		}
+	}
+}
+
+func TestNormalizationCentersAroundOne(t *testing.T) {
+	// In a normal trace most instances sit at their event's typical
+	// power, so normalized power must hover near 1 (paper: "instances
+	// that have relatively low normalized power (e.g., around 1...) are
+	// invoked during normal usage").
+	a, _ := NewAnalyzer(DefaultConfig())
+	report, err := a.Analyze(corpus(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range report.Traces {
+		for i, p := range at.NormPower {
+			if p < 0.8 || p > 1.4 {
+				t.Errorf("trace %s event %d (%s) norm power %v not near 1",
+					at.TraceID, i, at.Events[i].Instance.Key, p)
+			}
+		}
+	}
+}
+
+func TestDeviceScalingMakesTracesComparable(t *testing.T) {
+	// Same behaviour on two different phones: after Step-1 scaling the
+	// analysis must not flag either as an ABD.
+	var specs []spec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, spec{"LApp", "onClick", 2000, 0.3})
+	}
+	bundles := []*trace.TraceBundle{
+		buildBundle("t1", "u1", "nexus6", specs),
+		buildBundle("t2", "u2", "motog", specs),
+		buildBundle("t3", "u3", "galaxys5", specs),
+	}
+	a, _ := NewAnalyzer(DefaultConfig())
+	report, err := a.Analyze(bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImpactedTraces != 0 {
+		t.Errorf("device heterogeneity produced %d false positives", report.ImpactedTraces)
+	}
+	// And the scaled raw powers of the same event should be within a
+	// few percent across devices.
+	p1 := report.Traces[0].Events[3].PowerMW
+	p2 := report.Traces[1].Events[3].PowerMW
+	if math.Abs(p1-p2)/p1 > 0.25 {
+		t.Errorf("scaled powers diverge: %v vs %v", p1, p2)
+	}
+}
+
+func TestUnknownDeviceFails(t *testing.T) {
+	b := buildBundle("t", "u", "unknown-phone", []spec{{"L", "f", 1000, 0.5}})
+	a, _ := NewAnalyzer(DefaultConfig())
+	if _, err := a.Analyze([]*trace.TraceBundle{b}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestEmptyDeviceDefaultsToReference(t *testing.T) {
+	b := buildBundle("t", "u", "", []spec{
+		{"L", "f", 2000, 0.5}, {"L", "f", 2000, 0.5}, {"L", "f", 2000, 0.5},
+	})
+	a, _ := NewAnalyzer(DefaultConfig())
+	if _, err := a.Analyze([]*trace.TraceBundle{b}); err != nil {
+		t.Errorf("empty device rejected: %v", err)
+	}
+}
+
+func TestCodeReduction(t *testing.T) {
+	pkg := &apk.Package{
+		AppID: "test",
+		Classes: []apk.Class{
+			{Name: "LApp/Settings", Methods: []apk.Method{
+				{Name: "onResume", SourceLines: 100},
+			}},
+			{Name: "LApp", Methods: []apk.Method{
+				{Name: "onClick", SourceLines: 200},
+				{Name: "checkMail", SourceLines: 300},
+				{Name: "unrelated", SourceLines: 400},
+			}},
+		},
+	}
+	cfg := DefaultConfig()
+	cfg.DeveloperImpactPercent = 25
+	a, _ := NewAnalyzer(cfg)
+	report, err := a.Analyze(corpus(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := ComputeCodeReduction(report, pkg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.TotalLines != 1000 {
+		t.Errorf("total = %d", cr.TotalLines)
+	}
+	// All reported events: trigger (100) + onClick (200) + checkMail
+	// (300); the 400-line unrelated method is excluded, which is the
+	// entire point of the metric.
+	if cr.DiagnosisLines != 600 {
+		t.Errorf("diagnosis lines = %d, want 600", cr.DiagnosisLines)
+	}
+	if math.Abs(cr.Reduction-0.4) > 1e-12 {
+		t.Errorf("reduction = %v, want 0.4", cr.Reduction)
+	}
+	// Restricting to the single closest event must reduce further.
+	cr1, err := ComputeCodeReduction(report, pkg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr1.DiagnosisLines >= cr.DiagnosisLines {
+		t.Errorf("top-1 lines %d not below all-events %d", cr1.DiagnosisLines, cr.DiagnosisLines)
+	}
+}
+
+func TestCodeReductionErrors(t *testing.T) {
+	r := &Report{AppID: "x"}
+	if _, err := ComputeCodeReduction(r, nil, 0); err == nil {
+		t.Error("nil package accepted")
+	}
+	if _, err := ComputeCodeReduction(r, &apk.Package{AppID: "x"}, 0); err == nil {
+		t.Error("zero-line package accepted")
+	}
+}
+
+func TestReportText(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeveloperImpactPercent = 25
+	a, _ := NewAnalyzer(cfg)
+	report, err := a.Analyze(corpus(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := report.String()
+	if !strings.Contains(text, "Settings:onResume") {
+		t.Errorf("report lacks trigger event:\n%s", text)
+	}
+	if !strings.Contains(text, "manifestation point") {
+		t.Errorf("report lacks manifestation section:\n%s", text)
+	}
+}
+
+func TestEstimationNoiseDoesNotBreakDetection(t *testing.T) {
+	// With the paper's 2.5% model error the ABD must still be found and
+	// normal traces must still be clean.
+	cfg := DefaultConfig()
+	cfg.EstimationNoiseFrac = 0.025
+	cfg.NoiseSeed = 7
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := a.Analyze(corpus(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImpactedTraces < 2 {
+		t.Errorf("noise lost the ABD: impacted = %d", report.ImpactedTraces)
+	}
+	if report.ImpactedTraces > 3 {
+		t.Errorf("noise fabricated ABDs: impacted = %d of 8", report.ImpactedTraces)
+	}
+}
+
+func TestStepOneExposed(t *testing.T) {
+	a, _ := NewAnalyzer(DefaultConfig())
+	b := buildBundle("t", "u", "nexus6", []spec{
+		{"L", "f", 2000, 0.5}, {"L", "g", 2000, 0.3},
+	})
+	at, err := a.StepOne(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at.Events) != 2 {
+		t.Errorf("events = %d", len(at.Events))
+	}
+	if at.Events[0].PowerMW <= at.Events[1].PowerMW {
+		t.Errorf("higher-utilization event not higher power: %v vs %v",
+			at.Events[0].PowerMW, at.Events[1].PowerMW)
+	}
+}
+
+func TestNormalizeFallbackOnZeroBase(t *testing.T) {
+	a, _ := NewAnalyzer(DefaultConfig())
+	key := trace.EventKey{Class: "L", Callback: "f"}
+	at := &AnalyzedTrace{Events: []EventPower{
+		{Instance: trace.Instance{Key: key}, PowerMW: 42},
+	}}
+	// A zero/negative base (degenerate input) falls back to raw power
+	// instead of dividing by zero.
+	a.normalize(at, map[trace.EventKey]float64{key: 0})
+	if at.NormPower[0] != 42 {
+		t.Errorf("norm = %v, want raw fallback 42", at.NormPower[0])
+	}
+}
+
+func TestDetectTinyTrace(t *testing.T) {
+	a, _ := NewAnalyzer(DefaultConfig())
+	at := &AnalyzedTrace{NormPower: []float64{1}}
+	if err := a.detect(at); err != nil {
+		t.Fatal(err)
+	}
+	if len(at.Manifestations) != 0 {
+		t.Error("single-event trace produced manifestations")
+	}
+}
+
+func TestParallelAnalysisIdenticalToSerial(t *testing.T) {
+	bundles := corpus(6, 2)
+	serialCfg := DefaultConfig()
+	serialCfg.EstimationNoiseFrac = 0.025
+	serialCfg.NoiseSeed = 3
+	serial, err := NewAnalyzer(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := serialCfg
+	parCfg.Parallelism = 4
+	parallel, err := NewAnalyzer(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := serial.Analyze(bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.Analyze(bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ImpactedTraces != rp.ImpactedTraces || len(rs.Impacted) != len(rp.Impacted) {
+		t.Fatalf("parallel diverged: %d/%d vs %d/%d",
+			rs.ImpactedTraces, len(rs.Impacted), rp.ImpactedTraces, len(rp.Impacted))
+	}
+	for i := range rs.Impacted {
+		if rs.Impacted[i] != rp.Impacted[i] {
+			t.Fatalf("impact %d differs: %+v vs %+v", i, rs.Impacted[i], rp.Impacted[i])
+		}
+	}
+	for i := range rs.Traces {
+		if len(rs.Traces[i].Events) != len(rp.Traces[i].Events) {
+			t.Fatalf("trace %d event counts differ", i)
+		}
+		for j := range rs.Traces[i].Events {
+			if rs.Traces[i].Events[j].PowerMW != rp.Traces[i].Events[j].PowerMW {
+				t.Fatalf("trace %d event %d power differs", i, j)
+			}
+		}
+	}
+}
+
+func TestParallelAnalysisPropagatesErrors(t *testing.T) {
+	good := buildBundle("ok", "u", "nexus6", []spec{{"L", "f", 2000, 0.5}})
+	bad := buildBundle("bad", "u", "no-such-device", []spec{{"L", "f", 2000, 0.5}})
+	cfg := DefaultConfig()
+	cfg.Parallelism = 3
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Analyze([]*trace.TraceBundle{good, bad, good}); err == nil {
+		t.Error("parallel analysis swallowed a worker error")
+	}
+}
+
+func TestShortEventGetsNearestSamplePower(t *testing.T) {
+	// Events shorter than the 500 ms sampling period must still receive
+	// a power estimate (nearest-sample fallback).
+	b := buildBundle("t", "u", "nexus6", []spec{
+		{"L", "quick", 100, 0.5},
+		{"L", "quick", 100, 0.5},
+		{"L", "long", 3000, 0.5},
+	})
+	a, _ := NewAnalyzer(DefaultConfig())
+	report, err := a.Analyze([]*trace.TraceBundle{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Traces[0].Events) != 3 {
+		t.Errorf("events = %d, want 3 (short events dropped?)", len(report.Traces[0].Events))
+	}
+}

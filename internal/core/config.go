@@ -1,0 +1,112 @@
+// Package core implements the EnergyDx manifestation analysis: the 5-step
+// algorithm of paper §III that distinguishes the real ABD manifestation
+// point from power-transition points caused by normal usage, and reports
+// the events coinciding with the manifestation ordered by how closely
+// their impacted-trace percentage matches the developer-reported
+// impacted-user percentage.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Config holds the tunable parameters of the manifestation analysis. The
+// defaults are the paper's published choices.
+type Config struct {
+	// NormBasePercentile is the percentile of an event's power
+	// distribution used as its normalization base (Step 3). The paper
+	// uses the 10th percentile "to reduce the impact of power outliers".
+	NormBasePercentile float64
+
+	// FenceMultiplier is the IQR multiplier of the upper outer fence in
+	// Step 4's outlier detection. The paper uses Q3 + 3*IQR.
+	FenceMultiplier float64
+
+	// MinAmplitude is the minimum variation amplitude (in normalized
+	// power units) a fence outlier must reach to count as a
+	// manifestation point. The paper's premise is that the ABD moves
+	// power "from normal (low) to abnormal (high)"; requiring the rise
+	// to be at least half the event's typical power keeps degenerate
+	// IQR fences on near-flat traces from promoting measurement jitter.
+	MinAmplitude float64
+
+	// WindowEvents is the manifestation-window half-width in events:
+	// instances within WindowEvents positions of a detected point are
+	// reported (Step 5). The paper's worked example uses 2.
+	WindowEvents int
+
+	// SingleStepAmplitude disables the paper's monotone-run extension
+	// of the variation amplitude: with it set, V_i is always
+	// p_{i+1} - p_i. Used by the amplitude ablation; gradually
+	// manifesting ABDs (power climbing over several events) are found
+	// late or missed in this mode.
+	SingleStepAmplitude bool
+
+	// ReferenceDevice is the profile all power is scaled to before
+	// comparison (Step 1, power-model scaling [22]).
+	ReferenceDevice string
+
+	// DeveloperImpactPercent is the developer-estimated percentage of
+	// users impacted by the ABD (Step 5). Events whose impacted-trace
+	// percentage is closest to this value are reported first. When <= 0
+	// the report falls back to sorting by impact percentage descending.
+	DeveloperImpactPercent float64
+
+	// EstimationNoiseFrac, when positive, injects multiplicative Gaussian
+	// noise of this fractional standard deviation into Step 1's power
+	// estimates (the paper's model has <2.5% error). NoiseSeed drives it.
+	EstimationNoiseFrac float64
+	NoiseSeed           int64
+
+	// Devices resolves device profile names. Nil means the built-in
+	// registry.
+	Devices *device.Registry
+
+	// Parallelism is the number of worker goroutines for Step 1 (each
+	// trace's power estimation is independent). 0 or 1 means serial;
+	// values above the corpus size are clamped. Results are identical
+	// regardless of parallelism — only wall-clock time changes — except
+	// when estimation noise is enabled, whose RNG is inherently
+	// order-dependent, so noise forces serial Step 1.
+	Parallelism int
+}
+
+// DefaultConfig returns the paper's parameterization.
+func DefaultConfig() Config {
+	return Config{
+		NormBasePercentile:     10,
+		FenceMultiplier:        3,
+		MinAmplitude:           0.5,
+		WindowEvents:           2,
+		ReferenceDevice:        "nexus6",
+		DeveloperImpactPercent: 0,
+	}
+}
+
+// validate normalizes and checks the configuration.
+func (c *Config) validate() error {
+	if c.NormBasePercentile < 0 || c.NormBasePercentile > 100 {
+		return fmt.Errorf("core: normalization base percentile %v out of [0, 100]", c.NormBasePercentile)
+	}
+	if c.FenceMultiplier <= 0 {
+		return fmt.Errorf("core: fence multiplier %v must be positive", c.FenceMultiplier)
+	}
+	if c.MinAmplitude < 0 {
+		return fmt.Errorf("core: minimum amplitude %v must be non-negative", c.MinAmplitude)
+	}
+	if c.WindowEvents < 0 {
+		return fmt.Errorf("core: window size %d must be non-negative", c.WindowEvents)
+	}
+	if c.ReferenceDevice == "" {
+		c.ReferenceDevice = "nexus6"
+	}
+	if c.Devices == nil {
+		c.Devices = device.NewRegistry()
+	}
+	if _, err := c.Devices.Lookup(c.ReferenceDevice); err != nil {
+		return fmt.Errorf("core: reference device: %w", err)
+	}
+	return nil
+}

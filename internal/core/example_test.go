@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Example runs the 5-step analysis on a tiny hand-built corpus: three
+// traces behave normally, the fourth transitions to sustained high power
+// after a settings event.
+func Example() {
+	normal := func(id, user string) *trace.TraceBundle {
+		return buildBundle(id, user, []occurrence{
+			{"LApp/Main", "onResume", 0.2}, {"LApp/Main", "onClick", 0.2},
+			{"LApp/Main", "onClick", 0.2}, {"LApp/Main", "onPause", 0.2},
+			{"LApp/Main", "onResume", 0.2}, {"LApp/Main", "onClick", 0.2},
+			{"LApp/Main", "onClick", 0.2}, {"LApp/Main", "onPause", 0.2},
+		})
+	}
+	impacted := buildBundle("t4", "user-d", []occurrence{
+		{"LApp/Main", "onResume", 0.2}, {"LApp/Main", "onClick", 0.2},
+		{"LApp/Settings", "onResume", 0.2}, // the trigger
+		{"LApp/Main", "onClick", 0.9},      // drain active from here on
+		{"LApp/Main", "onPause", 0.9},
+		{"LApp/Main", "onResume", 0.9}, {"LApp/Main", "onClick", 0.9},
+		{"LApp/Main", "onPause", 0.9},
+	})
+
+	analyzer, err := core.NewAnalyzer(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := analyzer.Analyze([]*trace.TraceBundle{
+		normal("t1", "user-a"), normal("t2", "user-b"), normal("t3", "user-c"), impacted,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traces with manifestation points: %d of %d\n",
+		report.ImpactedTraces, report.TotalTraces)
+	for _, im := range report.Impacted {
+		if im.Key.Class == "LApp/Settings" {
+			fmt.Printf("trigger reported: %s (%.0f%% of traces)\n",
+				trace.ShortKey(im.Key), im.Percent)
+		}
+	}
+	// Output:
+	// traces with manifestation points: 1 of 4
+	// trigger reported: Settings:onResume (25% of traces)
+}
+
+// occurrence is one 2-second event with a CPU level.
+type occurrence struct {
+	cls, cb  string
+	cpuLevel float64
+}
+
+// buildBundle lays occurrences back to back with 500 ms utilization
+// samples following whichever event is active.
+func buildBundle(id, user string, occs []occurrence) *trace.TraceBundle {
+	const durMS = 2000
+	b := &trace.TraceBundle{
+		Event: trace.EventTrace{AppID: "exampleapp", UserID: user, TraceID: id},
+		Util:  trace.UtilizationTrace{AppID: "exampleapp", PeriodMS: 500},
+	}
+	t := int64(0)
+	levels := make([]float64, 0, len(occs))
+	for _, o := range occs {
+		key := trace.EventKey{Class: o.cls, Callback: o.cb}
+		b.Event.Records = append(b.Event.Records,
+			trace.Record{TimestampMS: t, Dir: trace.Enter, Key: key},
+			trace.Record{TimestampMS: t + durMS, Dir: trace.Exit, Key: key},
+		)
+		levels = append(levels, o.cpuLevel)
+		t += durMS
+	}
+	for ts := int64(0); ts <= t; ts += 500 {
+		var u trace.UtilizationVector
+		idx := int(ts / durMS)
+		if idx < len(levels) {
+			u.Set(trace.CPU, levels[idx])
+		}
+		b.Util.Samples = append(b.Util.Samples, trace.UtilizationSample{TimestampMS: ts, Util: u})
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the Step-4 amplitude metric.
+
+func cleanSeries(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		// Normalized power is positive and bounded in practice.
+		out = append(out, math.Abs(math.Mod(x, 100))+0.1)
+	}
+	return out
+}
+
+func TestAmplitudeLengthProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		norm := cleanSeries(raw)
+		v := VariationAmplitudes(norm)
+		s := SingleStepAmplitudes(norm)
+		if len(v) != len(norm) || len(s) != len(norm) {
+			return false
+		}
+		if len(norm) > 0 && (v[len(v)-1] != 0 || s[len(s)-1] != 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The monotone-run amplitude never reports less than the single step at
+// the start of a strictly increasing run, and equals the single step
+// everywhere the series is not increasing.
+func TestAmplitudeDominanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		norm := make([]float64, n)
+		for i := range norm {
+			norm[i] = 0.5 + rng.Float64()*10
+		}
+		v := VariationAmplitudes(norm)
+		s := SingleStepAmplitudes(norm)
+		for i := 0; i+1 < n; i++ {
+			if s[i] > 0 && v[i] < s[i]-1e-12 {
+				t.Fatalf("trial %d idx %d: run amplitude %v below single step %v (series %v)",
+					trial, i, v[i], s[i], norm)
+			}
+			if s[i] <= 0 && v[i] != s[i] {
+				t.Fatalf("trial %d idx %d: non-increasing step rewritten: %v vs %v",
+					trial, i, v[i], s[i])
+			}
+		}
+	}
+}
+
+// A flat series (within the run epsilon) produces zero manifestations
+// regardless of configuration.
+func TestFlatSeriesNeverManifests(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, err := NewAnalyzer(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(40)
+		at := &AnalyzedTrace{NormPower: make([]float64, n)}
+		base := 0.9 + rng.Float64()*0.2
+		for i := range at.NormPower {
+			at.NormPower[i] = base * (1 + (rng.Float64()-0.5)*0.004)
+		}
+		if err := a.detect(at); err != nil {
+			t.Fatal(err)
+		}
+		if len(at.Manifestations) != 0 {
+			t.Fatalf("trial %d: flat series flagged: %v", trial, at.NormPower)
+		}
+	}
+}
+
+// A single large sustained jump is always detected with the defaults.
+func TestSustainedJumpAlwaysManifests(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a, err := NewAnalyzer(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 10 + rng.Intn(30)
+		jumpAt := 2 + rng.Intn(n-4)
+		at := &AnalyzedTrace{NormPower: make([]float64, n)}
+		for i := range at.NormPower {
+			if i < jumpAt {
+				at.NormPower[i] = 1 + (rng.Float64()-0.5)*0.02
+			} else {
+				at.NormPower[i] = 8 + (rng.Float64()-0.5)*0.02
+			}
+		}
+		if err := a.detect(at); err != nil {
+			t.Fatal(err)
+		}
+		if len(at.Manifestations) == 0 {
+			t.Fatalf("trial %d: jump at %d missed: %v", trial, jumpAt, at.NormPower)
+		}
+		// The detected point is the last event before the jump.
+		found := false
+		for _, m := range at.Manifestations {
+			if m == jumpAt-1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: jump at %d detected at %v", trial, jumpAt, at.Manifestations)
+		}
+	}
+}

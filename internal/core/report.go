@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+// CodeReduction is the paper's evaluation metric (§IV-B):
+// (N_All - N_Diagnosis) / N_All, where N_Diagnosis is the lines of code
+// behind the reported events and N_All is the app's total lines.
+type CodeReduction struct {
+	AppID          string  `json:"appId"`
+	TotalLines     int     `json:"totalLines"`
+	DiagnosisLines int     `json:"diagnosisLines"`
+	Reduction      float64 `json:"reduction"` // in [0, 1]
+}
+
+// ComputeCodeReduction evaluates the metric for the top-n reported events
+// against the app's APK model. n <= 0 uses every reported event.
+func ComputeCodeReduction(r *Report, pkg *apk.Package, n int) (CodeReduction, error) {
+	if pkg == nil {
+		return CodeReduction{}, fmt.Errorf("core: nil package")
+	}
+	total := pkg.TotalSourceLines()
+	if total == 0 {
+		return CodeReduction{}, fmt.Errorf("core: package %q has no source lines", pkg.AppID)
+	}
+	diag := pkg.LinesFor(r.TopKeys(n))
+	if diag > total {
+		diag = total
+	}
+	return CodeReduction{
+		AppID:          r.AppID,
+		TotalLines:     total,
+		DiagnosisLines: diag,
+		Reduction:      float64(total-diag) / float64(total),
+	}, nil
+}
+
+// WriteText renders the report for developers: the manifestation points
+// per trace and the ranked event table, in the shape of the paper's
+// Tables II/IV/V/VI.
+func (r *Report) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EnergyDx diagnosis report for %s\n", r.AppID)
+	fmt.Fprintf(&sb, "traces analyzed: %d, traces with manifestation points: %d\n",
+		r.TotalTraces, r.ImpactedTraces)
+	for _, at := range r.Traces {
+		if len(at.Manifestations) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\ntrace %s (user %s, device %s): %d manifestation point(s)\n",
+			at.TraceID, at.UserID, at.Device, len(at.Manifestations))
+		for _, m := range at.Manifestations {
+			ep := at.Events[m]
+			fmt.Fprintf(&sb, "  @event %d  %-40s  norm=%.2f  amplitude=%.2f (fence %.2f)\n",
+				m, trace.ShortKey(ep.Instance.Key), at.NormPower[m], at.Amplitude[m], at.Fence)
+		}
+	}
+	fmt.Fprintf(&sb, "\n%-4s %-44s %8s %8s\n", "rank", "event", "traces", "percent")
+	for i, im := range r.Impacted {
+		fmt.Fprintf(&sb, "%-4d %-44s %8d %7.1f%%\n", i+1, trace.ShortKey(im.Key), im.Traces, im.Percent)
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	return nil
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var sb strings.Builder
+	_ = r.WriteText(&sb) // strings.Builder never errors
+	return sb.String()
+}

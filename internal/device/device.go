@@ -1,0 +1,197 @@
+// Package device models smartphone hardware for the EnergyDx power
+// estimation path: per-component power coefficients in the style of the
+// utilization-based power model of Zhang et al. [20] ("Accurate online
+// power estimation..."), plus the cross-device power-model scaling of
+// Mittal et al. [22] that Step 1 of the paper applies so traces collected
+// on heterogeneous volunteer phones become comparable.
+//
+// The coefficient values are representative of published smartphone power
+// models (hundreds of mW for a saturated CPU, ~400 mW for a GPS fix,
+// display power dominated by brightness); absolute accuracy does not
+// matter for the reproduction because the manifestation analysis consumes
+// *normalized* power.
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Profile describes one phone model's power characteristics.
+type Profile struct {
+	// Name identifies the profile (e.g. "nexus6").
+	Name string
+	// BaseMW is the idle (suspended-screen-off) floor power of the whole
+	// phone attributed to the app while it runs, in milliwatts.
+	BaseMW float64
+	// CoeffMW maps full (100%) utilization of each component to its power
+	// draw in milliwatts. Power is linear in utilization, per [20].
+	CoeffMW [trace.NumComponents]float64
+}
+
+// Coeff returns the full-utilization power of component c in mW.
+func (p *Profile) Coeff(c trace.Component) float64 {
+	i := int(c) - 1
+	if i < 0 || i >= trace.NumComponents {
+		return 0
+	}
+	return p.CoeffMW[i]
+}
+
+// setCoeff is a construction helper.
+func (p *Profile) setCoeff(c trace.Component, mw float64) {
+	i := int(c) - 1
+	if i >= 0 && i < trace.NumComponents {
+		p.CoeffMW[i] = mw
+	}
+}
+
+// newProfile builds a profile from per-component coefficients.
+func newProfile(name string, baseMW float64, coeffs map[trace.Component]float64) Profile {
+	p := Profile{Name: name, BaseMW: baseMW}
+	for c, mw := range coeffs {
+		p.setCoeff(c, mw)
+	}
+	return p
+}
+
+// Nexus6 is the reference device: the paper measures EnergyDx overhead on
+// a Nexus 6 with a Monsoon power monitor (§IV-F), so all scaled power is
+// expressed in Nexus 6 terms.
+func Nexus6() Profile {
+	return newProfile("nexus6", 25, map[trace.Component]float64{
+		trace.CPU:      900,
+		trace.Display:  1100,
+		trace.WiFi:     700,
+		trace.Cellular: 850,
+		trace.GPS:      420,
+		trace.Audio:    180,
+		trace.Sensor:   60,
+	})
+}
+
+// Nexus5 models a slightly less power-hungry device.
+func Nexus5() Profile {
+	return newProfile("nexus5", 20, map[trace.Component]float64{
+		trace.CPU:      750,
+		trace.Display:  950,
+		trace.WiFi:     620,
+		trace.Cellular: 780,
+		trace.GPS:      380,
+		trace.Audio:    150,
+		trace.Sensor:   55,
+	})
+}
+
+// GalaxyS5 models a contemporary Samsung flagship.
+func GalaxyS5() Profile {
+	return newProfile("galaxys5", 30, map[trace.Component]float64{
+		trace.CPU:      980,
+		trace.Display:  1250,
+		trace.WiFi:     730,
+		trace.Cellular: 900,
+		trace.GPS:      450,
+		trace.Audio:    200,
+		trace.Sensor:   70,
+	})
+}
+
+// MotoG models a budget device with a small display and modest SoC.
+func MotoG() Profile {
+	return newProfile("motog", 15, map[trace.Component]float64{
+		trace.CPU:      520,
+		trace.Display:  700,
+		trace.WiFi:     540,
+		trace.Cellular: 650,
+		trace.GPS:      330,
+		trace.Audio:    120,
+		trace.Sensor:   45,
+	})
+}
+
+// XperiaZ3 models a Sony flagship with an efficient SoC.
+func XperiaZ3() Profile {
+	return newProfile("xperiaz3", 22, map[trace.Component]float64{
+		trace.CPU:      800,
+		trace.Display:  1050,
+		trace.WiFi:     660,
+		trace.Cellular: 820,
+		trace.GPS:      400,
+		trace.Audio:    170,
+		trace.Sensor:   58,
+	})
+}
+
+// LGG3 models an LG flagship with a QHD display (high display power).
+func LGG3() Profile {
+	return newProfile("lgg3", 28, map[trace.Component]float64{
+		trace.CPU:      870,
+		trace.Display:  1400,
+		trace.WiFi:     690,
+		trace.Cellular: 860,
+		trace.GPS:      430,
+		trace.Audio:    175,
+		trace.Sensor:   62,
+	})
+}
+
+// Registry resolves profile names to profiles. The zero value is unusable;
+// construct with NewRegistry.
+type Registry struct {
+	profiles map[string]Profile
+}
+
+// NewRegistry returns a registry pre-populated with the built-in fleet of
+// device profiles.
+func NewRegistry() *Registry {
+	r := &Registry{profiles: make(map[string]Profile, 8)}
+	for _, p := range []Profile{Nexus6(), Nexus5(), GalaxyS5(), MotoG(), XperiaZ3(), LGG3()} {
+		r.profiles[p.Name] = p
+	}
+	return r
+}
+
+// Register adds or replaces a profile.
+func (r *Registry) Register(p Profile) {
+	r.profiles[p.Name] = p
+}
+
+// Lookup returns the named profile.
+func (r *Registry) Lookup(name string) (Profile, error) {
+	p, ok := r.profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("device: unknown profile %q", name)
+	}
+	return p, nil
+}
+
+// Names lists registered profile names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.profiles))
+	for n := range r.profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScaleFactor returns the multiplicative factor that converts power
+// measured on `from` into the reference device `to`'s terms, following
+// the whole-model scaling approach of [22]: the ratio of the devices'
+// total dynamic-range power (sum of component coefficients plus base).
+// Scaling whole-app power by a single factor preserves the *shape* of the
+// power trace, which is all the normalization-based analysis needs.
+func ScaleFactor(from, to *Profile) float64 {
+	fromTotal := from.BaseMW
+	toTotal := to.BaseMW
+	for i := 0; i < trace.NumComponents; i++ {
+		fromTotal += from.CoeffMW[i]
+		toTotal += to.CoeffMW[i]
+	}
+	if fromTotal == 0 {
+		return 1
+	}
+	return toTotal / fromTotal
+}

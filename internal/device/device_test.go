@@ -1,0 +1,106 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestBuiltinProfilesHavePositiveCoefficients(t *testing.T) {
+	for _, p := range []Profile{Nexus6(), Nexus5(), GalaxyS5(), MotoG(), XperiaZ3(), LGG3()} {
+		if p.Name == "" {
+			t.Error("profile with empty name")
+		}
+		if p.BaseMW <= 0 {
+			t.Errorf("%s: base power %v <= 0", p.Name, p.BaseMW)
+		}
+		for _, c := range trace.Components() {
+			if p.Coeff(c) <= 0 {
+				t.Errorf("%s: coefficient for %v is %v", p.Name, c, p.Coeff(c))
+			}
+		}
+	}
+}
+
+func TestCoeffUnknownComponent(t *testing.T) {
+	p := Nexus6()
+	if p.Coeff(trace.Component(0)) != 0 || p.Coeff(trace.Component(99)) != 0 {
+		t.Error("unknown component should have 0 coefficient")
+	}
+}
+
+func TestDisplayDominatesSensor(t *testing.T) {
+	// Sanity ordering every published smartphone power model satisfies.
+	for _, p := range []Profile{Nexus6(), Nexus5(), GalaxyS5(), MotoG(), XperiaZ3(), LGG3()} {
+		if p.Coeff(trace.Display) <= p.Coeff(trace.Sensor) {
+			t.Errorf("%s: display (%v) should exceed sensor (%v)",
+				p.Name, p.Coeff(trace.Display), p.Coeff(trace.Sensor))
+		}
+		if p.Coeff(trace.CPU) <= p.Coeff(trace.GPS) {
+			t.Errorf("%s: saturated CPU (%v) should exceed GPS (%v)",
+				p.Name, p.Coeff(trace.CPU), p.Coeff(trace.GPS))
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry()
+	p, err := r.Lookup("nexus6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "nexus6" {
+		t.Errorf("got %q", p.Name)
+	}
+	if _, err := r.Lookup("iphone"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestRegistryRegisterAndNames(t *testing.T) {
+	r := NewRegistry()
+	custom := Profile{Name: "custom", BaseMW: 10}
+	r.Register(custom)
+	got, err := r.Lookup("custom")
+	if err != nil || got.BaseMW != 10 {
+		t.Errorf("Lookup(custom) = %+v, %v", got, err)
+	}
+	names := r.Names()
+	if len(names) != 7 {
+		t.Fatalf("got %d names, want 7: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestScaleFactorIdentity(t *testing.T) {
+	n6 := Nexus6()
+	if f := ScaleFactor(&n6, &n6); f != 1 {
+		t.Errorf("self scale = %v, want 1", f)
+	}
+}
+
+func TestScaleFactorSymmetry(t *testing.T) {
+	n6, mg := Nexus6(), MotoG()
+	up := ScaleFactor(&mg, &n6)
+	down := ScaleFactor(&n6, &mg)
+	if math.Abs(up*down-1) > 1e-12 {
+		t.Errorf("scale factors not reciprocal: %v * %v = %v", up, down, up*down)
+	}
+	// A budget phone's power scaled into Nexus-6 terms must grow.
+	if up <= 1 {
+		t.Errorf("MotoG->Nexus6 factor = %v, want > 1", up)
+	}
+}
+
+func TestScaleFactorZeroGuard(t *testing.T) {
+	var zero Profile
+	n6 := Nexus6()
+	if f := ScaleFactor(&zero, &n6); f != 1 {
+		t.Errorf("zero-total profile scale = %v, want fallback 1", f)
+	}
+}

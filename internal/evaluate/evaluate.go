@@ -1,0 +1,183 @@
+// Package evaluate scores an EnergyDx diagnosis against the workload
+// simulator's ground truth and tunes analysis parameters on labelled
+// training corpora.
+//
+// The paper leaves two calibration knobs open: "the selection of power
+// value at the 10th percentile gives us good experimental results, but
+// this value can be adjusted for different training sets" (Step 3), and
+// the fence parameters "are decided through experiments" (Step 4). The
+// simulator knows exactly which users triggered the ABD, so this
+// package implements that training loop: classify traces by whether a
+// manifestation point was detected, score precision/recall against the
+// ground truth, and grid-search the knobs.
+package evaluate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Quality is the trace-classification quality of one diagnosis run:
+// a true positive is an impacted trace with at least one detected
+// manifestation point.
+type Quality struct {
+	TruePositives  int     `json:"truePositives"`
+	FalsePositives int     `json:"falsePositives"`
+	FalseNegatives int     `json:"falseNegatives"`
+	TrueNegatives  int     `json:"trueNegatives"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	F1             float64 `json:"f1"`
+}
+
+// Score classifies each analyzed trace (manifestation detected or not)
+// against the ground-truth set of impacted user IDs.
+func Score(report *core.Report, impactedUsers map[string]bool) Quality {
+	var q Quality
+	for _, at := range report.Traces {
+		detected := len(at.Manifestations) > 0
+		impacted := impactedUsers[at.UserID]
+		switch {
+		case detected && impacted:
+			q.TruePositives++
+		case detected && !impacted:
+			q.FalsePositives++
+		case !detected && impacted:
+			q.FalseNegatives++
+		default:
+			q.TrueNegatives++
+		}
+	}
+	if q.TruePositives+q.FalsePositives > 0 {
+		q.Precision = float64(q.TruePositives) / float64(q.TruePositives+q.FalsePositives)
+	}
+	if q.TruePositives+q.FalseNegatives > 0 {
+		q.Recall = float64(q.TruePositives) / float64(q.TruePositives+q.FalseNegatives)
+	}
+	if q.Precision+q.Recall > 0 {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
+// TrainingSet is one labelled corpus.
+type TrainingSet struct {
+	Bundles       []*trace.TraceBundle
+	ImpactedUsers map[string]bool
+}
+
+// Candidate is one parameterization with its aggregate score.
+type Candidate struct {
+	NormBasePercentile float64 `json:"normBasePercentile"`
+	FenceMultiplier    float64 `json:"fenceMultiplier"`
+	MinAmplitude       float64 `json:"minAmplitude"`
+	MeanF1             float64 `json:"meanF1"`
+}
+
+// TuneOptions bounds the grid search.
+type TuneOptions struct {
+	// NormBasePercentiles to try (default 5, 10, 25, 50).
+	NormBasePercentiles []float64
+	// FenceMultipliers to try (default 1.5, 3, 4.5).
+	FenceMultipliers []float64
+	// MinAmplitudes to try (default just the base config's value).
+	MinAmplitudes []float64
+	// Base is the configuration every candidate starts from (default
+	// core.DefaultConfig).
+	Base *core.Config
+}
+
+func (o *TuneOptions) defaults() {
+	if len(o.NormBasePercentiles) == 0 {
+		o.NormBasePercentiles = []float64{5, 10, 25, 50}
+	}
+	if len(o.FenceMultipliers) == 0 {
+		o.FenceMultipliers = []float64{1.5, 3, 4.5}
+	}
+	if o.Base == nil {
+		cfg := core.DefaultConfig()
+		o.Base = &cfg
+	}
+	if len(o.MinAmplitudes) == 0 {
+		o.MinAmplitudes = []float64{o.Base.MinAmplitude}
+	}
+}
+
+// Tune grid-searches the Step-3 base percentile and Step-4 fence
+// multiplier over labelled training corpora and returns every candidate
+// sorted by mean F1 (best first). The best candidate is first.
+func Tune(sets []TrainingSet, opts TuneOptions) ([]Candidate, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("evaluate: no training sets")
+	}
+	opts.defaults()
+	var out []Candidate
+	for _, pct := range opts.NormBasePercentiles {
+		for _, k := range opts.FenceMultipliers {
+			for _, amp := range opts.MinAmplitudes {
+				cfg := *opts.Base
+				cfg.NormBasePercentile = pct
+				cfg.FenceMultiplier = k
+				cfg.MinAmplitude = amp
+				analyzer, err := core.NewAnalyzer(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("evaluate: candidate p%.0f k%.1f a%.2f: %w", pct, k, amp, err)
+				}
+				var sum float64
+				for i, set := range sets {
+					report, err := analyzer.Analyze(set.Bundles)
+					if err != nil {
+						return nil, fmt.Errorf("evaluate: candidate p%.0f k%.1f a%.2f set %d: %w", pct, k, amp, i, err)
+					}
+					sum += Score(report, set.ImpactedUsers).F1
+				}
+				out = append(out, Candidate{
+					NormBasePercentile: pct,
+					FenceMultiplier:    k,
+					MinAmplitude:       amp,
+					MeanF1:             sum / float64(len(sets)),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].MeanF1 != out[b].MeanF1 {
+			return out[a].MeanF1 > out[b].MeanF1
+		}
+		// Prefer the paper's defaults on ties, then stable order.
+		da := tieBreak(out[a])
+		db := tieBreak(out[b])
+		if da != db {
+			return da < db
+		}
+		if out[a].NormBasePercentile != out[b].NormBasePercentile {
+			return out[a].NormBasePercentile < out[b].NormBasePercentile
+		}
+		if out[a].FenceMultiplier != out[b].FenceMultiplier {
+			return out[a].FenceMultiplier < out[b].FenceMultiplier
+		}
+		return out[a].MinAmplitude < out[b].MinAmplitude
+	})
+	return out, nil
+}
+
+// tieBreak measures distance from the published/default operating point
+// (p10, 3xIQR, amplitude floor 0.5).
+func tieBreak(c Candidate) float64 {
+	d := c.NormBasePercentile - 10
+	if d < 0 {
+		d = -d
+	}
+	k := c.FenceMultiplier - 3
+	if k < 0 {
+		k = -k
+	}
+	a := c.MinAmplitude - 0.5
+	if a < 0 {
+		a = -a
+	}
+	return d + 10*k + 10*a
+}

@@ -1,0 +1,136 @@
+package evaluate
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func labelledCorpus(t *testing.T, appID string, seed int64) TrainingSet {
+	t.Helper()
+	app, err := apps.ByAppID(appID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(app, seed)
+	cfg.Users = 12
+	cfg.ImpactedFraction = 0.25
+	res, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TrainingSet{Bundles: res.Bundles, ImpactedUsers: res.ImpactedUsers}
+}
+
+func TestScoreArithmetic(t *testing.T) {
+	report := &core.Report{Traces: []*core.AnalyzedTrace{
+		{UserID: "a", Manifestations: []int{1}}, // TP
+		{UserID: "b", Manifestations: []int{2}}, // FP
+		{UserID: "c"},                           // FN
+		{UserID: "d"},                           // TN
+	}}
+	q := Score(report, map[string]bool{"a": true, "c": true})
+	if q.TruePositives != 1 || q.FalsePositives != 1 || q.FalseNegatives != 1 || q.TrueNegatives != 1 {
+		t.Fatalf("confusion = %+v", q)
+	}
+	if q.Precision != 0.5 || q.Recall != 0.5 || q.F1 != 0.5 {
+		t.Errorf("metrics = %+v", q)
+	}
+}
+
+func TestScoreDegenerate(t *testing.T) {
+	// No detections at all: precision undefined -> 0, recall 0, F1 0.
+	report := &core.Report{Traces: []*core.AnalyzedTrace{{UserID: "a"}}}
+	q := Score(report, map[string]bool{"a": true})
+	if q.Precision != 0 || q.Recall != 0 || q.F1 != 0 {
+		t.Errorf("degenerate metrics = %+v", q)
+	}
+}
+
+func TestScoreOnRealDiagnosis(t *testing.T) {
+	set := labelledCorpus(t, "opengps", 5)
+	analyzer, err := core.NewAnalyzer(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := analyzer.Analyze(set.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Score(report, set.ImpactedUsers)
+	// The defaults should classify this strong GPS leak near-perfectly.
+	if q.F1 < 0.8 {
+		t.Errorf("F1 = %.2f (%+v)", q.F1, q)
+	}
+}
+
+func TestTuneRanksPaperDefaultsHighly(t *testing.T) {
+	sets := []TrainingSet{
+		labelledCorpus(t, "opengps", 5),
+		labelledCorpus(t, "tinfoil", 6),
+	}
+	candidates, err := Tune(sets, TuneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(candidates) != 12 { // 4 percentiles x 3 fences
+		t.Fatalf("candidates = %d", len(candidates))
+	}
+	best := candidates[0]
+	if best.MeanF1 < 0.8 {
+		t.Errorf("best candidate F1 = %.2f: tuning found nothing usable", best.MeanF1)
+	}
+	// Sorted descending by F1.
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i].MeanF1 > candidates[i-1].MeanF1 {
+			t.Errorf("candidates not sorted at %d", i)
+		}
+	}
+	// The paper's published operating point must be competitive: within
+	// the top half of the grid.
+	for i, c := range candidates {
+		if c.NormBasePercentile == 10 && c.FenceMultiplier == 3 {
+			if i >= len(candidates)/2 {
+				t.Errorf("paper defaults ranked %d of %d (F1 %.2f)", i+1, len(candidates), c.MeanF1)
+			}
+			return
+		}
+	}
+	t.Error("paper defaults missing from the grid")
+}
+
+func TestTuneValidation(t *testing.T) {
+	if _, err := Tune(nil, TuneOptions{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	set := labelledCorpus(t, "tinfoil", 7)
+	bad := TuneOptions{NormBasePercentiles: []float64{200}}
+	if _, err := Tune([]TrainingSet{set}, bad); err == nil {
+		t.Error("invalid percentile candidate accepted")
+	}
+}
+
+func TestSingleStepAmplitudeAblation(t *testing.T) {
+	// A gradually manifesting drain: the monotone-run amplitude must
+	// produce a larger peak amplitude than the single-step variant.
+	norm := []float64{1, 1, 1.5, 2.2, 3.1, 4.4, 4.4, 4.4}
+	run := core.VariationAmplitudes(norm)
+	single := core.SingleStepAmplitudes(norm)
+	maxRun, maxSingle := 0.0, 0.0
+	for i := range norm {
+		if run[i] > maxRun {
+			maxRun = run[i]
+		}
+		if single[i] > maxSingle {
+			maxSingle = single[i]
+		}
+	}
+	if maxRun <= maxSingle {
+		t.Errorf("monotone-run max %.2f <= single-step max %.2f", maxRun, maxSingle)
+	}
+	if diff := maxRun - 3.4; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("run amplitude = %v, want full rise 3.4", maxRun)
+	}
+}

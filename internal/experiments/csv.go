@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVExporter is implemented by results whose underlying data series are
+// worth re-plotting. CSVFiles returns one table per output file name
+// (without directory), header row first.
+type CSVExporter interface {
+	CSVFiles() map[string][][]string
+}
+
+// WriteCSV renders one table to w.
+func WriteCSV(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return fmt.Errorf("experiments: write csv: %w", err)
+	}
+	return nil
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// CSVFiles exports the event-distance distribution (Fig 1).
+func (r *Fig1Result) CSVFiles() map[string][][]string {
+	dist := [][]string{{"app", "median_event_distance"}}
+	for _, id := range sortedKeys(r.Distances) {
+		dist = append(dist, []string{id, ftoa(r.Distances[id])})
+	}
+	cdf := [][]string{{"distance", "fraction_of_apps"}}
+	for _, p := range r.CDF {
+		cdf = append(cdf, []string{ftoa(p.Value), ftoa(p.Fraction)})
+	}
+	return map[string][][]string{
+		"fig1_distances.csv": dist,
+		"fig1_cdf.csv":       cdf,
+	}
+}
+
+// CSVFiles exports the K-9 power series (Fig 3).
+func (r *Fig3Result) CSVFiles() map[string][][]string {
+	rows := [][]string{{"sample", "power_mw"}}
+	for i, p := range r.Series {
+		rows = append(rows, []string{itoa(i), ftoa(p)})
+	}
+	return map[string][][]string{"fig3_power_trace.csv": rows}
+}
+
+// CSVFiles exports the 40-app code-reduction table (Table III).
+func (r *Table3Result) CSVFiles() map[string][][]string {
+	rows := [][]string{{"id", "app", "root_cause", "diagnosis_lines", "total_lines",
+		"measured_reduction_pct", "paper_reduction_pct"}}
+	for _, a := range r.Apps {
+		rows = append(rows, []string{
+			itoa(a.ID), a.AppID, a.Cause, itoa(a.Lines), itoa(a.Total),
+			ftoa(a.Measured), ftoa(a.PaperPct),
+		})
+	}
+	return map[string][][]string{"table3_code_reduction.csv": rows}
+}
+
+// CSVFiles exports the EnergyDx-vs-CheckAll comparison (Fig 16).
+func (r *Fig16Result) CSVFiles() map[string][][]string {
+	rows := [][]string{{"id", "app", "energydx_lines", "checkall_lines"}}
+	for _, row := range r.PerApp {
+		rows = append(rows, []string{
+			itoa(row.ID), row.AppID, itoa(row.DxLines), itoa(row.CheckLines),
+		})
+	}
+	return map[string][][]string{"fig16_vs_checkall.csv": rows}
+}
+
+// CSVFiles exports the before/after-fix power comparison (Fig 17).
+func (r *Fig17Result) CSVFiles() map[string][][]string {
+	rows := [][]string{{"id", "app", "buggy_mw", "fixed_mw", "drop_pct"}}
+	for _, row := range r.PerApp {
+		rows = append(rows, []string{
+			itoa(row.ID), row.AppID, ftoa(row.BuggyMW), ftoa(row.FixedMW), ftoa(row.DropPct),
+		})
+	}
+	return map[string][][]string{"fig17_power_fix.csv": rows}
+}
+
+// CSVFiles exports the parameter-training grid.
+func (r *TuneResult) CSVFiles() map[string][][]string {
+	rows := [][]string{{"norm_base_percentile", "fence_multiplier", "min_amplitude", "mean_f1"}}
+	for _, c := range r.Candidates {
+		rows = append(rows, []string{
+			ftoa(c.NormBasePercentile), ftoa(c.FenceMultiplier), ftoa(c.MinAmplitude), ftoa(c.MeanF1),
+		})
+	}
+	return map[string][][]string{"tune_grid.csv": rows}
+}
+
+// Compile-time checks: the plottable results export CSV.
+var (
+	_ CSVExporter = (*Fig1Result)(nil)
+	_ CSVExporter = (*Fig3Result)(nil)
+	_ CSVExporter = (*Table3Result)(nil)
+	_ CSVExporter = (*Fig16Result)(nil)
+	_ CSVExporter = (*Fig17Result)(nil)
+	_ CSVExporter = (*TuneResult)(nil)
+)

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/evaluate"
+	"repro/internal/stats"
+)
+
+func TestCSVExports(t *testing.T) {
+	fig1 := &Fig1Result{
+		Distances: map[string]float64{"k9mail": 1, "tinfoil": 2},
+		CDF:       []stats.CDFPoint{{Value: 1, Fraction: 0.5}, {Value: 2, Fraction: 1}},
+	}
+	files := fig1.CSVFiles()
+	if len(files) != 2 {
+		t.Fatalf("fig1 files = %d", len(files))
+	}
+	cdf := files["fig1_cdf.csv"]
+	if len(cdf) != 3 || cdf[0][0] != "distance" || cdf[2][1] != "1" {
+		t.Errorf("fig1 cdf rows = %v", cdf)
+	}
+
+	fig3 := &Fig3Result{Series: []float64{100, 200.5}}
+	rows := fig3.CSVFiles()["fig3_power_trace.csv"]
+	if len(rows) != 3 || rows[2][1] != "200.5" {
+		t.Errorf("fig3 rows = %v", rows)
+	}
+
+	t3 := &Table3Result{Apps: []AppReduction{
+		{ID: 1, AppID: "a", Cause: "loop", Lines: 10, Total: 100, Measured: 90, PaperPct: 93},
+	}}
+	rows = t3.CSVFiles()["table3_code_reduction.csv"]
+	if len(rows) != 2 || rows[1][2] != "loop" || rows[1][5] != "90" {
+		t.Errorf("table3 rows = %v", rows)
+	}
+
+	f16 := &Fig16Result{PerApp: []Fig16Row{{ID: 1, AppID: "a", DxLines: 5, CheckLines: 50}}}
+	rows = f16.CSVFiles()["fig16_vs_checkall.csv"]
+	if len(rows) != 2 || rows[1][3] != "50" {
+		t.Errorf("fig16 rows = %v", rows)
+	}
+
+	f17 := &Fig17Result{PerApp: []Fig17Row{{ID: 1, AppID: "a", BuggyMW: 900, FixedMW: 500, DropPct: 44.4}}}
+	rows = f17.CSVFiles()["fig17_power_fix.csv"]
+	if len(rows) != 2 || rows[1][2] != "900" {
+		t.Errorf("fig17 rows = %v", rows)
+	}
+}
+
+func TestTuneCSV(t *testing.T) {
+	tr := &TuneResult{Candidates: []evaluate.Candidate{
+		{NormBasePercentile: 10, FenceMultiplier: 3, MinAmplitude: 0.5, MeanF1: 0.95},
+	}}
+	rows := tr.CSVFiles()["tune_grid.csv"]
+	if len(rows) != 2 || rows[1][3] != "0.95" {
+		t.Errorf("tune rows = %v", rows)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, [][]string{{"a", "b"}, {"1", "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,2\n" {
+		t.Errorf("csv = %q", sb.String())
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// EDoctorResult contrasts app-level detection (related-work category 1,
+// eDoctor/Carat style) with EnergyDx's event-level diagnosis on the same
+// phone: the app-level tool names the right app but gives the developer
+// nothing to go on inside it, while EnergyDx pinpoints the events
+// (paper §V: app-level information "is often too coarse-grained for
+// developers").
+type EDoctorResult struct {
+	Phones        int
+	CorrectApp    int
+	ABDApp        string
+	EnergyDxLines int
+	TotalLines    int
+	TopEvents     []string
+}
+
+// ExperimentID implements Result.
+func (r *EDoctorResult) ExperimentID() string { return "edoctor" }
+
+// Render implements Result.
+func (r *EDoctorResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "App-level vs event-level diagnosis (extension, paper §V)\n")
+	fmt.Fprintf(&sb, "eDoctor-style detector: top suspect correct on %d of %d phones\n",
+		r.CorrectApp, r.Phones)
+	fmt.Fprintf(&sb, "  -> verdict granularity: %q (the whole %d-line app; 0%% in-app reduction)\n",
+		r.ABDApp, r.TotalLines)
+	fmt.Fprintf(&sb, "EnergyDx on the same phones' traces:\n")
+	for _, e := range r.TopEvents {
+		fmt.Fprintln(&sb, "  "+e)
+	}
+	fmt.Fprintf(&sb, "  -> %d of %d lines to inspect\n", r.EnergyDxLines, r.TotalLines)
+	return sb.String()
+}
+
+// RunEDoctor simulates several multi-app phones with the same draining
+// app, runs both detectors, and contrasts their outputs.
+func RunEDoctor(seed int64) (Result, error) {
+	var installed []*apps.App
+	for _, id := range []string{"opengps", "tinfoil", "simplenote"} {
+		a, err := apps.ByAppID(id)
+		if err != nil {
+			return nil, err
+		}
+		installed = append(installed, a)
+	}
+	abdApp := installed[0] // opengps drains on every phone
+
+	const phones = 8
+	res := &EDoctorResult{Phones: phones, ABDApp: abdApp.AppID, TotalLines: abdApp.TotalSourceLines()}
+	var abdBundles []*trace.TraceBundle
+	for i := 0; i < phones; i++ {
+		phone, err := workload.GeneratePhone(workload.PhoneConfig{
+			Apps: installed, ABDApp: 0, Seed: seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("phone %d: %w", i, err)
+		}
+		report, err := baseline.EDoctor(baseline.DefaultEDoctorConfig(), phone.Utils)
+		if err != nil {
+			return nil, fmt.Errorf("phone %d: %w", i, err)
+		}
+		if flagged := report.Flagged(); len(flagged) > 0 && flagged[0].AppID == phone.ABDAppID {
+			res.CorrectApp++
+		}
+		for _, b := range phone.Bundles {
+			if b.Event.AppID == abdApp.AppID {
+				// Distinct pseudo-users per phone so Step 5 counts phones.
+				scrubbed := trace.ScrubBundle(b)
+				scrubbed.Event.UserID = fmt.Sprintf("user-phone-%d", i)
+				abdBundles = append(abdBundles, scrubbed)
+			}
+		}
+	}
+
+	// EnergyDx over the same phones' traces of the draining app: every
+	// phone triggered the ABD, so the developer percentage is 100.
+	cfg := core.DefaultConfig()
+	cfg.DeveloperImpactPercent = 100
+	analyzer, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report, err := analyzer.Analyze(abdBundles)
+	if err != nil {
+		return nil, err
+	}
+	for i, im := range report.TopEvents(4) {
+		res.TopEvents = append(res.TopEvents,
+			fmt.Sprintf("%d, [%s] %s", i+1, trace.ShortKey(im.Key), fmtPct(im.Percent)))
+	}
+	cr, err := core.ComputeCodeReduction(report, abdApp.Package(), reportedEvents)
+	if err != nil {
+		return nil, err
+	}
+	res.EnergyDxLines = cr.DiagnosisLines
+	return res, nil
+}

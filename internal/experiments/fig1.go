@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig1Result is the event-distance distribution across the 40 ABD cases
+// (paper Fig 1: the 90th percentile of event distances is 3 or shorter,
+// confirming the trigger event sits near the manifestation point).
+type Fig1Result struct {
+	// Distances maps app ID to its median event distance across
+	// impacted traces.
+	Distances map[string]float64
+	// CDF is the empirical distribution over apps.
+	CDF []stats.CDFPoint
+	// P90 is the 90th percentile of the distances.
+	P90 float64
+	// PaperP90 is the paper's reported 90th percentile.
+	PaperP90 float64
+	// Undetected lists apps where no impacted trace had both the
+	// trigger and a manifestation point (excluded from the CDF).
+	Undetected []string
+}
+
+// ExperimentID implements Result.
+func (r *Fig1Result) ExperimentID() string { return "fig1" }
+
+// Render implements Result.
+func (r *Fig1Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 1: event distance between ABD trigger and manifestation point\n")
+	fmt.Fprintf(&sb, "%-18s %s\n", "app", "median event distance")
+	for _, id := range sortedKeys(r.Distances) {
+		fmt.Fprintf(&sb, "%-18s %.1f\n", id, r.Distances[id])
+	}
+	fmt.Fprintf(&sb, "\nempirical CDF:\n")
+	for _, p := range r.CDF {
+		fmt.Fprintf(&sb, "  distance <= %4.1f : %5.1f%% of apps\n", p.Value, p.Fraction*100)
+	}
+	fmt.Fprintf(&sb, "\n90th percentile: measured %.1f events (paper: <= %.0f)\n", r.P90, r.PaperP90)
+	if len(r.Undetected) > 0 {
+		fmt.Fprintf(&sb, "apps without usable manifestation pairs: %s\n",
+			strings.Join(r.Undetected, ", "))
+	}
+	return sb.String()
+}
+
+// RunFig1 measures, for every catalog app, how many events separate the
+// ABD's trigger event from the detected manifestation point.
+func RunFig1(seed int64) (Result, error) {
+	catalog, err := apps.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{Distances: make(map[string]float64), PaperP90: 3}
+	var all []float64
+	for i, app := range catalog {
+		corpus, err := genCorpus(app, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		report, err := diagnose(corpus)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		var dists []float64
+		for _, at := range report.Traces {
+			if d, ok := eventDistance(at, app); ok {
+				dists = append(dists, float64(d))
+			}
+		}
+		if len(dists) == 0 {
+			res.Undetected = append(res.Undetected, app.AppID)
+			continue
+		}
+		sort.Float64s(dists)
+		median, err := stats.Percentile(dists, 50)
+		if err != nil {
+			return nil, err
+		}
+		res.Distances[app.AppID] = median
+		all = append(all, median)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("fig1: no app produced a manifestation point")
+	}
+	res.CDF, err = stats.EmpiricalCDF(all)
+	if err != nil {
+		return nil, err
+	}
+	res.P90, err = stats.Percentile(all, 90)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// eventDistance returns the number of events strictly between the last
+// trigger-event instance and the nearest manifestation point at or after
+// it (the paper's definition: exclusive on both ends).
+func eventDistance(at *core.AnalyzedTrace, app *apps.App) (int, bool) {
+	trigger := app.Fault.Trigger
+	best := -1
+	for _, m := range at.Manifestations {
+		// Last trigger instance at or before the manifestation point.
+		for i := m; i >= 0; i-- {
+			if at.Events[i].Instance.Key == trigger {
+				d := m - i - 1
+				if d < 0 {
+					d = 0
+				}
+				if best == -1 || d < best {
+					best = d
+				}
+				break
+			}
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig3Result is the K-9 Mail whole-app power trace of one impacted
+// session (paper Fig 3: normal-usage spikes early, then a sustained
+// transition to abnormal power when the ABD manifests).
+type Fig3Result struct {
+	Samples        int
+	MeanBeforeMW   float64
+	MeanAfterMW    float64
+	TransitionIdx  int
+	Sparkline      []string
+	PaperStatement string
+	// Series is the full power trace (mW per 500 ms sample), retained
+	// for CSV export so the figure can be re-plotted.
+	Series []float64
+}
+
+// ExperimentID implements Result.
+func (r *Fig3Result) ExperimentID() string { return "fig3" }
+
+// Render implements Result.
+func (r *Fig3Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 3: K-9 Mail power trace (one impacted session)\n")
+	fmt.Fprintf(&sb, "samples: %d, sustained transition near sample %d\n", r.Samples, r.TransitionIdx)
+	fmt.Fprintf(&sb, "mean power before transition: %.0f mW, after: %.0f mW\n",
+		r.MeanBeforeMW, r.MeanAfterMW)
+	for _, row := range r.Sparkline {
+		fmt.Fprintln(&sb, row)
+	}
+	fmt.Fprintf(&sb, "paper: %s\n", r.PaperStatement)
+	return sb.String()
+}
+
+// RunFig3 regenerates the K-9 Mail power trace.
+func RunFig3(seed int64) (Result, error) {
+	app, err := apps.K9Mail()
+	if err != nil {
+		return nil, err
+	}
+	cfg := workload.DefaultConfig(app, seed)
+	cfg.Users = 1
+	cfg.ImpactedFraction = 1
+	cfg.Devices = []string{"nexus6"}
+	corpus, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := corpus.Bundles[0]
+	model := power.NewModel(device.Nexus6())
+	pt, err := model.Estimate(&b.Util)
+	if err != nil {
+		return nil, err
+	}
+	powers := make([]float64, len(pt.Samples))
+	for i, s := range pt.Samples {
+		powers[i] = s.PowerMW
+	}
+	idx := sustainedTransition(powers)
+	res := &Fig3Result{
+		Samples:        len(powers),
+		TransitionIdx:  idx,
+		Series:         powers,
+		Sparkline:      sparkline(powers, 64, 8),
+		PaperStatement: "normal spikes while composing email, then a sustained transition when the misconfiguration ABD manifests (around sample 238 in the paper's trace)",
+	}
+	if idx > 0 && idx < len(powers) {
+		before, err := stats.Mean(powers[:idx])
+		if err != nil {
+			return nil, err
+		}
+		after, err := stats.Mean(powers[idx:])
+		if err != nil {
+			return nil, err
+		}
+		res.MeanBeforeMW, res.MeanAfterMW = before, after
+	}
+	return res, nil
+}
+
+// sustainedTransition finds the sample index after which the mean power
+// stays highest: the split point maximizing (after-mean - before-mean).
+func sustainedTransition(powers []float64) int {
+	if len(powers) < 4 {
+		return 0
+	}
+	// Prefix sums for O(n) sweep.
+	prefix := make([]float64, len(powers)+1)
+	for i, p := range powers {
+		prefix[i+1] = prefix[i] + p
+	}
+	bestIdx, bestGap := 0, 0.0
+	for i := 2; i < len(powers)-1; i++ {
+		before := prefix[i] / float64(i)
+		after := (prefix[len(powers)] - prefix[i]) / float64(len(powers)-i)
+		if gap := after - before; gap > bestGap {
+			bestGap, bestIdx = gap, i
+		}
+	}
+	return bestIdx
+}
+
+// sparkline renders a power series as ASCII rows (highest row first).
+func sparkline(values []float64, width, height int) []string {
+	if len(values) == 0 || width <= 0 || height <= 0 {
+		return nil
+	}
+	// Downsample to width buckets by max (peaks matter in power plots).
+	buckets := make([]float64, width)
+	for i := range buckets {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		for _, v := range values[lo:hi] {
+			if v > buckets[i] {
+				buckets[i] = v
+			}
+		}
+	}
+	maxV := buckets[0]
+	for _, v := range buckets {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	rows := make([]string, height)
+	for r := 0; r < height; r++ {
+		level := float64(height-r) / float64(height)
+		var row strings.Builder
+		for _, v := range buckets {
+			if v/maxV >= level {
+				row.WriteByte('#')
+			} else {
+				row.WriteByte(' ')
+			}
+		}
+		rows[r] = fmt.Sprintf("%7.0fmW |%s", level*maxV, row.String())
+	}
+	return rows
+}
+
+// Fig7Result summarizes the K-9 diagnosis pipeline on one impacted trace
+// (paper Figs 7-8): raw power transitions caused by event power
+// differences disappear after normalization, and the IQR fence selects
+// only the real manifestation points.
+type Fig7Result struct {
+	TraceID            string
+	Events             int
+	RawTransitions     int // amplitude outliers on RAW power
+	NormManifestations int // amplitude outliers after normalization
+	Fence              float64
+	TopAmplitudes      []string
+	NormalTracesClean  int // normal traces with zero manifestation points
+	NormalTraces       int
+}
+
+// ExperimentID implements Result.
+func (r *Fig7Result) ExperimentID() string { return "fig7" }
+
+// Render implements Result.
+func (r *Fig7Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figs 7-8: K-9 Mail manifestation analysis\n")
+	fmt.Fprintf(&sb, "impacted trace %s: %d event instances\n", r.TraceID, r.Events)
+	fmt.Fprintf(&sb, "transition points on RAW power:        %d (Fig 7a: misleading)\n", r.RawTransitions)
+	fmt.Fprintf(&sb, "manifestation points after Steps 2-4:  %d (fence %.2f)\n",
+		r.NormManifestations, r.Fence)
+	for _, l := range r.TopAmplitudes {
+		fmt.Fprintln(&sb, "  "+l)
+	}
+	fmt.Fprintf(&sb, "normal traces with zero manifestation points: %d of %d\n",
+		r.NormalTracesClean, r.NormalTraces)
+	return sb.String()
+}
+
+// RunFig7 regenerates the K-9 diagnosis pipeline summary.
+func RunFig7(seed int64) (Result, error) {
+	app, err := apps.K9Mail()
+	if err != nil {
+		return nil, err
+	}
+	corpus, err := genCorpus(app, seed)
+	if err != nil {
+		return nil, err
+	}
+	report, err := diagnose(corpus)
+	if err != nil {
+		return nil, err
+	}
+	var impactedTrace *core.AnalyzedTrace
+	res := &Fig7Result{}
+	for _, at := range report.Traces {
+		impacted := corpus.ImpactedUsers[at.UserID]
+		if impacted && impactedTrace == nil && len(at.Manifestations) > 0 {
+			impactedTrace = at
+		}
+		if !impacted {
+			res.NormalTraces++
+			if len(at.Manifestations) == 0 {
+				res.NormalTracesClean++
+			}
+		}
+	}
+	if impactedTrace == nil {
+		return nil, fmt.Errorf("fig7: no impacted trace produced a manifestation point")
+	}
+	at := impactedTrace
+	res.TraceID = at.TraceID
+	res.Events = len(at.Events)
+	res.NormManifestations = len(at.Manifestations)
+	res.Fence = at.Fence
+
+	// Fig 7a: raw power transitions (|delta| above 25% of the trace's
+	// mean power, the CheckAll criterion) show the misleading points
+	// that normalization removes.
+	raw := make([]float64, len(at.Events))
+	for i, ep := range at.Events {
+		raw[i] = ep.PowerMW
+	}
+	mean, err := stats.Mean(raw)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < len(raw); i++ {
+		delta := raw[i+1] - raw[i]
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > 0.25*mean {
+			res.RawTransitions++
+		}
+	}
+
+	for _, m := range at.Manifestations {
+		res.TopAmplitudes = append(res.TopAmplitudes, fmt.Sprintf(
+			"manifestation @%d %-40s amplitude %.2f", m,
+			trace.ShortKey(at.Events[m].Instance.Key), at.Amplitude[m]))
+	}
+	return res, nil
+}
+
+// Table2Result is the ranked K-9 event table (paper Table II) plus the
+// code-reduction line the paper derives from it (98,532 -> 161 lines).
+type Table2Result struct {
+	Rows            []string
+	DiagnosisLines  int
+	TotalLines      int
+	Reduction       float64
+	PaperDiagLines  int
+	PaperTotalLines int
+}
+
+// ExperimentID implements Result.
+func (r *Table2Result) ExperimentID() string { return "table2" }
+
+// Render implements Result.
+func (r *Table2Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table II: top K-9 Mail events reported by EnergyDx\n")
+	for _, row := range r.Rows {
+		fmt.Fprintln(&sb, row)
+	}
+	fmt.Fprintf(&sb, "\nsearch space: %d of %d lines (reduction %s)\n",
+		r.DiagnosisLines, r.TotalLines, fmtPct(r.Reduction*100))
+	fmt.Fprintf(&sb, "paper:        %d of %d lines\n", r.PaperDiagLines, r.PaperTotalLines)
+	return sb.String()
+}
+
+// RunTable2 regenerates the ranked K-9 event table.
+func RunTable2(seed int64) (Result, error) {
+	app, err := apps.K9Mail()
+	if err != nil {
+		return nil, err
+	}
+	corpus, err := genCorpus(app, seed)
+	if err != nil {
+		return nil, err
+	}
+	report, err := diagnose(corpus)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{PaperDiagLines: 161, PaperTotalLines: 98532}
+	for i, im := range report.TopEvents(reportedEvents) {
+		res.Rows = append(res.Rows, fmt.Sprintf("%d, %-40s %s",
+			i+1, trace.ShortKey(im.Key), fmtPct(im.Percent)))
+	}
+	cr, err := core.ComputeCodeReduction(report, app.Package(), reportedEvents)
+	if err != nil {
+		return nil, err
+	}
+	res.DiagnosisLines = cr.DiagnosisLines
+	res.TotalLines = cr.TotalLines
+	res.Reduction = cr.Reduction
+	return res, nil
+}

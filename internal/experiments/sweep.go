@@ -1,0 +1,449 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/android"
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// AppReduction is one app's code-reduction measurement.
+type AppReduction struct {
+	ID       int
+	AppID    string
+	Cause    string
+	Lines    int
+	Total    int
+	Measured float64 // percent
+	PaperPct float64
+	Detected bool
+}
+
+// Table3Result is the 40-app code-reduction sweep (paper Table III and
+// the §IV-B headline: 93% average reduction).
+type Table3Result struct {
+	Apps        []AppReduction
+	AverageMeas float64
+	AveragePap  float64
+}
+
+// ExperimentID implements Result.
+func (r *Table3Result) ExperimentID() string { return "table3" }
+
+// Render implements Result.
+func (r *Table3Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table III: code reduction across the 40 evaluated apps\n")
+	fmt.Fprintf(&sb, "%-3s %-16s %-14s %9s %9s %10s %10s\n",
+		"id", "app", "root cause", "lines", "total", "measured", "paper")
+	for _, a := range r.Apps {
+		fmt.Fprintf(&sb, "%-3d %-16s %-14s %9d %9d %9.1f%% %9.2f%%\n",
+			a.ID, a.AppID, a.Cause, a.Lines, a.Total, a.Measured, a.PaperPct)
+	}
+	fmt.Fprintf(&sb, "\naverage code reduction: measured %.1f%% (paper: 93%%)\n", r.AverageMeas)
+	return sb.String()
+}
+
+// RunTable3 measures EnergyDx's code reduction on every catalog app.
+func RunTable3(seed int64) (Result, error) {
+	catalog, err := apps.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{}
+	var sumM, sumP float64
+	for i, app := range catalog {
+		red, err := measureReduction(app, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		res.Apps = append(res.Apps, red)
+		sumM += red.Measured
+		sumP += red.PaperPct
+	}
+	res.AverageMeas = sumM / float64(len(res.Apps))
+	res.AveragePap = sumP / float64(len(res.Apps))
+	return res, nil
+}
+
+// measureReduction runs the full pipeline for one app.
+func measureReduction(app *apps.App, seed int64) (AppReduction, error) {
+	corpus, err := genCorpus(app, seed)
+	if err != nil {
+		return AppReduction{}, err
+	}
+	report, err := diagnose(corpus)
+	if err != nil {
+		return AppReduction{}, err
+	}
+	cr, err := core.ComputeCodeReduction(report, app.Package(), reportedEvents)
+	if err != nil {
+		return AppReduction{}, err
+	}
+	return AppReduction{
+		ID:       app.ID,
+		AppID:    app.AppID,
+		Cause:    app.RootCause.String(),
+		Lines:    cr.DiagnosisLines,
+		Total:    cr.TotalLines,
+		Measured: cr.Reduction * 100,
+		PaperPct: app.PaperCodeReduction,
+		Detected: report.ImpactedTraces > 0,
+	}, nil
+}
+
+// BaselinesResult is the §IV-B three-way comparison. Per the paper's
+// accounting, a detection baseline scores 100% code reduction on an app
+// when it identifies the root cause and 0% otherwise.
+type BaselinesResult struct {
+	EnergyDxAvg float64
+	NoSleepAvg  float64
+	EDeltaAvg   float64
+	NoSleepHits int
+	EDeltaHits  int
+	Apps        int
+	PaperLine   string
+	Rows        []string
+}
+
+// ExperimentID implements Result.
+func (r *BaselinesResult) ExperimentID() string { return "baselines" }
+
+// Render implements Result.
+func (r *BaselinesResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "§IV-B: comparison with existing approaches (%d apps)\n", r.Apps)
+	for _, row := range r.Rows {
+		fmt.Fprintln(&sb, "  "+row)
+	}
+	fmt.Fprintf(&sb, "\n%-22s %8s\n", "approach", "avg code reduction")
+	fmt.Fprintf(&sb, "%-22s %7.1f%%\n", "EnergyDx", r.EnergyDxAvg)
+	fmt.Fprintf(&sb, "%-22s %7.1f%%  (%d/%d detected)\n", "No-sleep Detection", r.NoSleepAvg, r.NoSleepHits, r.Apps)
+	fmt.Fprintf(&sb, "%-22s %7.1f%%  (%d/%d detected)\n", "eDelta", r.EDeltaAvg, r.EDeltaHits, r.Apps)
+	fmt.Fprintf(&sb, "paper: %s\n", r.PaperLine)
+	return sb.String()
+}
+
+// RunBaselines compares EnergyDx against No-sleep Detection and eDelta
+// across the catalog.
+func RunBaselines(seed int64) (Result, error) {
+	catalog, err := apps.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	res := &BaselinesResult{
+		Apps:      len(catalog),
+		PaperLine: "EnergyDx 93%, No-sleep Detection 52.5% (21/40 per its text; its own Table III lists 24 no-sleep apps), eDelta 65% (26/40)",
+	}
+	var sumDx float64
+	for i, app := range catalog {
+		red, err := measureReduction(app, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		sumDx += red.Measured
+
+		ns, err := baseline.DetectNoSleep(app.Package())
+		if err != nil {
+			return nil, fmt.Errorf("%s: no-sleep: %w", app.AppID, err)
+		}
+		nsHit := false
+		for _, f := range ns.Findings {
+			if f.Key == app.Fault.Trigger {
+				nsHit = true
+			}
+		}
+		if nsHit {
+			res.NoSleepHits++
+		}
+
+		corpus, err := genCorpus(app, seed+1000+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		ed, err := baseline.EDelta(baseline.DefaultEDeltaConfig(), corpus.Bundles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: eDelta: %w", app.AppID, err)
+		}
+		edHit := false
+		for _, f := range ed.Findings {
+			if eDeltaRelated(f.Key, app) {
+				edHit = true
+			}
+		}
+		if edHit {
+			res.EDeltaHits++
+		}
+		res.Rows = append(res.Rows, fmt.Sprintf(
+			"%-16s %-14s EnergyDx %5.1f%%  no-sleep:%-5v eDelta:%v",
+			app.AppID, app.RootCause, red.Measured, nsHit, edHit))
+	}
+	res.EnergyDxAvg = sumDx / float64(res.Apps)
+	res.NoSleepAvg = 100 * float64(res.NoSleepHits) / float64(res.Apps)
+	res.EDeltaAvg = 100 * float64(res.EDeltaHits) / float64(res.Apps)
+	return res, nil
+}
+
+// eDeltaRelated decides whether a flagged API actually points at the
+// app's ABD: the trigger itself, anything in the trigger's class, the
+// missed release point, or the background-idle pseudo-event the drain
+// elevates.
+func eDeltaRelated(key trace.EventKey, app *apps.App) bool {
+	return key == app.Fault.Trigger ||
+		key == app.Fault.ReleasePoint ||
+		key.Class == app.Fault.Trigger.Class ||
+		key == android.IdleKey()
+}
+
+// Fig16Row is one app's EnergyDx-vs-CheckAll measurement.
+type Fig16Row struct {
+	ID         int
+	AppID      string
+	DxLines    int
+	CheckLines int
+}
+
+// Fig16Result compares EnergyDx with the CheckAll baseline per app
+// (paper Fig 16: 168 vs 1,205 lines on average; 93% vs 67%).
+type Fig16Result struct {
+	PerApp        []Fig16Row
+	DxAvgLines    float64
+	CheckAvgLines float64
+	DxAvgPct      float64
+	CheckAvgPct   float64
+}
+
+// ExperimentID implements Result.
+func (r *Fig16Result) ExperimentID() string { return "fig16" }
+
+// Render implements Result.
+func (r *Fig16Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 16: code reduction, EnergyDx vs CheckAll\n")
+	fmt.Fprintf(&sb, "%-3s %-16s %12s %12s\n", "id", "app", "EnergyDx", "CheckAll")
+	for _, row := range r.PerApp {
+		fmt.Fprintf(&sb, "%-3d %-16s %6d lines %6d lines\n",
+			row.ID, row.AppID, row.DxLines, row.CheckLines)
+	}
+	fmt.Fprintf(&sb, "\naverage lines to inspect: EnergyDx %.0f, CheckAll %.0f (paper: 168 vs 1205)\n",
+		r.DxAvgLines, r.CheckAvgLines)
+	fmt.Fprintf(&sb, "average code reduction:   EnergyDx %.1f%%, CheckAll %.1f%% (paper: 93%% vs 67%%)\n",
+		r.DxAvgPct, r.CheckAvgPct)
+	return sb.String()
+}
+
+// RunFig16 runs both schemes over every app.
+func RunFig16(seed int64) (Result, error) {
+	catalog, err := apps.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{}
+	var sumDxL, sumCaL, sumDxP, sumCaP float64
+	for i, app := range catalog {
+		corpus, err := genCorpus(app, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		report, err := diagnose(corpus)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		cr, err := core.ComputeCodeReduction(report, app.Package(), reportedEvents)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		ca, err := baseline.CheckAll(baseline.DefaultCheckAllConfig(), corpus.Bundles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		caLines := app.Package().LinesFor(ca.Keys)
+		total := app.TotalSourceLines()
+		caPct := 100 * float64(total-caLines) / float64(total)
+		sumDxL += float64(cr.DiagnosisLines)
+		sumCaL += float64(caLines)
+		sumDxP += cr.Reduction * 100
+		sumCaP += caPct
+		res.PerApp = append(res.PerApp, Fig16Row{
+			ID: app.ID, AppID: app.AppID,
+			DxLines: cr.DiagnosisLines, CheckLines: caLines,
+		})
+	}
+	n := float64(len(catalog))
+	res.DxAvgLines, res.CheckAvgLines = sumDxL/n, sumCaL/n
+	res.DxAvgPct, res.CheckAvgPct = sumDxP/n, sumCaP/n
+	return res, nil
+}
+
+// Fig17Row is one app's before/after-fix power measurement.
+type Fig17Row struct {
+	ID      int
+	AppID   string
+	BuggyMW float64
+	FixedMW float64
+	DropPct float64
+}
+
+// Fig17Result is the before/after-fix power comparison (paper Fig 17:
+// average app power drops 27.2% after the ABDs are fixed).
+type Fig17Result struct {
+	PerApp     []Fig17Row
+	AvgDropPct float64
+}
+
+// ExperimentID implements Result.
+func (r *Fig17Result) ExperimentID() string { return "fig17" }
+
+// Render implements Result.
+func (r *Fig17Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 17: average app power before vs after the ABD fix\n")
+	fmt.Fprintf(&sb, "%-3s %-16s %10s %10s %8s\n", "id", "app", "buggy", "fixed", "drop")
+	for _, row := range r.PerApp {
+		fmt.Fprintf(&sb, "%-3d %-16s %7.0f mW %7.0f mW %6.1f%%\n",
+			row.ID, row.AppID, row.BuggyMW, row.FixedMW, row.DropPct)
+	}
+	fmt.Fprintf(&sb, "\naverage power reduction: %.1f%% (paper: 27.2%%)\n", r.AvgDropPct)
+	return sb.String()
+}
+
+// RunFig17 measures each app's mean power on identical ABD-triggering
+// workloads with the buggy and fixed behaviors.
+func RunFig17(seed int64) (Result, error) {
+	catalog, err := apps.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	model := power.NewModel(device.Nexus6())
+	res := &Fig17Result{}
+	var sumDrop float64
+	for i, app := range catalog {
+		cfg := workload.DefaultConfig(app, seed+int64(i))
+		cfg.Users = 6
+		cfg.ImpactedFraction = 1 // every session exercises the ABD flow
+		cfg.Devices = []string{"nexus6"}
+		buggy, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		cfg.Fixed = true
+		fixed, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		mb, err := corpusMeanPower(model, buggy)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		mf, err := corpusMeanPower(model, fixed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		drop := 100 * (mb - mf) / mb
+		sumDrop += drop
+		res.PerApp = append(res.PerApp, Fig17Row{
+			ID: app.ID, AppID: app.AppID, BuggyMW: mb, FixedMW: mf, DropPct: drop,
+		})
+	}
+	res.AvgDropPct = sumDrop / float64(len(catalog))
+	return res, nil
+}
+
+// corpusMeanPower averages the estimated power of all bundles.
+func corpusMeanPower(model *power.Model, res *workload.Result) (float64, error) {
+	var sum float64
+	for _, b := range res.Bundles {
+		pt, err := model.Estimate(&b.Util)
+		if err != nil {
+			return 0, err
+		}
+		m, err := power.MeanPowerMW(pt)
+		if err != nil {
+			return 0, err
+		}
+		sum += m
+	}
+	return sum / float64(len(res.Bundles)), nil
+}
+
+// OverheadsResult reproduces §IV-F: event-latency overhead of the
+// injected probes (paper: +8.3%, average latency < 9.38 ms) and the
+// power overhead of collection (paper: 32 mW, ~4.5%).
+type OverheadsResult struct {
+	LatencyOverheadPct float64
+	MeanLatencyMS      float64
+	PowerOverheadMW    float64
+	PowerOverheadPct   float64
+}
+
+// ExperimentID implements Result.
+func (r *OverheadsResult) ExperimentID() string { return "overheads" }
+
+// Render implements Result.
+func (r *OverheadsResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "§IV-F: EnergyDx instrumentation overheads\n")
+	fmt.Fprintf(&sb, "event latency increase: %.1f%% (paper: 8.3%%)\n", r.LatencyOverheadPct)
+	fmt.Fprintf(&sb, "mean event latency:     %.2f ms (paper: < 9.38 ms)\n", r.MeanLatencyMS)
+	fmt.Fprintf(&sb, "power overhead:         %.1f mW = %.1f%% of app power (paper: 32 mW, 4.5%%)\n",
+		r.PowerOverheadMW, r.PowerOverheadPct)
+	return sb.String()
+}
+
+// RunOverheads compares instrumented and uninstrumented runs of clean
+// (no-ABD) workloads across a subset of the catalog.
+func RunOverheads(seed int64) (Result, error) {
+	catalog, err := apps.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	model := power.NewModel(device.Nexus6())
+	res := &OverheadsResult{}
+	var latFrac, latMean, powMW, powPct float64
+	n := 0
+	for i, app := range catalog {
+		if i%4 != 0 {
+			continue // a representative quarter keeps the sweep quick
+		}
+		base := workload.DefaultConfig(app, seed+int64(i))
+		base.Users = 4
+		base.ImpactedFraction = 0
+		base.Devices = []string{"nexus6"}
+
+		instrumented, err := workload.Generate(base)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		plainCfg := base
+		plainCfg.Instrument = android.InstrumentationConfig{}
+		plain, err := workload.Generate(plainCfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+		}
+		latFrac += instrumented.Stats.OverheadFraction()
+		latMean += instrumented.Stats.MeanLatencyMS()
+		mi, err := corpusMeanPower(model, instrumented)
+		if err != nil {
+			return nil, err
+		}
+		mp, err := corpusMeanPower(model, plain)
+		if err != nil {
+			return nil, err
+		}
+		powMW += mi - mp
+		powPct += 100 * (mi - mp) / mi
+		n++
+	}
+	res.LatencyOverheadPct = 100 * latFrac / float64(n)
+	res.MeanLatencyMS = latMean / float64(n)
+	res.PowerOverheadMW = powMW / float64(n)
+	res.PowerOverheadPct = powPct / float64(n)
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/evaluate"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// TuneResult is the parameter-training extension: the paper notes the
+// Step-3 base percentile "can be adjusted for different training sets"
+// and that the Step-4 fence parameters "are decided through
+// experiments"; this experiment runs that training loop on labelled
+// simulated corpora.
+type TuneResult struct {
+	Candidates []evaluate.Candidate
+	Best       evaluate.Candidate
+	// PaperPoint is the paper's published operating point's rank and
+	// score in our grid.
+	PaperRank int
+	PaperF1   float64
+}
+
+// ExperimentID implements Result.
+func (r *TuneResult) ExperimentID() string { return "tune" }
+
+// Render implements Result.
+func (r *TuneResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Parameter training (extension): grid search over Step-3/Step-4 knobs\n")
+	fmt.Fprintf(&sb, "%-6s %-12s %-12s %-12s %6s\n", "rank", "norm base", "fence", "min ampl", "F1")
+	for i, c := range r.Candidates {
+		marker := " "
+		if c.NormBasePercentile == 10 && c.FenceMultiplier == 3 && c.MinAmplitude == 0.5 {
+			marker = "*" // the published/default operating point
+		}
+		fmt.Fprintf(&sb, "%-5d%s p%-11.0f %-12.1f %-12.2f %6.3f\n",
+			i+1, marker, c.NormBasePercentile, c.FenceMultiplier, c.MinAmplitude, c.MeanF1)
+	}
+	fmt.Fprintf(&sb, "\nbest: p%.0f / %.1fxIQR (F1 %.3f); paper's p10 / 3xIQR ranks %d (F1 %.3f)\n",
+		r.Best.NormBasePercentile, r.Best.FenceMultiplier, r.Best.MeanF1,
+		r.PaperRank, r.PaperF1)
+	return sb.String()
+}
+
+// RunTune trains the knobs on labelled corpora covering all three ABD
+// classes, including a *weak* drain (opencamera's leaked sensor draws
+// only ~54 mW) and the paper's 2.5% power-model estimation error, so
+// the grid actually discriminates: loose fences trip on noise, tight
+// ones lose the weak drain.
+func RunTune(seed int64) (Result, error) {
+	var sets []evaluate.TrainingSet
+	for i, appID := range []string{"opengps", "tinfoil", "k9mail", "opencamera"} {
+		app, err := apps.ByAppID(appID)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workload.DefaultConfig(app, seed+int64(i))
+		cfg.Users = corpusUsers
+		cfg.ImpactedFraction = defaultImpacted
+		corpus, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", appID, err)
+		}
+		sets = append(sets, evaluate.TrainingSet{
+			Bundles:       corpus.Bundles,
+			ImpactedUsers: corpus.ImpactedUsers,
+		})
+	}
+	base := core.DefaultConfig()
+	base.EstimationNoiseFrac = power.PaperNoiseFrac
+	base.NoiseSeed = seed
+	candidates, err := evaluate.Tune(sets, evaluate.TuneOptions{
+		Base:                &base,
+		NormBasePercentiles: []float64{10, 50},
+		FenceMultipliers:    []float64{1.5, 3, 4.5},
+		MinAmplitudes:       []float64{0, 0.5, 2, 8},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TuneResult{Candidates: candidates, Best: candidates[0]}
+	for i, c := range candidates {
+		if c.NormBasePercentile == 10 && c.FenceMultiplier == 3 && c.MinAmplitude == 0.5 {
+			res.PaperRank = i + 1
+			res.PaperF1 = c.MeanF1
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/abd"
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// UnknownResult backs the paper's central differentiation claim:
+// "EnergyDx can diagnose ABD caused by various (and even unknown)
+// issues" (§V). We inject a fault class that is NOT in the abd taxonomy
+// — an animation storm: after the user opens a fancy gallery view, the
+// app keeps re-rendering at full frame rate even when nothing changes,
+// burning CPU *only while the app is foreground*. There is no leaked
+// resource (No-sleep Detection finds nothing), and the drain rides on
+// top of normal foreground power rather than any single API's energy
+// (eDelta's per-API deviation stays under threshold) — yet the power
+// transition at manifestation is exactly what Steps 2-4 detect.
+type UnknownResult struct {
+	EnergyDxDetected int
+	ImpactedTraces   int
+	TopEvents        []string
+	TriggerReported  bool
+	NoSleepDetected  bool
+	EDeltaDetected   bool
+	DiagnosisLines   int
+	TotalLines       int
+}
+
+// ExperimentID implements Result.
+func (r *UnknownResult) ExperimentID() string { return "unknown" }
+
+// Render implements Result.
+func (r *UnknownResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Unknown-issue diagnosis (extension, paper §V claim)\n")
+	fmt.Fprintf(&sb, "fault: animation storm (full-rate re-render while foreground) — not in the\n")
+	fmt.Fprintf(&sb, "no-sleep/loop/configuration taxonomy\n\n")
+	fmt.Fprintf(&sb, "EnergyDx: manifestation points in %d of %d impacted traces; trigger reported: %v\n",
+		r.EnergyDxDetected, r.ImpactedTraces, r.TriggerReported)
+	for _, e := range r.TopEvents {
+		fmt.Fprintln(&sb, "  "+e)
+	}
+	fmt.Fprintf(&sb, "  -> %d of %d lines to inspect\n\n", r.DiagnosisLines, r.TotalLines)
+	fmt.Fprintf(&sb, "No-sleep Detection: detected=%v (no acquire/release to find)\n", r.NoSleepDetected)
+	fmt.Fprintf(&sb, "eDelta:             detected=%v (deviation hides under normal foreground power)\n", r.EDeltaDetected)
+	return sb.String()
+}
+
+// galleryStormApp builds an app with the un-taxonomized fault. The storm
+// is wired directly into behaviors (an Acquire of CPU that the Home
+// path's display loss doesn't stop would be a no-sleep; instead the
+// storm runs only while foreground, stopping by itself in background —
+// the event stream, not a leak, is the only clue).
+func galleryStormApp() (*apps.App, error) {
+	// Start from a healthy generated app shape by building a catalog
+	// app and replacing its fault surface... simpler: hand-build.
+	const (
+		mainAct  = "Lcom/gallery/MainActivity"
+		gallery  = "Lcom/gallery/GalleryView"
+		settings = "Lcom/gallery/Settings"
+	)
+	b := android.BehaviorMap{}
+	pkg := &apk.Package{AppID: "gallerystorm"}
+	pkg.Classes = append(pkg.Classes,
+		lifecycleClassForUnknown(mainAct, b, 24),
+		lifecycleClassForUnknown(gallery, b, 31),
+		lifecycleClassForUnknown(settings, b, 18),
+	)
+
+	// The storm: enabling the fancy-animation toggle starts continuous
+	// re-rendering. It is modelled as a high-duty CPU loop that the
+	// *pause* of the gallery stops — nothing leaks into the background,
+	// so no-sleep analysis and background-power heuristics have nothing
+	// to see; only the elevated power of the victim's subsequent
+	// interactions betrays it.
+	stormOn := trace.EventKey{Class: gallery, Callback: "onClick"}
+	b[stormOn] = android.Behavior{
+		LatencyMS: 600,
+		Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.3, DurationMS: 600}},
+		Effects: []android.Effect{{
+			Kind: android.EffectStartLoop, Name: "render-storm",
+			Loop: android.LoopSpec{
+				PeriodMS: 600, BurstMS: 560,
+				Usages: []android.ComponentUsage{{Component: trace.CPU, Level: 0.75}},
+			},
+		}},
+	}
+	pause := trace.EventKey{Class: gallery, Callback: android.OnPause}
+	pb := b[pause]
+	pb.Effects = append(pb.Effects, android.Effect{Kind: android.EffectStopLoop, Name: "render-storm"})
+	b[pause] = pb
+
+	a := &apps.App{
+		ID: 0, AppID: "gallerystorm", Name: "Gallery Storm", Downloads: "n/a",
+		RootCause:          abd.Loop, // closest taxon; the *injection* below bypasses abd
+		PaperCodeReduction: 0,
+		MainActivity:       mainAct,
+		// Normal users browse the gallery too (swipes give every trace
+		// baseline instances of GalleryView:onTouch); only impacted
+		// users hit the animation toggle.
+		BrowseActivities: []string{mainAct, gallery, settings},
+		Widgets: map[string][]string{
+			mainAct:  {"onTouch"},
+			gallery:  {"onTouch"},
+			settings: {"onClick"},
+		},
+		TriggerScript: []android.Step{
+			android.Launch(gallery),
+			android.Tap("onClick"), // the storm starts
+			android.Tap("onTouch"), // the user keeps swiping while it rages
+			android.Wait(3_000),
+			android.Tap("onTouch"),
+			android.Wait(3_000),
+			android.Tap("onTouch"),
+			android.Wait(3_000),
+			android.Home(),
+		},
+	}
+	return apps.NewCustom(a, pkg, b)
+}
+
+// lifecycleClassForUnknown mirrors the case-study class builder without
+// exporting it from apps: lifecycle methods with blocking behaviors.
+func lifecycleClassForUnknown(name string, b android.BehaviorMap, widgetLines int) apk.Class {
+	cls := apk.Class{Name: name}
+	lines := map[string]int{
+		android.OnCreate: 65, android.OnStart: 11, android.OnRestart: 9,
+		android.OnResume: 22, android.OnPause: 17, android.OnStop: 12, android.OnDestroy: 10,
+	}
+	for _, cb := range []string{android.OnCreate, android.OnStart, android.OnRestart,
+		android.OnResume, android.OnPause, android.OnStop, android.OnDestroy} {
+		cls.Methods = append(cls.Methods, apk.Method{
+			Name: cb, SourceLines: lines[cb],
+			Body: []apk.Instruction{{Op: apk.OpWork}, {Op: apk.OpReturn}},
+		})
+		dur := int64(540)
+		level := 0.3
+		if cb == android.OnCreate {
+			dur, level = 650, 0.5
+		}
+		b[trace.EventKey{Class: name, Callback: cb}] = android.Behavior{
+			LatencyMS: dur,
+			Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: level, DurationMS: dur}},
+		}
+	}
+	for _, w := range []string{"onClick", "onTouch"} {
+		cls.Methods = append(cls.Methods, apk.Method{
+			Name: w, SourceLines: widgetLines,
+			Body: []apk.Instruction{{Op: apk.OpWork}, {Op: apk.OpReturn}},
+		})
+		b[trace.EventKey{Class: name, Callback: w}] = android.Behavior{
+			LatencyMS: 540,
+			Usages:    []android.ComponentUsage{{Component: trace.CPU, Level: 0.25, DurationMS: 540}},
+		}
+	}
+	for i := 0; i < 4; i++ {
+		cls.Methods = append(cls.Methods, apk.Method{
+			Name: fmt.Sprintf("helper%d", i), SourceLines: 120 + 40*i,
+			Body: []apk.Instruction{{Op: apk.OpWork}, {Op: apk.OpReturn}},
+		})
+	}
+	return cls
+}
+
+// RunUnknown diagnoses the un-taxonomized fault with all three tools.
+func RunUnknown(seed int64) (Result, error) {
+	app, err := galleryStormApp()
+	if err != nil {
+		return nil, err
+	}
+	cfg := workload.DefaultConfig(app, seed)
+	cfg.Users = corpusUsers
+	cfg.ImpactedFraction = defaultImpacted
+	corpus, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	acfg := core.DefaultConfig()
+	acfg.DeveloperImpactPercent = corpus.ImpactedPercent
+	analyzer, err := core.NewAnalyzer(acfg)
+	if err != nil {
+		return nil, err
+	}
+	report, err := analyzer.Analyze(corpus.Bundles)
+	if err != nil {
+		return nil, err
+	}
+	res := &UnknownResult{
+		EnergyDxDetected: report.ImpactedTraces,
+		ImpactedTraces:   len(corpus.ImpactedUsers),
+		TotalLines:       app.TotalSourceLines(),
+	}
+	trigger := trace.EventKey{Class: "Lcom/gallery/GalleryView", Callback: "onClick"}
+	for i, im := range report.TopEvents(2 * reportedEvents) {
+		if im.Key == trigger || im.Key.Class == trigger.Class {
+			res.TriggerReported = true
+		}
+		if i < reportedEvents {
+			res.TopEvents = append(res.TopEvents,
+				fmt.Sprintf("%d, [%s] %s", i+1, trace.ShortKey(im.Key), fmtPct(im.Percent)))
+		}
+	}
+	cr, err := core.ComputeCodeReduction(report, app.Package(), reportedEvents)
+	if err != nil {
+		return nil, err
+	}
+	res.DiagnosisLines = cr.DiagnosisLines
+
+	ns, err := baseline.DetectNoSleep(app.Package())
+	if err != nil {
+		return nil, err
+	}
+	res.NoSleepDetected = ns.Detected()
+
+	ed, err := baseline.EDelta(baseline.DefaultEDeltaConfig(), corpus.Bundles)
+	if err != nil {
+		return nil, err
+	}
+	res.EDeltaDetected = ed.Detected()
+	return res, nil
+}

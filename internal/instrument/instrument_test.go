@@ -1,0 +1,178 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+func pkg() *apk.Package {
+	return &apk.Package{
+		AppID: "demo",
+		Classes: []apk.Class{
+			{
+				Name: "Lcom/demo/Main",
+				Methods: []apk.Method{
+					{Name: "onResume", SourceLines: 20, Body: []apk.Instruction{
+						{Op: apk.OpWork}, {Op: apk.OpReturn},
+					}},
+					{Name: "helper", SourceLines: 50, Body: []apk.Instruction{
+						{Op: apk.OpWork}, {Op: apk.OpReturn},
+					}},
+					{Name: "onClick", SourceLines: 12, Body: []apk.Instruction{
+						{Op: apk.OpIf, Args: []string{"done"}},
+						{Op: apk.OpReturn},
+						{Op: apk.OpLabel, Args: []string{"done"}},
+						{Op: apk.OpWork},
+					}},
+					{Name: "menuDeleted", SourceLines: 8, Body: []apk.Instruction{
+						{Op: apk.OpWork},
+					}},
+				},
+			},
+		},
+	}
+}
+
+func TestDefaultPoolTableI(t *testing.T) {
+	pool := DefaultPool()
+	for _, cb := range []string{"onCreate", "onStart", "onResume", "onPause", "onStop",
+		"onClick", "onLongClick", "onKey", "onTouch"} {
+		if !pool.Contains(cb) {
+			t.Errorf("pool missing Table I callback %q", cb)
+		}
+	}
+	if pool.Contains("helper") || pool.Contains("computeChecksum") {
+		t.Error("pool matches non-event methods")
+	}
+	if !pool.Contains("menu_item_newsfeed") || !pool.Contains("menuDeleted") {
+		t.Error("pool should match menu callbacks from the case studies")
+	}
+	if len(pool.Names()) == 0 {
+		t.Error("pool names empty")
+	}
+	var nilPool *Pool
+	if nilPool.Contains("onCreate") {
+		t.Error("nil pool matched")
+	}
+}
+
+func TestInstrumentInjectsProbes(t *testing.T) {
+	res, err := Instrument(pkg(), DefaultPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// onResume, onClick, menuDeleted instrumented; helper untouched.
+	if len(res.Keys) != 3 {
+		t.Fatalf("instrumented keys = %v", res.Keys)
+	}
+	m, err := res.Package.Lookup(trace.EventKey{Class: "Lcom/demo/Main", Callback: "onResume"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Body[0].Op != apk.OpLog || m.Body[0].Args[0] != "enter" {
+		t.Errorf("first instruction = %v", m.Body[0])
+	}
+	// Exit probe before the return.
+	foundExitBeforeReturn := false
+	for i, ins := range m.Body {
+		if ins.Op == apk.OpReturn && i > 0 && m.Body[i-1].Op == apk.OpLog && m.Body[i-1].Args[0] == "exit" {
+			foundExitBeforeReturn = true
+		}
+	}
+	if !foundExitBeforeReturn {
+		t.Errorf("no exit probe before return: %v", m.Body)
+	}
+	if !IsInstrumented(m) {
+		t.Error("IsInstrumented false on instrumented method")
+	}
+	helper, err := res.Package.Lookup(trace.EventKey{Class: "Lcom/demo/Main", Callback: "helper"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsInstrumented(helper) {
+		t.Error("helper method instrumented despite not being in the pool")
+	}
+}
+
+func TestInstrumentMultipleReturns(t *testing.T) {
+	res, err := Instrument(pkg(), DefaultPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Package.Lookup(trace.EventKey{Class: "Lcom/demo/Main", Callback: "onClick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// onClick has a mid-body return and falls off the end: expect one
+	// enter probe + exit before the return + exit at the end = 3 probes.
+	exits := 0
+	for _, ins := range m.Body {
+		if ins.Op == apk.OpLog && ins.Args[0] == "exit" {
+			exits++
+		}
+	}
+	if exits != 2 {
+		t.Errorf("exit probes = %d, want 2: %v", exits, m.Body)
+	}
+	if m.Body[len(m.Body)-1].Op != apk.OpLog {
+		t.Errorf("falling-off path not probed: %v", m.Body)
+	}
+}
+
+func TestInstrumentDoesNotMutateOriginal(t *testing.T) {
+	original := pkg()
+	before := len(original.Classes[0].Methods[0].Body)
+	if _, err := Instrument(original, DefaultPool()); err != nil {
+		t.Fatal(err)
+	}
+	if len(original.Classes[0].Methods[0].Body) != before {
+		t.Error("Instrument mutated its input")
+	}
+}
+
+func TestInstrumentNilInputs(t *testing.T) {
+	if _, err := Instrument(nil, DefaultPool()); err == nil {
+		t.Error("nil package accepted")
+	}
+	// Nil pool falls back to the default pool.
+	res, err := Instrument(pkg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) == 0 {
+		t.Error("nil pool instrumented nothing")
+	}
+}
+
+func TestInstrumentTextPipeline(t *testing.T) {
+	text := apk.DisassembleString(pkg())
+	var out strings.Builder
+	res, err := InstrumentText(strings.NewReader(text), DefaultPool(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbeCount == 0 {
+		t.Error("no probes injected")
+	}
+	if !strings.Contains(out.String(), "log enter") {
+		t.Errorf("repacked text lacks probes:\n%s", out.String())
+	}
+	// The repacked text is a valid disassembly.
+	back, err := apk.Assemble(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("repacked text does not assemble: %v", err)
+	}
+	if back.TotalSourceLines() != pkg().TotalSourceLines() {
+		t.Error("source line accounting changed by instrumentation")
+	}
+}
+
+func TestInstrumentTextBadInput(t *testing.T) {
+	var out strings.Builder
+	if _, err := InstrumentText(strings.NewReader(".class A\n.class B\n"), nil, &out); err == nil {
+		t.Error("bad input accepted")
+	}
+}

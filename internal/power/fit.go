@@ -1,0 +1,71 @@
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// This file implements power-model *generation*: the procedure of Zhang
+// et al. [20] that regresses measured whole-phone power against
+// component utilization to obtain a device's per-component coefficients
+// and base power. A deployed EnergyDx would run this once per device
+// model against battery-fuel-gauge readings; here it lets tests and
+// experiments recover a device profile from labelled samples and
+// verifies the model's linearity assumption end to end.
+
+// Observation pairs one utilization snapshot with the measured power.
+type Observation struct {
+	Util    trace.UtilizationVector `json:"util"`
+	PowerMW float64                 `json:"powerMilliwatts"`
+}
+
+// FitResult is a trained power model with its goodness of fit.
+type FitResult struct {
+	Profile  Profile `json:"profile"`
+	RSquared float64 `json:"rSquared"`
+}
+
+// Fit trains a device profile from observations via ordinary least
+// squares: power = base + sum(coeff_c * util_c). At least one
+// observation must exercise each component, otherwise the system is
+// singular and an error is returned (a real calibration run cycles each
+// component through its range for exactly this reason).
+func Fit(name string, obs []Observation) (FitResult, error) {
+	if len(obs) == 0 {
+		return FitResult{}, fmt.Errorf("power: no observations: %w", stats.ErrEmpty)
+	}
+	const p = trace.NumComponents + 1 // intercept + one coefficient per component
+	x := make([][]float64, len(obs))
+	y := make([]float64, len(obs))
+	for i, o := range obs {
+		row := make([]float64, p)
+		row[0] = 1
+		for j := 0; j < trace.NumComponents; j++ {
+			row[j+1] = o.Util[j]
+		}
+		x[i] = row
+		y[i] = o.PowerMW
+	}
+	beta, err := stats.LeastSquares(x, y)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("power: fit %q: %w", name, err)
+	}
+	res := FitResult{Profile: Profile{Name: name, BaseMW: beta[0]}}
+	for j := 0; j < trace.NumComponents; j++ {
+		res.Profile.CoeffMW[j] = beta[j+1]
+	}
+	// Goodness of fit on the training data.
+	model := NewModel(res.Profile)
+	pred := make([]float64, len(obs))
+	for i, o := range obs {
+		pred[i], _ = model.At(o.Util)
+	}
+	r2, err := stats.RSquared(pred, y)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("power: fit %q: %w", name, err)
+	}
+	res.RSquared = r2
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// calibrationRun produces observations that cycle every component
+// through its range, the way a real power-model calibration does.
+func calibrationRun(p Profile, n int, noiseMW float64, seed int64) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	model := NewModel(p)
+	obs := make([]Observation, 0, n)
+	for i := 0; i < n; i++ {
+		var u trace.UtilizationVector
+		for _, c := range trace.Components() {
+			u.Set(c, rng.Float64())
+		}
+		truth, _ := model.At(u)
+		obs = append(obs, Observation{Util: u, PowerMW: truth + rng.NormFloat64()*noiseMW})
+	}
+	return obs
+}
+
+func TestFitRecoversNexus6(t *testing.T) {
+	truth := device.Nexus6()
+	obs := calibrationRun(truth, 500, 10, 1)
+	res, err := Fit("nexus6-fitted", obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RSquared < 0.995 {
+		t.Errorf("R2 = %.4f", res.RSquared)
+	}
+	if math.Abs(res.Profile.BaseMW-truth.BaseMW) > 10 {
+		t.Errorf("base = %.1f, want ~%.1f", res.Profile.BaseMW, truth.BaseMW)
+	}
+	for _, c := range trace.Components() {
+		got, want := res.Profile.Coeff(c), truth.Coeff(c)
+		if math.Abs(got-want) > 0.05*want+10 {
+			t.Errorf("%v coefficient = %.1f, want ~%.1f", c, got, want)
+		}
+	}
+}
+
+func TestFitNoiseFreeIsExact(t *testing.T) {
+	truth := device.MotoG()
+	obs := calibrationRun(truth, 100, 0, 2)
+	res, err := Fit("motog-fitted", obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RSquared-1) > 1e-9 {
+		t.Errorf("noise-free R2 = %v", res.RSquared)
+	}
+	for _, c := range trace.Components() {
+		if math.Abs(res.Profile.Coeff(c)-truth.Coeff(c)) > 1e-6 {
+			t.Errorf("%v coefficient = %v, want %v", c, res.Profile.Coeff(c), truth.Coeff(c))
+		}
+	}
+}
+
+func TestFitSingularWithoutComponentCoverage(t *testing.T) {
+	// Calibration that never exercises the GPS cannot determine its
+	// coefficient.
+	truth := device.Nexus6()
+	model := NewModel(truth)
+	rng := rand.New(rand.NewSource(3))
+	var obs []Observation
+	for i := 0; i < 100; i++ {
+		var u trace.UtilizationVector
+		u.Set(trace.CPU, rng.Float64()) // only CPU varies
+		p, _ := model.At(u)
+		obs = append(obs, Observation{Util: u, PowerMW: p})
+	}
+	if _, err := Fit("partial", obs); err == nil {
+		t.Error("fit with unexercised components accepted")
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit("x", nil); err == nil {
+		t.Error("empty observations accepted")
+	}
+}
+
+func TestFittedModelMatchesTruthOnFreshInputs(t *testing.T) {
+	truth := device.GalaxyS5()
+	obs := calibrationRun(truth, 400, 5, 4)
+	res, err := Fit("galaxys5-fitted", obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthModel := NewModel(truth)
+	fitModel := NewModel(res.Profile)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		var u trace.UtilizationVector
+		for _, c := range trace.Components() {
+			u.Set(c, rng.Float64())
+		}
+		want, _ := truthModel.At(u)
+		got, _ := fitModel.At(u)
+		if RelativeError(got, want) > 0.025 {
+			// The paper's model error bound: < 2.5%.
+			t.Errorf("fresh input %d: fitted %.1f vs truth %.1f", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package power implements the utilization-based online power model that
+// EnergyDx adopts from Zhang et al. [20]: the app's power at each sample
+// is a linear combination of per-component utilization and device-specific
+// coefficients, plus a base term. The paper reports the model's estimation
+// error is below 2.5%, "sufficient to characterize the app power
+// transition"; the estimator therefore supports injecting bounded Gaussian
+// noise so downstream analysis is exercised under realistic error.
+//
+// The package also implements the power-model scaling of Mittal et al.
+// [22] that Step 1 applies so traces from heterogeneous phones become
+// comparable, and power breakdowns by component (paper Figs 11 and 14).
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// ErrNoSamples is returned when an estimation input has no samples.
+var ErrNoSamples = errors.New("power: utilization trace has no samples")
+
+// Model estimates app power from utilization on a specific device.
+type Model struct {
+	profile Profile
+	// noiseFrac is the standard deviation of multiplicative Gaussian
+	// noise applied to each estimate (0 disables noise). The paper's
+	// model error bound of 2.5% corresponds to noiseFrac = 0.025.
+	noiseFrac float64
+	rng       *rand.Rand
+}
+
+// Profile is an alias re-exported so callers do not need to import
+// device directly when constructing models.
+type Profile = device.Profile
+
+// Option configures a Model.
+type Option func(*Model)
+
+// WithNoise enables multiplicative Gaussian estimation noise with the
+// given fractional standard deviation (e.g. 0.025 for the paper's 2.5%
+// bound), driven by the given seed for reproducibility.
+func WithNoise(frac float64, seed int64) Option {
+	return func(m *Model) {
+		m.noiseFrac = frac
+		m.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// NewModel builds a power model for the given device profile.
+func NewModel(p Profile, opts ...Option) *Model {
+	m := &Model{profile: p}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// PaperNoiseFrac is the paper's reported power-model error bound (2.5%).
+const PaperNoiseFrac = 0.025
+
+// At estimates instantaneous app power (mW) and its per-component
+// breakdown from one utilization vector. The breakdown excludes the base
+// term and estimation noise so components always sum to at most the total.
+func (m *Model) At(u trace.UtilizationVector) (totalMW float64, breakdown trace.UtilizationVector) {
+	total := m.profile.BaseMW
+	for i, c := range trace.Components() {
+		p := u[i] * m.profile.Coeff(c)
+		breakdown[i] = p
+		total += p
+	}
+	if m.noiseFrac > 0 && m.rng != nil {
+		// Truncate at 3 sigma so a single unlucky draw cannot fabricate
+		// a power transition.
+		n := m.rng.NormFloat64() * m.noiseFrac
+		if n > 3*m.noiseFrac {
+			n = 3 * m.noiseFrac
+		}
+		if n < -3*m.noiseFrac {
+			n = -3 * m.noiseFrac
+		}
+		total *= 1 + n
+	}
+	return total, breakdown
+}
+
+// Estimate converts a utilization trace into a power trace sample by
+// sample.
+func (m *Model) Estimate(ut *trace.UtilizationTrace) (*trace.PowerTrace, error) {
+	if err := ut.Validate(); err != nil {
+		return nil, fmt.Errorf("estimate power: %w", err)
+	}
+	pt := &trace.PowerTrace{
+		AppID:   ut.AppID,
+		Device:  m.profile.Name,
+		Samples: make([]trace.PowerSample, 0, len(ut.Samples)),
+	}
+	for _, s := range ut.Samples {
+		total, breakdown := m.At(s.Util)
+		pt.Samples = append(pt.Samples, trace.PowerSample{
+			TimestampMS: s.TimestampMS,
+			PowerMW:     total,
+			Breakdown:   breakdown,
+		})
+	}
+	return pt, nil
+}
+
+// Scale converts a power trace measured on device `from` into the
+// reference device `to`'s terms using the whole-model scaling factor of
+// [22]. The input is not modified.
+func Scale(pt *trace.PowerTrace, from, to *device.Profile) *trace.PowerTrace {
+	factor := device.ScaleFactor(from, to)
+	out := &trace.PowerTrace{
+		AppID:   pt.AppID,
+		Device:  to.Name,
+		Samples: make([]trace.PowerSample, len(pt.Samples)),
+	}
+	for i, s := range pt.Samples {
+		ns := s
+		ns.PowerMW *= factor
+		for j := range ns.Breakdown {
+			ns.Breakdown[j] *= factor
+		}
+		out.Samples[i] = ns
+	}
+	return out
+}
+
+// MeanPowerMW returns the average total power of a trace (used for the
+// Fig-17 before/after-fix comparison).
+func MeanPowerMW(pt *trace.PowerTrace) (float64, error) {
+	if len(pt.Samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	var sum float64
+	for _, s := range pt.Samples {
+		sum += s.PowerMW
+	}
+	return sum / float64(len(pt.Samples)), nil
+}
+
+// Breakdown is the average per-component power over a window, the data
+// behind the paper's power-breakdown figures (Fig 11: GPS draws power
+// with the display off; Fig 14: CPU-heavy retry loop).
+type Breakdown struct {
+	StartMS     int64                              `json:"startMillis"`
+	EndMS       int64                              `json:"endMillis"`
+	MeanTotalMW float64                            `json:"meanTotalMilliwatts"`
+	ByComponent map[trace.Component]float64        `json:"-"`
+	Components  [trace.NumComponents]BreakdownItem `json:"components"`
+}
+
+// BreakdownItem names one component's share for serialization.
+type BreakdownItem struct {
+	Component string  `json:"component"`
+	MeanMW    float64 `json:"meanMilliwatts"`
+}
+
+// BreakdownBetween averages per-component power over samples whose
+// timestamps fall inside [startMS, endMS].
+func BreakdownBetween(pt *trace.PowerTrace, startMS, endMS int64) (Breakdown, error) {
+	b := Breakdown{
+		StartMS:     startMS,
+		EndMS:       endMS,
+		ByComponent: make(map[trace.Component]float64, trace.NumComponents),
+	}
+	var acc trace.UtilizationVector
+	var total float64
+	n := 0
+	for _, s := range pt.Samples {
+		if s.TimestampMS < startMS || s.TimestampMS > endMS {
+			continue
+		}
+		for i := range acc {
+			acc[i] += s.Breakdown[i]
+		}
+		total += s.PowerMW
+		n++
+	}
+	if n == 0 {
+		return Breakdown{}, fmt.Errorf("power: no samples in window [%d, %d]: %w", startMS, endMS, ErrNoSamples)
+	}
+	b.MeanTotalMW = total / float64(n)
+	for i, c := range trace.Components() {
+		mean := acc[i] / float64(n)
+		b.ByComponent[c] = mean
+		b.Components[i] = BreakdownItem{Component: c.String(), MeanMW: mean}
+	}
+	return b, nil
+}
+
+// RelativeError returns |est-truth|/truth, a helper for verifying the
+// model's error bound in tests and the overhead experiment.
+func RelativeError(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}

@@ -1,0 +1,205 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+func utilTrace(periodMS int64, cpuLevels ...float64) *trace.UtilizationTrace {
+	ut := &trace.UtilizationTrace{AppID: "app", PID: 1, PeriodMS: periodMS}
+	for i, lvl := range cpuLevels {
+		var u trace.UtilizationVector
+		u.Set(trace.CPU, lvl)
+		ut.Samples = append(ut.Samples, trace.UtilizationSample{
+			TimestampMS: int64(i) * periodMS,
+			Util:        u,
+		})
+	}
+	return ut
+}
+
+func TestAtLinearity(t *testing.T) {
+	n6 := device.Nexus6()
+	m := NewModel(n6)
+	var idle trace.UtilizationVector
+	total, _ := m.At(idle)
+	if total != n6.BaseMW {
+		t.Errorf("idle power = %v, want base %v", total, n6.BaseMW)
+	}
+	var busy trace.UtilizationVector
+	busy.Set(trace.CPU, 1)
+	total, breakdown := m.At(busy)
+	want := n6.BaseMW + n6.Coeff(trace.CPU)
+	if total != want {
+		t.Errorf("full-CPU power = %v, want %v", total, want)
+	}
+	if breakdown.Get(trace.CPU) != n6.Coeff(trace.CPU) {
+		t.Errorf("breakdown cpu = %v", breakdown.Get(trace.CPU))
+	}
+	if breakdown.Get(trace.GPS) != 0 {
+		t.Errorf("breakdown gps = %v, want 0", breakdown.Get(trace.GPS))
+	}
+	// Half utilization -> half component power.
+	var half trace.UtilizationVector
+	half.Set(trace.CPU, 0.5)
+	total, _ = m.At(half)
+	if got := total - n6.BaseMW; math.Abs(got-n6.Coeff(trace.CPU)/2) > 1e-9 {
+		t.Errorf("half-CPU dynamic power = %v", got)
+	}
+}
+
+func TestEstimateTrace(t *testing.T) {
+	m := NewModel(device.Nexus6())
+	ut := utilTrace(500, 0, 0.5, 1)
+	pt, err := m.Estimate(ut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Samples) != 3 {
+		t.Fatalf("got %d samples", len(pt.Samples))
+	}
+	if pt.Device != "nexus6" || pt.AppID != "app" {
+		t.Errorf("metadata = %+v", pt)
+	}
+	if !(pt.Samples[0].PowerMW < pt.Samples[1].PowerMW && pt.Samples[1].PowerMW < pt.Samples[2].PowerMW) {
+		t.Errorf("power not increasing with utilization: %v", pt.Samples)
+	}
+}
+
+func TestEstimateRejectsInvalid(t *testing.T) {
+	m := NewModel(device.Nexus6())
+	bad := &trace.UtilizationTrace{PeriodMS: 0}
+	if _, err := m.Estimate(bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestNoiseBoundedAndReproducible(t *testing.T) {
+	n6 := device.Nexus6()
+	clean := NewModel(n6)
+	noisy1 := NewModel(n6, WithNoise(PaperNoiseFrac, 42))
+	noisy2 := NewModel(n6, WithNoise(PaperNoiseFrac, 42))
+	var u trace.UtilizationVector
+	u.Set(trace.CPU, 0.8)
+	truth, _ := clean.At(u)
+	maxErr := 0.0
+	for i := 0; i < 1000; i++ {
+		e1, _ := noisy1.At(u)
+		e2, _ := noisy2.At(u)
+		if e1 != e2 {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, e1, e2)
+		}
+		if re := RelativeError(e1, truth); re > maxErr {
+			maxErr = re
+		}
+	}
+	// Noise is truncated at 3 sigma = 7.5%.
+	if maxErr > 3*PaperNoiseFrac+1e-9 {
+		t.Errorf("max relative error %v exceeds 3-sigma bound", maxErr)
+	}
+	if maxErr == 0 {
+		t.Error("noise enabled but all estimates exact")
+	}
+}
+
+func TestScale(t *testing.T) {
+	n6, mg := device.Nexus6(), device.MotoG()
+	m := NewModel(mg)
+	pt, err := m.Estimate(utilTrace(500, 0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := Scale(pt, &mg, &n6)
+	if scaled.Device != "nexus6" {
+		t.Errorf("scaled device = %q", scaled.Device)
+	}
+	factor := device.ScaleFactor(&mg, &n6)
+	for i := range pt.Samples {
+		want := pt.Samples[i].PowerMW * factor
+		if math.Abs(scaled.Samples[i].PowerMW-want) > 1e-9 {
+			t.Errorf("sample %d = %v, want %v", i, scaled.Samples[i].PowerMW, want)
+		}
+	}
+	// Original untouched.
+	if pt.Device != "motog" {
+		t.Error("Scale mutated input")
+	}
+}
+
+func TestMeanPower(t *testing.T) {
+	pt := &trace.PowerTrace{Samples: []trace.PowerSample{
+		{PowerMW: 100}, {PowerMW: 300},
+	}}
+	mean, err := MeanPowerMW(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 200 {
+		t.Errorf("mean = %v", mean)
+	}
+	if _, err := MeanPowerMW(&trace.PowerTrace{}); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty trace error = %v", err)
+	}
+}
+
+func TestBreakdownBetween(t *testing.T) {
+	m := NewModel(device.Nexus6())
+	// GPS on with display off — the OpenGPS ABD signature (Fig 11).
+	ut := &trace.UtilizationTrace{AppID: "opengps", PeriodMS: 500}
+	for i := 0; i < 10; i++ {
+		var u trace.UtilizationVector
+		u.Set(trace.GPS, 1)
+		u.Set(trace.CPU, 0.1)
+		ut.Samples = append(ut.Samples, trace.UtilizationSample{TimestampMS: int64(i) * 500, Util: u})
+	}
+	pt, err := m.Estimate(ut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BreakdownBetween(pt, 0, 4500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ByComponent[trace.Display] != 0 {
+		t.Errorf("display power = %v, want 0", b.ByComponent[trace.Display])
+	}
+	if b.ByComponent[trace.GPS] <= b.ByComponent[trace.CPU] {
+		t.Errorf("GPS (%v) should dominate CPU (%v) in this window",
+			b.ByComponent[trace.GPS], b.ByComponent[trace.CPU])
+	}
+	if b.MeanTotalMW <= 0 {
+		t.Error("mean total not positive")
+	}
+	// Named items align with the map.
+	for i, c := range trace.Components() {
+		if b.Components[i].Component != c.String() {
+			t.Errorf("component %d named %q", i, b.Components[i].Component)
+		}
+		if b.Components[i].MeanMW != b.ByComponent[c] {
+			t.Errorf("component %v mismatch", c)
+		}
+	}
+}
+
+func TestBreakdownBetweenEmptyWindow(t *testing.T) {
+	pt := &trace.PowerTrace{Samples: []trace.PowerSample{{TimestampMS: 0}}}
+	if _, err := BreakdownBetween(pt, 1000, 2000); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(110, 100) != 0.1 {
+		t.Error("basic relative error")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Error("x/0 should be +Inf")
+	}
+}

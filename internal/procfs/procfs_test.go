@@ -1,0 +1,167 @@
+package procfs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRecordAndUtilizationAt(t *testing.T) {
+	l := NewLedger()
+	if err := l.Record(1, trace.CPU, 0, 1000, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(1, trace.CPU, 500, 1500, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		at   int64
+		want float64
+	}{
+		{0, 0.5},
+		{499, 0.5},
+		{500, 0.8},  // overlap adds
+		{999, 0.8},  // both still active
+		{1000, 0.3}, // first interval's end is exclusive
+		{1499, 0.3},
+		{1500, 0},
+	}
+	for _, tt := range tests {
+		if got := l.UtilizationAt(1, tt.at).Get(trace.CPU); got != tt.want {
+			t.Errorf("UtilizationAt(%d) cpu = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestRecordClampsAtSampling(t *testing.T) {
+	l := NewLedger()
+	_ = l.Record(1, trace.CPU, 0, 100, 0.8)
+	_ = l.Record(1, trace.CPU, 0, 100, 0.8)
+	if got := l.UtilizationAt(1, 50).Get(trace.CPU); got != 1 {
+		t.Errorf("summed utilization = %v, want clamped 1", got)
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	l := NewLedger()
+	if err := l.Record(1, trace.CPU, 100, 100, 0.5); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if err := l.Record(1, trace.CPU, 100, 50, 0.5); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if err := l.Record(1, trace.CPU, 0, 100, -0.5); err == nil {
+		t.Error("negative level accepted")
+	}
+}
+
+func TestPIDIsolation(t *testing.T) {
+	// The paper: "the existence of multiple running apps does not affect
+	// utilization tracking of the suspect app."
+	l := NewLedger()
+	_ = l.Record(1, trace.CPU, 0, 1000, 0.9)
+	_ = l.Record(2, trace.GPS, 0, 1000, 1.0)
+	if got := l.UtilizationAt(1, 500).Get(trace.GPS); got != 0 {
+		t.Errorf("pid 1 sees pid 2's GPS: %v", got)
+	}
+	if got := l.UtilizationAt(2, 500).Get(trace.CPU); got != 0 {
+		t.Errorf("pid 2 sees pid 1's CPU: %v", got)
+	}
+}
+
+func TestOpenUsageLifecycle(t *testing.T) {
+	l := NewLedger()
+	h := l.Open(1, trace.GPS, 100, 1.0)
+	// Open-ended: visible arbitrarily far in the future (a no-sleep bug).
+	if got := l.UtilizationAt(1, 1_000_000).Get(trace.GPS); got != 1 {
+		t.Errorf("open usage not visible: %v", got)
+	}
+	h.Close(500)
+	if got := l.UtilizationAt(1, 400).Get(trace.GPS); got != 1 {
+		t.Errorf("closed usage lost inside span: %v", got)
+	}
+	if got := l.UtilizationAt(1, 600).Get(trace.GPS); got != 0 {
+		t.Errorf("usage visible after close: %v", got)
+	}
+	// Double close is a no-op.
+	h.Close(900)
+	if got := l.UtilizationAt(1, 600).Get(trace.GPS); got != 0 {
+		t.Errorf("double close extended interval: %v", got)
+	}
+	// Nil handle close is safe.
+	var nilH *OpenUsage
+	nilH.Close(1)
+}
+
+func TestOpenUsageCloseBeforeStart(t *testing.T) {
+	l := NewLedger()
+	h := l.Open(1, trace.CPU, 100, 0.5)
+	h.Close(50) // clamped to start+1
+	if got := l.UtilizationAt(1, 100).Get(trace.CPU); got != 0.5 {
+		t.Errorf("clamped interval missing: %v", got)
+	}
+	if got := l.UtilizationAt(1, 101).Get(trace.CPU); got != 0 {
+		t.Errorf("clamped interval too long: %v", got)
+	}
+}
+
+func TestSamplerTrace(t *testing.T) {
+	l := NewLedger()
+	_ = l.Record(7, trace.CPU, 0, 1000, 0.4)
+	s := NewSampler(l, 500)
+	ut := s.Trace("app", 7, 0, 2000)
+	if ut.PeriodMS != 500 || ut.PID != 7 || ut.AppID != "app" {
+		t.Errorf("trace metadata = %+v", ut)
+	}
+	if len(ut.Samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(ut.Samples))
+	}
+	wantCPU := []float64{0.4, 0.4, 0, 0, 0}
+	for i, s := range ut.Samples {
+		if got := s.Util.Get(trace.CPU); got != wantCPU[i] {
+			t.Errorf("sample %d cpu = %v, want %v", i, got, wantCPU[i])
+		}
+		if s.TimestampMS != int64(i)*500 {
+			t.Errorf("sample %d ts = %d", i, s.TimestampMS)
+		}
+	}
+	if err := ut.Validate(); err != nil {
+		t.Errorf("sampled trace invalid: %v", err)
+	}
+}
+
+func TestSamplerDefaults(t *testing.T) {
+	s := NewSampler(NewLedger(), 0)
+	if s.PeriodMS() != DefaultPeriodMS {
+		t.Errorf("default period = %d, want %d", s.PeriodMS(), DefaultPeriodMS)
+	}
+	ut := s.Trace("app", 1, 100, 50) // inverted span
+	if len(ut.Samples) != 0 {
+		t.Errorf("inverted span produced %d samples", len(ut.Samples))
+	}
+}
+
+func TestLedgerConcurrentAccess(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = l.Record(g, trace.CPU, int64(i), int64(i)+10, 0.1)
+				_ = l.UtilizationAt(g, int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(l.PIDs()) != 8 {
+		t.Errorf("got %d pids, want 8", len(l.PIDs()))
+	}
+	for _, pid := range l.PIDs() {
+		if n := l.IntervalCount(pid); n != 100 {
+			t.Errorf("pid %d has %d intervals, want 100", pid, n)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements ordinary least squares, the fitting procedure
+// behind utilization-based smartphone power models: Zhang et al. [20]
+// regress measured battery power against component utilization to
+// obtain per-component coefficients. package power uses it to train
+// device profiles from labelled samples.
+
+// ErrSingular is returned when the normal equations are (numerically)
+// singular — e.g. two regressors are perfectly collinear or a component
+// never varies in the training data.
+var ErrSingular = errors.New("stats: singular regression system")
+
+// LeastSquares solves min ||X·beta - y||² via the normal equations with
+// Gaussian elimination and partial pivoting. X is row-major: X[i] is
+// observation i's regressors (include a constant 1 column for an
+// intercept). Returns beta with len(X[0]) coefficients.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("stats: %d observations but %d targets", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("stats: no regressors")
+	}
+	if n < p {
+		return nil, fmt.Errorf("stats: %d observations cannot determine %d coefficients", n, p)
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: row %d has %d regressors, want %d", i, len(row), p)
+		}
+		if err := checkFinite(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkFinite(y); err != nil {
+		return nil, err
+	}
+
+	// Form XtX (p x p) and Xty (p).
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for _, row := range x {
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	for k, row := range x {
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[k]
+		}
+	}
+	return solve(xtx, xty)
+}
+
+// solve runs Gaussian elimination with partial pivoting on a (mutated)
+// square system a·beta = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	p := len(a)
+	for col := 0; col < p; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("%w: pivot %d", ErrSingular, col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < p; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < p; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	beta := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < p; j++ {
+			sum -= a[i][j] * beta[j]
+		}
+		beta[i] = sum / a[i][i]
+	}
+	return beta, nil
+}
+
+// RSquared returns the coefficient of determination of predictions
+// against observations.
+func RSquared(predicted, observed []float64) (float64, error) {
+	if len(predicted) != len(observed) {
+		return 0, fmt.Errorf("stats: %d predictions vs %d observations", len(predicted), len(observed))
+	}
+	mean, err := Mean(observed)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkFinite(predicted); err != nil {
+		return 0, err
+	}
+	var ssRes, ssTot float64
+	for i := range observed {
+		r := observed[i] - predicted[i]
+		ssRes += r * r
+		d := observed[i] - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}

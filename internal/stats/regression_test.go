@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	// y = 3 + 2x fit exactly.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{3, 5, 7, 9}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-3) > 1e-9 || math.Abs(beta[1]-2) > 1e-9 {
+		t.Errorf("beta = %v, want [3 2]", beta)
+	}
+}
+
+func TestLeastSquaresRecoversMultivariate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := []float64{25, 900, 1100, 700} // base + 3 components
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		row := []float64{1, rng.Float64(), rng.Float64(), rng.Float64()}
+		x = append(x, row)
+		v := 0.0
+		for j, b := range truth {
+			v += b * row[j]
+		}
+		// Small measurement noise.
+		y = append(y, v+rng.NormFloat64()*5)
+	}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, b := range truth {
+		if math.Abs(beta[j]-b) > 0.05*b+5 {
+			t.Errorf("beta[%d] = %.1f, want ~%.1f", j, beta[j], b)
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("no regressors accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := LeastSquares([][]float64{{math.NaN(), 1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("NaN regressor accepted")
+	}
+	// Perfect collinearity: second column is 2x the first.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if _, err := LeastSquares(x, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("collinear system: %v", err)
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	r2, err := RSquared(obs, obs) // perfect prediction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != 1 {
+		t.Errorf("perfect R2 = %v", r2)
+	}
+	// Predicting the mean gives R2 = 0.
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	r2, err = RSquared(mean, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2) > 1e-12 {
+		t.Errorf("mean-prediction R2 = %v", r2)
+	}
+	if _, err := RSquared([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Constant observations: 1 when matched, 0 when not.
+	r2, err = RSquared([]float64{5, 5}, []float64{5, 5})
+	if err != nil || r2 != 1 {
+		t.Errorf("constant match R2 = %v, %v", r2, err)
+	}
+	r2, err = RSquared([]float64{4, 6}, []float64{5, 5})
+	if err != nil || r2 != 0 {
+		t.Errorf("constant mismatch R2 = %v, %v", r2, err)
+	}
+}

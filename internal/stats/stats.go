@@ -1,0 +1,276 @@
+// Package stats provides the statistical primitives used throughout the
+// EnergyDx pipeline: percentiles, quartiles, interquartile-range outlier
+// fences, rank assignment, cumulative distributions, and summary
+// statistics.
+//
+// All functions are pure and operate on float64 slices. Inputs are never
+// mutated; functions that need ordering work on an internal copy. NaN and
+// Inf values are rejected with ErrNonFinite so that corrupted utilization
+// samples cannot silently poison a diagnosis.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+var (
+	// ErrEmpty is returned when a computation requires at least one sample.
+	ErrEmpty = errors.New("stats: empty sample set")
+
+	// ErrNonFinite is returned when a sample contains NaN or Inf.
+	ErrNonFinite = errors.New("stats: non-finite sample")
+
+	// ErrBadPercentile is returned when a percentile is outside [0, 100].
+	ErrBadPercentile = errors.New("stats: percentile out of range [0, 100]")
+)
+
+// checkFinite verifies every sample is a finite float.
+func checkFinite(xs []float64) error {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: sample %d is %v", ErrNonFinite, i, x)
+		}
+	}
+	return nil
+}
+
+// sortedCopy returns the samples in ascending order without mutating xs.
+func sortedCopy(xs []float64) []float64 {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return cp
+}
+
+// Percentile computes the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks (the "exclusive" variant used
+// by R type-7 quantiles, which is also what the paper's R-based prototype
+// computes by default).
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("%w: %v", ErrBadPercentile, p)
+	}
+	if err := checkFinite(xs); err != nil {
+		return 0, err
+	}
+	sorted := sortedCopy(xs)
+	return percentileSorted(sorted, p), nil
+}
+
+// percentileSorted computes a type-7 quantile on pre-sorted data.
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quartiles holds the three quartiles of a sample set.
+type Quartiles struct {
+	Q1     float64 // 25th percentile
+	Median float64 // 50th percentile
+	Q3     float64 // 75th percentile
+}
+
+// IQR returns the interquartile range Q3 - Q1.
+func (q Quartiles) IQR() float64 { return q.Q3 - q.Q1 }
+
+// ComputeQuartiles returns Q1, median and Q3 of xs.
+func ComputeQuartiles(xs []float64) (Quartiles, error) {
+	if len(xs) == 0 {
+		return Quartiles{}, ErrEmpty
+	}
+	if err := checkFinite(xs); err != nil {
+		return Quartiles{}, err
+	}
+	sorted := sortedCopy(xs)
+	return Quartiles{
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+	}, nil
+}
+
+// Fences holds Tukey-style outlier fences derived from quartiles.
+//
+// EnergyDx Step 4 uses the *upper outer fence* Q3 + 3*IQR to select
+// manifestation points (paper §III-A, Step 4).
+type Fences struct {
+	Quartiles  Quartiles
+	Multiplier float64 // fence multiplier k; the paper uses 3 (outer fence)
+
+	LowerOuter float64 // Q1 - k*IQR
+	UpperOuter float64 // Q3 + k*IQR
+}
+
+// ComputeFences derives outlier fences with the given multiplier. A
+// multiplier of 1.5 yields the classic inner fences; 3.0 yields the outer
+// fences used by the paper.
+func ComputeFences(xs []float64, multiplier float64) (Fences, error) {
+	if multiplier < 0 || math.IsNaN(multiplier) || math.IsInf(multiplier, 0) {
+		return Fences{}, fmt.Errorf("stats: invalid fence multiplier %v", multiplier)
+	}
+	q, err := ComputeQuartiles(xs)
+	if err != nil {
+		return Fences{}, err
+	}
+	iqr := q.IQR()
+	return Fences{
+		Quartiles:  q,
+		Multiplier: multiplier,
+		LowerOuter: q.Q1 - multiplier*iqr,
+		UpperOuter: q.Q3 + multiplier*iqr,
+	}, nil
+}
+
+// UpperOutliers returns the indices of samples strictly greater than the
+// upper outer fence, in ascending index order.
+func UpperOutliers(xs []float64, multiplier float64) ([]int, error) {
+	f, err := ComputeFences(xs, multiplier)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for i, x := range xs {
+		if x > f.UpperOuter {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// Ranks assigns each sample its ascending rank (1-based). Ties receive the
+// mean of the ranks they span ("fractional ranking"), which keeps the rank
+// distribution stable across traces where many event instances consume
+// identical estimated power.
+func Ranks(xs []float64) ([]float64, error) {
+	if err := checkFinite(xs); err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Mean rank of the tied block [i, j].
+		mean := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mean
+		}
+		i = j + 1
+	}
+	return ranks, nil
+}
+
+// Summary captures the descriptive statistics of a sample set.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics for xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	if err := checkFinite(xs); err != nil {
+		return Summary{}, err
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := sortedCopy(xs)
+	s.Median = percentileSorted(sorted, 50)
+	return s, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if err := checkFinite(xs); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// CDFPoint is one point of an empirical cumulative distribution function.
+type CDFPoint struct {
+	Value    float64 `json:"value"`
+	Fraction float64 `json:"fraction"` // P(X <= Value), in (0, 1]
+}
+
+// EmpiricalCDF returns the empirical CDF of xs as a step function sampled
+// at each distinct value. It is used to reproduce Fig 1 (the event-distance
+// distribution across the 40 ABD cases).
+func EmpiricalCDF(xs []float64) ([]CDFPoint, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if err := checkFinite(xs); err != nil {
+		return nil, err
+	}
+	sorted := sortedCopy(xs)
+	n := float64(len(sorted))
+	var points []CDFPoint
+	for i := 0; i < len(sorted); i++ {
+		// Collapse ties: emit one point per distinct value at the
+		// highest cumulative fraction it reaches.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		points = append(points, CDFPoint{
+			Value:    sorted[i],
+			Fraction: float64(i+1) / n,
+		})
+	}
+	return points, nil
+}

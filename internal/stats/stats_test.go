@@ -1,0 +1,357 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"single", []float64{5}, 50, 5},
+		{"single p0", []float64{5}, 0, 5},
+		{"single p100", []float64{5}, 100, 5},
+		{"median even", []float64{1, 2, 3, 4}, 50, 2.5},
+		{"median odd", []float64{1, 2, 3}, 50, 2},
+		{"p0 is min", []float64{9, 1, 5}, 0, 1},
+		{"p100 is max", []float64{9, 1, 5}, 100, 9},
+		{"p25 type7", []float64{1, 2, 3, 4}, 25, 1.75},
+		{"p10 of 1..10", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 10, 1.9},
+		{"unsorted input", []float64{10, 1, 7, 3}, 50, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Percentile(tt.xs, tt.p)
+			if err != nil {
+				t.Fatalf("Percentile(%v, %v) error: %v", tt.xs, tt.p, err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tt.xs, tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty input: got %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("p=-1: want error, got nil")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("p=101: want error, got nil")
+	}
+	if _, err := Percentile([]float64{math.NaN()}, 50); err == nil {
+		t.Error("NaN sample: want error, got nil")
+	}
+	if _, err := Percentile([]float64{math.Inf(1)}, 50); err == nil {
+		t.Error("Inf sample: want error, got nil")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuartilesKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	q, err := ComputeQuartiles(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Q1 != 3 || q.Median != 5 || q.Q3 != 7 {
+		t.Errorf("quartiles = %+v, want Q1=3 Median=5 Q3=7", q)
+	}
+	if q.IQR() != 4 {
+		t.Errorf("IQR = %v, want 4", q.IQR())
+	}
+}
+
+func TestFencesPaperMultiplier(t *testing.T) {
+	// A flat trace with a single large spike: the spike must exceed the
+	// upper outer fence with the paper's multiplier k=3.
+	xs := []float64{1, 1.1, 0.9, 1, 1.05, 0.95, 1, 12, 1, 1.02}
+	f, err := ComputeFences(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.UpperOuter >= 12 {
+		t.Errorf("upper outer fence %v should be below the spike 12", f.UpperOuter)
+	}
+	out, err := UpperOutliers(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 7 {
+		t.Errorf("UpperOutliers = %v, want [7]", out)
+	}
+}
+
+func TestFencesNoOutlierOnFlat(t *testing.T) {
+	xs := []float64{1, 1.01, 0.99, 1.02, 0.98, 1, 1.01, 0.99}
+	out, err := UpperOutliers(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("flat trace produced outliers %v", out)
+	}
+}
+
+func TestFencesInvalidMultiplier(t *testing.T) {
+	for _, k := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := ComputeFences([]float64{1, 2, 3}, k); err == nil {
+			t.Errorf("multiplier %v: want error, got nil", k)
+		}
+	}
+}
+
+func TestRanksNoTies(t *testing.T) {
+	ranks, err := Ranks([]float64{30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	// Two values tied for ranks 2 and 3 each get 2.5.
+	ranks, err := Ranks([]float64{1, 5, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRanksEmpty(t *testing.T) {
+	ranks, err := Ranks(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 0 {
+		t.Errorf("Ranks(nil) = %v, want empty", ranks)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Min != 2 || s.Max != 9 || s.Mean != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stddev != 0 {
+		t.Errorf("stddev of single sample = %v, want 0", s.Stddev)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	pts, err := EmpiricalCDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("CDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestEmpiricalCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+	}
+	pts, err := EmpiricalCDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Fatalf("values not strictly increasing at %d: %v", i, pts)
+		}
+		if pts[i].Fraction <= pts[i-1].Fraction {
+			t.Fatalf("fractions not strictly increasing at %d: %v", i, pts)
+		}
+	}
+	if pts[len(pts)-1].Fraction != 1 {
+		t.Errorf("final fraction = %v, want 1", pts[len(pts)-1].Fraction)
+	}
+}
+
+// Property: the percentile function is monotone in p and bounded by
+// min/max for any sample set.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Clamp to avoid pathological float overflow during
+			// interpolation arithmetic.
+			if math.Abs(x) > 1e100 {
+				x = math.Mod(x, 1e100)
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := float64(p1) / 255 * 100
+		pb := float64(p2) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, err1 := Percentile(xs, pa)
+		vb, err2 := Percentile(xs, pb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sorted := sortedCopy(xs)
+		lo, hi := sorted[0], sorted[len(sorted)-1]
+		return va <= vb && va >= lo && vb <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranks form a permutation-invariant assignment whose sum equals
+// n(n+1)/2 regardless of ties.
+func TestRanksSumProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		ranks, err := Ranks(xs)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		n := float64(len(xs))
+		return math.Abs(sum-n*(n+1)/2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fences always bracket the quartiles.
+func TestFencesBracketProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		f, err := ComputeFences(xs, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.LowerOuter > f.Quartiles.Q1 || f.UpperOuter < f.Quartiles.Q3 {
+			t.Fatalf("fences do not bracket quartiles: %+v", f)
+		}
+	}
+}
+
+func sortedFloats(xs []float64) []float64 {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return cp
+}
+
+// Property: EmpiricalCDF evaluated at the max equals 1 and is a valid CDF.
+func TestCDFProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pts, err := EmpiricalCDF(xs)
+		if err != nil {
+			return false
+		}
+		srt := sortedFloats(xs)
+		return pts[len(pts)-1].Fraction == 1 && pts[len(pts)-1].Value == srt[len(srt)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the two serialization formats used by EnergyDx:
+//
+//   - the Fig-5 text format for event traces, one record per line:
+//       28223867 + Lcom/fsck/k9/service/MailService; onDestroy
+//     (timestamp, +/- direction, class, callback), and
+//   - a JSON-lines envelope used by the collection protocol for bundles.
+
+// WriteText serializes the event trace in the paper's Fig-5 line format.
+func (t *EventTrace) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Records {
+		if _, err := bw.WriteString(strconv.FormatInt(r.TimestampMS, 10)); err != nil {
+			return fmt.Errorf("write record: %w", err)
+		}
+		if _, err := bw.WriteString(" " + r.Dir.String() + " " + r.Key.Class + "; " + r.Key.Callback + "\n"); err != nil {
+			return fmt.Errorf("write record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Text renders the event trace to a string in the Fig-5 format.
+func (t *EventTrace) Text() string {
+	var sb strings.Builder
+	_ = t.WriteText(&sb) // strings.Builder never errors
+	return sb.String()
+}
+
+// ParseTextError reports a malformed line in a Fig-5 text trace.
+type ParseTextError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *ParseTextError) Error() string {
+	return fmt.Sprintf("trace: line %d %q: %s", e.Line, e.Text, e.Msg)
+}
+
+// ReadText parses an event trace from the Fig-5 line format. Metadata
+// (AppID, UserID, ...) is not part of the text format and is left zero.
+func ReadText(r io.Reader) (*EventTrace, error) {
+	t := &EventTrace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseTextLine(line)
+		if err != nil {
+			return nil, &ParseTextError{Line: lineNo, Text: line, Msg: err.Error()}
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan trace: %w", err)
+	}
+	return t, nil
+}
+
+func parseTextLine(line string) (Record, error) {
+	// Format: "<ts> <+|-> <class>; <callback>"
+	fields := strings.SplitN(line, " ", 3)
+	if len(fields) != 3 {
+		return Record{}, fmt.Errorf("want 3 fields, got %d", len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad timestamp: %v", err)
+	}
+	var dir Direction
+	switch fields[1] {
+	case "+":
+		dir = Enter
+	case "-":
+		dir = Exit
+	default:
+		return Record{}, fmt.Errorf("bad direction %q", fields[1])
+	}
+	cls, cb, ok := strings.Cut(fields[2], ";")
+	if !ok {
+		return Record{}, fmt.Errorf("missing %q separator", ";")
+	}
+	cls = strings.TrimSpace(cls)
+	cb = strings.TrimSpace(cb)
+	if cls == "" || cb == "" {
+		return Record{}, fmt.Errorf("empty class or callback")
+	}
+	return Record{TimestampMS: ts, Dir: dir, Key: EventKey{Class: cls, Callback: cb}}, nil
+}
+
+// EncodeBundle writes a trace bundle as a single JSON line, the unit of
+// the collection protocol.
+func EncodeBundle(w io.Writer, b *TraceBundle) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("encode bundle: %w", err)
+	}
+	return nil
+}
+
+// DecodeBundle reads one JSON-line trace bundle.
+func DecodeBundle(r io.Reader) (*TraceBundle, error) {
+	var b TraceBundle
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("decode bundle: %w", err)
+	}
+	return &b, nil
+}

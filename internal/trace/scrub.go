@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// This file implements the privacy scrubbing pass the paper requires
+// before traces leave the phone: "traces collected by EnergyDx are
+// preprocessed to remove any user identifiers, such as phone numbers or
+// IP addresses" (§II-B).
+
+var (
+	// reIPv4 matches dotted-quad IP addresses.
+	reIPv4 = regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}\b`)
+	// rePhone matches common phone-number shapes (7+ digits with optional
+	// separators and country prefix).
+	rePhone = regexp.MustCompile(`\+?\d[\d\-\. ]{6,}\d`)
+	// reEmail matches email addresses.
+	reEmail = regexp.MustCompile(`[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}`)
+)
+
+const redacted = "<redacted>"
+
+// ScrubString removes IP addresses, phone numbers and email addresses
+// from a free-form string.
+func ScrubString(s string) string {
+	s = reEmail.ReplaceAllString(s, redacted)
+	s = reIPv4.ReplaceAllString(s, redacted)
+	s = rePhone.ReplaceAllString(s, redacted)
+	return s
+}
+
+// ScrubUserID replaces a raw user identifier with a stable pseudonym so
+// Step 5 can still count distinct impacted users without learning who
+// they are. The pseudonym is a short FNV-based tag.
+func ScrubUserID(userID string) string {
+	if strings.HasPrefix(userID, "user-") {
+		// Already pseudonymous (produced by a previous scrub).
+		return userID
+	}
+	return fmt.Sprintf("user-%08x", fnv32(userID))
+}
+
+// fnv32 is the 32-bit FNV-1a hash (inlined to avoid importing hash/fnv
+// for four lines).
+func fnv32(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// ScrubBundle returns a deep copy of the bundle with user identifiers
+// pseudonymized and free-form fields scrubbed of PII. The original bundle
+// is not modified.
+func ScrubBundle(b *TraceBundle) *TraceBundle {
+	out := &TraceBundle{
+		Event: EventTrace{
+			AppID:   ScrubString(b.Event.AppID),
+			UserID:  ScrubUserID(b.Event.UserID),
+			Device:  b.Event.Device,
+			TraceID: b.Event.TraceID,
+			Records: make([]Record, len(b.Event.Records)),
+		},
+		Util: UtilizationTrace{
+			AppID:    ScrubString(b.Util.AppID),
+			PID:      0, // PID is device-local and dropped on upload
+			PeriodMS: b.Util.PeriodMS,
+			Samples:  make([]UtilizationSample, len(b.Util.Samples)),
+		},
+	}
+	for i, r := range b.Event.Records {
+		r.Key.Class = ScrubString(r.Key.Class)
+		r.Key.Callback = ScrubString(r.Key.Callback)
+		out.Event.Records[i] = r
+	}
+	copy(out.Util.Samples, b.Util.Samples)
+	return out
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file provides JSON-lines corpus streaming shared by the CLI
+// tools and the collection server's file store: one bundle per line,
+// blank lines ignored.
+
+// maxBundleBytes bounds one serialized bundle when scanning (64 MiB).
+const maxBundleBytes = 64 << 20
+
+// ReadBundles decodes every JSON-line bundle from r.
+func ReadBundles(r io.Reader) ([]*TraceBundle, error) {
+	var bundles []*TraceBundle
+	err := ScanBundles(r, func(b *TraceBundle) error {
+		bundles = append(bundles, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bundles, nil
+}
+
+// ScanBundles streams bundles from r to fn, stopping at the first
+// error. Use this instead of ReadBundles when the corpus may not fit in
+// memory at once.
+func ScanBundles(r io.Reader, fn func(*TraceBundle) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxBundleBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		b, err := DecodeBundle(strings.NewReader(text))
+		if err != nil {
+			return fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("trace: scan bundles: %w", err)
+	}
+	return nil
+}
+
+// WriteBundles encodes bundles to w as JSON lines.
+func WriteBundles(w io.Writer, bundles []*TraceBundle) error {
+	bw := bufio.NewWriter(w)
+	for i, b := range bundles {
+		if err := EncodeBundle(bw, b); err != nil {
+			return fmt.Errorf("trace: bundle %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: write bundles: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func streamBundle(user, id string) *TraceBundle {
+	return &TraceBundle{
+		Event: EventTrace{AppID: "app", UserID: user, TraceID: id,
+			Records: []Record{rec(1, Enter, "L", "f"), rec(2, Exit, "L", "f")}},
+		Util: UtilizationTrace{AppID: "app", PeriodMS: 500},
+	}
+}
+
+func TestScanBundlesStopsOnBadLine(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteBundles(&sb, []*TraceBundle{streamBundle("u", "t1")}); err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("this is not json\n")
+	n := 0
+	err := ScanBundles(strings.NewReader(sb.String()), func(*TraceBundle) error {
+		n++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("bad line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("callback ran %d times, want 1", n)
+	}
+}
+
+func TestScanBundlesPropagatesCallbackError(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteBundles(&sb, []*TraceBundle{
+		streamBundle("u", "t1"), streamBundle("u", "t2"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop here")
+	err := ScanBundles(strings.NewReader(sb.String()), func(*TraceBundle) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+func TestScanBundlesSkipsBlankLines(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("\n\n")
+	if err := WriteBundles(&sb, []*TraceBundle{streamBundle("u", "t1")}); err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("\n")
+	bundles, err := ReadBundles(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 {
+		t.Errorf("bundles = %d", len(bundles))
+	}
+}
+
+// Property: Write/Read bundle streams round-trip any count of bundles.
+func TestBundleStreamRoundTripProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 20)
+		in := make([]*TraceBundle, 0, n)
+		for i := 0; i < n; i++ {
+			in = append(in, streamBundle("u", "t"+string(rune('a'+i%26))))
+		}
+		var sb strings.Builder
+		if err := WriteBundles(&sb, in); err != nil {
+			return false
+		}
+		out, err := ReadBundles(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].Event.TraceID != in[i].Event.TraceID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

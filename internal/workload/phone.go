@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/android"
+	"repro/internal/apps"
+	"repro/internal/procfs"
+	"repro/internal/trace"
+)
+
+// This file simulates a whole phone running several apps concurrently,
+// the setting the app-level detectors of the paper's related work
+// (eDoctor, Carat) operate in: given one device's per-app utilization,
+// identify *which app* drains the battery. It also demonstrates the
+// procfs ledger's per-PID isolation in a production path.
+
+// PhoneConfig parameterizes a multi-app phone session.
+type PhoneConfig struct {
+	// Apps installed on the phone; the user switches between them.
+	Apps []*apps.App
+	// ABDApp is the index of the app whose ABD the user triggers
+	// (-1 for a healthy phone).
+	ABDApp int
+	// Seed drives all randomness.
+	Seed int64
+	// Phases is the number of app-usage phases (default 12).
+	Phases int
+	// SamplePeriodMS is the utilization sampling period (default 500).
+	SamplePeriodMS int64
+}
+
+// PhoneResult is one phone's session: a per-app utilization trace (what
+// an app-level detector consumes) plus the per-app event bundles (what
+// EnergyDx consumes).
+type PhoneResult struct {
+	Utils   []*trace.UtilizationTrace
+	Bundles []*trace.TraceBundle
+	// ABDAppID names the app with the triggered ABD ("" if none).
+	ABDAppID string
+}
+
+// GeneratePhone simulates one phone where the user hops between several
+// apps; at most one app's ABD is triggered mid-session.
+func GeneratePhone(cfg PhoneConfig) (*PhoneResult, error) {
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("workload: no apps installed")
+	}
+	if cfg.ABDApp >= len(cfg.Apps) {
+		return nil, fmt.Errorf("workload: ABD app index %d out of range", cfg.ABDApp)
+	}
+	if cfg.Phases <= 0 {
+		cfg.Phases = 12
+	}
+	if cfg.SamplePeriodMS <= 0 {
+		cfg.SamplePeriodMS = procfs.DefaultPeriodMS
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sys := android.NewSystem(0)
+
+	procs := make([]*android.Process, len(cfg.Apps))
+	for i, app := range cfg.Apps {
+		procs[i] = sys.NewProcess(app.AppID,
+			android.WithBehaviors(app.Behaviors(false)),
+			android.WithInstrumentation(android.DefaultInstrumentation()),
+			android.WithUser("phone-owner"),
+			android.WithDevice("nexus6"),
+		)
+	}
+
+	current := -1
+	triggerAt := -1
+	if cfg.ABDApp >= 0 {
+		triggerAt = cfg.Phases/3 + rng.Intn(cfg.Phases/3+1)
+	}
+	for phase := 0; phase < cfg.Phases; phase++ {
+		next := rng.Intn(len(cfg.Apps))
+		if phase == triggerAt {
+			next = cfg.ABDApp
+		}
+		if next != current {
+			if current >= 0 && procs[current].Foreground() {
+				if err := procs[current].Background(); err != nil {
+					return nil, fmt.Errorf("phase %d: background %s: %w", phase, cfg.Apps[current].AppID, err)
+				}
+			}
+			current = next
+		}
+		p, app := procs[current], cfg.Apps[current]
+		if !p.Foreground() {
+			if p.CurrentActivity() == "" {
+				if err := p.LaunchActivity(app.MainActivity); err != nil {
+					return nil, fmt.Errorf("phase %d: launch %s: %w", phase, app.AppID, err)
+				}
+			} else if err := p.ForegroundApp(); err != nil {
+				return nil, fmt.Errorf("phase %d: foreground %s: %w", phase, app.AppID, err)
+			}
+		}
+		if phase == triggerAt {
+			if err := android.RunScript(p, app.TriggerScript); err != nil {
+				return nil, fmt.Errorf("phase %d: trigger %s: %w", phase, app.AppID, err)
+			}
+			if err := p.Idle(15_000 + int64(rng.Intn(15_000))); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := browsePhase(p, app, rng); err != nil {
+			return nil, fmt.Errorf("phase %d: browse %s: %w", phase, app.AppID, err)
+		}
+	}
+	for _, p := range procs {
+		if p.Foreground() {
+			if err := p.Background(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A long shared idle at the end: on a healthy phone everything is
+	// quiet; with an ABD one app keeps drawing power.
+	if err := procs[0].Idle(30_000); err != nil {
+		return nil, err
+	}
+
+	res := &PhoneResult{}
+	if cfg.ABDApp >= 0 {
+		res.ABDAppID = cfg.Apps[cfg.ABDApp].AppID
+	}
+	sampler := procfs.NewSampler(sys.Ledger(), cfg.SamplePeriodMS)
+	for i, app := range cfg.Apps {
+		ut := sampler.Trace(app.AppID, procs[i].PID(), 0, sys.NowMS())
+		res.Utils = append(res.Utils, ut)
+		ev := procs[i].EventTrace()
+		ev.TraceID = fmt.Sprintf("phone-%s", app.AppID)
+		res.Bundles = append(res.Bundles, &trace.TraceBundle{Event: *ev, Util: *ut})
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/trace"
+)
+
+func installedApps(t *testing.T) []*apps.App {
+	t.Helper()
+	var out []*apps.App
+	for _, id := range []string{"opengps", "tinfoil"} {
+		a, err := apps.ByAppID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestGeneratePhoneShape(t *testing.T) {
+	installed := installedApps(t)
+	res, err := GeneratePhone(PhoneConfig{Apps: installed, ABDApp: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ABDAppID != "opengps" {
+		t.Errorf("ABD app = %q", res.ABDAppID)
+	}
+	if len(res.Utils) != 2 || len(res.Bundles) != 2 {
+		t.Fatalf("utils=%d bundles=%d", len(res.Utils), len(res.Bundles))
+	}
+	for i, b := range res.Bundles {
+		if err := b.Event.Validate(); err != nil {
+			t.Errorf("bundle %d: %v", i, err)
+		}
+		if err := b.Util.Validate(); err != nil {
+			t.Errorf("bundle %d: %v", i, err)
+		}
+		if b.Event.AppID != installed[i].AppID {
+			t.Errorf("bundle %d app = %q", i, b.Event.AppID)
+		}
+	}
+	// The draining app shows sustained GPS at session end; the other
+	// does not.
+	last := res.Utils[0].Samples[len(res.Utils[0].Samples)-1]
+	if last.Util.Get(trace.GPS) == 0 {
+		t.Error("ABD app shows no GPS at session end")
+	}
+	lastOther := res.Utils[1].Samples[len(res.Utils[1].Samples)-1]
+	if lastOther.Util.Get(trace.GPS) != 0 {
+		t.Error("healthy app shows GPS")
+	}
+}
+
+func TestGeneratePhoneHealthy(t *testing.T) {
+	installed := installedApps(t)
+	res, err := GeneratePhone(PhoneConfig{Apps: installed, ABDApp: -1, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ABDAppID != "" {
+		t.Errorf("healthy phone has ABD app %q", res.ABDAppID)
+	}
+}
+
+func TestGeneratePhoneDeterministic(t *testing.T) {
+	installed := installedApps(t)
+	cfg := PhoneConfig{Apps: installed, ABDApp: 1, Seed: 11}
+	r1, err := GeneratePhone(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := GeneratePhone(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Bundles[0].Event.Records) != len(r2.Bundles[0].Event.Records) {
+		t.Error("phone generation not deterministic")
+	}
+}
+
+func TestSessionStatsHelpers(t *testing.T) {
+	var zero SessionStats
+	if zero.MeanLatencyMS() != 0 || zero.OverheadFraction() != 0 {
+		t.Error("zero stats should report 0")
+	}
+	s := SessionStats{Events: 4, TotalLatencyMS: 400, TotalOverheadMS: 40}
+	if s.MeanLatencyMS() != 100 {
+		t.Errorf("mean latency = %v", s.MeanLatencyMS())
+	}
+	if s.OverheadFraction() != 0.1 {
+		t.Errorf("overhead fraction = %v", s.OverheadFraction())
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// Property sweep: across many seeds and all three root-cause classes,
+// every generated corpus is structurally valid and every ABD is found by
+// the default analysis without flooding normal traces. This is the
+// repository's randomized end-to-end soak test.
+func TestEveryCorpusValidAndDiagnosable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed soak in short mode")
+	}
+	appIDs := []string{"opengps", "tinfoil", "k9mail"} // one per ABD class
+	for _, appID := range appIDs {
+		app, err := apps.ByAppID(appID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			cfg := DefaultConfig(app, seed)
+			cfg.Users = 10
+			cfg.ImpactedFraction = 0.3
+			res, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", appID, seed, err)
+			}
+			for i, b := range res.Bundles {
+				if err := b.Event.Validate(); err != nil {
+					t.Fatalf("%s seed %d bundle %d: %v", appID, seed, i, err)
+				}
+				if err := b.Util.Validate(); err != nil {
+					t.Fatalf("%s seed %d bundle %d: %v", appID, seed, i, err)
+				}
+			}
+			acfg := core.DefaultConfig()
+			acfg.DeveloperImpactPercent = res.ImpactedPercent
+			analyzer, err := core.NewAnalyzer(acfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := analyzer.Analyze(res.Bundles)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", appID, seed, err)
+			}
+			impacted := 3 // 30% of 10
+			if report.ImpactedTraces < impacted-1 {
+				t.Errorf("%s seed %d: found %d of %d impacted traces",
+					appID, seed, report.ImpactedTraces, impacted)
+			}
+			if report.ImpactedTraces > impacted+2 {
+				t.Errorf("%s seed %d: %d detections for %d impacted (false positives)",
+					appID, seed, report.ImpactedTraces, impacted)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package workload simulates the paper's trace-collection deployment:
+// "real-world phone usage and power traces are collected from more than
+// 30 different volunteer users with various smartphones" (§IV-A). Each
+// user runs one session of the instrumented app on their own device; a
+// configurable fraction of users performs the interaction sequence that
+// triggers the app's ABD, while the rest only browse normally. Sessions
+// are driven by seeded RNGs, so a corpus is reproducible bit-for-bit.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/android"
+	"repro/internal/apps"
+	"repro/internal/procfs"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a corpus generation run.
+type Config struct {
+	// App is the application under test.
+	App *apps.App
+	// Users is the number of volunteer users (the paper uses 30+).
+	Users int
+	// ImpactedFraction is the fraction of users whose session triggers
+	// the ABD.
+	ImpactedFraction float64
+	// Seed drives all randomness.
+	Seed int64
+	// Devices are the device profile names users run on; users cycle
+	// through them. Empty means a default heterogeneous fleet.
+	Devices []string
+	// Fixed selects the fixed app variant (for the before/after-fix
+	// power comparison).
+	Fixed bool
+	// Instrument configures the probes; the zero value means
+	// uninstrumented (for the overhead baseline).
+	Instrument android.InstrumentationConfig
+	// SamplePeriodMS is the utilization sampling period (default 500).
+	SamplePeriodMS int64
+	// BrowsePhases is the number of interaction phases per session
+	// (default 12).
+	BrowsePhases int
+	// Scrub applies the privacy pass to uploaded bundles (default on
+	// via DefaultConfig; the raw generator leaves it to the caller).
+	Scrub bool
+}
+
+// DefaultConfig returns the evaluation defaults: 30 users, 6 device
+// models, 500 ms sampling, instrumented, scrubbed uploads.
+func DefaultConfig(app *apps.App, seed int64) Config {
+	return Config{
+		App:              app,
+		Users:            30,
+		ImpactedFraction: 0.15,
+		Seed:             seed,
+		Devices:          []string{"nexus6", "nexus5", "galaxys5", "motog", "xperiaz3", "lgg3"},
+		Instrument:       android.DefaultInstrumentation(),
+		SamplePeriodMS:   procfs.DefaultPeriodMS,
+		BrowsePhases:     12,
+		Scrub:            true,
+	}
+}
+
+// SessionStats aggregates instrumentation accounting across sessions.
+type SessionStats struct {
+	Sessions        int
+	Events          int64
+	TotalLatencyMS  int64
+	TotalOverheadMS int64
+}
+
+// MeanLatencyMS returns the average base event latency.
+func (s SessionStats) MeanLatencyMS() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.TotalLatencyMS) / float64(s.Events)
+}
+
+// OverheadFraction returns added probe time over base latency.
+func (s SessionStats) OverheadFraction() float64 {
+	if s.TotalLatencyMS == 0 {
+		return 0
+	}
+	return float64(s.TotalOverheadMS) / float64(s.TotalLatencyMS)
+}
+
+// Result is a generated corpus with its ground truth.
+type Result struct {
+	Bundles []*trace.TraceBundle
+	// ImpactedUsers holds the (scrubbed) user IDs whose sessions
+	// triggered the ABD.
+	ImpactedUsers map[string]bool
+	// ImpactedPercent is the ground-truth impacted-user percentage, the
+	// value a developer would feed into Step 5.
+	ImpactedPercent float64
+	// Stats aggregates event-latency accounting.
+	Stats SessionStats
+}
+
+// Generate produces one corpus.
+func Generate(cfg Config) (*Result, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("workload: no app configured")
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: users must be positive, got %d", cfg.Users)
+	}
+	if cfg.ImpactedFraction < 0 || cfg.ImpactedFraction > 1 {
+		return nil, fmt.Errorf("workload: impacted fraction %v out of [0, 1]", cfg.ImpactedFraction)
+	}
+	if cfg.SamplePeriodMS <= 0 {
+		cfg.SamplePeriodMS = procfs.DefaultPeriodMS
+	}
+	if cfg.BrowsePhases <= 0 {
+		cfg.BrowsePhases = 12
+	}
+	devices := cfg.Devices
+	if len(devices) == 0 {
+		devices = []string{"nexus6"}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	impacted := pickImpacted(cfg.Users, cfg.ImpactedFraction, rng)
+
+	res := &Result{ImpactedUsers: make(map[string]bool)}
+	for u := 0; u < cfg.Users; u++ {
+		userID := fmt.Sprintf("volunteer-%03d@study", u)
+		sessRng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(u)))
+		bundle, stats, err := runSession(cfg, userID, devices[u%len(devices)], impacted[u], sessRng)
+		if err != nil {
+			return nil, fmt.Errorf("user %d: %w", u, err)
+		}
+		res.Stats.Sessions++
+		res.Stats.Events += stats.Events
+		res.Stats.TotalLatencyMS += stats.TotalLatencyMS
+		res.Stats.TotalOverheadMS += stats.TotalOverheadMS
+
+		if cfg.Scrub {
+			bundle = trace.ScrubBundle(bundle)
+		}
+		if impacted[u] {
+			res.ImpactedUsers[bundle.Event.UserID] = true
+		}
+		res.Bundles = append(res.Bundles, bundle)
+	}
+	nImpacted := 0
+	for _, im := range impacted {
+		if im {
+			nImpacted++
+		}
+	}
+	res.ImpactedPercent = 100 * float64(nImpacted) / float64(cfg.Users)
+	return res, nil
+}
+
+// pickImpacted deterministically selects which users trigger the ABD.
+func pickImpacted(users int, frac float64, rng *rand.Rand) []bool {
+	n := int(frac*float64(users) + 0.5)
+	if n > users {
+		n = users
+	}
+	impacted := make([]bool, users)
+	perm := rng.Perm(users)
+	for i := 0; i < n; i++ {
+		impacted[perm[i]] = true
+	}
+	return impacted
+}
+
+// runSession simulates one user's session and returns its trace bundle.
+func runSession(cfg Config, userID, deviceName string, triggersABD bool, rng *rand.Rand) (*trace.TraceBundle, SessionStats, error) {
+	app := cfg.App
+	sys := android.NewSystem(0)
+	p := sys.NewProcess(app.AppID,
+		android.WithBehaviors(app.Behaviors(cfg.Fixed)),
+		android.WithInstrumentation(cfg.Instrument),
+		android.WithUser(userID),
+		android.WithDevice(deviceName),
+	)
+	if err := p.LaunchActivity(app.MainActivity); err != nil {
+		return nil, SessionStats{}, err
+	}
+
+	phases := cfg.BrowsePhases + rng.Intn(cfg.BrowsePhases/2+1)
+	triggerAt := -1
+	if triggersABD {
+		// Trigger somewhere in the middle so both normal and impacted
+		// behaviour appear in the same trace (the Fig-3 shape).
+		triggerAt = phases/3 + rng.Intn(phases/3+1)
+	}
+	for phase := 0; phase < phases; phase++ {
+		if phase == triggerAt {
+			if err := android.RunScript(p, app.TriggerScript); err != nil {
+				return nil, SessionStats{}, fmt.Errorf("trigger: %w", err)
+			}
+			// The drain manifests over the following background idle.
+			if err := p.Idle(20_000 + int64(rng.Intn(20_000))); err != nil {
+				return nil, SessionStats{}, err
+			}
+			continue
+		}
+		if err := browsePhase(p, app, rng); err != nil {
+			return nil, SessionStats{}, fmt.Errorf("phase %d: %w", phase, err)
+		}
+	}
+	if p.Foreground() {
+		if err := p.Background(); err != nil {
+			return nil, SessionStats{}, err
+		}
+	}
+	if err := p.Idle(15_000 + int64(rng.Intn(15_000))); err != nil {
+		return nil, SessionStats{}, err
+	}
+
+	events, lat, ovh := p.Stats()
+	stats := SessionStats{Sessions: 1, Events: events, TotalLatencyMS: lat, TotalOverheadMS: ovh}
+
+	ev := p.EventTrace()
+	ev.TraceID = fmt.Sprintf("%s-%s-%s", app.AppID, userID, deviceName)
+	sampler := procfs.NewSampler(sys.Ledger(), cfg.SamplePeriodMS)
+	util := sampler.Trace(app.AppID, p.PID(), 0, sys.NowMS())
+	return &trace.TraceBundle{Event: *ev, Util: *util}, stats, nil
+}
+
+// browsePhase performs one normal interaction phase: return to the
+// foreground if needed, then tap, switch activity, or idle.
+func browsePhase(p *android.Process, app *apps.App, rng *rand.Rand) error {
+	if !p.Foreground() {
+		if err := p.ForegroundApp(); err != nil {
+			return err
+		}
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2: // switch to a different activity
+		next := app.BrowseActivities[rng.Intn(len(app.BrowseActivities))]
+		if next == p.CurrentActivity() {
+			return p.Idle(1_000 + int64(rng.Intn(3_000)))
+		}
+		return p.LaunchActivity(next)
+	case 3, 4, 5, 6: // tap a widget on the current activity
+		widgets := app.Widgets[p.CurrentActivity()]
+		if len(widgets) == 0 {
+			return p.Idle(1_000 + int64(rng.Intn(3_000)))
+		}
+		if err := p.Tap(widgets[rng.Intn(len(widgets))]); err != nil {
+			return err
+		}
+		// Dwell while the action's work completes.
+		return p.Idle(2_000 + int64(rng.Intn(4_000)))
+	case 7: // read/think
+		return p.Idle(3_000 + int64(rng.Intn(6_000)))
+	case 8: // rotate the phone (configuration change)
+		return p.Rotate()
+	default: // briefly leave the app and come back
+		if err := p.Background(); err != nil {
+			return err
+		}
+		if err := p.Idle(4_000 + int64(rng.Intn(8_000))); err != nil {
+			return err
+		}
+		return p.ForegroundApp()
+	}
+}

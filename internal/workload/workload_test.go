@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/trace"
+
+	"repro/internal/device"
+)
+
+func mustApp(t *testing.T, id string) *apps.App {
+	t.Helper()
+	a, err := apps.ByAppID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestGenerateValidation(t *testing.T) {
+	app := mustApp(t, "tinfoil")
+	bad := []Config{
+		{},
+		{App: app, Users: 0},
+		{App: app, Users: 5, ImpactedFraction: -0.1},
+		{App: app, Users: 5, ImpactedFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateCorpusShape(t *testing.T) {
+	app := mustApp(t, "tinfoil")
+	cfg := DefaultConfig(app, 42)
+	cfg.Users = 10
+	cfg.ImpactedFraction = 0.2
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bundles) != 10 {
+		t.Fatalf("bundles = %d", len(res.Bundles))
+	}
+	if len(res.ImpactedUsers) != 2 {
+		t.Errorf("impacted users = %d, want 2", len(res.ImpactedUsers))
+	}
+	if res.ImpactedPercent != 20 {
+		t.Errorf("impacted percent = %v", res.ImpactedPercent)
+	}
+	for i, b := range res.Bundles {
+		if err := b.Event.Validate(); err != nil {
+			t.Errorf("bundle %d event trace invalid: %v", i, err)
+		}
+		if err := b.Util.Validate(); err != nil {
+			t.Errorf("bundle %d util trace invalid: %v", i, err)
+		}
+		if len(b.Event.Records) == 0 {
+			t.Errorf("bundle %d has no event records", i)
+		}
+		if len(b.Util.Samples) == 0 {
+			t.Errorf("bundle %d has no utilization samples", i)
+		}
+		if b.Util.PID != 0 {
+			t.Errorf("bundle %d leaked PID %d through scrubbing", i, b.Util.PID)
+		}
+	}
+	if res.Stats.Events == 0 || res.Stats.Sessions != 10 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Stats.OverheadFraction() <= 0 {
+		t.Error("instrumented corpus has zero probe overhead")
+	}
+}
+
+func TestScrubbingPseudonymizesUsers(t *testing.T) {
+	app := mustApp(t, "tinfoil")
+	cfg := DefaultConfig(app, 1)
+	cfg.Users = 4
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Bundles {
+		if b.Event.UserID == "" {
+			t.Error("empty user ID")
+		}
+		if json.Valid([]byte(`"`+b.Event.UserID+`"`)) && len(b.Event.UserID) > 0 &&
+			(b.Event.UserID[0] != 'u') {
+			t.Errorf("user ID %q not pseudonymized", b.Event.UserID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	app := mustApp(t, "wallabag")
+	cfg := DefaultConfig(app, 99)
+	cfg.Users = 6
+	r1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(r1.Bundles)
+	b2, _ := json.Marshal(r2.Bundles)
+	if string(b1) != string(b2) {
+		t.Error("same seed produced different corpora")
+	}
+	cfg.Seed = 100
+	r3, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := json.Marshal(r3.Bundles)
+	if string(b1) == string(b3) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestImpactedSessionsDrainMore(t *testing.T) {
+	app := mustApp(t, "opengps")
+	cfg := DefaultConfig(app, 7)
+	cfg.Users = 12
+	cfg.ImpactedFraction = 0.25
+	cfg.Devices = []string{"nexus6"} // same device isolates the effect
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.NewModel(device.Nexus6())
+	var impactedMean, normalMean float64
+	var ni, nn int
+	for _, b := range res.Bundles {
+		pt, err := model.Estimate(&b.Util)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, err := power.MeanPowerMW(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ImpactedUsers[b.Event.UserID] {
+			impactedMean += mean
+			ni++
+		} else {
+			normalMean += mean
+			nn++
+		}
+	}
+	if ni == 0 || nn == 0 {
+		t.Fatalf("degenerate split: %d impacted, %d normal", ni, nn)
+	}
+	impactedMean /= float64(ni)
+	normalMean /= float64(nn)
+	if impactedMean <= normalMean*1.2 {
+		t.Errorf("impacted sessions draw %.0f mW vs normal %.0f mW; ABD invisible",
+			impactedMean, normalMean)
+	}
+}
+
+func TestFixedCorpusDrainsLess(t *testing.T) {
+	app := mustApp(t, "opengps")
+	base := DefaultConfig(app, 7)
+	base.Users = 8
+	base.ImpactedFraction = 0.5
+	base.Devices = []string{"nexus6"}
+
+	buggy, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedCfg := base
+	fixedCfg.Fixed = true
+	fixed, err := Generate(fixedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := power.NewModel(device.Nexus6())
+	mean := func(bundles []*trace.TraceBundle) float64 {
+		var sum float64
+		for _, b := range bundles {
+			pt, err := model.Estimate(&b.Util)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := power.MeanPowerMW(pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += m
+		}
+		return sum / float64(len(bundles))
+	}
+	mb, mf := mean(buggy.Bundles), mean(fixed.Bundles)
+	if mf >= mb {
+		t.Errorf("fixed corpus draws %.0f mW >= buggy %.0f mW", mf, mb)
+	}
+}
+
+// End-to-end: the full pipeline (workload -> EnergyDx analysis) must
+// report the ABD trigger event for the K-9 Mail case study.
+func TestEndToEndK9Diagnosis(t *testing.T) {
+	app := mustApp(t, "k9mail")
+	cfg := DefaultConfig(app, 2020)
+	cfg.Users = 20
+	cfg.ImpactedFraction = 0.15
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := core.DefaultConfig()
+	acfg.DeveloperImpactPercent = res.ImpactedPercent
+	analyzer, err := core.NewAnalyzer(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := analyzer.Analyze(res.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImpactedTraces == 0 {
+		t.Fatal("no manifestation points found in K-9 corpus")
+	}
+	// The reported events must include K-9 surfaces related to the ABD
+	// flow — the AccountSettings -> MessageList path (with MailService
+	// restarts) of paper Fig 2 / Table II.
+	top := report.TopEvents(8)
+	related := 0
+	for _, im := range top {
+		switch {
+		case strings.Contains(im.Key.Class, "AccountSettings"),
+			strings.Contains(im.Key.Class, "MessageList"),
+			strings.Contains(im.Key.Class, "MailService"):
+			related++
+		}
+	}
+	if related < 3 {
+		t.Errorf("only %d of the top events touch the ABD flow: %+v", related, top)
+	}
+	// Code reduction must be substantial on the 98k-line app.
+	cr, err := core.ComputeCodeReduction(report, app.Package(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Reduction < 0.9 {
+		t.Errorf("K-9 code reduction = %.3f, want > 0.9", cr.Reduction)
+	}
+}
+
+func TestUninstrumentedCorpusHasNoEvents(t *testing.T) {
+	app := mustApp(t, "tinfoil")
+	cfg := DefaultConfig(app, 5)
+	cfg.Users = 2
+	cfg.Instrument = android.InstrumentationConfig{} // disabled
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Bundles {
+		if len(b.Event.Records) != 0 {
+			t.Errorf("uninstrumented session logged %d records", len(b.Event.Records))
+		}
+	}
+	if res.Stats.TotalOverheadMS != 0 {
+		t.Errorf("uninstrumented overhead = %d", res.Stats.TotalOverheadMS)
+	}
+}
