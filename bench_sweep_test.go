@@ -1,0 +1,137 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// sweepEntry is one timed configuration in the machine-readable sweep.
+type sweepEntry struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"` // 0 = GOMAXPROCS
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	Speedup     float64 `json:"speedupVsSerial,omitempty"`
+}
+
+// sweepReport is the BENCH_sweep.json document.
+type sweepReport struct {
+	GoVersion  string       `json:"goVersion"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numCPU"`
+	Seed       int64        `json:"seed"`
+	Entries    []sweepEntry `json:"entries"`
+}
+
+// TestBenchSweepJSON times the analysis pipeline and the full Table III
+// sweep serial vs pooled and writes the results as JSON to the path in
+// BENCH_SWEEP_OUT. Skipped when the variable is unset, so it costs
+// nothing in a normal `go test` run. Regenerate the checked-in file
+// with:
+//
+//	BENCH_SWEEP_OUT=BENCH_sweep.json go test -run TestBenchSweepJSON .
+func TestBenchSweepJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SWEEP_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SWEEP_OUT=<path> to emit the timing sweep")
+	}
+	report := sweepReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       benchSeed,
+	}
+
+	app, err := apps.K9Mail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(app, benchSeed)
+	cfg.Users = 20
+	cfg.ImpactedFraction = 0.2
+	corpus, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	timeOne := func(name string, workers int, fn func(b *testing.B)) sweepEntry {
+		res := testing.Benchmark(fn)
+		return sweepEntry{
+			Name:        name,
+			Workers:     workers,
+			Iterations:  res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+	}
+	analyzeBench := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			acfg := core.DefaultConfig()
+			acfg.DeveloperImpactPercent = corpus.ImpactedPercent
+			acfg.Parallelism = workers
+			analyzer, err := core.NewAnalyzer(acfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := analyzer.Analyze(corpus.Bundles); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	table3Bench := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			experiments.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				workload.FlushCache()
+				if _, err := experiments.RunTable3(benchSeed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	defer experiments.SetParallelism(0)
+
+	pairs := []struct {
+		serial, parallel sweepEntry
+	}{
+		{
+			timeOne("analyze/serial", 1, analyzeBench(1)),
+			timeOne("analyze/parallel", 0, analyzeBench(0)),
+		},
+		{
+			timeOne("table3/serial", 1, table3Bench(1)),
+			timeOne("table3/parallel", 0, table3Bench(0)),
+		},
+	}
+	for _, p := range pairs {
+		if p.parallel.NsPerOp > 0 {
+			p.parallel.Speedup = float64(p.serial.NsPerOp) / float64(p.parallel.NsPerOp)
+		}
+		report.Entries = append(report.Entries, p.serial, p.parallel)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -29,6 +29,7 @@ func benchExperiment(b *testing.B, id string, metric func(experiments.Result) (f
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var last experiments.Result
 	for i := 0; i < b.N; i++ {
 		res, err := run(benchSeed)
@@ -163,6 +164,7 @@ func ablate(b *testing.B, app *apps.App, corpus *workload.Result, mutate func(*c
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var report *core.Report
 	for i := 0; i < b.N; i++ {
 		report, err = analyzer.Analyze(corpus.Bundles)
@@ -261,11 +263,63 @@ func BenchmarkAnalyzePipeline(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := analyzer.Analyze(corpus.Bundles); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnalyzeParallelism compares the serial pipeline against the
+// pooled fan-out (Steps 1-4) on the same fixed corpus. Reports are
+// byte-identical either way; only the wall clock differs.
+func BenchmarkAnalyzeParallelism(b *testing.B) {
+	_, corpus := k9Corpus(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.DeveloperImpactPercent = corpus.ImpactedPercent
+			cfg.Parallelism = bc.workers
+			analyzer, err := core.NewAnalyzer(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := analyzer.Analyze(corpus.Bundles); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Parallelism compares the full 40-app Table III sweep
+// serial vs pooled. The corpus cache is flushed every iteration so both
+// variants pay the same (cold) generation cost.
+func BenchmarkTable3Parallelism(b *testing.B) {
+	defer experiments.SetParallelism(0)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			experiments.SetParallelism(bc.workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				workload.FlushCache()
+				if _, err := experiments.RunTable3(benchSeed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -277,6 +331,7 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 	cfg := workload.DefaultConfig(app, benchSeed)
 	cfg.Users = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.Generate(cfg); err != nil {
@@ -293,6 +348,7 @@ func BenchmarkInstrumenter(b *testing.B) {
 		b.Fatal(err)
 	}
 	pool := instrument.DefaultPool()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := instrument.Instrument(app.Package(), pool); err != nil {
@@ -305,6 +361,7 @@ func BenchmarkInstrumenter(b *testing.B) {
 func BenchmarkCheckAllBaseline(b *testing.B) {
 	_, corpus := k9Corpus(b)
 	cfg := baseline.DefaultCheckAllConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := baseline.CheckAll(cfg, corpus.Bundles); err != nil {
@@ -319,6 +376,7 @@ func BenchmarkTraceTextCodec(b *testing.B) {
 	_, corpus := k9Corpus(b)
 	ev := corpus.Bundles[0].Event
 	text := ev.Text()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := trace.ReadText(strings.NewReader(text)); err != nil {

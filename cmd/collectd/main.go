@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"repro/internal/collect"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -29,9 +30,10 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7600", "listen address")
-		out      = flag.String("out", ".", "directory for per-app corpus dumps on shutdown")
-		storeDir = flag.String("store", "", "durable store directory: bundles are persisted as they arrive and reloaded on restart")
+		addr        = flag.String("addr", "127.0.0.1:7600", "listen address")
+		out         = flag.String("out", ".", "directory for per-app corpus dumps on shutdown")
+		storeDir    = flag.String("store", "", "durable store directory: bundles are persisted as they arrive and reloaded on restart")
+		parallelism = flag.Int("parallelism", 0, "worker count for the shutdown corpus dump (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -57,11 +59,20 @@ func run() error {
 	if err := srv.Close(); err != nil {
 		return err
 	}
-	for _, appID := range srv.Apps() {
-		path := filepath.Join(*out, appID+".jsonl")
-		if err := dump(path, srv.Bundles(appID)); err != nil {
-			return err
+	// Per-app dumps are independent files, so they fan out through the
+	// pool; paths print serially afterwards to keep the log readable.
+	appIDs := srv.Apps()
+	paths, err := parallel.Map(*parallelism, len(appIDs), func(i int) (string, error) {
+		path := filepath.Join(*out, appIDs[i]+".jsonl")
+		if err := dump(path, srv.Bundles(appIDs[i])); err != nil {
+			return "", fmt.Errorf("%s: %w", appIDs[i], err)
 		}
+		return path, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
 		fmt.Fprintf(os.Stderr, "collectd: wrote %s\n", path)
 	}
 	return nil

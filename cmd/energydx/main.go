@@ -39,7 +39,7 @@ func run() error {
 		normBase = flag.Float64("norm-base", 10, "normalization base percentile")
 		top      = flag.Int("top", 6, "events to report for the code-reduction metric")
 		asJSON   = flag.Bool("json", false, "emit the full report as JSON instead of text")
-		par      = flag.Int("parallel", 0, "Step-1 worker goroutines (0 = serial)")
+		par      = flag.Int("parallel", 0, "analysis worker goroutines for Steps 1-4 (0 = GOMAXPROCS, 1 = serial); output is identical at any count")
 	)
 	flag.Parse()
 

@@ -26,12 +26,14 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment ID to run, or 'all'")
-		seed   = flag.Int64("seed", 2020, "corpus generation seed")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		csvDir = flag.String("csv", "", "also write the experiments' data series as CSV files into this directory")
+		exp         = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		seed        = flag.Int64("seed", 2020, "corpus generation seed")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir      = flag.String("csv", "", "also write the experiments' data series as CSV files into this directory")
+		parallelism = flag.Int("parallelism", 0, "worker count for per-app sweeps and the analysis pipeline (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*parallelism)
 
 	if *list {
 		for _, e := range experiments.Registry() {

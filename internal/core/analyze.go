@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/device"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -138,13 +138,22 @@ func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 		return nil, err
 	}
 
-	// Steps 3 and 4 per trace: normalize, attribute variation amplitude,
-	// detect manifestation points, collect window keys.
-	for _, at := range report.Traces {
+	// Steps 3 and 4 fan out per trace: normalize, attribute variation
+	// amplitude, detect manifestation points, collect window keys. Each
+	// trace only touches its own vectors, so any worker count produces
+	// the same report.
+	err = parallel.ForEach(a.cfg.Parallelism, len(report.Traces), func(i int) error {
+		at := report.Traces[i]
 		a.normalize(at, basePower)
 		if err := a.detect(at); err != nil {
-			return nil, fmt.Errorf("trace %s: %w", at.TraceID, err)
+			return fmt.Errorf("trace %s: %w", at.TraceID, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, at := range report.Traces {
 		if len(at.Manifestations) > 0 {
 			report.ImpactedTraces++
 		}
@@ -155,57 +164,18 @@ func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 	return report, nil
 }
 
-// stepOneAll runs Step 1 across the corpus, fanning out to
-// cfg.Parallelism workers when configured. Output order matches input
-// order, so the analysis is deterministic under any parallelism.
+// stepOneAll runs Step 1 across the corpus through the shared pool.
+// Each bundle gets its own power model (and its own seeded noise RNG)
+// and results land in input order, so the fan-out is deterministic
+// under any worker count.
 func (a *Analyzer) stepOneAll(bundles []*trace.TraceBundle) ([]*AnalyzedTrace, error) {
-	workers := a.cfg.Parallelism
-	if workers > len(bundles) {
-		workers = len(bundles)
-	}
-	// Each bundle gets its own power model (and its own seeded noise
-	// RNG), so the fan-out is deterministic under any worker count.
-	if workers <= 1 {
-		out := make([]*AnalyzedTrace, len(bundles))
-		for i, b := range bundles {
-			at, err := a.estimateEvents(b)
-			if err != nil {
-				return nil, fmt.Errorf("trace %d (%s): %w", i, b.Event.TraceID, err)
-			}
-			out[i] = at
-		}
-		return out, nil
-	}
-
-	out := make([]*AnalyzedTrace, len(bundles))
-	errs := make([]error, len(bundles))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				at, err := a.estimateEvents(bundles[i])
-				if err != nil {
-					errs[i] = fmt.Errorf("trace %d (%s): %w", i, bundles[i].Event.TraceID, err)
-					continue
-				}
-				out[i] = at
-			}
-		}()
-	}
-	for i := range bundles {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
+	return parallel.Map(a.cfg.Parallelism, len(bundles), func(i int) (*AnalyzedTrace, error) {
+		at, err := a.estimateEvents(bundles[i])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace %d (%s): %w", i, bundles[i].Event.TraceID, err)
 		}
-	}
-	return out, nil
+		return at, nil
+	})
 }
 
 // StepOne runs only Step 1 (event power estimation with device scaling)
@@ -249,52 +219,20 @@ func (a *Analyzer) estimateEvents(b *trace.TraceBundle) (*AnalyzedTrace, error) 
 		Device:  devName,
 		Events:  make([]EventPower, 0, len(instances)),
 	}
+	// The prefix-sum index answers each instance's mean-power query in
+	// O(log samples); it is built once per bundle, so attribution costs
+	// O(samples + events * log samples) instead of O(events * samples).
+	// Interval semantics ([start, end) with nearest-sample fallback)
+	// live in power.Index.
+	idx := power.NewIndex(pt)
 	for _, in := range instances {
-		p, ok := meanPowerBetween(pt, in.StartMS, in.EndMS)
+		p, ok := idx.MeanBetween(in.StartMS, in.EndMS)
 		if !ok {
 			continue // no power sample anywhere near the instance
 		}
 		at.Events = append(at.Events, EventPower{Instance: in, PowerMW: p})
 	}
 	return at, nil
-}
-
-// meanPowerBetween averages power samples inside [startMS, endMS),
-// falling back to the nearest sample for instances shorter than the
-// sampling period. The end is exclusive: a sample taken at the exact
-// instant the event completes reflects the state transition the event
-// caused (display released, resources torn down), not the event itself.
-func meanPowerBetween(pt *trace.PowerTrace, startMS, endMS int64) (float64, bool) {
-	if len(pt.Samples) == 0 {
-		return 0, false
-	}
-	var sum float64
-	n := 0
-	for _, s := range pt.Samples {
-		if s.TimestampMS >= startMS && s.TimestampMS < endMS {
-			sum += s.PowerMW
-			n++
-		}
-	}
-	if n > 0 {
-		return sum / float64(n), true
-	}
-	mid := (startMS + endMS) / 2
-	best := pt.Samples[0]
-	bestDist := absInt64(best.TimestampMS - mid)
-	for _, s := range pt.Samples[1:] {
-		if d := absInt64(s.TimestampMS - mid); d < bestDist {
-			best, bestDist = s, d
-		}
-	}
-	return best.PowerMW, true
-}
-
-func absInt64(x int64) int64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // rankAndBase implements Step 2 (cross-trace ranking of each event's
@@ -314,21 +252,46 @@ func (a *Analyzer) rankAndBase(traces []*AnalyzedTrace) (map[trace.EventKey]floa
 			powersByKey[ep.Instance.Key] = append(powersByKey[ep.Instance.Key], ep.PowerMW)
 		}
 	}
-	base := make(map[trace.EventKey]float64, len(byKey))
-	for key, refs := range byKey {
+	// The per-key ranking/base computation fans out over shards of the
+	// sorted key list. Every (trace, event-index) slot belongs to
+	// exactly one key, so concurrent shards write disjoint Rank
+	// elements; the per-key power vectors were assembled serially in
+	// trace order above, so ranks and bases are identical at any worker
+	// count.
+	keys := make([]trace.EventKey, 0, len(byKey))
+	for key := range byKey {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		if keys[x].Class != keys[y].Class {
+			return keys[x].Class < keys[y].Class
+		}
+		return keys[x].Callback < keys[y].Callback
+	})
+	bases := make([]float64, len(keys))
+	err := parallel.ForEach(a.cfg.Parallelism, len(keys), func(k int) error {
+		key := keys[k]
 		powers := powersByKey[key]
 		ranks, err := stats.Ranks(powers)
 		if err != nil {
-			return nil, fmt.Errorf("step 2: rank %s: %w", key, err)
+			return fmt.Errorf("step 2: rank %s: %w", key, err)
 		}
-		for i, r := range refs {
+		for i, r := range byKey[key] {
 			r.trace.Rank[r.idx] = ranks[i]
 		}
 		b, err := stats.Percentile(powers, a.cfg.NormBasePercentile)
 		if err != nil {
-			return nil, fmt.Errorf("step 3: base for %s: %w", key, err)
+			return fmt.Errorf("step 3: base for %s: %w", key, err)
 		}
-		base[key] = b
+		bases[k] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[trace.EventKey]float64, len(keys))
+	for k, key := range keys {
+		base[key] = bases[k]
 	}
 	return base, nil
 }
@@ -368,7 +331,11 @@ func (a *Analyzer) detect(at *AnalyzedTrace) error {
 		return fmt.Errorf("step 4: %w", err)
 	}
 	at.Fence = fences.UpperOuter
-	at.Manifestations = at.Manifestations[:0]
+	// Allocate fresh rather than reusing at.Manifestations[:0]: when a
+	// caller re-analyzes a previously analyzed trace, truncating the old
+	// slice would alias (and clobber) backing arrays the caller may
+	// still hold.
+	at.Manifestations = nil
 	for i, v := range at.Amplitude {
 		// Only positive amplitudes mark a low-to-high transition (the
 		// ABD manifests when power rises, not when it falls back), and

@@ -64,12 +64,13 @@ type Config struct {
 	// registry.
 	Devices *device.Registry
 
-	// Parallelism is the number of worker goroutines for Step 1 (each
-	// trace's power estimation is independent). 0 or 1 means serial;
-	// values above the corpus size are clamped. Results are identical
-	// regardless of parallelism — only wall-clock time changes — except
-	// when estimation noise is enabled, whose RNG is inherently
-	// order-dependent, so noise forces serial Step 1.
+	// Parallelism is the worker count for the analysis fan-outs: Step 1
+	// per trace, Step 2 per event-key shard, and Steps 3-4 per trace.
+	// 0 means one worker per available CPU (GOMAXPROCS), 1 forces a
+	// serial run, and values above the item count are clamped. The
+	// report is byte-identical at any worker count: results land in
+	// input order, and estimation noise draws from a per-bundle RNG
+	// seeded with NoiseSeed, so it does not depend on execution order.
 	Parallelism int
 }
 

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// multiDeviceCorpus simulates a realistic heterogeneous-fleet corpus
+// (the workload default cycles users across six device profiles).
+func multiDeviceCorpus(t *testing.T, seed int64) *workload.Result {
+	t.Helper()
+	app, err := apps.K9Mail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(app, seed)
+	cfg.Users = 12
+	cfg.ImpactedFraction = 0.25
+	corpus, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+// TestAnalyzeByteIdenticalAcrossWorkerCounts is the determinism
+// contract of the parallel pipeline: the same corpus and seed must
+// produce reflect.DeepEqual reports — and byte-identical JSON — for
+// workers = 1, 2, 8, with and without estimation noise.
+func TestAnalyzeByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	corpus := multiDeviceCorpus(t, 99)
+	variants := []struct {
+		name  string
+		noise float64
+	}{
+		{"no-noise", 0},
+		{"paper-noise", power.PaperNoiseFrac},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			var baseReport *Report
+			var baseJSON []byte
+			for _, workers := range []int{1, 2, 8} {
+				cfg := DefaultConfig()
+				cfg.DeveloperImpactPercent = corpus.ImpactedPercent
+				cfg.Parallelism = workers
+				cfg.EstimationNoiseFrac = v.noise
+				cfg.NoiseSeed = 7
+				analyzer, err := NewAnalyzer(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				report, err := analyzer.Analyze(corpus.Bundles)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				blob, err := json.Marshal(report)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if baseReport == nil {
+					baseReport, baseJSON = report, blob
+					if report.ImpactedTraces == 0 {
+						t.Fatal("corpus produced no impacted traces; test would be vacuous")
+					}
+					continue
+				}
+				if !reflect.DeepEqual(baseReport, report) {
+					t.Errorf("workers=%d: report differs from workers=1 (DeepEqual)", workers)
+				}
+				if !bytes.Equal(baseJSON, blob) {
+					t.Errorf("workers=%d: JSON encoding differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestAutoParallelismMatchesSerial pins the Parallelism=0 (GOMAXPROCS)
+// default to the serial result as well.
+func TestAutoParallelismMatchesSerial(t *testing.T) {
+	corpus := multiDeviceCorpus(t, 41)
+	var blobs [][]byte
+	for _, workers := range []int{1, 0} {
+		cfg := DefaultConfig()
+		cfg.DeveloperImpactPercent = corpus.ImpactedPercent
+		cfg.Parallelism = workers
+		analyzer, err := NewAnalyzer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := analyzer.Analyze(corpus.Bundles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Error("Parallelism=0 (auto) diverged from serial analysis")
+	}
+}
+
+// TestReanalyzeDoesNotAliasManifestations is the regression test for
+// the detect() slice-reuse fix: re-running detection on an already
+// analyzed trace must not clobber a previously returned Manifestations
+// slice through a shared backing array.
+func TestReanalyzeDoesNotAliasManifestations(t *testing.T) {
+	a, err := NewAnalyzer(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := &AnalyzedTrace{NormPower: []float64{1, 1, 1, 1, 1, 1, 1, 1, 20, 1}}
+	if err := a.detect(at); err != nil {
+		t.Fatal(err)
+	}
+	first := at.Manifestations
+	if len(first) == 0 {
+		t.Fatal("expected a manifestation on the spike trace")
+	}
+	firstCopy := append([]int(nil), first...)
+
+	// Re-analyze with the spike moved: the old in-place truncation
+	// would rewrite first's backing array.
+	at.NormPower = []float64{1, 20, 1, 1, 1, 1, 1, 1, 1, 1}
+	if err := a.detect(at); err != nil {
+		t.Fatal(err)
+	}
+	if len(at.Manifestations) == 0 {
+		t.Fatal("expected a manifestation after re-analysis")
+	}
+	if !reflect.DeepEqual(first, firstCopy) {
+		t.Errorf("previously returned Manifestations changed after re-analysis: %v -> %v", firstCopy, first)
+	}
+	if &first[0] == &at.Manifestations[0] {
+		t.Error("re-analysis reused the old Manifestations backing array")
+	}
+}

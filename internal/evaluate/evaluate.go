@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -88,6 +89,11 @@ type TuneOptions struct {
 	// Base is the configuration every candidate starts from (default
 	// core.DefaultConfig).
 	Base *core.Config
+	// Parallelism is the worker count for the grid search: each grid
+	// cell scores independently, so cells fan out through the shared
+	// pool (0 = GOMAXPROCS, 1 = serial). Scores are identical at any
+	// worker count.
+	Parallelism int
 }
 
 func (o *TuneOptions) defaults() {
@@ -114,34 +120,45 @@ func Tune(sets []TrainingSet, opts TuneOptions) ([]Candidate, error) {
 		return nil, fmt.Errorf("evaluate: no training sets")
 	}
 	opts.defaults()
-	var out []Candidate
+	// Materialize the grid, then fan the independent cells out through
+	// the pool; results land in grid order, so the sorted candidate
+	// list (and its tie-breaking) is identical at any worker count.
+	type cell struct{ pct, k, amp float64 }
+	var cells []cell
 	for _, pct := range opts.NormBasePercentiles {
 		for _, k := range opts.FenceMultipliers {
 			for _, amp := range opts.MinAmplitudes {
-				cfg := *opts.Base
-				cfg.NormBasePercentile = pct
-				cfg.FenceMultiplier = k
-				cfg.MinAmplitude = amp
-				analyzer, err := core.NewAnalyzer(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("evaluate: candidate p%.0f k%.1f a%.2f: %w", pct, k, amp, err)
-				}
-				var sum float64
-				for i, set := range sets {
-					report, err := analyzer.Analyze(set.Bundles)
-					if err != nil {
-						return nil, fmt.Errorf("evaluate: candidate p%.0f k%.1f a%.2f set %d: %w", pct, k, amp, i, err)
-					}
-					sum += Score(report, set.ImpactedUsers).F1
-				}
-				out = append(out, Candidate{
-					NormBasePercentile: pct,
-					FenceMultiplier:    k,
-					MinAmplitude:       amp,
-					MeanF1:             sum / float64(len(sets)),
-				})
+				cells = append(cells, cell{pct, k, amp})
 			}
 		}
+	}
+	out, err := parallel.Map(opts.Parallelism, len(cells), func(c int) (Candidate, error) {
+		pct, k, amp := cells[c].pct, cells[c].k, cells[c].amp
+		cfg := *opts.Base
+		cfg.NormBasePercentile = pct
+		cfg.FenceMultiplier = k
+		cfg.MinAmplitude = amp
+		analyzer, err := core.NewAnalyzer(cfg)
+		if err != nil {
+			return Candidate{}, fmt.Errorf("evaluate: candidate p%.0f k%.1f a%.2f: %w", pct, k, amp, err)
+		}
+		var sum float64
+		for i, set := range sets {
+			report, err := analyzer.Analyze(set.Bundles)
+			if err != nil {
+				return Candidate{}, fmt.Errorf("evaluate: candidate p%.0f k%.1f a%.2f set %d: %w", pct, k, amp, i, err)
+			}
+			sum += Score(report, set.ImpactedUsers).F1
+		}
+		return Candidate{
+			NormBasePercentile: pct,
+			FenceMultiplier:    k,
+			MinAmplitude:       amp,
+			MeanF1:             sum / float64(len(sets)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].MeanF1 != out[b].MeanF1 {

@@ -163,7 +163,7 @@ func breakdownDuringABD(id string, build func() (*apps.App, error), seed int64, 
 	cfg.Users = 1
 	cfg.ImpactedFraction = 1
 	cfg.Devices = []string{"nexus6"}
-	corpus, err := workload.Generate(cfg)
+	corpus, err := workload.GenerateCached(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,23 @@ import (
 	"repro/internal/workload"
 )
 
+// sweepParallelism is the worker count used by the per-app experiment
+// sweeps, the stability seeds, the tune grid and the inner analysis
+// pipeline. 0 means one worker per CPU (GOMAXPROCS). Every sweep is
+// deterministic at any worker count: items carry their own seeds and
+// results are joined in input order.
+var sweepParallelism int
+
+// SetParallelism sets the worker count for all experiment fan-outs
+// (0 = GOMAXPROCS, 1 = serial). It is not safe to call concurrently
+// with running experiments; set it once at startup (cmd/reproduce's
+// -parallelism flag does).
+func SetParallelism(n int) { sweepParallelism = n }
+
+// Parallelism reports the configured experiment worker count
+// (0 = GOMAXPROCS).
+func Parallelism() int { return sweepParallelism }
+
 // Result is a rendered experiment outcome.
 type Result interface {
 	// ExperimentID is the registry key (e.g. "fig16").
@@ -86,12 +103,15 @@ const corpusUsers = 20
 // defaultImpacted is the fraction of users that trigger the ABD.
 const defaultImpacted = 0.2
 
-// genCorpus produces the standard evaluation corpus for one app.
+// genCorpus produces the standard evaluation corpus for one app. It
+// goes through the process-wide corpus cache: the sweeps (table3,
+// baselines, fig1, fig16) request identical (app, seed) corpora, and
+// regenerating them dominated sweep wall time before the cache.
 func genCorpus(app *apps.App, seed int64) (*workload.Result, error) {
 	cfg := workload.DefaultConfig(app, seed)
 	cfg.Users = corpusUsers
 	cfg.ImpactedFraction = defaultImpacted
-	return workload.Generate(cfg)
+	return workload.GenerateCached(cfg)
 }
 
 // diagnose runs the full EnergyDx pipeline over a corpus with the
@@ -99,6 +119,7 @@ func genCorpus(app *apps.App, seed int64) (*workload.Result, error) {
 func diagnose(res *workload.Result) (*core.Report, error) {
 	cfg := core.DefaultConfig()
 	cfg.DeveloperImpactPercent = res.ImpactedPercent
+	cfg.Parallelism = sweepParallelism
 	analyzer, err := core.NewAnalyzer(cfg)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -59,15 +60,21 @@ func RunFig1(seed int64) (Result, error) {
 		return nil, err
 	}
 	res := &Fig1Result{Distances: make(map[string]float64), PaperP90: 3}
-	var all []float64
-	for i, app := range catalog {
+	// Per-app diagnosis fans out; medians join in catalog order so the
+	// CDF input sequence is stable at any worker count.
+	type fig1Outcome struct {
+		median   float64
+		detected bool
+	}
+	outcomes, err := parallel.Map(Parallelism(), len(catalog), func(i int) (fig1Outcome, error) {
+		app := catalog[i]
 		corpus, err := genCorpus(app, seed+int64(i))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return fig1Outcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		report, err := diagnose(corpus)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return fig1Outcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		var dists []float64
 		for _, at := range report.Traces {
@@ -76,16 +83,26 @@ func RunFig1(seed int64) (Result, error) {
 			}
 		}
 		if len(dists) == 0 {
-			res.Undetected = append(res.Undetected, app.AppID)
-			continue
+			return fig1Outcome{}, nil
 		}
 		sort.Float64s(dists)
 		median, err := stats.Percentile(dists, 50)
 		if err != nil {
-			return nil, err
+			return fig1Outcome{}, err
 		}
-		res.Distances[app.AppID] = median
-		all = append(all, median)
+		return fig1Outcome{median: median, detected: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []float64
+	for i, o := range outcomes {
+		if !o.detected {
+			res.Undetected = append(res.Undetected, catalog[i].AppID)
+			continue
+		}
+		res.Distances[catalog[i].AppID] = o.median
+		all = append(all, o.median)
 	}
 	if len(all) == 0 {
 		return nil, fmt.Errorf("fig1: no app produced a manifestation point")

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -40,7 +41,7 @@ func RunFig5(seed int64) (Result, error) {
 	cfg := workload.DefaultConfig(app, seed)
 	cfg.Users = 1
 	cfg.ImpactedFraction = 0
-	corpus, err := workload.Generate(cfg)
+	corpus, err := workload.GenerateCached(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -80,18 +81,27 @@ func (r *StabilityResult) Render() string {
 	return sb.String()
 }
 
-// RunStability reruns the Table III sweep under several seeds.
+// RunStability reruns the Table III sweep under several seeds. The
+// seeds fan out through the pool (each inner RunTable3 fans out again
+// over apps; both pools bound their own workers, and every corpus is
+// keyed by its seed in the cache, so reruns are conflict-free).
 func RunStability(seed int64) (Result, error) {
+	const rounds = 3
 	res := &StabilityResult{}
-	for i := int64(0); i < 3; i++ {
-		s := seed + i*101
-		r, err := RunTable3(s)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", s, err)
-		}
-		res.Seeds = append(res.Seeds, s)
-		res.Reductions = append(res.Reductions, r.(*Table3Result).AverageMeas)
+	for i := int64(0); i < rounds; i++ {
+		res.Seeds = append(res.Seeds, seed+i*101)
 	}
+	reductions, err := parallel.Map(Parallelism(), rounds, func(i int) (float64, error) {
+		r, err := RunTable3(res.Seeds[i])
+		if err != nil {
+			return 0, fmt.Errorf("seed %d: %w", res.Seeds[i], err)
+		}
+		return r.(*Table3Result).AverageMeas, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Reductions = reductions
 	summary, err := stats.Summarize(res.Reductions)
 	if err != nil {
 		return nil, err

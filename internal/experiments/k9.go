@@ -55,7 +55,7 @@ func RunFig3(seed int64) (Result, error) {
 	cfg.Users = 1
 	cfg.ImpactedFraction = 1
 	cfg.Devices = []string{"nexus6"}
-	corpus, err := workload.Generate(cfg)
+	corpus, err := workload.GenerateCached(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSweepsDeterministicAcrossWorkers runs the two heaviest sweeps at
+// several worker counts and requires identical results: the parallel
+// rewrite must not change a single byte of any table. The corpus cache
+// is flushed between runs so each run regenerates (and re-joins) its
+// own corpora.
+func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog sweeps")
+	}
+	defer SetParallelism(0)
+	runners := []struct {
+		id  string
+		run Runner
+	}{
+		{"table3", RunTable3},
+		{"tune", RunTune},
+	}
+	for _, r := range runners {
+		t.Run(r.id, func(t *testing.T) {
+			var baseline Result
+			for _, workers := range []int{1, 2, 8} {
+				workload.FlushCache()
+				SetParallelism(workers)
+				res, err := r.run(testSeed)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if baseline == nil {
+					baseline = res
+					continue
+				}
+				if !reflect.DeepEqual(baseline, res) {
+					t.Errorf("workers=%d: result differs from workers=1", workers)
+				}
+				if baseline.Render() != res.Render() {
+					t.Errorf("workers=%d: rendered table differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusCacheSharedAcrossSweeps verifies the sweeps actually hit
+// the cache: table3 and fig16 request the same (app, seed) corpora, so
+// running both must not grow the cache beyond what table3 populated
+// (fig16's CheckAll baseline reuses the same corpora).
+func TestCorpusCacheSharedAcrossSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog sweeps")
+	}
+	workload.FlushCache()
+	defer workload.FlushCache()
+	if _, err := RunTable3(testSeed); err != nil {
+		t.Fatal(err)
+	}
+	after3 := workload.CacheLen()
+	if after3 == 0 {
+		t.Fatal("table3 did not populate the corpus cache")
+	}
+	if _, err := RunFig16(testSeed); err != nil {
+		t.Fatal(err)
+	}
+	if got := workload.CacheLen(); got != after3 {
+		t.Errorf("fig16 grew the cache from %d to %d entries; expected full reuse", after3, got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -52,19 +53,27 @@ func (r *Table3Result) Render() string {
 }
 
 // RunTable3 measures EnergyDx's code reduction on every catalog app.
+// The per-app pipelines are independent (each carries its own seed) and
+// fan out through the shared pool; rows land in catalog order, so the
+// table is identical at any worker count.
 func RunTable3(seed int64) (Result, error) {
 	catalog, err := apps.Catalog()
 	if err != nil {
 		return nil, err
 	}
-	res := &Table3Result{}
-	var sumM, sumP float64
-	for i, app := range catalog {
-		red, err := measureReduction(app, seed+int64(i))
+	reductions, err := parallel.Map(sweepParallelism, len(catalog), func(i int) (AppReduction, error) {
+		red, err := measureReduction(catalog[i], seed+int64(i))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return AppReduction{}, fmt.Errorf("%s: %w", catalog[i].AppID, err)
 		}
-		res.Apps = append(res.Apps, red)
+		return red, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{Apps: reductions}
+	var sumM, sumP float64
+	for _, red := range reductions {
 		sumM += red.Measured
 		sumP += red.PaperPct
 	}
@@ -142,17 +151,22 @@ func RunBaselines(seed int64) (Result, error) {
 		Apps:      len(catalog),
 		PaperLine: "EnergyDx 93%, No-sleep Detection 52.5% (21/40 per its text; its own Table III lists 24 no-sleep apps), eDelta 65% (26/40)",
 	}
-	var sumDx float64
-	for i, app := range catalog {
+	// All three approaches run per app, independently across apps; the
+	// fan-out joins in catalog order so rows and totals are stable.
+	type appOutcome struct {
+		measured     float64
+		nsHit, edHit bool
+		row          string
+	}
+	outcomes, err := parallel.Map(sweepParallelism, len(catalog), func(i int) (appOutcome, error) {
+		app := catalog[i]
 		red, err := measureReduction(app, seed+int64(i))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return appOutcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
-		sumDx += red.Measured
-
 		ns, err := baseline.DetectNoSleep(app.Package())
 		if err != nil {
-			return nil, fmt.Errorf("%s: no-sleep: %w", app.AppID, err)
+			return appOutcome{}, fmt.Errorf("%s: no-sleep: %w", app.AppID, err)
 		}
 		nsHit := false
 		for _, f := range ns.Findings {
@@ -160,17 +174,13 @@ func RunBaselines(seed int64) (Result, error) {
 				nsHit = true
 			}
 		}
-		if nsHit {
-			res.NoSleepHits++
-		}
-
 		corpus, err := genCorpus(app, seed+1000+int64(i))
 		if err != nil {
-			return nil, err
+			return appOutcome{}, err
 		}
 		ed, err := baseline.EDelta(baseline.DefaultEDeltaConfig(), corpus.Bundles)
 		if err != nil {
-			return nil, fmt.Errorf("%s: eDelta: %w", app.AppID, err)
+			return appOutcome{}, fmt.Errorf("%s: eDelta: %w", app.AppID, err)
 		}
 		edHit := false
 		for _, f := range ed.Findings {
@@ -178,12 +188,27 @@ func RunBaselines(seed int64) (Result, error) {
 				edHit = true
 			}
 		}
-		if edHit {
+		return appOutcome{
+			measured: red.Measured,
+			nsHit:    nsHit,
+			edHit:    edHit,
+			row: fmt.Sprintf("%-16s %-14s EnergyDx %5.1f%%  no-sleep:%-5v eDelta:%v",
+				app.AppID, app.RootCause, red.Measured, nsHit, edHit),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumDx float64
+	for _, o := range outcomes {
+		sumDx += o.measured
+		if o.nsHit {
+			res.NoSleepHits++
+		}
+		if o.edHit {
 			res.EDeltaHits++
 		}
-		res.Rows = append(res.Rows, fmt.Sprintf(
-			"%-16s %-14s EnergyDx %5.1f%%  no-sleep:%-5v eDelta:%v",
-			app.AppID, app.RootCause, red.Measured, nsHit, edHit))
+		res.Rows = append(res.Rows, o.row)
 	}
 	res.EnergyDxAvg = sumDx / float64(res.Apps)
 	res.NoSleepAvg = 100 * float64(res.NoSleepHits) / float64(res.Apps)
@@ -246,35 +271,51 @@ func RunFig16(seed int64) (Result, error) {
 		return nil, err
 	}
 	res := &Fig16Result{}
-	var sumDxL, sumCaL, sumDxP, sumCaP float64
-	for i, app := range catalog {
+	type fig16Outcome struct {
+		row                    Fig16Row
+		dxL, caL, dxPct, caPct float64
+	}
+	outcomes, err := parallel.Map(sweepParallelism, len(catalog), func(i int) (fig16Outcome, error) {
+		app := catalog[i]
 		corpus, err := genCorpus(app, seed+int64(i))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return fig16Outcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		report, err := diagnose(corpus)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return fig16Outcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		cr, err := core.ComputeCodeReduction(report, app.Package(), reportedEvents)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return fig16Outcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		ca, err := baseline.CheckAll(baseline.DefaultCheckAllConfig(), corpus.Bundles)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return fig16Outcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		caLines := app.Package().LinesFor(ca.Keys)
 		total := app.TotalSourceLines()
-		caPct := 100 * float64(total-caLines) / float64(total)
-		sumDxL += float64(cr.DiagnosisLines)
-		sumCaL += float64(caLines)
-		sumDxP += cr.Reduction * 100
-		sumCaP += caPct
-		res.PerApp = append(res.PerApp, Fig16Row{
-			ID: app.ID, AppID: app.AppID,
-			DxLines: cr.DiagnosisLines, CheckLines: caLines,
-		})
+		return fig16Outcome{
+			row: Fig16Row{
+				ID: app.ID, AppID: app.AppID,
+				DxLines: cr.DiagnosisLines, CheckLines: caLines,
+			},
+			dxL:   float64(cr.DiagnosisLines),
+			caL:   float64(caLines),
+			dxPct: cr.Reduction * 100,
+			caPct: 100 * float64(total-caLines) / float64(total),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumDxL, sumCaL, sumDxP, sumCaP float64
+	for _, o := range outcomes {
+		sumDxL += o.dxL
+		sumCaL += o.caL
+		sumDxP += o.dxPct
+		sumCaP += o.caPct
+		res.PerApp = append(res.PerApp, o.row)
 	}
 	n := float64(len(catalog))
 	res.DxAvgLines, res.CheckAvgLines = sumDxL/n, sumCaL/n
@@ -321,36 +362,44 @@ func RunFig17(seed int64) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The noise-free power model is stateless, so one instance serves
+	// every worker.
 	model := power.NewModel(device.Nexus6())
-	res := &Fig17Result{}
-	var sumDrop float64
-	for i, app := range catalog {
+	rows, err := parallel.Map(sweepParallelism, len(catalog), func(i int) (Fig17Row, error) {
+		app := catalog[i]
 		cfg := workload.DefaultConfig(app, seed+int64(i))
 		cfg.Users = 6
 		cfg.ImpactedFraction = 1 // every session exercises the ABD flow
 		cfg.Devices = []string{"nexus6"}
-		buggy, err := workload.Generate(cfg)
+		buggy, err := workload.GenerateCached(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return Fig17Row{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		cfg.Fixed = true
-		fixed, err := workload.Generate(cfg)
+		fixed, err := workload.GenerateCached(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return Fig17Row{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		mb, err := corpusMeanPower(model, buggy)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return Fig17Row{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		mf, err := corpusMeanPower(model, fixed)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return Fig17Row{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
-		drop := 100 * (mb - mf) / mb
-		sumDrop += drop
-		res.PerApp = append(res.PerApp, Fig17Row{
-			ID: app.ID, AppID: app.AppID, BuggyMW: mb, FixedMW: mf, DropPct: drop,
-		})
+		return Fig17Row{
+			ID: app.ID, AppID: app.AppID, BuggyMW: mb, FixedMW: mf,
+			DropPct: 100 * (mb - mf) / mb,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig17Result{PerApp: rows}
+	var sumDrop float64
+	for _, row := range rows {
+		sumDrop += row.DropPct
 	}
 	res.AvgDropPct = sumDrop / float64(len(catalog))
 	return res, nil
@@ -406,39 +455,58 @@ func RunOverheads(seed int64) (Result, error) {
 	}
 	model := power.NewModel(device.Nexus6())
 	res := &OverheadsResult{}
-	var latFrac, latMean, powMW, powPct float64
-	n := 0
-	for i, app := range catalog {
-		if i%4 != 0 {
-			continue // a representative quarter keeps the sweep quick
+	var picked []int
+	for i := range catalog {
+		if i%4 == 0 {
+			picked = append(picked, i) // a representative quarter keeps the sweep quick
 		}
+	}
+	type overheadOutcome struct {
+		latFrac, latMean, powMW, powPct float64
+	}
+	outcomes, err := parallel.Map(sweepParallelism, len(picked), func(p int) (overheadOutcome, error) {
+		i := picked[p]
+		app := catalog[i]
 		base := workload.DefaultConfig(app, seed+int64(i))
 		base.Users = 4
 		base.ImpactedFraction = 0
 		base.Devices = []string{"nexus6"}
 
-		instrumented, err := workload.Generate(base)
+		instrumented, err := workload.GenerateCached(base)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return overheadOutcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
 		plainCfg := base
 		plainCfg.Instrument = android.InstrumentationConfig{}
-		plain, err := workload.Generate(plainCfg)
+		plain, err := workload.GenerateCached(plainCfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.AppID, err)
+			return overheadOutcome{}, fmt.Errorf("%s: %w", app.AppID, err)
 		}
-		latFrac += instrumented.Stats.OverheadFraction()
-		latMean += instrumented.Stats.MeanLatencyMS()
 		mi, err := corpusMeanPower(model, instrumented)
 		if err != nil {
-			return nil, err
+			return overheadOutcome{}, err
 		}
 		mp, err := corpusMeanPower(model, plain)
 		if err != nil {
-			return nil, err
+			return overheadOutcome{}, err
 		}
-		powMW += mi - mp
-		powPct += 100 * (mi - mp) / mi
+		return overheadOutcome{
+			latFrac: instrumented.Stats.OverheadFraction(),
+			latMean: instrumented.Stats.MeanLatencyMS(),
+			powMW:   mi - mp,
+			powPct:  100 * (mi - mp) / mi,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var latFrac, latMean, powMW, powPct float64
+	n := 0
+	for _, o := range outcomes {
+		latFrac += o.latFrac
+		latMean += o.latMean
+		powMW += o.powMW
+		powPct += o.powPct
 		n++
 	}
 	res.LatencyOverheadPct = 100 * latFrac / float64(n)

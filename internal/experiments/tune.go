@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/evaluate"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/workload"
 )
@@ -53,23 +54,26 @@ func (r *TuneResult) Render() string {
 // the grid actually discriminates: loose fences trip on noise, tight
 // ones lose the weak drain.
 func RunTune(seed int64) (Result, error) {
-	var sets []evaluate.TrainingSet
-	for i, appID := range []string{"opengps", "tinfoil", "k9mail", "opencamera"} {
-		app, err := apps.ByAppID(appID)
+	trainingApps := []string{"opengps", "tinfoil", "k9mail", "opencamera"}
+	sets, err := parallel.Map(Parallelism(), len(trainingApps), func(i int) (evaluate.TrainingSet, error) {
+		app, err := apps.ByAppID(trainingApps[i])
 		if err != nil {
-			return nil, err
+			return evaluate.TrainingSet{}, err
 		}
 		cfg := workload.DefaultConfig(app, seed+int64(i))
 		cfg.Users = corpusUsers
 		cfg.ImpactedFraction = defaultImpacted
-		corpus, err := workload.Generate(cfg)
+		corpus, err := workload.GenerateCached(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", appID, err)
+			return evaluate.TrainingSet{}, fmt.Errorf("%s: %w", trainingApps[i], err)
 		}
-		sets = append(sets, evaluate.TrainingSet{
+		return evaluate.TrainingSet{
 			Bundles:       corpus.Bundles,
 			ImpactedUsers: corpus.ImpactedUsers,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	base := core.DefaultConfig()
 	base.EstimationNoiseFrac = power.PaperNoiseFrac
@@ -79,6 +83,7 @@ func RunTune(seed int64) (Result, error) {
 		NormBasePercentiles: []float64{10, 50},
 		FenceMultipliers:    []float64{1.5, 3, 4.5},
 		MinAmplitudes:       []float64{0, 0.5, 2, 8},
+		Parallelism:         Parallelism(),
 	})
 	if err != nil {
 		return nil, err

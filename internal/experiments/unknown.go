@@ -180,7 +180,7 @@ func RunUnknown(seed int64) (Result, error) {
 	cfg := workload.DefaultConfig(app, seed)
 	cfg.Users = corpusUsers
 	cfg.ImpactedFraction = defaultImpacted
-	corpus, err := workload.Generate(cfg)
+	corpus, err := workload.GenerateCached(cfg)
 	if err != nil {
 		return nil, err
 	}

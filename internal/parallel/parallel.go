@@ -1,0 +1,99 @@
+// Package parallel is the shared deterministic fan-out layer used by the
+// analysis pipeline, the experiment sweeps and the CLI tools: a bounded,
+// order-preserving worker pool over an index space.
+//
+// Determinism contract: results are written to the slot of their input
+// index, so Map output order always matches input order regardless of
+// worker count, and the returned error is always the one belonging to
+// the lowest failing index — the same error a serial left-to-right loop
+// would surface. Callers therefore get byte-identical results at any
+// parallelism as long as each item's work depends only on its own index
+// (no shared mutable state, per-item RNG seeds).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count against n items: a request
+// of 0 (or any non-positive value) means one worker per available CPU
+// (GOMAXPROCS), and the result is clamped to [1, n] so a pool never
+// spawns idle goroutines.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn over the index space [0, n) with the given number of
+// workers (0 = GOMAXPROCS) and returns the results in input order. On
+// error it returns the error of the lowest failing index, matching the
+// first-error semantics of a serial loop.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn over the index space [0, n) with the given number of
+// workers (0 = GOMAXPROCS). With one worker it degenerates to a plain
+// serial loop that stops at the first error; with more, every item runs
+// and the error of the lowest failing index is returned.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamping(t *testing.T) {
+	cases := []struct {
+		requested, n, want int
+	}{
+		{1, 10, 1},
+		{4, 10, 4},
+		{16, 4, 4},   // never more workers than items
+		{3, 0, 1},    // degenerate item count still yields one worker
+		{-5, 8, min(runtime.GOMAXPROCS(0), 8)}, // negative = auto
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+	if got := Workers(0, 1000); got != min(runtime.GOMAXPROCS(0), 1000) {
+		t.Errorf("Workers(0, 1000) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 8, 0} {
+		out, err := Map(workers, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (string, error) { return "x", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d results for empty input", len(out))
+	}
+}
+
+// TestForEachFirstErrorSemantics injects errors at several indices and
+// asserts the pool reports the lowest-index one under every worker
+// count, matching a serial loop. Run under -race this also exercises
+// the pool's synchronization around the shared error slice.
+func TestForEachFirstErrorSemantics(t *testing.T) {
+	const n = 64
+	failAt := map[int]bool{7: true, 23: true, 55: true}
+	for _, workers := range []int{1, 2, 8, 0} {
+		err := ForEach(workers, n, func(i int) error {
+			if failAt[i] {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if got, want := err.Error(), "item 7 failed"; got != want {
+			t.Fatalf("workers=%d: got error %q, want %q (lowest index)", workers, got, want)
+		}
+	}
+}
+
+// TestForEachRunsEverythingOnError verifies the parallel pool does not
+// abandon later items when an early one fails (errors are aggregated,
+// not short-circuited, so which error surfaces stays deterministic).
+func TestForEachRunsEverythingOnError(t *testing.T) {
+	const n = 50
+	var ran atomic.Int64
+	err := ForEach(4, n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d items", got, n)
+	}
+}
+
+// TestForEachBoundsConcurrency checks that at most `workers` goroutines
+// execute fn at any instant.
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := ForEach(workers, 200, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent executions, want <= %d", p, workers)
+	}
+}
+
+// TestMapSharedWriteRace writes from every item into a shared slice
+// (each item its own slot) — the supported sharing pattern — and is
+// meaningful mainly under -race.
+func TestMapSharedWriteRace(t *testing.T) {
+	const n = 256
+	shared := make([]int, n)
+	_, err := Map(8, n, func(i int) (struct{}, error) {
+		shared[i] = i
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range shared {
+		if v != i {
+			t.Fatalf("shared[%d] = %d", i, v)
+		}
+	}
+}

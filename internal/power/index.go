@@ -1,0 +1,102 @@
+package power
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Index is a precomputed prefix-sum index over a power trace that
+// answers interval mean-power queries in O(log S) instead of the
+// O(S) scan of a naive implementation. Step 1 of the analysis builds
+// one per bundle and queries it once per event instance, so power
+// attribution drops from O(events x samples) to O(events x log
+// samples) per trace.
+//
+// The index preserves the exact semantics of the scan it replaces:
+// the interval is [startMS, endMS) (end-exclusive — a sample taken at
+// the instant an event completes reflects the state the event left
+// behind, not the event itself), and when no sample falls inside the
+// interval the sample nearest to the interval midpoint is used, ties
+// and duplicate timestamps resolving to the earliest sample.
+type Index struct {
+	ts     []int64
+	power  []float64
+	prefix []float64 // prefix[i] = sum of power[:i]
+}
+
+// NewIndex builds the index for a power trace. Samples are expected in
+// non-decreasing timestamp order (the order trace validation enforces
+// and the power model emits); out-of-order samples are sorted into a
+// private copy, stably, so queries still answer over the same sample
+// multiset.
+func NewIndex(pt *trace.PowerTrace) *Index {
+	n := len(pt.Samples)
+	ix := &Index{
+		ts:     make([]int64, n),
+		power:  make([]float64, n),
+		prefix: make([]float64, n+1),
+	}
+	sorted := true
+	for i, s := range pt.Samples {
+		ix.ts[i] = s.TimestampMS
+		ix.power[i] = s.PowerMW
+		if i > 0 && s.TimestampMS < ix.ts[i-1] {
+			sorted = false
+		}
+	}
+	if !sorted {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return pt.Samples[idx[a]].TimestampMS < pt.Samples[idx[b]].TimestampMS
+		})
+		for i, j := range idx {
+			ix.ts[i] = pt.Samples[j].TimestampMS
+			ix.power[i] = pt.Samples[j].PowerMW
+		}
+	}
+	for i, p := range ix.power {
+		ix.prefix[i+1] = ix.prefix[i] + p
+	}
+	return ix
+}
+
+// Len returns the number of indexed samples.
+func (ix *Index) Len() int { return len(ix.ts) }
+
+// MeanBetween returns the mean power of samples with timestamps in
+// [startMS, endMS), falling back to the sample nearest to the interval
+// midpoint when the interval holds none (events shorter than the
+// sampling period). The boolean is false only for an empty trace.
+func (ix *Index) MeanBetween(startMS, endMS int64) (float64, bool) {
+	n := len(ix.ts)
+	if n == 0 {
+		return 0, false
+	}
+	lo := sort.Search(n, func(i int) bool { return ix.ts[i] >= startMS })
+	hi := sort.Search(n, func(i int) bool { return ix.ts[i] >= endMS })
+	if hi > lo {
+		return (ix.prefix[hi] - ix.prefix[lo]) / float64(hi-lo), true
+	}
+
+	// Nearest-sample fallback: the candidates are the last sample
+	// before the midpoint and the first at-or-after it; distance ties
+	// go to the earlier sample, and duplicate timestamps resolve to
+	// the first sample bearing the winning timestamp, matching the
+	// left-to-right scan this replaced.
+	mid := (startMS + endMS) / 2
+	pos := sort.Search(n, func(i int) bool { return ix.ts[i] >= mid })
+	best := pos
+	if pos == n {
+		best = n - 1
+	} else if pos > 0 && mid-ix.ts[pos-1] <= ix.ts[pos]-mid {
+		best = pos - 1
+	}
+	if t := ix.ts[best]; best > 0 && ix.ts[best-1] == t {
+		best = sort.Search(n, func(i int) bool { return ix.ts[i] >= t })
+	}
+	return ix.power[best], true
+}

@@ -1,0 +1,184 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// naiveMeanBetween is the O(S) reference implementation the index
+// replaced (kept here as the oracle for equivalence testing).
+func naiveMeanBetween(pt *trace.PowerTrace, startMS, endMS int64) (float64, bool) {
+	if len(pt.Samples) == 0 {
+		return 0, false
+	}
+	var sum float64
+	n := 0
+	for _, s := range pt.Samples {
+		if s.TimestampMS >= startMS && s.TimestampMS < endMS {
+			sum += s.PowerMW
+			n++
+		}
+	}
+	if n > 0 {
+		return sum / float64(n), true
+	}
+	mid := (startMS + endMS) / 2
+	best := pt.Samples[0]
+	bestDist := absI64(best.TimestampMS - mid)
+	for _, s := range pt.Samples[1:] {
+		if d := absI64(s.TimestampMS - mid); d < bestDist {
+			best, bestDist = s, d
+		}
+	}
+	return best.PowerMW, true
+}
+
+func absI64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func makeTrace(ts []int64, mw []float64) *trace.PowerTrace {
+	pt := &trace.PowerTrace{AppID: "test", Device: "nexus6"}
+	for i := range ts {
+		pt.Samples = append(pt.Samples, trace.PowerSample{TimestampMS: ts[i], PowerMW: mw[i]})
+	}
+	return pt
+}
+
+func TestIndexEmptyTrace(t *testing.T) {
+	ix := NewIndex(&trace.PowerTrace{})
+	if _, ok := ix.MeanBetween(0, 1000); ok {
+		t.Fatal("empty trace should report no samples")
+	}
+}
+
+func TestIndexIntervalMean(t *testing.T) {
+	pt := makeTrace(
+		[]int64{0, 500, 1000, 1500, 2000, 2500},
+		[]float64{100, 200, 300, 400, 500, 600},
+	)
+	ix := NewIndex(pt)
+	cases := []struct {
+		start, end int64
+		want       float64
+	}{
+		{0, 3000, 350},   // whole trace
+		{500, 1501, 300}, // samples at 500, 1000, 1500
+		{500, 1500, 250}, // end-exclusive: 1500 excluded
+		{0, 1, 100},      // single sample
+		{2400, 9999, 600},
+	}
+	for _, c := range cases {
+		got, ok := ix.MeanBetween(c.start, c.end)
+		if !ok {
+			t.Fatalf("[%d, %d): no samples", c.start, c.end)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("[%d, %d): got %v, want %v", c.start, c.end, got, c.want)
+		}
+	}
+}
+
+func TestIndexNearestFallback(t *testing.T) {
+	pt := makeTrace(
+		[]int64{0, 1000, 2000},
+		[]float64{10, 20, 30},
+	)
+	ix := NewIndex(pt)
+	cases := []struct {
+		start, end int64
+		want       float64
+	}{
+		{1100, 1200, 20},  // mid 1150 nearest 1000
+		{1600, 1900, 30},  // mid 1750 nearest 2000
+		{-500, -100, 10},  // before the trace
+		{5000, 6000, 30},  // after the trace
+		{400, 600, 10},    // mid 500: equidistant, earlier sample wins
+		{1400, 1600, 20},  // mid 1500: equidistant, earlier sample wins
+	}
+	for _, c := range cases {
+		got, ok := ix.MeanBetween(c.start, c.end)
+		if !ok {
+			t.Fatalf("[%d, %d): no result", c.start, c.end)
+		}
+		if got != c.want {
+			t.Errorf("[%d, %d): got %v, want %v", c.start, c.end, got, c.want)
+		}
+	}
+}
+
+func TestIndexDuplicateTimestamps(t *testing.T) {
+	// Two samples share t=1000 with different powers; the earliest one
+	// must win the fallback, as in the linear scan.
+	pt := makeTrace(
+		[]int64{0, 1000, 1000, 3000},
+		[]float64{1, 42, 99, 7},
+	)
+	ix := NewIndex(pt)
+	got, ok := ix.MeanBetween(900, 1000) // mid 950, nearest ts 1000
+	if !ok || got != 42 {
+		t.Fatalf("duplicate fallback: got %v ok=%v, want 42", got, ok)
+	}
+}
+
+// TestIndexMatchesNaive cross-checks the index against the linear
+// reference on randomized sorted traces and randomized query windows,
+// including degenerate and out-of-range windows.
+func TestIndexMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(60)
+		ts := make([]int64, n)
+		mw := make([]float64, n)
+		cur := int64(rng.Intn(100))
+		for i := 0; i < n; i++ {
+			ts[i] = cur
+			cur += int64(rng.Intn(700)) // 0 step => duplicate timestamps
+			mw[i] = 50 + 2000*rng.Float64()
+		}
+		pt := makeTrace(ts, mw)
+		ix := NewIndex(pt)
+		span := ts[n-1] - ts[0] + 1000
+		for q := 0; q < 200; q++ {
+			start := ts[0] - 500 + int64(rng.Int63n(span+1000))
+			end := start + int64(rng.Intn(2000))
+			want, wok := naiveMeanBetween(pt, start, end)
+			got, gok := ix.MeanBetween(start, end)
+			if wok != gok {
+				t.Fatalf("round %d [%d, %d): ok mismatch naive=%v index=%v", round, start, end, wok, gok)
+			}
+			if !wok {
+				continue
+			}
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("round %d [%d, %d): naive %v, index %v", round, start, end, want, got)
+			}
+		}
+	}
+}
+
+func BenchmarkIndexMeanBetween(b *testing.B) {
+	const n = 2048
+	ts := make([]int64, n)
+	mw := make([]float64, n)
+	for i := range ts {
+		ts[i] = int64(i) * 500
+		mw[i] = float64(300 + i%700)
+	}
+	pt := makeTrace(ts, mw)
+	ix := NewIndex(pt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := int64((i % n) * 500)
+		if _, ok := ix.MeanBetween(start, start+1700); !ok {
+			b.Fatal("no samples")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func cacheTestConfig(t *testing.T, seed int64) Config {
+	t.Helper()
+	app, err := apps.K9Mail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(app, seed)
+	cfg.Users = 4
+	return cfg
+}
+
+func TestGenerateCachedReusesCorpus(t *testing.T) {
+	FlushCache()
+	defer FlushCache()
+	cfg := cacheTestConfig(t, 11)
+
+	a, err := GenerateCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical configs did not share the cached corpus")
+	}
+	if CacheLen() != 1 {
+		t.Errorf("cache holds %d corpora, want 1", CacheLen())
+	}
+
+	// A different seed is a different corpus.
+	cfg2 := cfg
+	cfg2.Seed = 12
+	c, err := GenerateCached(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different seeds shared a corpus")
+	}
+	// So is any config field that changes generation.
+	cfg3 := cfg
+	cfg3.Fixed = true
+	d, err := GenerateCached(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("fixed-variant config shared the buggy corpus")
+	}
+	if CacheLen() != 3 {
+		t.Errorf("cache holds %d corpora, want 3", CacheLen())
+	}
+}
+
+func TestGenerateCachedMatchesGenerate(t *testing.T) {
+	FlushCache()
+	defer FlushCache()
+	cfg := cacheTestConfig(t, 23)
+	cached, err := GenerateCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached, fresh) {
+		t.Error("cached corpus differs from a fresh generation")
+	}
+}
+
+func TestGenerateCachedNormalizesDefaults(t *testing.T) {
+	FlushCache()
+	defer FlushCache()
+	cfg := cacheTestConfig(t, 31)
+	cfg.SamplePeriodMS = 0 // Generate defaults this to procfs.DefaultPeriodMS
+	a, err := GenerateCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SamplePeriodMS = 500
+	b, err := GenerateCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("defaulted and explicit sampling periods did not share an entry")
+	}
+}
+
+// TestGenerateCachedSingleflight hammers one key from many goroutines;
+// under -race this also proves the cache's synchronization.
+func TestGenerateCachedSingleflight(t *testing.T) {
+	FlushCache()
+	defer FlushCache()
+	cfg := cacheTestConfig(t, 47)
+	const goroutines = 8
+	results := make([]*Result, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := GenerateCached(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different corpus instance", g)
+		}
+	}
+	if CacheLen() != 1 {
+		t.Errorf("cache holds %d corpora, want 1", CacheLen())
+	}
+}
+
+func TestGenerateCachedErrorPath(t *testing.T) {
+	FlushCache()
+	defer FlushCache()
+	if _, err := GenerateCached(Config{}); err == nil {
+		t.Error("nil app should error")
+	}
+	cfg := cacheTestConfig(t, 53)
+	cfg.Users = -1
+	if _, err := GenerateCached(cfg); err == nil {
+		t.Error("invalid user count should error")
+	}
+}
