@@ -3,9 +3,15 @@
 // shutdown (SIGINT/SIGTERM) the server dumps its stored corpus as one
 // JSONL file per app.
 //
+// The -faults flag turns the server into a chaos rig: received lines
+// are corrupted, truncated, duplicated, delayed or their connections
+// dropped behind a seeded RNG, which exercises client retry and the
+// server's quarantine exactly as an unreliable network would.
+//
 // Usage:
 //
 //	collectd -addr 127.0.0.1:7600 -out ./corpora
+//	collectd -store ./store -faults 'corrupt=0.1,drop=0.05,seed=7'
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"syscall"
 
 	"repro/internal/collect"
+	"repro/internal/faults"
 	"repro/internal/parallel"
 	"repro/internal/trace"
 )
@@ -30,10 +37,13 @@ func main() {
 
 func run() error {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7600", "listen address")
-		out         = flag.String("out", ".", "directory for per-app corpus dumps on shutdown")
-		storeDir    = flag.String("store", "", "durable store directory: bundles are persisted as they arrive and reloaded on restart")
-		parallelism = flag.Int("parallelism", 0, "worker count for the shutdown corpus dump (0 = GOMAXPROCS, 1 = serial)")
+		addr         = flag.String("addr", "127.0.0.1:7600", "listen address")
+		out          = flag.String("out", ".", "directory for per-app corpus dumps on shutdown")
+		storeDir     = flag.String("store", "", "durable store directory: bundles are persisted as they arrive and reloaded on restart")
+		parallelism  = flag.Int("parallelism", 0, "worker count for the shutdown corpus dump (0 = GOMAXPROCS, 1 = serial)")
+		faultSpec    = flag.String("faults", "", "chaos fault injection on received lines, e.g. 'corrupt=0.1,truncate=0.05,duplicate=0.1,drop=0.05,delay=0.2,seed=7'")
+		maxLineBytes = flag.Int("max-line-bytes", 0, "reject serialized bundles over this size (0 = default 16 MiB)")
+		maxRecords   = flag.Int("max-records", 0, "reject bundles with more event records than this (0 = default)")
 	)
 	flag.Parse()
 
@@ -46,6 +56,23 @@ func run() error {
 		defer store.Close()
 		opts = append(opts, collect.WithFileStore(store))
 	}
+	opts = append(opts, collect.WithLimits(collect.Limits{
+		MaxLineBytes: *maxLineBytes,
+		MaxRecords:   *maxRecords,
+	}))
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		fcfg, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		injector, err = faults.New(fcfg)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, collect.WithServerFaults(injector))
+		fmt.Fprintf(os.Stderr, "collectd: CHAOS MODE, injecting faults: %s\n", *faultSpec)
+	}
 	srv, err := collect.NewServer(*addr, opts...)
 	if err != nil {
 		return err
@@ -55,7 +82,11 @@ func run() error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintf(os.Stderr, "collectd: shutting down with %d bundles\n", srv.Count())
+	fmt.Fprintf(os.Stderr, "collectd: shutting down with %d bundles (%d lines quarantined)\n",
+		srv.Count(), srv.QuarantineCount())
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "collectd: injected faults: %s\n", injector.Stats())
+	}
 	if err := srv.Close(); err != nil {
 		return err
 	}

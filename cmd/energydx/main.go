@@ -40,10 +40,11 @@ func run() error {
 		top      = flag.Int("top", 6, "events to report for the code-reduction metric")
 		asJSON   = flag.Bool("json", false, "emit the full report as JSON instead of text")
 		par      = flag.Int("parallel", 0, "analysis worker goroutines for Steps 1-4 (0 = GOMAXPROCS, 1 = serial); output is identical at any count")
+		lenient  = flag.Bool("lenient", false, "tolerate corrupt input: skip undecodable corpus lines and invalid traces (accounted on stderr / in the report) instead of failing")
 	)
 	flag.Parse()
 
-	bundles, err := readCorpus(*in)
+	bundles, err := readCorpus(*in, *lenient)
 	if err != nil {
 		return err
 	}
@@ -57,6 +58,7 @@ func run() error {
 	cfg.FenceMultiplier = *fence
 	cfg.NormBasePercentile = *normBase
 	cfg.Parallelism = *par
+	cfg.SkipInvalidTraces = *lenient
 	analyzer, err := core.NewAnalyzer(cfg)
 	if err != nil {
 		return err
@@ -64,6 +66,9 @@ func run() error {
 	report, err := analyzer.Analyze(bundles)
 	if err != nil {
 		return err
+	}
+	for _, sk := range report.Skipped {
+		fmt.Fprintf(os.Stderr, "energydx: skipped invalid trace %d (%s): %s\n", sk.Index, sk.TraceID, sk.Reason)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -86,7 +91,7 @@ func run() error {
 	return nil
 }
 
-func readCorpus(path string) ([]*trace.TraceBundle, error) {
+func readCorpus(path string, lenient bool) ([]*trace.TraceBundle, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -96,5 +101,26 @@ func readCorpus(path string) ([]*trace.TraceBundle, error) {
 		defer f.Close()
 		r = f
 	}
-	return trace.ReadBundles(r)
+	if !lenient {
+		return trace.ReadBundles(r)
+	}
+	var bundles []*trace.TraceBundle
+	skipped := 0
+	err := trace.ScanBundlesLenient(r,
+		func(b *trace.TraceBundle) error {
+			bundles = append(bundles, b)
+			return nil
+		},
+		func(bad trace.BadBundleLine) error {
+			skipped++
+			fmt.Fprintf(os.Stderr, "energydx: skipping corpus line %d: %v\n", bad.Line, bad.Err)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "energydx: skipped %d undecodable corpus line(s)\n", skipped)
+	}
+	return bundles, nil
 }

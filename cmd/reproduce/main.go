@@ -6,6 +6,7 @@
 //	reproduce -exp fig16          # one experiment
 //	reproduce -list               # list experiment IDs
 //	reproduce -exp table3 -seed 7 # different corpus seed
+//	reproduce -exp ingest         # fault-injected collection convergence
 package main
 
 import (

@@ -2,12 +2,16 @@ package collect
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/trace"
 )
 
@@ -26,7 +30,8 @@ func (s PhoneState) Eligible() bool { return s.Charging && s.OnWiFi }
 // ErrNotEligible is returned when the phone state forbids uploading.
 var ErrNotEligible = errors.New("collect: phone not charging on WiFi; upload deferred")
 
-// ErrRejected is returned when the server refuses a bundle.
+// RejectedError is returned when the server refuses a bundle and
+// retries are exhausted.
 type RejectedError struct {
 	Index  int
 	Reason string
@@ -37,19 +42,107 @@ func (e *RejectedError) Error() string {
 }
 
 // Client uploads trace bundles from a phone to the collection server.
+// Transient failures (dial errors, timeouts, dropped connections,
+// in-flight corruption rejected by the server) are retried with
+// exponential backoff and jitter; every bundle is stamped with its
+// content key before the first attempt, so retries are idempotent and
+// the server stores each bundle exactly once no matter how many times
+// parts of an upload are re-sent.
 type Client struct {
-	addr    string
-	timeout time.Duration
+	addr        string
+	timeout     time.Duration
+	maxAttempts int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	dial        func(addr string, timeout time.Duration) (net.Conn, error)
+	sleep       func(time.Duration)
+	injector    *faults.Injector
+
+	mu  sync.Mutex
+	rng *rand.Rand // backoff jitter
+}
+
+// ClientOption configures a client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-request timeout: it bounds the dial and each
+// bundle's send+ack round trip individually, so one slow bundle cannot
+// consume the whole upload's budget.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry sets the retry policy: at most maxAttempts connection
+// attempts per upload, sleeping base<<attempt (capped at max, with up
+// to 50% random jitter) between consecutive attempts.
+func WithRetry(maxAttempts int, base, max time.Duration) ClientOption {
+	return func(c *Client) {
+		if maxAttempts > 0 {
+			c.maxAttempts = maxAttempts
+		}
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
+// WithJitterSeed seeds the backoff jitter, making retry schedules
+// reproducible in tests.
+func WithJitterSeed(seed int64) ClientOption {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDialer replaces the TCP dialer (tests, proxies).
+func WithDialer(dial func(addr string, timeout time.Duration) (net.Conn, error)) ClientOption {
+	return func(c *Client) { c.dial = dial }
+}
+
+// WithFaults attaches a fault injector to the upload path: wire lines
+// may be corrupted, truncated, duplicated or dropped, batches may be
+// reordered, and sends may be delayed, exactly as an unreliable network
+// would. Used by the soak tests and chaos tooling; production clients
+// leave it nil.
+func WithFaults(in *faults.Injector) ClientOption {
+	return func(c *Client) { c.injector = in }
 }
 
 // NewClient creates a client for the server at addr.
-func NewClient(addr string) *Client {
-	return &Client{addr: addr, timeout: 10 * time.Second}
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr:        addr,
+		timeout:     10 * time.Second,
+		maxAttempts: 3,
+		backoffBase: 100 * time.Millisecond,
+		backoffMax:  5 * time.Second,
+		dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+		sleep: time.Sleep,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return c
 }
 
-// Upload scrubs and sends the bundles if the phone state allows it.
-// Every bundle is acknowledged before the next is sent; the first
-// rejection aborts the upload with a *RejectedError.
+// wireBundle is one bundle prepared for upload.
+type wireBundle struct {
+	orig int    // index in the caller's slice, for error reporting
+	key  string // idempotent content key
+	line []byte // serialized JSON line (no trailing newline)
+}
+
+// Upload scrubs, stamps and sends the bundles if the phone state allows
+// it. Bundles are acknowledged individually; on a transient failure the
+// client backs off and resumes from the first unacknowledged bundle. A
+// bundle still rejected when attempts are exhausted surfaces as a
+// *RejectedError.
 func (c *Client) Upload(state PhoneState, bundles []*trace.TraceBundle) error {
 	if !state.Eligible() {
 		return ErrNotEligible
@@ -57,32 +150,165 @@ func (c *Client) Upload(state PhoneState, bundles []*trace.TraceBundle) error {
 	if len(bundles) == 0 {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
-	if err != nil {
-		return fmt.Errorf("collect: dial %s: %w", c.addr, err)
-	}
-	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-		return fmt.Errorf("collect: deadline: %w", err)
-	}
-	w := bufio.NewWriter(conn)
-	r := bufio.NewReader(conn)
+	wire := make([]wireBundle, len(bundles))
 	for i, b := range bundles {
 		scrubbed := trace.ScrubBundle(b) // PII never leaves the phone
-		if err := trace.EncodeBundle(w, scrubbed); err != nil {
+		scrubbed.Key = trace.ContentKey(scrubbed)
+		var buf bytes.Buffer
+		if err := trace.EncodeBundle(&buf, scrubbed); err != nil {
 			return fmt.Errorf("collect: encode bundle %d: %w", i, err)
 		}
-		if err := w.Flush(); err != nil {
-			return fmt.Errorf("collect: send bundle %d: %w", i, err)
+		wire[i] = wireBundle{orig: i, key: scrubbed.Key, line: bytes.TrimRight(buf.Bytes(), "\n")}
+	}
+	if c.injector != nil {
+		perm := c.injector.Perm(len(wire))
+		reordered := make([]wireBundle, len(wire))
+		for i, p := range perm {
+			reordered[i] = wire[p]
 		}
-		ack, err := r.ReadString('\n')
+		wire = reordered
+	}
+
+	pending := wire
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.backoff(attempt))
+		}
+		acked, err := c.uploadOnce(pending)
+		pending = pending[acked:]
+		if len(pending) == 0 && err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("attempts exhausted")
+	}
+	return fmt.Errorf("collect: %d bundle(s) unacknowledged after %d attempts: %w",
+		len(pending), c.maxAttempts, lastErr)
+}
+
+// backoff computes the sleep before retry `attempt` (1-based):
+// base<<(attempt-1), capped, plus up to 50% jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.backoffBase << uint(attempt-1)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d + jitter
+}
+
+// uploadOnce dials and sends pending bundles in order until all are
+// acknowledged or one fails, returning how many were acknowledged OK.
+func (c *Client) uploadOnce(pending []wireBundle) (acked int, err error) {
+	conn, err := c.dial(c.addr, c.timeout)
+	if err != nil {
+		return 0, fmt.Errorf("dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	w := newLineWriter(conn)
+	r := newLineReader(conn)
+	for _, wb := range pending {
+		// Per-request deadline: each bundle gets a fresh budget.
+		if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return acked, fmt.Errorf("deadline: %w", err)
+		}
+		lines := [][]byte{wb.line}
+		if c.injector != nil {
+			if d := c.injector.Delay(); d > 0 {
+				c.sleep(d)
+			}
+			var drop bool
+			lines, drop = c.injector.Apply(wb.line)
+			if drop {
+				return acked, errors.New("connection dropped (injected)")
+			}
+		}
+		for _, ln := range lines {
+			if err := w.writeLine(ln); err != nil {
+				return acked, fmt.Errorf("send bundle %d: %w", wb.orig, err)
+			}
+		}
+		if err := c.awaitAck(r, wb); err != nil {
+			return acked, err
+		}
+		acked++
+	}
+	return acked, nil
+}
+
+// awaitAck reads acknowledgements until one addresses wb. Acks carry
+// the bundle's content key, so stale acks caused by duplicated lines
+// (the server acknowledges every copy) are recognized and skipped
+// instead of desynchronizing the stream.
+func (c *Client) awaitAck(r *lineReader, wb wireBundle) error {
+	for {
+		ack, err := r.readLine()
 		if err != nil {
-			return fmt.Errorf("collect: ack for bundle %d: %w", i, err)
+			return fmt.Errorf("ack for bundle %d: %w", wb.orig, err)
 		}
-		ack = strings.TrimSpace(ack)
-		if ack != ackOK {
-			return &RejectedError{Index: i, Reason: strings.TrimPrefix(ack, ackErrPrefix)}
+		status, key, reason := parseAck(ack)
+		switch status {
+		case ackOK:
+			if key == "" || key == wb.key {
+				return nil
+			}
+			continue // stale ack for an earlier (duplicated) line
+		case ackErr:
+			if key == "" || key == ackUnknownKey || key == wb.key {
+				return &RejectedError{Index: wb.orig, Reason: reason}
+			}
+			continue // stale rejection of a duplicated line's copy
+		default:
+			return fmt.Errorf("ack for bundle %d: malformed %q", wb.orig, ack)
 		}
 	}
-	return nil
+}
+
+// parseAck splits an ack line into status, key and reason. The wire
+// forms are "OK <key>" and "ERR <key> <reason>"; a bare "OK"/"ERR" (no
+// key) is accepted for protocol compatibility.
+func parseAck(ack string) (status, key, reason string) {
+	status, rest, _ := strings.Cut(strings.TrimSpace(ack), " ")
+	if status != ackOK && status != ackErr {
+		return "", "", ack
+	}
+	key, reason, _ = strings.Cut(rest, " ")
+	return status, key, reason
+}
+
+// lineReader and lineWriter frame the newline-delimited wire protocol.
+
+type lineReader struct{ r *bufio.Reader }
+
+func newLineReader(conn net.Conn) *lineReader {
+	return &lineReader{r: bufio.NewReader(conn)}
+}
+
+func (l *lineReader) readLine() (string, error) {
+	s, err := l.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(s), nil
+}
+
+type lineWriter struct{ w *bufio.Writer }
+
+func newLineWriter(conn net.Conn) *lineWriter {
+	return &lineWriter{w: bufio.NewWriter(conn)}
+}
+
+func (l *lineWriter) writeLine(b []byte) error {
+	if _, err := l.w.Write(b); err != nil {
+		return err
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return l.w.Flush()
 }

@@ -3,8 +3,16 @@
 // the smartphone is in charge with WiFi, which is a common practice to
 // upload traces without impacting the normal usage of smartphone"
 // (paper §II-B). Uploads are newline-delimited JSON bundles over TCP,
-// acknowledged per bundle so a client can resume after a dropped
-// connection without duplicating data.
+// acknowledged per bundle (acks echo the bundle's content key) so a
+// client can resume after a dropped connection without duplicating
+// data.
+//
+// The ingestion path assumes nothing about upload quality: every line
+// is strictly validated (decode, content-key integrity, structural
+// trace invariants, size limits) and rejected lines are kept in a
+// quarantine — excluded from analysis but available for diagnosis —
+// so one corrupt upload never poisons a corpus or takes down a
+// connection handler.
 //
 // Privacy: the client scrubs bundles before they leave the phone, and
 // the server scrubs again on receipt (defense in depth) — the backend
@@ -13,34 +21,109 @@ package collect
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/trace"
 )
 
 const (
-	// ackOK is sent after a bundle is validated and stored.
+	// ackOK acknowledges a validated-and-stored (or deduplicated) bundle.
 	ackOK = "OK"
-	// ackErrPrefix precedes a rejection reason.
-	ackErrPrefix = "ERR "
-	// maxLineBytes bounds one serialized bundle (16 MiB).
-	maxLineBytes = 16 << 20
+	// ackErr precedes a rejection; the line is "ERR <key> <reason>".
+	ackErr = "ERR"
+	// ackUnknownKey stands in for the key when a line cannot be decoded.
+	ackUnknownKey = "?"
 )
+
+// ackErrPrefix is the textual prefix of a rejection ack.
+const ackErrPrefix = ackErr + " "
+
+// Limits bounds what one client may ingest. The zero value of any
+// field means its default.
+type Limits struct {
+	// MaxLineBytes bounds one serialized bundle (default 16 MiB).
+	MaxLineBytes int
+	// MaxRecords bounds the event records in one bundle (default 1M).
+	MaxRecords int
+	// MaxSamples bounds the utilization samples in one bundle (default 1M).
+	MaxSamples int
+	// MaxBundlesPerConn bounds the bundles one connection may send
+	// (default 10000); beyond it, the connection is closed.
+	MaxBundlesPerConn int
+	// MaxBadLinesPerConn bounds the rejected lines one connection may
+	// produce before it is closed (default 100) — a client that only
+	// sends garbage does not get to keep the handler busy forever.
+	MaxBadLinesPerConn int
+}
+
+// DefaultLimits returns the production defaults.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxLineBytes:       16 << 20,
+		MaxRecords:         1 << 20,
+		MaxSamples:         1 << 20,
+		MaxBundlesPerConn:  10000,
+		MaxBadLinesPerConn: 100,
+	}
+}
+
+// withDefaults replaces zero fields with their defaults.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxLineBytes <= 0 {
+		l.MaxLineBytes = d.MaxLineBytes
+	}
+	if l.MaxRecords <= 0 {
+		l.MaxRecords = d.MaxRecords
+	}
+	if l.MaxSamples <= 0 {
+		l.MaxSamples = d.MaxSamples
+	}
+	if l.MaxBundlesPerConn <= 0 {
+		l.MaxBundlesPerConn = d.MaxBundlesPerConn
+	}
+	if l.MaxBadLinesPerConn <= 0 {
+		l.MaxBadLinesPerConn = d.MaxBadLinesPerConn
+	}
+	return l
+}
+
+// maxQuarantineKept bounds the quarantine entries kept in memory; the
+// durable store keeps all of them.
+const maxQuarantineKept = 256
+
+// QuarantineEntry is one rejected wire line, kept for diagnosis and
+// excluded from analysis.
+type QuarantineEntry struct {
+	// Key is the bundle's stamped content key when the line decoded far
+	// enough to read one, else empty.
+	Key string `json:"key,omitempty"`
+	// Reason is the rejection reason.
+	Reason string `json:"reason"`
+	// Line is the offending wire line as received.
+	Line []byte `json:"line"`
+}
 
 // Server receives and stores trace bundles.
 type Server struct {
-	ln    net.Listener
-	store *FileStore // optional durable store
+	ln       net.Listener
+	store    *FileStore // optional durable store
+	limits   Limits
+	injector *faults.Injector // optional chaos injector on received lines
 
-	mu      sync.Mutex
-	byApp   map[string][]*trace.TraceBundle
-	dupes   map[string]struct{} // traceID+user dedup across reconnects
-	closed  bool
-	handler sync.WaitGroup
+	mu         sync.Mutex
+	byApp      map[string][]*trace.TraceBundle
+	dupes      map[string]struct{} // upload-key dedup across reconnects
+	quarantine []QuarantineEntry   // most recent maxQuarantineKept rejects
+	quarCount  int                 // total rejects, including rotated-out ones
+	closed     bool
+	handler    sync.WaitGroup
 }
 
 // ServerOption configures a server.
@@ -53,6 +136,19 @@ func WithFileStore(store *FileStore) ServerOption {
 	return func(s *Server) { s.store = store }
 }
 
+// WithLimits overrides the ingestion limits; zero fields keep their
+// defaults.
+func WithLimits(l Limits) ServerOption {
+	return func(s *Server) { s.limits = l }
+}
+
+// WithServerFaults injects faults into received lines before ingestion
+// (chaos testing via collectd's -faults flag): lines may be corrupted,
+// truncated or duplicated, connections dropped, and ingestion delayed.
+func WithServerFaults(in *faults.Injector) ServerOption {
+	return func(s *Server) { s.injector = in }
+}
+
 // NewServer starts a collection server on addr (e.g. "127.0.0.1:0").
 func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -60,15 +156,17 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 		return nil, fmt.Errorf("collect: listen: %w", err)
 	}
 	s := &Server{
-		ln:    ln,
-		byApp: make(map[string][]*trace.TraceBundle),
-		dupes: make(map[string]struct{}),
+		ln:     ln,
+		limits: DefaultLimits(),
+		byApp:  make(map[string][]*trace.TraceBundle),
+		dupes:  make(map[string]struct{}),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.limits = s.limits.withDefaults()
 	if s.store != nil {
-		persisted, err := s.store.Load()
+		persisted, skipped, err := s.store.Load()
 		if err != nil {
 			ln.Close()
 			return nil, err
@@ -79,14 +177,22 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 				s.dupes[dedupKey(b)] = struct{}{}
 			}
 		}
+		// Torn trailing lines (crash mid-append) were never acked, so
+		// dropping them is safe; record them for diagnosis.
+		s.quarCount += skipped
 	}
 	s.handler.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
-// dedupKey identifies a bundle across re-uploads and restarts.
+// dedupKey identifies a bundle across re-uploads and restarts: the
+// stamped content key when present, else the app/user/trace triple
+// (legacy uploaders without integrity keys).
 func dedupKey(b *trace.TraceBundle) string {
+	if b.Key != "" {
+		return b.Key
+	}
 	return b.Event.AppID + "/" + b.Event.UserID + "/" + b.Event.TraceID
 }
 
@@ -127,59 +233,158 @@ func (s *Server) acceptLoop() {
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	// The scanner's max token size is the larger of the cap argument and
+	// the initial buffer, so the initial buffer must not exceed the
+	// configured line limit.
+	sc.Buffer(make([]byte, 0, min(64*1024, s.limits.MaxLineBytes)), s.limits.MaxLineBytes)
 	w := bufio.NewWriter(conn)
+	bundles, bad := 0, 0
 	for sc.Scan() {
 		line := sc.Bytes()
-		if len(line) == 0 {
+		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		if err := s.ingest(line); err != nil {
-			fmt.Fprintf(w, "%s%v\n", ackErrPrefix, err)
-		} else {
-			fmt.Fprintln(w, ackOK)
+		bundles++
+		if bundles > s.limits.MaxBundlesPerConn {
+			fmt.Fprintf(w, "%s %s connection bundle limit (%d) exceeded\n",
+				ackErr, ackUnknownKey, s.limits.MaxBundlesPerConn)
+			w.Flush()
+			return
+		}
+		lines := [][]byte{line}
+		if s.injector != nil {
+			if d := s.injector.Delay(); d > 0 {
+				time.Sleep(d)
+			}
+			var drop bool
+			lines, drop = s.injector.Apply(line)
+			if drop {
+				return // injected connection cut; the client retries
+			}
+		}
+		for _, ln := range lines {
+			key, err := s.ingest(ln)
+			if err != nil {
+				bad++
+				s.quarantineLine(ln, key, err)
+				fmt.Fprintf(w, "%s %s %v\n", ackErr, keyOrUnknown(key), err)
+				if bad > s.limits.MaxBadLinesPerConn {
+					w.Flush()
+					return
+				}
+			} else {
+				fmt.Fprintf(w, "%s %s\n", ackOK, keyOrUnknown(key))
+			}
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
 	}
+	// A line over MaxLineBytes surfaces here as bufio.ErrTooLong. The
+	// scanner cannot resync mid-line, so the connection is closed; the
+	// oversize upload is quarantined by size class (the line itself is
+	// too big to keep).
+	if err := sc.Err(); err != nil {
+		s.quarantineLine(nil, "", fmt.Errorf("line exceeds %d bytes: %w", s.limits.MaxLineBytes, err))
+		fmt.Fprintf(w, "%s %s line exceeds %d byte limit\n", ackErr, ackUnknownKey, s.limits.MaxLineBytes)
+		w.Flush()
+	}
 }
 
-// ingest validates, scrubs and stores one serialized bundle.
-func (s *Server) ingest(line []byte) error {
-	b, err := trace.DecodeBundle(strings.NewReader(string(line)))
+func keyOrUnknown(key string) string {
+	if key == "" {
+		return ackUnknownKey
+	}
+	return key
+}
+
+// ingest validates, scrubs and stores one serialized bundle, returning
+// the bundle's stamped key when one could be decoded.
+func (s *Server) ingest(line []byte) (key string, err error) {
+	b, err := trace.DecodeBundle(bytes.NewReader(line))
 	if err != nil {
-		return fmt.Errorf("decode: %v", err)
+		return "", fmt.Errorf("decode: %v", err)
+	}
+	key = b.Key
+	// Integrity before anything else: a line altered in flight must not
+	// reach the store even if it still parses.
+	if err := trace.VerifyContentKey(b); err != nil {
+		return key, fmt.Errorf("integrity: %v", err)
 	}
 	if b.Event.AppID == "" {
-		return errors.New("bundle has no app id")
+		return key, errors.New("bundle has no app id")
+	}
+	if n := len(b.Event.Records); n > s.limits.MaxRecords {
+		return key, fmt.Errorf("event trace has %d records, limit %d", n, s.limits.MaxRecords)
+	}
+	if n := len(b.Util.Samples); n > s.limits.MaxSamples {
+		return key, fmt.Errorf("utilization trace has %d samples, limit %d", n, s.limits.MaxSamples)
 	}
 	if err := b.Event.Validate(); err != nil {
-		return fmt.Errorf("event trace: %v", err)
+		return key, fmt.Errorf("event trace: %v", err)
 	}
 	if err := b.Util.Validate(); err != nil {
-		return fmt.Errorf("utilization trace: %v", err)
+		return key, fmt.Errorf("utilization trace: %v", err)
 	}
 	scrubbed := trace.ScrubBundle(b)
-	key := dedupKey(scrubbed)
+	dk := dedupKey(scrubbed)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("server shutting down")
+		return key, errors.New("server shutting down")
 	}
-	if _, dup := s.dupes[key]; dup {
-		return nil // idempotent: re-uploads after a lost ack are fine
+	if _, dup := s.dupes[dk]; dup {
+		return key, nil // idempotent: re-uploads after a lost ack are fine
 	}
 	if s.store != nil {
 		// Persist before acknowledging: an acked bundle survives a
 		// crash; a failed write is reported so the phone retries.
 		if err := s.store.Append(scrubbed); err != nil {
-			return err
+			return key, err
 		}
 	}
-	s.dupes[key] = struct{}{}
+	s.dupes[dk] = struct{}{}
 	s.byApp[scrubbed.Event.AppID] = append(s.byApp[scrubbed.Event.AppID], scrubbed)
-	return nil
+	return key, nil
+}
+
+// quarantineLine records a rejected wire line: bounded in memory,
+// complete in the durable store when one is attached.
+func (s *Server) quarantineLine(line []byte, key string, cause error) {
+	entry := QuarantineEntry{
+		Key:    key,
+		Reason: cause.Error(),
+		Line:   append([]byte(nil), line...),
+	}
+	s.mu.Lock()
+	s.quarCount++
+	s.quarantine = append(s.quarantine, entry)
+	if len(s.quarantine) > maxQuarantineKept {
+		s.quarantine = s.quarantine[len(s.quarantine)-maxQuarantineKept:]
+	}
+	store := s.store
+	s.mu.Unlock()
+	if store != nil {
+		// Best-effort: quarantine persistence failing must not take the
+		// handler down with it.
+		_ = store.AppendQuarantine(entry)
+	}
+}
+
+// Quarantine returns the most recent quarantined lines (a copy).
+func (s *Server) Quarantine() []QuarantineEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QuarantineEntry, len(s.quarantine))
+	copy(out, s.quarantine)
+	return out
+}
+
+// QuarantineCount returns how many lines have been rejected in total.
+func (s *Server) QuarantineCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarCount
 }
 
 // Bundles returns the stored bundles for one app (a copy of the slice).

@@ -1,7 +1,10 @@
 package collect
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,8 +21,9 @@ import (
 type FileStore struct {
 	dir string
 
-	mu    sync.Mutex
-	files map[string]*os.File
+	mu         sync.Mutex
+	files      map[string]*os.File
+	quarantine *os.File // lazily opened quarantine append handle
 }
 
 // NewFileStore opens (creating if needed) a store directory.
@@ -62,31 +66,99 @@ func (s *FileStore) file(appID string) (*os.File, error) {
 	return f, nil
 }
 
-// Load reads every persisted bundle back, keyed by app ID.
-func (s *FileStore) Load() (map[string][]*trace.TraceBundle, error) {
+// Load reads every persisted bundle back, keyed by app ID. Undecodable
+// lines — e.g. a torn trailing line left by a crash mid-append — are
+// skipped and counted rather than failing the whole store: a torn line
+// was never acknowledged, so dropping it only makes the phone re-upload
+// that bundle. The quarantine subdirectory is not part of the corpus
+// and is never loaded here.
+func (s *FileStore) Load() (map[string][]*trace.TraceBundle, int, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("collect: store load: %w", err)
+		return nil, 0, fmt.Errorf("collect: store load: %w", err)
 	}
 	out := make(map[string][]*trace.TraceBundle)
+	skipped := 0
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
 			continue
 		}
 		f, err := os.Open(filepath.Join(s.dir, e.Name()))
 		if err != nil {
-			return nil, fmt.Errorf("collect: store load: %w", err)
+			return nil, skipped, fmt.Errorf("collect: store load: %w", err)
 		}
-		bundles, err := trace.ReadBundles(f)
+		err = trace.ScanBundlesLenient(f,
+			func(b *trace.TraceBundle) error {
+				out[b.Event.AppID] = append(out[b.Event.AppID], b)
+				return nil
+			},
+			func(bad trace.BadBundleLine) error {
+				skipped++
+				return nil
+			})
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("collect: store load %s: %w", e.Name(), err)
-		}
-		for _, b := range bundles {
-			out[b.Event.AppID] = append(out[b.Event.AppID], b)
+			return nil, skipped, fmt.Errorf("collect: store load %s: %w", e.Name(), err)
 		}
 	}
-	return out, nil
+	return out, skipped, nil
+}
+
+// quarantineDir is the store subdirectory holding rejected lines. It is
+// excluded from Load, so quarantined data can never re-enter analysis.
+const quarantineDir = "quarantine"
+
+// quarantineFile is the JSONL file of QuarantineEntry records.
+const quarantineFile = "rejected.jsonl"
+
+// AppendQuarantine durably appends one rejected line to the quarantine
+// file for later diagnosis.
+func (s *FileStore) AppendQuarantine(entry QuarantineEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quarantine == nil {
+		dir := filepath.Join(s.dir, quarantineDir)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("collect: quarantine dir: %w", err)
+		}
+		f, err := os.OpenFile(filepath.Join(dir, quarantineFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("collect: quarantine open: %w", err)
+		}
+		s.quarantine = f
+	}
+	if err := json.NewEncoder(s.quarantine).Encode(entry); err != nil {
+		return fmt.Errorf("collect: quarantine append: %w", err)
+	}
+	if err := s.quarantine.Sync(); err != nil {
+		return fmt.Errorf("collect: quarantine sync: %w", err)
+	}
+	return nil
+}
+
+// LoadQuarantine reads back every quarantined line, for diagnosis
+// tooling. A store with no quarantine returns an empty slice.
+func (s *FileStore) LoadQuarantine() ([]QuarantineEntry, error) {
+	f, err := os.Open(filepath.Join(s.dir, quarantineDir, quarantineFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("collect: quarantine load: %w", err)
+	}
+	defer f.Close()
+	var out []QuarantineEntry
+	dec := json.NewDecoder(f)
+	for {
+		var e QuarantineEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, fmt.Errorf("collect: quarantine load: %w", err)
+		}
+		out = append(out, e)
+	}
 }
 
 // Close releases the append handles.
@@ -99,6 +171,12 @@ func (s *FileStore) Close() error {
 			firstErr = fmt.Errorf("collect: store close %s: %w", id, err)
 		}
 		delete(s.files, id)
+	}
+	if s.quarantine != nil {
+		if err := s.quarantine.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("collect: store close quarantine: %w", err)
+		}
+		s.quarantine = nil
 	}
 	return firstErr
 }

@@ -31,9 +31,12 @@ func TestFileStoreAppendAndLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reopened.Close()
-	loaded, err := reopened.Load()
+	loaded, skipped, err := reopened.Load()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d lines on a clean store", skipped)
 	}
 	if len(loaded["k9mail"]) != 2 || len(loaded["opengps"]) != 1 {
 		t.Errorf("loaded = %d k9, %d gps", len(loaded["k9mail"]), len(loaded["opengps"]))
@@ -113,7 +116,7 @@ func TestServerSurvivesRestartWithStore(t *testing.T) {
 		t.Errorf("after dedup + new upload: %d bundles, want 3", srv2.Count())
 	}
 	// And the new bundle was persisted too.
-	loaded, err := store2.Load()
+	loaded, _, err := store2.Load()
 	if err != nil {
 		t.Fatal(err)
 	}

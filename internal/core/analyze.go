@@ -55,6 +55,17 @@ type Impact struct {
 	Percent float64        `json:"percent"`
 }
 
+// SkippedTrace records one trace excluded from analysis under
+// Config.SkipInvalidTraces.
+type SkippedTrace struct {
+	// Index is the trace's position in the submitted corpus.
+	Index int `json:"index"`
+	// TraceID identifies the trace when its envelope was readable.
+	TraceID string `json:"traceId,omitempty"`
+	// Reason is the Step-1 error that disqualified the trace.
+	Reason string `json:"reason"`
+}
+
 // Report is the complete diagnosis for one app's trace corpus.
 type Report struct {
 	AppID       string           `json:"appId"`
@@ -66,6 +77,9 @@ type Report struct {
 	// ImpactedTraces is the number of traces with at least one detected
 	// manifestation point.
 	ImpactedTraces int `json:"impactedTraces"`
+	// Skipped lists traces excluded under Config.SkipInvalidTraces.
+	// TotalTraces counts only the analyzed traces.
+	Skipped []SkippedTrace `json:"skipped,omitempty"`
 }
 
 // TopEvents returns the first n reported events (all if n <= 0 or beyond
@@ -116,15 +130,17 @@ func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 	if len(bundles) == 0 {
 		return nil, ErrNoTraces
 	}
-	report := &Report{TotalTraces: len(bundles)}
 
 	// Step 1: power estimation of events, per trace (parallelizable:
 	// traces are independent).
-	traces, err := a.stepOneAll(bundles)
+	traces, skipped, err := a.stepOneAll(bundles)
 	if err != nil {
 		return nil, err
 	}
-	report.Traces = traces
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("core: all %d traces invalid (first: %s)", len(bundles), skipped[0].Reason)
+	}
+	report := &Report{TotalTraces: len(traces), Traces: traces, Skipped: skipped}
 	for _, b := range bundles {
 		if b.Event.AppID != "" {
 			report.AppID = b.Event.AppID
@@ -167,15 +183,39 @@ func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 // stepOneAll runs Step 1 across the corpus through the shared pool.
 // Each bundle gets its own power model (and its own seeded noise RNG)
 // and results land in input order, so the fan-out is deterministic
-// under any worker count.
-func (a *Analyzer) stepOneAll(bundles []*trace.TraceBundle) ([]*AnalyzedTrace, error) {
-	return parallel.Map(a.cfg.Parallelism, len(bundles), func(i int) (*AnalyzedTrace, error) {
+// under any worker count. Under SkipInvalidTraces a failing bundle is
+// demoted to a SkippedTrace entry instead of failing the batch —
+// errors are captured per slot so one corrupt trace costs exactly one
+// trace.
+func (a *Analyzer) stepOneAll(bundles []*trace.TraceBundle) ([]*AnalyzedTrace, []SkippedTrace, error) {
+	type slot struct {
+		at  *AnalyzedTrace
+		err error
+	}
+	slots, err := parallel.Map(a.cfg.Parallelism, len(bundles), func(i int) (slot, error) {
 		at, err := a.estimateEvents(bundles[i])
-		if err != nil {
-			return nil, fmt.Errorf("trace %d (%s): %w", i, bundles[i].Event.TraceID, err)
-		}
-		return at, nil
+		return slot{at: at, err: err}, nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	traces := make([]*AnalyzedTrace, 0, len(slots))
+	var skipped []SkippedTrace
+	for i, s := range slots {
+		switch {
+		case s.err == nil:
+			traces = append(traces, s.at)
+		case a.cfg.SkipInvalidTraces:
+			skipped = append(skipped, SkippedTrace{
+				Index:   i,
+				TraceID: bundles[i].Event.TraceID,
+				Reason:  s.err.Error(),
+			})
+		default:
+			return nil, nil, fmt.Errorf("trace %d (%s): %w", i, bundles[i].Event.TraceID, s.err)
+		}
+	}
+	return traces, skipped, nil
 }
 
 // StepOne runs only Step 1 (event power estimation with device scaling)

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// skipBundle builds a minimal analyzable bundle.
+func skipBundle(user, device string) *trace.TraceBundle {
+	return &trace.TraceBundle{
+		Event: trace.EventTrace{
+			AppID: "app", UserID: user, Device: device, TraceID: "t-" + user,
+			Records: []trace.Record{
+				{TimestampMS: 0, Dir: trace.Enter, Key: trace.EventKey{Class: "La/B", Callback: "onCreate"}},
+				{TimestampMS: 1000, Dir: trace.Exit, Key: trace.EventKey{Class: "La/B", Callback: "onCreate"}},
+			},
+		},
+		Util: trace.UtilizationTrace{
+			AppID: "app", PeriodMS: 500,
+			Samples: []trace.UtilizationSample{
+				{TimestampMS: 0}, {TimestampMS: 500}, {TimestampMS: 1000},
+			},
+		},
+	}
+}
+
+func TestSkipInvalidTracesOff(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles := []*trace.TraceBundle{
+		skipBundle("u1", "nexus6"),
+		skipBundle("u2", "no-such-device"),
+	}
+	if _, err := a.Analyze(bundles); err == nil {
+		t.Fatal("analysis succeeded over a corpus with an unknown device; want the default loud failure")
+	} else if !strings.Contains(err.Error(), "trace 1") {
+		t.Errorf("error does not name the failing trace: %v", err)
+	}
+}
+
+func TestSkipInvalidTracesDegradesGracefully(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipInvalidTraces = true
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles := []*trace.TraceBundle{
+		skipBundle("u1", "nexus6"),
+		skipBundle("u2", "no-such-device"),
+		skipBundle("u3", "nexus6"),
+	}
+	report, err := a.Analyze(bundles)
+	if err != nil {
+		t.Fatalf("analysis failed despite SkipInvalidTraces: %v", err)
+	}
+	if report.TotalTraces != 2 || len(report.Traces) != 2 {
+		t.Errorf("analyzed %d traces (TotalTraces=%d), want 2", len(report.Traces), report.TotalTraces)
+	}
+	if len(report.Skipped) != 1 {
+		t.Fatalf("skipped = %+v, want exactly the invalid trace", report.Skipped)
+	}
+	sk := report.Skipped[0]
+	if sk.Index != 1 || sk.TraceID != "t-u2" || sk.Reason == "" {
+		t.Errorf("skipped entry = %+v, want index 1, trace t-u2 and a reason", sk)
+	}
+	// The surviving traces are the valid ones, in input order.
+	if report.Traces[0].UserID != "u1" || report.Traces[1].UserID != "u3" {
+		t.Errorf("surviving traces = %s, %s; want u1, u3",
+			report.Traces[0].UserID, report.Traces[1].UserID)
+	}
+}
+
+func TestSkipInvalidTracesAllInvalid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipInvalidTraces = true
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles := []*trace.TraceBundle{
+		skipBundle("u1", "no-such-device"),
+		skipBundle("u2", "no-such-device"),
+	}
+	if _, err := a.Analyze(bundles); err == nil {
+		t.Fatal("analysis succeeded with every trace invalid; want an error naming the cause")
+	}
+}

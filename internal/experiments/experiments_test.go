@@ -436,3 +436,22 @@ func TestAllRendersNonEmpty(t *testing.T) {
 		}
 	}
 }
+
+func TestIngestExtensionConverges(t *testing.T) {
+	r, err := RunIngest(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.(*IngestResult)
+	if res.Stored != res.Users {
+		t.Errorf("stored %d of %d sessions; want exactly-once convergence", res.Stored, res.Users)
+	}
+	if mangled := res.Faults.Corrupted + res.Faults.Truncated; mangled == 0 {
+		t.Error("fault schedule exercised no corruption")
+	} else if res.Quarantined < mangled {
+		t.Errorf("quarantined %d lines, want at least the %d mangled ones", res.Quarantined, mangled)
+	}
+	if !res.ReportIdentical {
+		t.Error("diagnosis diverged from the fault-free golden")
+	}
+}

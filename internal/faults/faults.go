@@ -1,0 +1,298 @@
+// Package faults provides a deterministic fault-injection harness for
+// the trace ingestion path. A production-scale deployment of the
+// EnergyDx collection tier sees truncated uploads, flipped bytes,
+// duplicated lines after ack loss, reordered batches and stalled
+// connections; the Injector reproduces all of those behind a seeded RNG
+// so the exact same fault schedule can be replayed in tests, in the
+// soak harness, and live against cmd/collectd via its -faults flag.
+//
+// Faults are drawn per wire line and are mutually exclusive: each line
+// suffers at most one of corrupt, truncate, duplicate or drop. Delay
+// and reorder are drawn independently because they perturb timing and
+// batch order, not line content. Given a fixed seed and a fixed,
+// single-goroutine call sequence the injector is fully deterministic;
+// under concurrent callers the draws remain from the same seeded
+// stream, so aggregate statistics are stable even though the
+// per-caller interleaving is not.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind identifies the fault applied to one wire line.
+type Kind int
+
+const (
+	// None leaves the line untouched.
+	None Kind = iota
+	// Corrupt flips a few bytes in the line.
+	Corrupt
+	// Truncate cuts the line short.
+	Truncate
+	// Duplicate transmits the line twice (a retransmit after a lost ack).
+	Duplicate
+	// Drop cuts the connection before the line is transmitted.
+	Drop
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case Duplicate:
+		return "duplicate"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config sets the per-line fault probabilities. All probabilities are
+// in [0, 1]; the line-fault probabilities (corrupt, truncate,
+// duplicate, drop) must sum to at most 1 because they are exclusive.
+type Config struct {
+	// Seed drives every draw. The same seed replays the same schedule.
+	Seed int64
+
+	// CorruptProb is the probability a line has bytes flipped.
+	CorruptProb float64
+	// TruncateProb is the probability a line is cut short.
+	TruncateProb float64
+	// DuplicateProb is the probability a line is transmitted twice.
+	DuplicateProb float64
+	// DropProb is the probability the connection is cut at this line.
+	DropProb float64
+
+	// DelayProb is the probability a line is delayed before transmission.
+	DelayProb float64
+	// MaxDelay bounds an injected delay (default 5ms when DelayProb > 0).
+	MaxDelay time.Duration
+
+	// ReorderProb is the probability Perm shuffles a batch instead of
+	// returning the identity permutation.
+	ReorderProb float64
+}
+
+// validate checks probability ranges.
+func (c Config) validate() error {
+	probs := map[string]float64{
+		"corrupt":   c.CorruptProb,
+		"truncate":  c.TruncateProb,
+		"duplicate": c.DuplicateProb,
+		"drop":      c.DropProb,
+		"delay":     c.DelayProb,
+		"reorder":   c.ReorderProb,
+	}
+	for name, p := range probs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0, 1]", name, p)
+		}
+	}
+	if sum := c.CorruptProb + c.TruncateProb + c.DuplicateProb + c.DropProb; sum > 1 {
+		return fmt.Errorf("faults: line fault probabilities sum to %v > 1", sum)
+	}
+	return nil
+}
+
+// Stats counts the faults the injector has applied.
+type Stats struct {
+	Lines      int // lines offered to Draw/Apply
+	Corrupted  int
+	Truncated  int
+	Duplicated int
+	Dropped    int
+	Delayed    int
+	Reordered  int
+}
+
+// String renders the counters on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("lines=%d corrupted=%d truncated=%d duplicated=%d dropped=%d delayed=%d reordered=%d",
+		s.Lines, s.Corrupted, s.Truncated, s.Duplicated, s.Dropped, s.Delayed, s.Reordered)
+}
+
+// Injector draws faults from a seeded RNG. It is safe for concurrent
+// use.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New builds an injector for the configuration.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Draw picks the fault for the next line.
+func (in *Injector) Draw() Kind {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Lines++
+	p := in.rng.Float64()
+	switch {
+	case p < in.cfg.CorruptProb:
+		in.stats.Corrupted++
+		return Corrupt
+	case p < in.cfg.CorruptProb+in.cfg.TruncateProb:
+		in.stats.Truncated++
+		return Truncate
+	case p < in.cfg.CorruptProb+in.cfg.TruncateProb+in.cfg.DuplicateProb:
+		in.stats.Duplicated++
+		return Duplicate
+	case p < in.cfg.CorruptProb+in.cfg.TruncateProb+in.cfg.DuplicateProb+in.cfg.DropProb:
+		in.stats.Dropped++
+		return Drop
+	default:
+		return None
+	}
+}
+
+// Apply draws a fault for line and returns the wire lines to transmit
+// in its place plus whether the connection should be cut instead. The
+// input is never modified; corrupting faults operate on a copy.
+func (in *Injector) Apply(line []byte) (lines [][]byte, drop bool) {
+	switch in.Draw() {
+	case Corrupt:
+		return [][]byte{in.corrupt(line)}, false
+	case Truncate:
+		return [][]byte{in.truncate(line)}, false
+	case Duplicate:
+		return [][]byte{line, line}, false
+	case Drop:
+		return nil, true
+	default:
+		return [][]byte{line}, false
+	}
+}
+
+// corrupt flips one to four bytes of a copy of line. Flipping a bit
+// always changes the byte, so the corrupted line is never identical to
+// the input (for non-empty lines).
+func (in *Injector) corrupt(line []byte) []byte {
+	out := append([]byte(nil), line...)
+	if len(out) == 0 {
+		return []byte{0xff}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 1 + in.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		pos := in.rng.Intn(len(out))
+		out[pos] ^= byte(1 << in.rng.Intn(8))
+	}
+	return out
+}
+
+// truncate cuts a copy of line to a strict prefix (at least one byte is
+// removed; at least one byte survives when the input has two or more).
+func (in *Injector) truncate(line []byte) []byte {
+	if len(line) <= 1 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	keep := 1 + in.rng.Intn(len(line)-1)
+	return append([]byte(nil), line[:keep]...)
+}
+
+// Delay returns the injected transmission delay for the next line, or 0.
+func (in *Injector) Delay() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.DelayProb <= 0 || in.rng.Float64() >= in.cfg.DelayProb {
+		return 0
+	}
+	in.stats.Delayed++
+	return time.Duration(1 + in.rng.Int63n(int64(in.cfg.MaxDelay)))
+}
+
+// Perm returns the transmission order for a batch of n items: a random
+// permutation with probability ReorderProb, the identity otherwise.
+func (in *Injector) Perm(n int) []int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n > 1 && in.cfg.ReorderProb > 0 && in.rng.Float64() < in.cfg.ReorderProb {
+		in.stats.Reordered++
+		return in.rng.Perm(n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ParseSpec parses the -faults command-line syntax: a comma-separated
+// list of <kind>=<prob> pairs with an optional seed, e.g.
+//
+//	corrupt=0.1,truncate=0.05,duplicate=0.1,drop=0.05,delay=0.2,reorder=0.3,seed=7
+//
+// Unknown kinds and out-of-range probabilities are errors. An empty
+// spec returns a zero Config (no faults).
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: bad spec element %q (want kind=prob)", part)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(val, "%g", &f); err != nil {
+			return Config{}, fmt.Errorf("faults: bad value in %q: %v", part, err)
+		}
+		switch key {
+		case "corrupt":
+			cfg.CorruptProb = f
+		case "truncate":
+			cfg.TruncateProb = f
+		case "duplicate":
+			cfg.DuplicateProb = f
+		case "drop":
+			cfg.DropProb = f
+		case "delay":
+			cfg.DelayProb = f
+		case "reorder":
+			cfg.ReorderProb = f
+		case "seed":
+			cfg.Seed = int64(f)
+		case "maxdelayms":
+			cfg.MaxDelay = time.Duration(f * float64(time.Millisecond))
+		default:
+			return Config{}, fmt.Errorf("faults: unknown fault kind %q", key)
+		}
+	}
+	return cfg, cfg.validate()
+}

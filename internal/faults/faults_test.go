@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, CorruptProb: 0.2, TruncateProb: 0.1, DuplicateProb: 0.1, DropProb: 0.1}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if ka, kb := a.Draw(), b.Draw(); ka != kb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ka, kb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %v vs %v", a.Stats(), b.Stats())
+	}
+}
+
+func TestDrawDistribution(t *testing.T) {
+	in, err := New(Config{Seed: 7, CorruptProb: 0.25, TruncateProb: 0.25, DuplicateProb: 0.25, DropProb: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		in.Draw()
+	}
+	s := in.Stats()
+	if s.Lines != 4000 {
+		t.Fatalf("lines = %d", s.Lines)
+	}
+	for name, n := range map[string]int{
+		"corrupted": s.Corrupted, "truncated": s.Truncated,
+		"duplicated": s.Duplicated, "dropped": s.Dropped,
+	} {
+		if n < 800 || n > 1200 {
+			t.Errorf("%s = %d, want ~1000", name, n)
+		}
+	}
+}
+
+func TestCorruptAlwaysChangesLine(t *testing.T) {
+	in, err := New(Config{Seed: 1, CorruptProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := []byte(`{"event":{"appId":"k9mail"}}`)
+	for i := 0; i < 200; i++ {
+		lines, drop := in.Apply(orig)
+		if drop || len(lines) != 1 {
+			t.Fatalf("apply returned %d lines, drop=%v", len(lines), drop)
+		}
+		if bytes.Equal(lines[0], orig) {
+			t.Fatal("corrupted line identical to input")
+		}
+		if !bytes.Equal(orig, []byte(`{"event":{"appId":"k9mail"}}`)) {
+			t.Fatal("input mutated in place")
+		}
+	}
+}
+
+func TestTruncateShortens(t *testing.T) {
+	in, err := New(Config{Seed: 3, TruncateProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 100; i++ {
+		lines, _ := in.Apply(orig)
+		if len(lines[0]) >= len(orig) || len(lines[0]) < 1 {
+			t.Fatalf("truncated to %d bytes from %d", len(lines[0]), len(orig))
+		}
+	}
+}
+
+func TestDuplicateAndDrop(t *testing.T) {
+	dup, err := New(Config{Seed: 5, DuplicateProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, drop := dup.Apply([]byte("abc"))
+	if drop || len(lines) != 2 || !bytes.Equal(lines[0], lines[1]) {
+		t.Errorf("duplicate: lines=%v drop=%v", lines, drop)
+	}
+
+	drp, err := New(Config{Seed: 5, DropProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, drop = drp.Apply([]byte("abc"))
+	if !drop || lines != nil {
+		t.Errorf("drop: lines=%v drop=%v", lines, drop)
+	}
+}
+
+func TestDelayBounded(t *testing.T) {
+	in, err := New(Config{Seed: 9, DelayProb: 1, MaxDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d := in.Delay()
+		if d <= 0 || d > 2*time.Millisecond {
+			t.Fatalf("delay %v outside (0, 2ms]", d)
+		}
+	}
+	off, err := New(Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := off.Delay(); d != 0 {
+		t.Errorf("delay with DelayProb=0: %v", d)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	id, err := New(Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := id.Perm(5)
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("identity perm = %v", p)
+		}
+	}
+
+	sh, err := New(Config{Seed: 11, ReorderProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := false
+	for i := 0; i < 50 && !shuffled; i++ {
+		p := sh.Perm(6)
+		seen := make([]bool, 6)
+		for j, v := range p {
+			seen[v] = true
+			if v != j {
+				shuffled = true
+			}
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("perm %v missing element %d", p, v)
+			}
+		}
+	}
+	if !shuffled {
+		t.Error("50 forced reorders never produced a non-identity permutation")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{CorruptProb: -0.1}); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := New(Config{CorruptProb: 0.5, DropProb: 0.6}); err == nil {
+		t.Error("line fault probabilities summing over 1 accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("corrupt=0.1,truncate=0.05,duplicate=0.1,drop=0.05,delay=0.2,reorder=0.3,seed=7,maxdelayms=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 7, CorruptProb: 0.1, TruncateProb: 0.05, DuplicateProb: 0.1,
+		DropProb: 0.05, DelayProb: 0.2, ReorderProb: 0.3, MaxDelay: 3 * time.Millisecond,
+	}
+	if cfg != want {
+		t.Errorf("cfg = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Errorf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"corrupt", "bogus=1", "corrupt=x", "corrupt=2"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package procfs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// This file implements the text serialization of utilization traces,
+// mirroring what the on-device background service writes as it polls
+// procfs (paper §II-C). The format is line-oriented so a sampler can
+// append one line per period and a partially-written file still parses
+// up to the last complete line.
+//
+// # Accepted grammar
+//
+//	trace   = { header } { sample }
+//	header  = "# app " appID | "# pid " int | "# period " int(ms)
+//	sample  = timestamp { SP component "=" fraction }
+//
+//	timestamp = decimal int64, milliseconds, >= 0
+//	component = "cpu" | "display" | "wifi" | "cellular" | "gps" |
+//	            "audio" | "sensor"
+//	fraction  = finite float in [0, 1]
+//
+// Components absent from a sample line are 0; a bare timestamp is a
+// valid all-idle sample. Other "#" lines are comments. Each component
+// may appear at most once per line. Sample ordering is not a grammar
+// concern — trace.UtilizationTrace.Validate enforces it, so tooling
+// can still load an out-of-order file for inspection.
+
+// ParseUtilizationError reports a malformed line in a utilization text
+// trace.
+type ParseUtilizationError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *ParseUtilizationError) Error() string {
+	return fmt.Sprintf("procfs: line %d %q: %s", e.Line, e.Text, e.Msg)
+}
+
+// WriteUtilizationText serializes a utilization trace in the procfs
+// text format. Zero components are omitted from sample lines.
+func WriteUtilizationText(w io.Writer, ut *trace.UtilizationTrace) error {
+	bw := bufio.NewWriter(w)
+	if ut.AppID != "" {
+		if strings.ContainsAny(ut.AppID, "\n\r") || ut.AppID != strings.TrimSpace(ut.AppID) {
+			return fmt.Errorf("procfs: app id %q not writable as a header", ut.AppID)
+		}
+		fmt.Fprintf(bw, "# app %s\n", ut.AppID)
+	}
+	if ut.PID != 0 {
+		fmt.Fprintf(bw, "# pid %d\n", ut.PID)
+	}
+	fmt.Fprintf(bw, "# period %d\n", ut.PeriodMS)
+	for _, s := range ut.Samples {
+		if s.TimestampMS < 0 {
+			return fmt.Errorf("procfs: negative sample timestamp %d", s.TimestampMS)
+		}
+		bw.WriteString(strconv.FormatInt(s.TimestampMS, 10))
+		for _, c := range trace.Components() {
+			v := s.Util.Get(c)
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("procfs: component %s = %v outside [0, 1]", c, v)
+			}
+			if v == 0 {
+				continue
+			}
+			bw.WriteString(" " + c.String() + "=" + strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("procfs: write utilization trace: %w", err)
+	}
+	return nil
+}
+
+// ParseUtilizationText parses a utilization trace from the procfs text
+// format, rejecting the whole trace at the first malformed line.
+func ParseUtilizationText(r io.Reader) (*trace.UtilizationTrace, error) {
+	ut := &trace.UtilizationTrace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseHeader(ut, line)
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, &ParseUtilizationError{Line: lineNo, Text: line, Msg: err.Error()}
+		}
+		ut.Samples = append(ut.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("procfs: scan utilization trace: %w", err)
+	}
+	return ut, nil
+}
+
+// parseHeader applies a recognized "# key value" header; anything else
+// is a comment and ignored.
+func parseHeader(ut *trace.UtilizationTrace, line string) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	key, val, ok := strings.Cut(rest, " ")
+	if !ok {
+		return
+	}
+	val = strings.TrimSpace(val)
+	switch key {
+	case "app":
+		// An app id with an interior control character could never have
+		// been written by WriteUtilizationText; treat it as a comment so
+		// every parsed trace re-serializes.
+		if !strings.ContainsAny(val, "\r\n") {
+			ut.AppID = val
+		}
+	case "pid":
+		if pid, err := strconv.Atoi(val); err == nil {
+			ut.PID = pid
+		}
+	case "period":
+		if p, err := strconv.ParseInt(val, 10, 64); err == nil {
+			ut.PeriodMS = p
+		}
+	}
+}
+
+func parseSampleLine(line string) (trace.UtilizationSample, error) {
+	fields := strings.Fields(line)
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return trace.UtilizationSample{}, fmt.Errorf("bad timestamp: %v", err)
+	}
+	if ts < 0 {
+		return trace.UtilizationSample{}, fmt.Errorf("negative timestamp %d", ts)
+	}
+	s := trace.UtilizationSample{TimestampMS: ts}
+	seen := make(map[trace.Component]bool, len(fields)-1)
+	for _, f := range fields[1:] {
+		name, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return trace.UtilizationSample{}, fmt.Errorf("bad token %q (want component=fraction)", f)
+		}
+		c, ok := trace.ParseComponent(name)
+		if !ok {
+			return trace.UtilizationSample{}, fmt.Errorf("unknown component %q", name)
+		}
+		if seen[c] {
+			return trace.UtilizationSample{}, fmt.Errorf("duplicate component %q", name)
+		}
+		seen[c] = true
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return trace.UtilizationSample{}, fmt.Errorf("bad fraction %q: %v", val, err)
+		}
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return trace.UtilizationSample{}, fmt.Errorf("fraction %q outside [0, 1]", val)
+		}
+		s.Util.Set(c, v)
+	}
+	return s, nil
+}

@@ -1,0 +1,100 @@
+package procfs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestUtilizationTextRoundTrip(t *testing.T) {
+	ut := &trace.UtilizationTrace{AppID: "com.fsck.k9", PID: 1234, PeriodMS: 500}
+	s0 := trace.UtilizationSample{TimestampMS: 0}
+	s0.Util.Set(trace.CPU, 0.5)
+	s0.Util.Set(trace.WiFi, 0.125)
+	s1 := trace.UtilizationSample{TimestampMS: 500}
+	s1.Util.Set(trace.GPS, 1)
+	ut.Samples = []trace.UtilizationSample{s0, s1, {TimestampMS: 1000}}
+
+	var buf bytes.Buffer
+	if err := WriteUtilizationText(&buf, ut); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseUtilizationText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ut, back) {
+		t.Errorf("round trip changed the trace:\n  wrote %+v\n  read  %+v", ut, back)
+	}
+}
+
+func TestParseUtilizationTextHeadersAndComments(t *testing.T) {
+	in := strings.Join([]string{
+		"# vendor procfs-sampler 1.2", // unknown header: a comment
+		"# app com.example",
+		"# pid 42",
+		"# period 250",
+		"0 cpu=0.25",
+		"250",
+	}, "\n") + "\n"
+	ut, err := ParseUtilizationText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ut.AppID != "com.example" || ut.PID != 42 || ut.PeriodMS != 250 {
+		t.Errorf("headers = %q/%d/%d", ut.AppID, ut.PID, ut.PeriodMS)
+	}
+	if len(ut.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(ut.Samples))
+	}
+	if got := ut.Samples[0].Util.Get(trace.CPU); got != 0.25 {
+		t.Errorf("cpu = %v", got)
+	}
+	if ut.Samples[1].Util != (trace.UtilizationVector{}) {
+		t.Errorf("bare timestamp sample is not all-idle: %+v", ut.Samples[1].Util)
+	}
+}
+
+func TestParseUtilizationTextErrors(t *testing.T) {
+	for _, tc := range []struct{ name, in, wantMsg string }{
+		{"bad timestamp", "x cpu=0.5\n", "bad timestamp"},
+		{"negative timestamp", "-1 cpu=0.5\n", "negative timestamp"},
+		{"out of range", "0 cpu=1.5\n", "outside [0, 1]"},
+		{"nan", "0 cpu=NaN\n", "outside [0, 1]"},
+		{"unknown component", "0 warp=0.5\n", "unknown component"},
+		{"duplicate component", "0 cpu=0.1 cpu=0.2\n", "duplicate component"},
+		{"bad token", "0 cpu\n", "bad token"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseUtilizationText(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("parse accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestWriteUtilizationTextRejectsUnwritable(t *testing.T) {
+	bad := &trace.UtilizationTrace{PeriodMS: 500,
+		Samples: []trace.UtilizationSample{{TimestampMS: -1}}}
+	if err := WriteUtilizationText(&bytes.Buffer{}, bad); err == nil {
+		t.Error("negative timestamp serialized")
+	}
+	nan := &trace.UtilizationTrace{PeriodMS: 500,
+		Samples: []trace.UtilizationSample{{TimestampMS: 0}}}
+	nan.Samples[0].Util[0] = math.NaN() // bypass Set, as a decoded wire value can
+	if err := WriteUtilizationText(&bytes.Buffer{}, nan); err == nil {
+		t.Error("NaN utilization serialized")
+	}
+	crlf := &trace.UtilizationTrace{AppID: "a\rb", PeriodMS: 500}
+	if err := WriteUtilizationText(&bytes.Buffer{}, crlf); err == nil {
+		t.Error("app id with a control character serialized")
+	}
+}

@@ -15,9 +15,69 @@ import (
 //       28223867 + Lcom/fsck/k9/service/MailService; onDestroy
 //     (timestamp, +/- direction, class, callback), and
 //   - a JSON-lines envelope used by the collection protocol for bundles.
+//
+// # Accepted Fig-5 grammar
+//
+// A text trace is a sequence of newline-terminated lines. Each line is,
+// after trimming surrounding whitespace, one of:
+//
+//	blank    =                              (ignored)
+//	comment  = "#" <anything>               (ignored)
+//	record   = timestamp SP dir SP class ";" [SP] callback
+//
+//	timestamp = decimal int64, milliseconds, >= 0
+//	dir       = "+" (callback entrance) | "-" (callback exit)
+//	class     = non-empty, no ";", no control characters,
+//	            no surrounding whitespace (smali descriptors are
+//	            stored without their trailing ";", which the codec
+//	            re-inserts as the separator)
+//	callback  = non-empty, no control characters, no surrounding
+//	            whitespace; may itself contain ";" (only the first
+//	            ";" on the line separates class from callback)
+//
+// Semantic edge cases the codec deliberately accepts (and that the fuzz
+// corpus pins down): an empty trace (zero records), duplicate
+// timestamps (two records in the same millisecond keep their file
+// order), and zero-duration events (enter and exit in the same
+// millisecond). Structural violations — unsorted timestamps, an exit
+// with no matching enter, unbalanced enter/exit pairs — parse fine and
+// are rejected later by Validate, so line-level tooling can still
+// inspect a structurally broken trace.
 
-// WriteText serializes the event trace in the paper's Fig-5 line format.
+// errUnwritableKey reports an event key that cannot survive a Fig-5
+// round trip (WriteText would emit a line ReadText parses differently).
+func errUnwritableKey(k EventKey, msg string) error {
+	return fmt.Errorf("trace: key %q: %s", k.String(), msg)
+}
+
+// checkTextKey verifies that a key serializes losslessly in the Fig-5
+// line format.
+func checkTextKey(k EventKey) error {
+	switch {
+	case k.Class == "" || k.Callback == "":
+		return errUnwritableKey(k, "empty class or callback")
+	case strings.ContainsRune(k.Class, ';'):
+		return errUnwritableKey(k, `class contains ";"`)
+	case k.Class != strings.TrimSpace(k.Class) || k.Callback != strings.TrimSpace(k.Callback):
+		return errUnwritableKey(k, "surrounding whitespace")
+	case strings.ContainsAny(k.Class, "\n\r") || strings.ContainsAny(k.Callback, "\n\r"):
+		return errUnwritableKey(k, "control character")
+	}
+	return nil
+}
+
+// WriteText serializes the event trace in the paper's Fig-5 line
+// format. Records whose keys cannot round-trip through the text format
+// (see the grammar above) are rejected before anything is written.
 func (t *EventTrace) WriteText(w io.Writer) error {
+	for _, r := range t.Records {
+		if err := checkTextKey(r.Key); err != nil {
+			return err
+		}
+		if r.TimestampMS < 0 {
+			return fmt.Errorf("trace: negative timestamp %d", r.TimestampMS)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	for _, r := range t.Records {
 		if _, err := bw.WriteString(strconv.FormatInt(r.TimestampMS, 10)); err != nil {
@@ -31,9 +91,11 @@ func (t *EventTrace) WriteText(w io.Writer) error {
 }
 
 // Text renders the event trace to a string in the Fig-5 format.
+// Unwritable records render as the empty string; use WriteText when the
+// error matters.
 func (t *EventTrace) Text() string {
 	var sb strings.Builder
-	_ = t.WriteText(&sb) // strings.Builder never errors
+	_ = t.WriteText(&sb)
 	return sb.String()
 }
 
@@ -48,8 +110,9 @@ func (e *ParseTextError) Error() string {
 	return fmt.Sprintf("trace: line %d %q: %s", e.Line, e.Text, e.Msg)
 }
 
-// ReadText parses an event trace from the Fig-5 line format. Metadata
-// (AppID, UserID, ...) is not part of the text format and is left zero.
+// ReadText parses an event trace from the Fig-5 line format, rejecting
+// the whole trace at the first malformed line. Metadata (AppID, UserID,
+// ...) is not part of the text format and is left zero.
 func ReadText(r io.Reader) (*EventTrace, error) {
 	t := &EventTrace{}
 	sc := bufio.NewScanner(r)
@@ -73,6 +136,55 @@ func ReadText(r io.Reader) (*EventTrace, error) {
 	return t, nil
 }
 
+// maxRetainedLineErrors bounds the per-line errors a lenient read keeps
+// (all malformed lines are still counted in Skipped).
+const maxRetainedLineErrors = 64
+
+// TextReadStats accounts for a lenient Fig-5 read, line by line.
+type TextReadStats struct {
+	// Lines is the number of lines scanned (including blanks/comments).
+	Lines int
+	// Records is the number of well-formed records kept.
+	Records int
+	// Skipped is the number of malformed lines dropped.
+	Skipped int
+	// Errors holds the first maxRetainedLineErrors per-line errors.
+	Errors []*ParseTextError
+}
+
+// ReadTextLenient parses a Fig-5 text trace, skipping malformed lines
+// instead of failing, and accounts for every skipped line. It returns
+// an error only when reading itself fails (I/O error, line too long).
+// This is the ingestion-side entry point: one mangled line in an
+// uploaded trace costs that line, not the whole trace.
+func ReadTextLenient(r io.Reader) (*EventTrace, *TextReadStats, error) {
+	t := &EventTrace{}
+	stats := &TextReadStats{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		stats.Lines++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseTextLine(line)
+		if err != nil {
+			stats.Skipped++
+			if len(stats.Errors) < maxRetainedLineErrors {
+				stats.Errors = append(stats.Errors, &ParseTextError{Line: stats.Lines, Text: line, Msg: err.Error()})
+			}
+			continue
+		}
+		stats.Records++
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, stats, fmt.Errorf("scan trace: %w", err)
+	}
+	return t, stats, nil
+}
+
 func parseTextLine(line string) (Record, error) {
 	// Format: "<ts> <+|-> <class>; <callback>"
 	fields := strings.SplitN(line, " ", 3)
@@ -82,6 +194,9 @@ func parseTextLine(line string) (Record, error) {
 	ts, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
 		return Record{}, fmt.Errorf("bad timestamp: %v", err)
+	}
+	if ts < 0 {
+		return Record{}, fmt.Errorf("negative timestamp %d", ts)
 	}
 	var dir Direction
 	switch fields[1] {
@@ -100,6 +215,9 @@ func parseTextLine(line string) (Record, error) {
 	cb = strings.TrimSpace(cb)
 	if cls == "" || cb == "" {
 		return Record{}, fmt.Errorf("empty class or callback")
+	}
+	if strings.ContainsAny(cls, "\r") || strings.ContainsAny(cb, "\r") {
+		return Record{}, fmt.Errorf("control character in class or callback")
 	}
 	return Record{TimestampMS: ts, Dir: dir, Key: EventKey{Class: cls, Callback: cb}}, nil
 }
@@ -122,4 +240,48 @@ func DecodeBundle(r io.Reader) (*TraceBundle, error) {
 		return nil, fmt.Errorf("decode bundle: %w", err)
 	}
 	return &b, nil
+}
+
+// ContentKey computes the bundle's canonical content hash: 64-bit
+// FNV-1a over the canonical JSON serialization with the Key field
+// cleared. Clients stamp it into Bundle.Key before uploading; because
+// the hash covers the content, it serves two purposes at once:
+//
+//   - idempotency: a retry after a lost ack carries the same key, so
+//     the server stores the bundle exactly once, and
+//   - integrity: any in-flight mutation that changes the decoded
+//     content changes the recomputed hash, so the server can detect a
+//     corrupted line even when it still parses as valid JSON.
+func ContentKey(b *TraceBundle) string {
+	c := *b // shallow copy: only Key is modified, slices are shared read-only
+	c.Key = ""
+	data, err := json.Marshal(&c)
+	if err != nil {
+		// TraceBundle contains no unmarshalable types; keep the
+		// signature ergonomic and make failures loud if that changes.
+		panic(fmt.Sprintf("trace: marshal bundle: %v", err))
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, by := range data {
+		h ^= uint64(by)
+		h *= prime
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// VerifyContentKey checks a bundle's stamped Key against its content.
+// Bundles without a key (legacy uploaders) pass; a stamped key that no
+// longer matches the content means the line was altered in flight.
+func VerifyContentKey(b *TraceBundle) error {
+	if b.Key == "" {
+		return nil
+	}
+	if got := ContentKey(b); got != b.Key {
+		return fmt.Errorf("trace: content key mismatch: stamped %s, content hashes to %s", b.Key, got)
+	}
+	return nil
 }

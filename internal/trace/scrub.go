@@ -59,10 +59,17 @@ func fnv32(s string) uint32 {
 }
 
 // ScrubBundle returns a deep copy of the bundle with user identifiers
-// pseudonymized and free-form fields scrubbed of PII. The original bundle
-// is not modified.
+// pseudonymized and free-form fields scrubbed of PII. The original
+// bundle is not modified, and scrubbing is idempotent: scrubbing an
+// already-scrubbed bundle is a no-op, so the server can re-scrub
+// uploads (defense in depth) without invalidating the content key a
+// client stamped on the scrubbed bundle. A nil bundle scrubs to nil.
 func ScrubBundle(b *TraceBundle) *TraceBundle {
+	if b == nil {
+		return nil
+	}
 	out := &TraceBundle{
+		Key: b.Key,
 		Event: EventTrace{
 			AppID:   ScrubString(b.Event.AppID),
 			UserID:  ScrubUserID(b.Event.UserID),

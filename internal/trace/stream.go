@@ -54,6 +54,57 @@ func ScanBundles(r io.Reader, fn func(*TraceBundle) error) error {
 	return nil
 }
 
+// BadBundleLine describes one undecodable line met during a lenient
+// corpus scan.
+type BadBundleLine struct {
+	// Line is the 1-based line number in the stream.
+	Line int
+	// Text is a prefix of the offending line (at most 120 bytes).
+	Text string
+	// Err is the decode error.
+	Err error
+}
+
+// ScanBundlesLenient streams bundles from r to fn like ScanBundles, but
+// survives undecodable lines: each one is reported to onBad (when
+// non-nil) and skipped. A crash can leave a torn trailing line in an
+// append-only corpus file, and a reloading server must keep every
+// bundle it already acknowledged rather than fail the whole file, so
+// this is the loader the durable store uses. fn or onBad returning an
+// error stops the scan.
+func ScanBundlesLenient(r io.Reader, fn func(*TraceBundle) error, onBad func(BadBundleLine) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxBundleBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		b, err := DecodeBundle(strings.NewReader(text))
+		if err != nil {
+			if onBad != nil {
+				prefix := text
+				if len(prefix) > 120 {
+					prefix = prefix[:120]
+				}
+				if err := onBad(BadBundleLine{Line: line, Text: prefix, Err: err}); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("trace: scan bundles: %w", err)
+	}
+	return nil
+}
+
 // WriteBundles encodes bundles to w as JSON lines.
 func WriteBundles(w io.Writer, bundles []*TraceBundle) error {
 	bw := bufio.NewWriter(w)

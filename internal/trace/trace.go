@@ -12,6 +12,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -61,6 +62,17 @@ func (c Component) String() string {
 	default:
 		return fmt.Sprintf("component(%d)", int(c))
 	}
+}
+
+// ParseComponent resolves a canonical component name (as produced by
+// Component.String) back to the component.
+func ParseComponent(name string) (Component, bool) {
+	for _, c := range Components() {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
 }
 
 // index maps a component to its slot in a UtilizationVector.
@@ -113,6 +125,11 @@ type EventKey struct {
 
 // String renders the key in the paper's "Class; callback" notation.
 func (k EventKey) String() string { return k.Class + "; " + k.Callback }
+
+// Validate rejects keys that cannot survive the Fig-5 text round trip:
+// empty parts, a ";" inside the class, surrounding whitespace, or
+// embedded line breaks (see the grammar in codec.go).
+func (k EventKey) Validate() error { return checkTextKey(k) }
 
 // Direction marks whether a record is a callback entrance or exit.
 type Direction int
@@ -188,6 +205,11 @@ type PowerTrace struct {
 // TraceBundle pairs the two traces collected for one user session, the
 // unit uploaded to the EnergyDx backend.
 type TraceBundle struct {
+	// Key is the idempotent upload key: the bundle's content hash
+	// (ContentKey), stamped by the uploading client. The server dedupes
+	// re-uploads by it and rejects bundles whose content no longer
+	// matches (in-flight corruption). Empty for legacy uploaders.
+	Key   string           `json:"key,omitempty"`
 	Event EventTrace       `json:"event"`
 	Util  UtilizationTrace `json:"util"`
 }
@@ -199,18 +221,31 @@ var (
 	ErrExitBeforeEnter  = errors.New("trace: exit record without matching enter")
 	ErrNegativeDuration = errors.New("trace: event exits before it enters")
 	ErrBadPeriod        = errors.New("trace: non-positive sampling period")
+	ErrBadTimestamp     = errors.New("trace: negative timestamp")
+	ErrBadKey           = errors.New("trace: malformed event key")
+	ErrBadUtilization   = errors.New("trace: utilization outside [0, 1]")
 )
 
-// Validate checks structural invariants of an event trace: records sorted
-// by timestamp and enter/exit balanced per event key (nesting allowed).
+// Validate checks structural invariants of an event trace: records
+// sorted by non-negative timestamps, keys that survive the Fig-5 text
+// round trip, and enter/exit balanced per event key (nesting allowed).
+// Duplicate timestamps and zero-duration events (enter and exit in the
+// same millisecond) are valid; both occur in real traces whenever two
+// callbacks fire within one millisecond.
 func (t *EventTrace) Validate() error {
 	open := make(map[EventKey]int)
 	var last int64
 	for i, r := range t.Records {
+		if r.TimestampMS < 0 {
+			return fmt.Errorf("%w: record %d at %d", ErrBadTimestamp, i, r.TimestampMS)
+		}
 		if i > 0 && r.TimestampMS < last {
 			return fmt.Errorf("%w: record %d at %d after %d", ErrUnsortedRecords, i, r.TimestampMS, last)
 		}
 		last = r.TimestampMS
+		if err := r.Key.Validate(); err != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrBadKey, i, err)
+		}
 		switch r.Dir {
 		case Enter:
 			open[r.Key]++
@@ -231,17 +266,29 @@ func (t *EventTrace) Validate() error {
 	return nil
 }
 
-// Validate checks structural invariants of a utilization trace.
+// Validate checks structural invariants of a utilization trace: a
+// positive sampling period, non-negative sorted timestamps, and every
+// component utilization a finite fraction in [0, 1]. Out-of-range or
+// non-finite utilization would silently distort the Step-1 power
+// estimates, so it is rejected at ingestion instead.
 func (t *UtilizationTrace) Validate() error {
 	if t.PeriodMS <= 0 {
 		return fmt.Errorf("%w: %d ms", ErrBadPeriod, t.PeriodMS)
 	}
 	var last int64
 	for i, s := range t.Samples {
+		if s.TimestampMS < 0 {
+			return fmt.Errorf("%w: sample %d at %d", ErrBadTimestamp, i, s.TimestampMS)
+		}
 		if i > 0 && s.TimestampMS < last {
 			return fmt.Errorf("%w: sample %d at %d after %d", ErrUnsortedRecords, i, s.TimestampMS, last)
 		}
 		last = s.TimestampMS
+		for c, v := range s.Util {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("%w: sample %d component %s = %v", ErrBadUtilization, i, Component(c+1), v)
+			}
+		}
 	}
 	return nil
 }
