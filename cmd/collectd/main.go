@@ -8,22 +8,32 @@
 // dropped behind a seeded RNG, which exercises client retry and the
 // server's quarantine exactly as an unreliable network would.
 //
+// The -debug-addr flag exposes the observability surface: /metrics
+// (Prometheus text, ?format=json for expvar JSON), /healthz, /readyz,
+// /debug/vars and the net/http/pprof suite. /readyz flips to 503 the
+// moment a shutdown signal arrives, so a load balancer drains the
+// instance before the listener closes.
+//
 // Usage:
 //
 //	collectd -addr 127.0.0.1:7600 -out ./corpora
 //	collectd -store ./store -faults 'corrupt=0.1,drop=0.05,seed=7'
+//	collectd -debug-addr 127.0.0.1:7601 -log-format json -log-level debug
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/collect"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/trace"
 )
@@ -44,8 +54,17 @@ func run() error {
 		faultSpec    = flag.String("faults", "", "chaos fault injection on received lines, e.g. 'corrupt=0.1,truncate=0.05,duplicate=0.1,drop=0.05,delay=0.2,seed=7'")
 		maxLineBytes = flag.Int("max-line-bytes", 0, "reject serialized bundles over this size (0 = default 16 MiB)")
 		maxRecords   = flag.Int("max-records", 0, "reject bundles with more event records than this (0 = default)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, /debug/vars and /debug/pprof on this address ('' = disabled)")
+		logLevel     = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat    = flag.String("log-format", "text", "log output format: text|json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	var opts []collect.ServerOption
 	if *storeDir != "" {
@@ -71,41 +90,77 @@ func run() error {
 			return err
 		}
 		opts = append(opts, collect.WithServerFaults(injector))
-		fmt.Fprintf(os.Stderr, "collectd: CHAOS MODE, injecting faults: %s\n", *faultSpec)
+		logger.Warn("CHAOS MODE: injecting faults on received lines", "spec", *faultSpec)
 	}
+
+	health := obs.NewHealth()
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		debug, err = obs.ServeDebug(*debugAddr, obs.DebugMux(obs.Default, health))
+		if err != nil {
+			return err
+		}
+		defer debug.Close()
+		logger.Info("debug endpoints up", "addr", debug.Addr(),
+			"paths", "/metrics /healthz /readyz /debug/vars /debug/pprof")
+	}
+
 	srv, err := collect.NewServer(*addr, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "collectd: listening on %s (%d bundles restored)\n", srv.Addr(), srv.Count())
+	health.SetReady(true)
+	logger.Info("listening", "addr", srv.Addr(), "restored_bundles", srv.Count())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Fprintf(os.Stderr, "collectd: shutting down with %d bundles (%d lines quarantined)\n",
-		srv.Count(), srv.QuarantineCount())
-	if injector != nil {
-		fmt.Fprintf(os.Stderr, "collectd: injected faults: %s\n", injector.Stats())
-	}
+	got := <-sig
+	// Drain: flip the health endpoints before touching the listener so
+	// load balancers stop routing, then close and wait for in-flight
+	// handlers.
+	health.ShuttingDown()
+	preClose := srv.Stats()
+	logger.Info("shutdown signal received", "signal", got.String(),
+		"bundles", srv.Count(), "quarantined", srv.QuarantineCount(),
+		"connections_inflight", preClose.ConnsOpen)
+	start := time.Now()
 	if err := srv.Close(); err != nil {
 		return err
 	}
+	st := srv.Stats()
+	logger.Info("drained",
+		"connections_drained", preClose.ConnsOpen,
+		"connections_total", st.ConnsTotal,
+		"drain_elapsed", time.Since(start).Round(time.Millisecond),
+		"accepted", st.Accepted, "duplicated", st.Duplicated,
+		"quarantined", st.Quarantined, "bytes_ingested", st.BytesIngested)
+	if injector != nil {
+		logger.Info("injected faults", "stats", injector.Stats().String())
+	}
 	// Per-app dumps are independent files, so they fan out through the
-	// pool; paths print serially afterwards to keep the log readable.
+	// pool; paths log serially afterwards to keep the output readable.
 	appIDs := srv.Apps()
-	paths, err := parallel.Map(*parallelism, len(appIDs), func(i int) (string, error) {
+	type dumpStat struct {
+		path    string
+		bundles int
+	}
+	dumps, err := parallel.Map(*parallelism, len(appIDs), func(i int) (dumpStat, error) {
+		bundles := srv.Bundles(appIDs[i])
 		path := filepath.Join(*out, appIDs[i]+".jsonl")
-		if err := dump(path, srv.Bundles(appIDs[i])); err != nil {
-			return "", fmt.Errorf("%s: %w", appIDs[i], err)
+		if err := dump(path, bundles); err != nil {
+			return dumpStat{}, fmt.Errorf("%s: %w", appIDs[i], err)
 		}
-		return path, nil
+		return dumpStat{path: path, bundles: len(bundles)}, nil
 	})
 	if err != nil {
 		return err
 	}
-	for _, path := range paths {
-		fmt.Fprintf(os.Stderr, "collectd: wrote %s\n", path)
+	flushed := 0
+	for _, d := range dumps {
+		flushed += d.bundles
+		logger.Info("wrote corpus dump", "path", d.path, "bundles", d.bundles)
 	}
+	logger.Info("shutdown complete", "apps_flushed", len(dumps), "bundles_flushed", flushed)
 	return nil
 }
 

@@ -4,10 +4,16 @@
 // to one of the catalog apps, the code-reduction metric is computed
 // against that app's APK model.
 //
+// Observability: -stats prints the per-step (1-5) wall/CPU latency
+// breakdown sourced from the analysis spans, -trace exports every span
+// (including one per worker task) as JSONL, and -cpuprofile/-memprofile
+// write pprof profiles of the run.
+//
 // Usage:
 //
 //	tracegen -app k9mail -out corpus.jsonl
 //	energydx -in corpus.jsonl -impacted-pct 15
+//	energydx -in corpus.jsonl -stats -trace spans.jsonl -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -16,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -32,19 +40,37 @@ func main() {
 
 func run() error {
 	var (
-		in       = flag.String("in", "-", "corpus file of JSON-lines bundles ('-' for stdin)")
-		impacted = flag.Float64("impacted-pct", 0, "developer-estimated percentage of impacted users (0 = sort by impact)")
-		window   = flag.Int("window", 2, "manifestation window half-width in events")
-		fence    = flag.Float64("fence", 3, "IQR fence multiplier")
-		normBase = flag.Float64("norm-base", 10, "normalization base percentile")
-		top      = flag.Int("top", 6, "events to report for the code-reduction metric")
-		asJSON   = flag.Bool("json", false, "emit the full report as JSON instead of text")
-		par      = flag.Int("parallel", 0, "analysis worker goroutines for Steps 1-4 (0 = GOMAXPROCS, 1 = serial); output is identical at any count")
-		lenient  = flag.Bool("lenient", false, "tolerate corrupt input: skip undecodable corpus lines and invalid traces (accounted on stderr / in the report) instead of failing")
+		in         = flag.String("in", "-", "corpus file of JSON-lines bundles ('-' for stdin)")
+		impacted   = flag.Float64("impacted-pct", 0, "developer-estimated percentage of impacted users (0 = sort by impact)")
+		window     = flag.Int("window", 2, "manifestation window half-width in events")
+		fence      = flag.Float64("fence", 3, "IQR fence multiplier")
+		normBase   = flag.Float64("norm-base", 10, "normalization base percentile")
+		top        = flag.Int("top", 6, "events to report for the code-reduction metric")
+		asJSON     = flag.Bool("json", false, "emit the full report as JSON instead of text")
+		par        = flag.Int("parallel", 0, "analysis worker goroutines for Steps 1-4 (0 = GOMAXPROCS, 1 = serial); output is identical at any count")
+		lenient    = flag.Bool("lenient", false, "tolerate corrupt input: skip undecodable corpus lines and invalid traces (accounted on stderr / in the report) instead of failing")
+		stats      = flag.Bool("stats", false, "print the per-step wall/CPU latency breakdown to stderr after the report")
+		traceOut   = flag.String("trace", "", "write the analysis spans (steps + per-trace worker tasks) as JSONL to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		logLevel   = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "text", "log output format: text|json")
 	)
 	flag.Parse()
 
-	bundles, err := readCorpus(*in, *lenient)
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	bundles, err := readCorpus(*in, *lenient, logger)
 	if err != nil {
 		return err
 	}
@@ -59,6 +85,13 @@ func run() error {
 	cfg.NormBasePercentile = *normBase
 	cfg.Parallelism = *par
 	cfg.SkipInvalidTraces = *lenient
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		// Per-task spans are only worth their cost when they will be
+		// exported; the step-level breakdown for -stats is always on.
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
+	}
 	analyzer, err := core.NewAnalyzer(cfg)
 	if err != nil {
 		return err
@@ -68,30 +101,57 @@ func run() error {
 		return err
 	}
 	for _, sk := range report.Skipped {
-		fmt.Fprintf(os.Stderr, "energydx: skipped invalid trace %d (%s): %s\n", sk.Index, sk.TraceID, sk.Reason)
+		logger.Warn("skipped invalid trace", "index", sk.Index, "trace", sk.TraceID, "reason", sk.Reason)
+	}
+	if tracer != nil {
+		if err := writeSpans(*traceOut, tracer); err != nil {
+			return err
+		}
+		logger.Info("wrote span trace", "path", *traceOut, "spans", len(tracer.Records()))
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(report)
-	}
-	if err := report.WriteText(os.Stdout); err != nil {
-		return err
-	}
-
-	// Code reduction, when we know the app's APK model.
-	if app, err := apps.ByAppID(report.AppID); err == nil {
-		cr, err := core.ComputeCodeReduction(report, app.Package(), *top)
-		if err != nil {
+		if err := enc.Encode(report); err != nil {
 			return err
 		}
-		fmt.Printf("\ncode reduction: %d of %d lines to inspect (%.1f%% reduction)\n",
-			cr.DiagnosisLines, cr.TotalLines, cr.Reduction*100)
+	} else {
+		if err := report.WriteText(os.Stdout); err != nil {
+			return err
+		}
+
+		// Code reduction, when we know the app's APK model.
+		if app, err := apps.ByAppID(report.AppID); err == nil {
+			cr, err := core.ComputeCodeReduction(report, app.Package(), *top)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\ncode reduction: %d of %d lines to inspect (%.1f%% reduction)\n",
+				cr.DiagnosisLines, cr.TotalLines, cr.Reduction*100)
+		}
 	}
-	return nil
+	if *stats {
+		if err := report.WriteStages(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return obs.WriteHeapProfile(*memProfile)
 }
 
-func readCorpus(path string, lenient bool) ([]*trace.TraceBundle, error) {
+// writeSpans exports the tracer's spans as JSONL.
+func writeSpans(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tracer.WriteJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func readCorpus(path string, lenient bool, logger *slog.Logger) ([]*trace.TraceBundle, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -113,14 +173,14 @@ func readCorpus(path string, lenient bool) ([]*trace.TraceBundle, error) {
 		},
 		func(bad trace.BadBundleLine) error {
 			skipped++
-			fmt.Fprintf(os.Stderr, "energydx: skipping corpus line %d: %v\n", bad.Line, bad.Err)
+			logger.Warn("skipping corpus line", "line", bad.Line, "err", bad.Err)
 			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
 	if skipped > 0 {
-		fmt.Fprintf(os.Stderr, "energydx: skipped %d undecodable corpus line(s)\n", skipped)
+		logger.Warn("skipped undecodable corpus lines", "count", skipped)
 	}
 	return bundles, nil
 }

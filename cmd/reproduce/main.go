@@ -7,15 +7,18 @@
 //	reproduce -list               # list experiment IDs
 //	reproduce -exp table3 -seed 7 # different corpus seed
 //	reproduce -exp ingest         # fault-injected collection convergence
+//	reproduce -exp all -debug-addr 127.0.0.1:7601 -cpuprofile cpu.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,9 +35,41 @@ func run() error {
 		list        = flag.Bool("list", false, "list experiment IDs and exit")
 		csvDir      = flag.String("csv", "", "also write the experiments' data series as CSV files into this directory")
 		parallelism = flag.Int("parallelism", 0, "worker count for per-app sweeps and the analysis pipeline (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, /debug/vars and /debug/pprof while experiments run ('' = disabled)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat   = flag.String("log-format", "text", "log output format: text|json")
 	)
 	flag.Parse()
 	experiments.SetParallelism(*parallelism)
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+
+	if *debugAddr != "" {
+		health := obs.NewHealth()
+		debug, err := obs.ServeDebug(*debugAddr, obs.DebugMux(obs.Default, health))
+		if err != nil {
+			return err
+		}
+		defer debug.Close()
+		health.SetReady(true)
+		logger.Info("debug endpoints up", "addr", debug.Addr())
+	}
+	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+	defer func() {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			logger.Error("heap profile failed", "err", err)
+		}
+	}()
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -96,7 +131,7 @@ func exportCSV(dir string, res experiments.Result) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		fmt.Fprintf(os.Stderr, "reproduce: wrote %s\n", path)
+		slog.Info("wrote CSV", "path", path)
 	}
 	return nil
 }

@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/apps"
 	"repro/internal/collect"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -29,15 +31,23 @@ func main() {
 
 func run() error {
 	var (
-		appID    = flag.String("app", "k9mail", "app to simulate (catalog ID, e.g. k9mail, opengps)")
-		users    = flag.Int("users", 30, "number of volunteer users")
-		impacted = flag.Float64("impacted", 0.15, "fraction of users that trigger the ABD")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		fixed    = flag.Bool("fixed", false, "simulate the fixed app variant")
-		out      = flag.String("out", "-", "output file ('-' for stdout)")
-		upload   = flag.String("upload", "", "upload to a collectd address instead of writing a file")
+		appID     = flag.String("app", "k9mail", "app to simulate (catalog ID, e.g. k9mail, opengps)")
+		users     = flag.Int("users", 30, "number of volunteer users")
+		impacted  = flag.Float64("impacted", 0.15, "fraction of users that trigger the ABD")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		fixed     = flag.Bool("fixed", false, "simulate the fixed app variant")
+		out       = flag.String("out", "-", "output file ('-' for stdout)")
+		upload    = flag.String("upload", "", "upload to a collectd address instead of writing a file")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log output format: text|json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	app, err := apps.ByAppID(*appID)
 	if err != nil {
@@ -51,8 +61,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: %d bundles for %s (%.1f%% of users impacted)\n",
-		len(res.Bundles), app.Name, res.ImpactedPercent)
+	logger.Info("generated corpus", "bundles", len(res.Bundles), "app", app.Name,
+		"impacted_pct", fmt.Sprintf("%.1f", res.ImpactedPercent))
 
 	if *upload != "" {
 		client := collect.NewClient(*upload)
@@ -60,7 +70,9 @@ func run() error {
 		if err := client.Upload(state, res.Bundles); err != nil {
 			return fmt.Errorf("upload: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "tracegen: uploaded to %s\n", *upload)
+		st := client.Stats()
+		logger.Info("uploaded", "addr", *upload, "acked", st.Acked,
+			"lines_sent", st.LinesSent, "attempts", st.Attempts)
 		return nil
 	}
 

@@ -9,10 +9,23 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// Upload-path metrics on the process registry, aggregated across every
+// client in the process; per-instance numbers come from Client.Stats.
+var (
+	mCliAttempts = obs.Default.Counter("collect_client_attempts_total", "connection attempts (first tries and retries)")
+	mCliRetries  = obs.Default.Counter("collect_client_retries_total", "connection attempts beyond each upload's first")
+	mCliSent     = obs.Default.Counter("collect_client_lines_sent_total", "wire lines written, including injected duplicates and resends")
+	mCliAcked    = obs.Default.Counter("collect_client_bundles_acked_total", "bundles acknowledged OK by the server")
+	mCliRejected = obs.Default.Counter("collect_client_bundles_rejected_total", "bundles rejected by the server with retries exhausted")
+	hCliBackoff  = obs.Default.Histogram("collect_client_backoff_seconds", "sleep before each retry attempt", nil)
 )
 
 // PhoneState is the device condition the upload policy checks.
@@ -57,9 +70,40 @@ type Client struct {
 	dial        func(addr string, timeout time.Duration) (net.Conn, error)
 	sleep       func(time.Duration)
 	injector    *faults.Injector
+	tracer      *obs.Tracer // optional span sink for upload attempts
+
+	// Lock-free upload counters (see ClientStats).
+	attempts, linesSent, acked, rejected atomic.Int64
+	backoffNanos                         atomic.Int64
 
 	mu  sync.Mutex
 	rng *rand.Rand // backoff jitter
+}
+
+// ClientStats is a snapshot of one client's upload counters.
+type ClientStats struct {
+	// Attempts is the count of connection attempts across all uploads.
+	Attempts int64
+	// LinesSent is the count of wire lines written, including injected
+	// duplicates and retried resends.
+	LinesSent int64
+	// Acked is the count of bundles acknowledged OK.
+	Acked int64
+	// Rejected is the count of bundles rejected with retries exhausted.
+	Rejected int64
+	// Backoff is the total time slept between retry attempts.
+	Backoff time.Duration
+}
+
+// Stats returns a snapshot of the client's upload counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Attempts:  c.attempts.Load(),
+		LinesSent: c.linesSent.Load(),
+		Acked:     c.acked.Load(),
+		Rejected:  c.rejected.Load(),
+		Backoff:   time.Duration(c.backoffNanos.Load()),
+	}
 }
 
 // ClientOption configures a client.
@@ -98,6 +142,12 @@ func WithJitterSeed(seed int64) ClientOption {
 // WithDialer replaces the TCP dialer (tests, proxies).
 func WithDialer(dial func(addr string, timeout time.Duration) (net.Conn, error)) ClientOption {
 	return func(c *Client) { c.dial = dial }
+}
+
+// WithClientTracer records one span per connection attempt
+// ("client.attempt") on tr, exportable as a JSONL trace.
+func WithClientTracer(tr *obs.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = tr }
 }
 
 // WithFaults attaches a fault injector to the upload path: wire lines
@@ -173,9 +223,22 @@ func (c *Client) Upload(state PhoneState, bundles []*trace.TraceBundle) error {
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
-			c.sleep(c.backoff(attempt))
+			d := c.backoff(attempt)
+			c.backoffNanos.Add(int64(d))
+			hCliBackoff.Observe(d.Seconds())
+			mCliRetries.Inc()
+			c.sleep(d)
+		}
+		c.attempts.Add(1)
+		mCliAttempts.Inc()
+		var sp *obs.Span
+		if c.tracer != nil {
+			sp = c.tracer.Start("client.attempt")
 		}
 		acked, err := c.uploadOnce(pending)
+		if sp != nil {
+			sp.End()
+		}
 		pending = pending[acked:]
 		if len(pending) == 0 && err == nil {
 			return nil
@@ -184,6 +247,11 @@ func (c *Client) Upload(state PhoneState, bundles []*trace.TraceBundle) error {
 	}
 	if lastErr == nil {
 		lastErr = errors.New("attempts exhausted")
+	}
+	var rej *RejectedError
+	if errors.As(lastErr, &rej) {
+		c.rejected.Add(1)
+		mCliRejected.Inc()
 	}
 	return fmt.Errorf("collect: %d bundle(s) unacknowledged after %d attempts: %w",
 		len(pending), c.maxAttempts, lastErr)
@@ -232,11 +300,15 @@ func (c *Client) uploadOnce(pending []wireBundle) (acked int, err error) {
 			if err := w.writeLine(ln); err != nil {
 				return acked, fmt.Errorf("send bundle %d: %w", wb.orig, err)
 			}
+			c.linesSent.Add(1)
+			mCliSent.Inc()
 		}
 		if err := c.awaitAck(r, wb); err != nil {
 			return acked, err
 		}
 		acked++
+		c.acked.Add(1)
+		mCliAcked.Inc()
 	}
 	return acked, nil
 }

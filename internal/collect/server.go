@@ -26,10 +26,28 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// Ingestion-path metrics on the process registry, aggregated across
+// every Server in the process. Per-instance numbers (the ones the
+// reconciliation invariant accepted+duplicated+quarantined == received
+// is checked against) come from Server.Stats. The quarantine ring size
+// and skipped-trace gauges make state that used to be visible only
+// post-hoc in files observable live.
+var (
+	mSrvAccepted    = obs.Default.Counter("collect_bundles_accepted_total", "bundles validated and stored")
+	mSrvDuplicated  = obs.Default.Counter("collect_bundles_duplicated_total", "re-uploads deduplicated by content key")
+	mSrvQuarantined = obs.Default.Counter("collect_bundles_quarantined_total", "wire lines rejected into quarantine")
+	mSrvBytes       = obs.Default.Counter("collect_bytes_ingested_total", "wire bytes received on the ingest path")
+	mSrvConns       = obs.Default.Counter("collect_connections_total", "client connections accepted")
+	gSrvConnsOpen   = obs.Default.Gauge("collect_connections_open", "client connections currently open")
+	hSrvIngest      = obs.Default.Histogram("collect_ingest_seconds", "per-line validate+store latency", nil)
 )
 
 const (
@@ -110,12 +128,44 @@ type QuarantineEntry struct {
 	Line []byte `json:"line"`
 }
 
+// ServerStats is a snapshot of one server's ingestion counters. Every
+// wire line the server reads lands in exactly one of Accepted,
+// Duplicated or Quarantined, so
+//
+//	Accepted + Duplicated + Quarantined == lines received
+//
+// holds at any quiescent point — the reconciliation invariant the
+// fault-injection integration tests pin.
+type ServerStats struct {
+	// Accepted is the count of bundles validated and stored.
+	Accepted int64
+	// Duplicated is the count of re-uploads recognized by content key
+	// and acknowledged without storing again.
+	Duplicated int64
+	// Quarantined is the count of rejected wire lines. Torn store
+	// lines skipped at reload are excluded (they were never received on
+	// this server's wire); QuarantineCount includes them.
+	Quarantined int64
+	// BytesIngested is the wire bytes offered to ingestion.
+	BytesIngested int64
+	// ConnsTotal is the count of accepted client connections.
+	ConnsTotal int64
+	// ConnsOpen is the number of connections currently being handled.
+	ConnsOpen int64
+}
+
 // Server receives and stores trace bundles.
 type Server struct {
 	ln       net.Listener
 	store    *FileStore // optional durable store
 	limits   Limits
 	injector *faults.Injector // optional chaos injector on received lines
+	tracer   *obs.Tracer      // optional span sink for the ingest path
+
+	// Lock-free ingestion counters (see ServerStats).
+	accepted, duplicated, quarantined atomic.Int64
+	bytesIngested                     atomic.Int64
+	connsTotal, connsOpen             atomic.Int64
 
 	mu         sync.Mutex
 	byApp      map[string][]*trace.TraceBundle
@@ -147,6 +197,14 @@ func WithLimits(l Limits) ServerOption {
 // truncated or duplicated, connections dropped, and ingestion delayed.
 func WithServerFaults(in *faults.Injector) ServerOption {
 	return func(s *Server) { s.injector = in }
+}
+
+// WithServerTracer records one span per ingested line ("server.ingest",
+// with "server.quarantine" children for rejects) on tr, exportable as a
+// JSONL trace. Production servers may leave it nil; the ingest-latency
+// histogram on the metrics registry is always populated.
+func WithServerTracer(tr *obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = tr }
 }
 
 // NewServer starts a collection server on addr (e.g. "127.0.0.1:0").
@@ -181,6 +239,20 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 		// dropping them is safe; record them for diagnosis.
 		s.quarCount += skipped
 	}
+	// Live quarantine visibility: the ring and its total used to be
+	// discoverable only post-hoc in quarantine/rejected.jsonl; these
+	// gauges read the newest server's state at scrape time (one server
+	// per process in production).
+	obs.Default.GaugeFunc("collect_quarantine_kept",
+		"quarantined lines currently held in the in-memory ring",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.quarantine))
+		})
+	obs.Default.GaugeFunc("collect_quarantine_count",
+		"total lines rejected into quarantine, including rotated-out and reload-skipped ones",
+		func() float64 { return float64(s.QuarantineCount()) })
 	s.handler.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -230,8 +302,28 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// Stats returns a snapshot of the server's ingestion counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Accepted:      s.accepted.Load(),
+		Duplicated:    s.duplicated.Load(),
+		Quarantined:   s.quarantined.Load(),
+		BytesIngested: s.bytesIngested.Load(),
+		ConnsTotal:    s.connsTotal.Load(),
+		ConnsOpen:     s.connsOpen.Load(),
+	}
+}
+
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	s.connsTotal.Add(1)
+	mSrvConns.Inc()
+	s.connsOpen.Add(1)
+	gSrvConnsOpen.Inc()
+	defer func() {
+		s.connsOpen.Add(-1)
+		gSrvConnsOpen.Dec()
+	}()
 	sc := bufio.NewScanner(conn)
 	// The scanner's max token size is the larger of the cap argument and
 	// the initial buffer, so the initial buffer must not exceed the
@@ -263,17 +355,38 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		}
 		for _, ln := range lines {
-			key, err := s.ingest(ln)
+			s.bytesIngested.Add(int64(len(ln)))
+			mSrvBytes.Add(int64(len(ln)))
+			var sp *obs.Span
+			if s.tracer != nil {
+				sp = s.tracer.Start("server.ingest")
+			}
+			start := time.Now()
+			key, dup, err := s.ingest(ln)
+			hSrvIngest.Observe(time.Since(start).Seconds())
 			if err != nil {
 				bad++
-				s.quarantineLine(ln, key, err)
+				s.quarantineLine(ln, key, err, sp)
 				fmt.Fprintf(w, "%s %s %v\n", ackErr, keyOrUnknown(key), err)
 				if bad > s.limits.MaxBadLinesPerConn {
+					if sp != nil {
+						sp.End()
+					}
 					w.Flush()
 					return
 				}
 			} else {
+				if dup {
+					s.duplicated.Add(1)
+					mSrvDuplicated.Inc()
+				} else {
+					s.accepted.Add(1)
+					mSrvAccepted.Inc()
+				}
 				fmt.Fprintf(w, "%s %s\n", ackOK, keyOrUnknown(key))
+			}
+			if sp != nil {
+				sp.End()
 			}
 		}
 		if err := w.Flush(); err != nil {
@@ -285,7 +398,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	// oversize upload is quarantined by size class (the line itself is
 	// too big to keep).
 	if err := sc.Err(); err != nil {
-		s.quarantineLine(nil, "", fmt.Errorf("line exceeds %d bytes: %w", s.limits.MaxLineBytes, err))
+		s.quarantineLine(nil, "", fmt.Errorf("line exceeds %d bytes: %w", s.limits.MaxLineBytes, err), nil)
 		fmt.Fprintf(w, "%s %s line exceeds %d byte limit\n", ackErr, ackUnknownKey, s.limits.MaxLineBytes)
 		w.Flush()
 	}
@@ -299,58 +412,65 @@ func keyOrUnknown(key string) string {
 }
 
 // ingest validates, scrubs and stores one serialized bundle, returning
-// the bundle's stamped key when one could be decoded.
-func (s *Server) ingest(line []byte) (key string, err error) {
+// the bundle's stamped key when one could be decoded and whether the
+// bundle was a content-key duplicate of an already stored one.
+func (s *Server) ingest(line []byte) (key string, dup bool, err error) {
 	b, err := trace.DecodeBundle(bytes.NewReader(line))
 	if err != nil {
-		return "", fmt.Errorf("decode: %v", err)
+		return "", false, fmt.Errorf("decode: %v", err)
 	}
 	key = b.Key
 	// Integrity before anything else: a line altered in flight must not
 	// reach the store even if it still parses.
 	if err := trace.VerifyContentKey(b); err != nil {
-		return key, fmt.Errorf("integrity: %v", err)
+		return key, false, fmt.Errorf("integrity: %v", err)
 	}
 	if b.Event.AppID == "" {
-		return key, errors.New("bundle has no app id")
+		return key, false, errors.New("bundle has no app id")
 	}
 	if n := len(b.Event.Records); n > s.limits.MaxRecords {
-		return key, fmt.Errorf("event trace has %d records, limit %d", n, s.limits.MaxRecords)
+		return key, false, fmt.Errorf("event trace has %d records, limit %d", n, s.limits.MaxRecords)
 	}
 	if n := len(b.Util.Samples); n > s.limits.MaxSamples {
-		return key, fmt.Errorf("utilization trace has %d samples, limit %d", n, s.limits.MaxSamples)
+		return key, false, fmt.Errorf("utilization trace has %d samples, limit %d", n, s.limits.MaxSamples)
 	}
 	if err := b.Event.Validate(); err != nil {
-		return key, fmt.Errorf("event trace: %v", err)
+		return key, false, fmt.Errorf("event trace: %v", err)
 	}
 	if err := b.Util.Validate(); err != nil {
-		return key, fmt.Errorf("utilization trace: %v", err)
+		return key, false, fmt.Errorf("utilization trace: %v", err)
 	}
 	scrubbed := trace.ScrubBundle(b)
 	dk := dedupKey(scrubbed)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return key, errors.New("server shutting down")
+		return key, false, errors.New("server shutting down")
 	}
-	if _, dup := s.dupes[dk]; dup {
-		return key, nil // idempotent: re-uploads after a lost ack are fine
+	if _, seen := s.dupes[dk]; seen {
+		return key, true, nil // idempotent: re-uploads after a lost ack are fine
 	}
 	if s.store != nil {
 		// Persist before acknowledging: an acked bundle survives a
 		// crash; a failed write is reported so the phone retries.
 		if err := s.store.Append(scrubbed); err != nil {
-			return key, err
+			return key, false, err
 		}
 	}
 	s.dupes[dk] = struct{}{}
 	s.byApp[scrubbed.Event.AppID] = append(s.byApp[scrubbed.Event.AppID], scrubbed)
-	return key, nil
+	return key, false, nil
 }
 
 // quarantineLine records a rejected wire line: bounded in memory,
-// complete in the durable store when one is attached.
-func (s *Server) quarantineLine(line []byte, key string, cause error) {
+// complete in the durable store when one is attached. parent, when
+// non-nil, is the ingest span the rejection belongs under.
+func (s *Server) quarantineLine(line []byte, key string, cause error, parent *obs.Span) {
+	s.quarantined.Add(1)
+	mSrvQuarantined.Inc()
+	if parent != nil {
+		defer parent.Child("server.quarantine").End()
+	}
 	entry := QuarantineEntry{
 		Key:    key,
 		Reason: cause.Error(),

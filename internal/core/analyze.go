@@ -4,12 +4,24 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/stats"
 	"repro/internal/trace"
+)
+
+// Analysis-layer metrics on the process registry: how many diagnoses
+// ran, how many traces they covered, and — live, not just post-hoc in
+// report files — how many traces the most recent run skipped.
+var (
+	mAnalyses       = obs.Default.Counter("core_analyses_total", "completed core.Analyze runs")
+	mTracesAnalyzed = obs.Default.Counter("core_traces_analyzed_total", "traces that passed Step 1 across all analyses")
+	mTracesSkipped  = obs.Default.Counter("core_traces_skipped_total", "traces excluded under SkipInvalidTraces across all analyses")
+	gSkippedLast    = obs.Default.Gauge("core_skipped_traces", "traces skipped by the most recent analysis")
 )
 
 // EventPower is one event instance with its Step-1 power estimate, scaled
@@ -80,6 +92,22 @@ type Report struct {
 	// Skipped lists traces excluded under Config.SkipInvalidTraces.
 	// TotalTraces counts only the analyzed traces.
 	Skipped []SkippedTrace `json:"skipped,omitempty"`
+
+	// Stages is the per-step wall/CPU breakdown of this analysis,
+	// sourced from spans (energydx -stats renders it). Excluded from
+	// JSON so golden reports and cross-worker byte-identity are
+	// untouched by timing jitter.
+	Stages []StageTiming `json:"-"`
+}
+
+// StageTiming is one pipeline stage's latency contribution. Step 0 is
+// the whole-analysis total.
+type StageTiming struct {
+	Step  int
+	Name  string
+	Wall  time.Duration
+	CPU   time.Duration
+	Items int
 }
 
 // TopEvents returns the first n reported events (all if n <= 0 or beyond
@@ -125,18 +153,27 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 var ErrNoTraces = errors.New("core: no traces to analyze")
 
 // Analyze runs all five steps over a corpus of trace bundles collected
-// from different users and returns the diagnosis report.
+// from different users and returns the diagnosis report. Each step is
+// timed against the monotonic clock (Report.Stages); a caller-provided
+// Config.Tracer additionally receives one span per worker task.
 func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 	if len(bundles) == 0 {
 		return nil, ErrNoTraces
 	}
+	tr, detail := a.cfg.Tracer, a.cfg.Tracer != nil
+	if tr == nil {
+		tr = obs.NewTracer()
+	}
+	root := tr.Start("analyze")
 
 	// Step 1: power estimation of events, per trace (parallelizable:
 	// traces are independent).
-	traces, skipped, err := a.stepOneAll(bundles)
+	s1 := root.Child("step1.estimate")
+	traces, skipped, err := a.stepOneAll(bundles, s1, detail)
 	if err != nil {
 		return nil, err
 	}
+	rec1 := s1.End()
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("core: all %d traces invalid (first: %s)", len(bundles), skipped[0].Reason)
 	}
@@ -149,23 +186,42 @@ func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 	}
 
 	// Step 2: rank all instances of the same event across all traces.
+	s2 := root.Child("step2.rank")
 	basePower, err := a.rankAndBase(report.Traces)
+	rec2 := s2.End()
 	if err != nil {
 		return nil, err
 	}
 
-	// Steps 3 and 4 fan out per trace: normalize, attribute variation
-	// amplitude, detect manifestation points, collect window keys. Each
-	// trace only touches its own vectors, so any worker count produces
-	// the same report.
+	// Step 3 fans out per trace: normalize each instance's power to its
+	// event's base. Each trace only touches its own vectors, so any
+	// worker count produces the same report.
+	s3 := root.Child("step3.normalize")
+	_ = parallel.ForEach(a.cfg.Parallelism, len(report.Traces), func(i int) error {
+		if detail {
+			sp := s3.Child("step3.trace")
+			defer sp.End()
+		}
+		a.normalize(report.Traces[i], basePower)
+		return nil
+	})
+	rec3 := s3.End()
+
+	// Step 4 fans out per trace: attribute variation amplitude, detect
+	// manifestation points, collect window keys.
+	s4 := root.Child("step4.detect")
 	err = parallel.ForEach(a.cfg.Parallelism, len(report.Traces), func(i int) error {
+		if detail {
+			sp := s4.Child("step4.trace")
+			defer sp.End()
+		}
 		at := report.Traces[i]
-		a.normalize(at, basePower)
 		if err := a.detect(at); err != nil {
 			return fmt.Errorf("trace %s: %w", at.TraceID, err)
 		}
 		return nil
 	})
+	rec4 := s4.End()
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +232,24 @@ func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 	}
 
 	// Step 5: percentage-based sorting of events in the windows.
+	s5 := root.Child("step5.impacts")
 	a.rankImpacts(report)
+	rec5 := s5.End()
+	recTotal := root.End()
+
+	n := len(report.Traces)
+	report.Stages = []StageTiming{
+		{Step: 1, Name: "estimate", Wall: rec1.Wall(), CPU: rec1.CPU(), Items: len(bundles)},
+		{Step: 2, Name: "rank", Wall: rec2.Wall(), CPU: rec2.CPU(), Items: n},
+		{Step: 3, Name: "normalize", Wall: rec3.Wall(), CPU: rec3.CPU(), Items: n},
+		{Step: 4, Name: "detect", Wall: rec4.Wall(), CPU: rec4.CPU(), Items: n},
+		{Step: 5, Name: "impacts", Wall: rec5.Wall(), CPU: rec5.CPU(), Items: len(report.Impacted)},
+		{Step: 0, Name: "total", Wall: recTotal.Wall(), CPU: recTotal.CPU(), Items: n},
+	}
+	mAnalyses.Inc()
+	mTracesAnalyzed.Add(int64(n))
+	mTracesSkipped.Add(int64(len(skipped)))
+	gSkippedLast.Set(float64(len(skipped)))
 	return report, nil
 }
 
@@ -187,12 +260,16 @@ func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 // demoted to a SkippedTrace entry instead of failing the batch —
 // errors are captured per slot so one corrupt trace costs exactly one
 // trace.
-func (a *Analyzer) stepOneAll(bundles []*trace.TraceBundle) ([]*AnalyzedTrace, []SkippedTrace, error) {
+func (a *Analyzer) stepOneAll(bundles []*trace.TraceBundle, parent *obs.Span, detail bool) ([]*AnalyzedTrace, []SkippedTrace, error) {
 	type slot struct {
 		at  *AnalyzedTrace
 		err error
 	}
 	slots, err := parallel.Map(a.cfg.Parallelism, len(bundles), func(i int) (slot, error) {
+		if detail {
+			sp := parent.Child("step1.trace")
+			defer sp.End()
+		}
 		at, err := a.estimateEvents(bundles[i])
 		return slot{at: at, err: err}, nil
 	})

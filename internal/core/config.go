@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // Config holds the tunable parameters of the manifestation analysis. The
@@ -80,6 +81,14 @@ type Config struct {
 	// input order, and estimation noise draws from a per-bundle RNG
 	// seeded with NoiseSeed, so it does not depend on execution order.
 	Parallelism int
+
+	// Tracer, when non-nil, receives detailed spans from the analysis:
+	// the five step spans plus one span per worker task, exportable as
+	// a JSONL trace (energydx -trace). When nil the analyzer still
+	// times each step against a private tracer to fill Report.Stages,
+	// but skips the per-task spans so the hot path stays lean. Spans
+	// never influence the report's analytic content.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the paper's parameterization.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/apk"
 	"repro/internal/trace"
@@ -67,6 +68,31 @@ func (r *Report) WriteText(w io.Writer) error {
 	}
 	if _, err := io.WriteString(w, sb.String()); err != nil {
 		return fmt.Errorf("write report: %w", err)
+	}
+	return nil
+}
+
+// WriteStages renders the per-step latency breakdown recorded during
+// Analyze (energydx -stats). Wall is elapsed monotonic time; CPU is
+// process CPU consumed during the step, so a parallel step with CPU
+// well above wall is using its workers.
+func (r *Report) WriteStages(w io.Writer) error {
+	if len(r.Stages) == 0 {
+		_, err := io.WriteString(w, "no stage timings recorded\n")
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("analysis stage timing (wall / process CPU):\n")
+	for _, st := range r.Stages {
+		label := st.Name
+		if st.Step > 0 {
+			label = fmt.Sprintf("step %d %s", st.Step, st.Name)
+		}
+		fmt.Fprintf(&sb, "  %-18s %12s / %-12s %6d item(s)\n",
+			label, st.Wall.Round(time.Microsecond), st.CPU.Round(time.Microsecond), st.Items)
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("write stage timing: %w", err)
 	}
 	return nil
 }

@@ -12,13 +12,44 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
+
+// Sweep-level metrics: how many experiment runs the process has served
+// and how long each took end to end. The per-stage detail underneath
+// (pool task latency, analysis step spans) lives on the layers below.
+var (
+	mExpRuns    = obs.Default.Counter("experiments_runs_total", "experiment runs completed (including failed ones)")
+	mExpErrors  = obs.Default.Counter("experiments_errors_total", "experiment runs that returned an error")
+	hExpSeconds = obs.Default.Histogram("experiments_run_seconds", "end-to-end experiment wall time", nil)
+)
+
+// instrumented wraps a runner with run counters, latency observation
+// and a debug-level structured log line.
+func instrumented(id string, run Runner) Runner {
+	return func(seed int64) (Result, error) {
+		start := time.Now()
+		res, err := run(seed)
+		elapsed := time.Since(start)
+		mExpRuns.Inc()
+		hExpSeconds.Observe(elapsed.Seconds())
+		if err != nil {
+			mExpErrors.Inc()
+			slog.Debug("experiment failed", "id", id, "seed", seed, "elapsed", elapsed, "err", err)
+		} else {
+			slog.Debug("experiment complete", "id", id, "seed", seed, "elapsed", elapsed)
+		}
+		return res, err
+	}
+}
 
 // sweepParallelism is the worker count used by the per-app experiment
 // sweeps, the stability seeds, the tune grid and the inner analysis
@@ -55,9 +86,11 @@ type registryEntry struct {
 	Run   Runner
 }
 
-// Registry lists all experiments in paper order.
+// Registry lists all experiments in paper order. Every runner is
+// instrumented: run counts and wall-time land on the metrics registry,
+// completions on the debug log.
 func Registry() []registryEntry {
-	return []registryEntry{
+	entries := []registryEntry{
 		{"fig1", "Fig 1: event distance of 40 ABD cases", RunFig1},
 		{"fig3", "Fig 3: K-9 Mail power trace", RunFig3},
 		{"fig5", "Fig 5: event-log format", RunFig5},
@@ -79,6 +112,10 @@ func Registry() []registryEntry {
 		{"unknown", "Extension: diagnosing an un-taxonomized (unknown) fault class", RunUnknown},
 		{"ingest", "Extension: fault-injected ingestion convergence (chaos collection tier)", RunIngest},
 	}
+	for i := range entries {
+		entries[i].Run = instrumented(entries[i].ID, entries[i].Run)
+	}
+	return entries
 }
 
 // Lookup finds an experiment by ID.

@@ -22,6 +22,22 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Injected-fault counters on the process registry, aggregated across
+// every injector in the process; per-injector numbers stay on
+// Injector.Stats. A chaos run's /metrics therefore shows the fault
+// pressure next to the retry/quarantine counters it provokes.
+var (
+	mFaultLines     = obs.Default.Counter("faults_lines_total", "wire lines offered to fault injectors")
+	mFaultCorrupt   = obs.Default.Counter("faults_corrupt_total", "lines corrupted by fault injection")
+	mFaultTruncate  = obs.Default.Counter("faults_truncate_total", "lines truncated by fault injection")
+	mFaultDuplicate = obs.Default.Counter("faults_duplicate_total", "lines duplicated by fault injection")
+	mFaultDrop      = obs.Default.Counter("faults_drop_total", "connections cut by fault injection")
+	mFaultDelay     = obs.Default.Counter("faults_delay_total", "lines delayed by fault injection")
+	mFaultReorder   = obs.Default.Counter("faults_reorder_total", "batches reordered by fault injection")
 )
 
 // Kind identifies the fault applied to one wire line.
@@ -154,19 +170,24 @@ func (in *Injector) Draw() Kind {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.stats.Lines++
+	mFaultLines.Inc()
 	p := in.rng.Float64()
 	switch {
 	case p < in.cfg.CorruptProb:
 		in.stats.Corrupted++
+		mFaultCorrupt.Inc()
 		return Corrupt
 	case p < in.cfg.CorruptProb+in.cfg.TruncateProb:
 		in.stats.Truncated++
+		mFaultTruncate.Inc()
 		return Truncate
 	case p < in.cfg.CorruptProb+in.cfg.TruncateProb+in.cfg.DuplicateProb:
 		in.stats.Duplicated++
+		mFaultDuplicate.Inc()
 		return Duplicate
 	case p < in.cfg.CorruptProb+in.cfg.TruncateProb+in.cfg.DuplicateProb+in.cfg.DropProb:
 		in.stats.Dropped++
+		mFaultDrop.Inc()
 		return Drop
 	default:
 		return None
@@ -229,6 +250,7 @@ func (in *Injector) Delay() time.Duration {
 		return 0
 	}
 	in.stats.Delayed++
+	mFaultDelay.Inc()
 	return time.Duration(1 + in.rng.Int63n(int64(in.cfg.MaxDelay)))
 }
 
@@ -239,6 +261,7 @@ func (in *Injector) Perm(n int) []int {
 	defer in.mu.Unlock()
 	if n > 1 && in.cfg.ReorderProb > 0 && in.rng.Float64() < in.cfg.ReorderProb {
 		in.stats.Reordered++
+		mFaultReorder.Inc()
 		return in.rng.Perm(n)
 	}
 	out := make([]int, n)

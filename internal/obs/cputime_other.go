@@ -1,0 +1,9 @@
+//go:build !(linux || darwin)
+
+package obs
+
+import "time"
+
+// ProcessCPUTime returns 0 on platforms without getrusage; span CPU
+// columns read as zero there, wall timings are unaffected.
+func ProcessCPUTime() time.Duration { return 0 }

@@ -1,0 +1,18 @@
+//go:build linux || darwin
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// ProcessCPUTime returns the CPU time (user + system) consumed by the
+// whole process so far, or 0 when the platform cannot report it.
+func ProcessCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

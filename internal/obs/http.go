@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Health is the liveness/readiness state served by the debug mux.
+// A fresh Health is live but not ready; mark it ready once the
+// component is accepting work, and call ShuttingDown when a graceful
+// stop begins so load balancers drain the instance.
+type Health struct {
+	live  atomic.Bool
+	ready atomic.Bool
+}
+
+// NewHealth returns a live, not-yet-ready health state.
+func NewHealth() *Health {
+	h := &Health{}
+	h.live.Store(true)
+	return h
+}
+
+// SetReady flips readiness.
+func (h *Health) SetReady(ready bool) { h.ready.Store(ready) }
+
+// Ready reports the readiness state.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// Live reports the liveness state.
+func (h *Health) Live() bool { return h.live.Load() }
+
+// ShuttingDown marks the component unready and not live: both /healthz
+// and /readyz flip to 503 for the remainder of the drain.
+func (h *Health) ShuttingDown() {
+	h.ready.Store(false)
+	h.live.Store(false)
+}
+
+func (h *Health) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	if !h.Live() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *Health) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !h.Ready() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// MetricsHandler serves the registry: Prometheus text by default,
+// expvar-style JSON with ?format=json or an Accept: application/json
+// header.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// publishOnce guards the one-time expvar publication of the Default
+// registry (expvar.Publish panics on duplicate names).
+var publishOnce sync.Once
+
+// DebugMux builds the standard debug surface over a registry and a
+// health state:
+//
+//	/metrics      Prometheus text (?format=json for expvar-style JSON)
+//	/healthz      liveness  (503 once shutdown begins)
+//	/readyz       readiness (503 until ready and during drain)
+//	/debug/vars   expvar JSON (Go runtime vars + the Default registry)
+//	/debug/pprof  the full net/http/pprof suite
+func DebugMux(reg *Registry, h *Health) *http.ServeMux {
+	if reg == Default {
+		publishOnce.Do(func() {
+			expvar.Publish("energydx", expvar.Func(func() any {
+				names, metrics := Default.snapshot()
+				obj := make(map[string]any, len(names))
+				for i, name := range names {
+					obj[name] = metrics[i].jsonValue()
+				}
+				return obj
+			}))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.HandleFunc("/healthz", h.serveHealthz)
+	mux.HandleFunc("/readyz", h.serveReadyz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the handler on addr (e.g. "127.0.0.1:0") and
+// serves until Close.
+func ServeDebug(addr string, handler http.Handler) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	srv := &http.Server{Handler: handler}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and any open connections.
+func (d *DebugServer) Close() error { return d.srv.Close() }

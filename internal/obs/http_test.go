@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get runs one request through the mux and returns status and body.
+func get(t *testing.T, mux http.Handler, target string, header ...string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	for i := 0; i+1 < len(header); i += 2 {
+		req.Header.Set(header[i], header[i+1])
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String(), rec.Header()
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	h := NewHealth()
+	mux := DebugMux(NewRegistry(), h)
+
+	if code, _, _ := get(t, mux, "/healthz"); code != http.StatusOK {
+		t.Errorf("fresh /healthz = %d, want 200", code)
+	}
+	if code, _, _ := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("pre-ready /readyz = %d, want 503", code)
+	}
+	h.SetReady(true)
+	if code, _, _ := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Errorf("ready /readyz = %d, want 200", code)
+	}
+	h.ShuttingDown()
+	if code, _, _ := get(t, mux, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz = %d, want 503", code)
+	}
+	if code, _, _ := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining /readyz = %d, want 503", code)
+	}
+}
+
+func TestMetricsHandlerFormats(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_hits_total", "hits").Add(4)
+	mux := DebugMux(reg, NewHealth())
+
+	code, body, hdr := get(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("text Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE test_hits_total counter\ntest_hits_total 4\n") {
+		t.Errorf("Prometheus body missing counter:\n%s", body)
+	}
+
+	for _, req := range [][]string{
+		{"/metrics?format=json"},
+		{"/metrics", "Accept", "application/json"},
+	} {
+		code, body, hdr := get(t, mux, req[0], req[1:]...)
+		if code != http.StatusOK {
+			t.Fatalf("%v = %d", req, code)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Errorf("%v Content-Type = %q", req, ct)
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(body), &obj); err != nil {
+			t.Fatalf("%v body does not parse: %v", req, err)
+		}
+		if obj["test_hits_total"] != float64(4) {
+			t.Errorf("%v counter = %v, want 4", req, obj["test_hits_total"])
+		}
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	h := NewHealth()
+	h.SetReady(true)
+	srv, err := ServeDebug("127.0.0.1:0", DebugMux(NewRegistry(), h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestParseLevelAndNewLogger(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "info": "INFO", "": "INFO", "warn": "WARN", "error": "ERROR",
+	} {
+		lvl, err := ParseLevel(in)
+		if err != nil {
+			t.Errorf("ParseLevel(%q): %v", in, err)
+		} else if lvl.String() != want {
+			t.Errorf("ParseLevel(%q) = %v, want %s", in, lvl, want)
+		}
+	}
+	if _, err := ParseLevel("shout"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+	if _, err := NewLogger(io.Discard, "info", "yaml"); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+
+	var buf strings.Builder
+	logger, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("filtered out")
+	logger.Warn("kept", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "filtered out") {
+		t.Error("info line passed a warn-level logger")
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &line); err != nil {
+		t.Fatalf("JSON log line does not parse: %v (%q)", err, out)
+	}
+	if line["msg"] != "kept" || line["k"] != float64(1) {
+		t.Errorf("log line = %v", line)
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer collects lightweight spans against a single monotonic epoch.
+// Spans are cheap enough to wrap every pipeline stage and every worker
+// task: Start reads the monotonic clock once, End reads it again and
+// appends one record under a mutex. A Tracer is safe for concurrent
+// use; spans from parallel workers interleave and are ordered by start
+// offset at export time.
+type Tracer struct {
+	epoch time.Time
+
+	mu   sync.Mutex
+	done []SpanRecord
+}
+
+// SpanRecord is one completed span. Start offsets and durations come
+// from the monotonic clock, so wall times never go backwards even
+// across a clock step. CPU is the process CPU time consumed while the
+// span was open — exact for serial stages, an upper bound when spans
+// overlap.
+type SpanRecord struct {
+	Name    string `json:"name"`
+	Parent  string `json:"parent,omitempty"`
+	StartUS int64  `json:"startMicros"`
+	WallUS  int64  `json:"wallMicros"`
+	CPUUS   int64  `json:"cpuMicros"`
+}
+
+// Wall returns the span's wall-clock duration.
+func (r SpanRecord) Wall() time.Duration { return time.Duration(r.WallUS) * time.Microsecond }
+
+// CPU returns the process CPU time consumed during the span.
+func (r SpanRecord) CPU() time.Duration { return time.Duration(r.CPUUS) * time.Microsecond }
+
+// NewTracer creates a tracer whose span offsets count from now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is an open span; call End exactly once.
+type Span struct {
+	tr     *Tracer
+	name   string
+	parent string
+	start  time.Time
+	cpu0   time.Duration
+	ended  bool
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	return &Span{tr: t, name: name, start: time.Now(), cpu0: ProcessCPUTime()}
+}
+
+// Child opens a span nested under s (the parent is recorded by name).
+func (s *Span) Child(name string) *Span {
+	sp := s.tr.Start(name)
+	sp.parent = s.name
+	return sp
+}
+
+// End closes the span and returns its record. A second End is a no-op
+// returning a zero record.
+func (s *Span) End() SpanRecord {
+	if s.ended {
+		return SpanRecord{}
+	}
+	s.ended = true
+	rec := SpanRecord{
+		Name:    s.name,
+		Parent:  s.parent,
+		StartUS: s.start.Sub(s.tr.epoch).Microseconds(),
+		WallUS:  time.Since(s.start).Microseconds(),
+		CPUUS:   (ProcessCPUTime() - s.cpu0).Microseconds(),
+	}
+	s.tr.mu.Lock()
+	s.tr.done = append(s.tr.done, rec)
+	s.tr.mu.Unlock()
+	return rec
+}
+
+// Records returns the completed spans sorted by start offset (name
+// breaks ties), a stable order regardless of worker interleaving.
+func (t *Tracer) Records() []SpanRecord {
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.done))
+	copy(out, t.done)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteJSONL exports every completed span as one JSON object per line,
+// in start-offset order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range t.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SpanSummary aggregates every span sharing one name.
+type SpanSummary struct {
+	Name  string
+	Count int
+	Wall  time.Duration
+	CPU   time.Duration
+}
+
+// Summary aggregates completed spans by name, ordered by each name's
+// first start offset — for a staged pipeline that is pipeline order.
+func (t *Tracer) Summary() []SpanSummary {
+	recs := t.Records()
+	idx := make(map[string]int)
+	var out []SpanSummary
+	for _, r := range recs {
+		i, ok := idx[r.Name]
+		if !ok {
+			i = len(out)
+			idx[r.Name] = i
+			out = append(out, SpanSummary{Name: r.Name})
+		}
+		out[i].Count++
+		out[i].Wall += r.Wall()
+		out[i].CPU += r.CPU()
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("analyze")
+	child := root.Child("step1")
+	child.End()
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	// Records come back sorted by start offset, so the root is first.
+	if recs[0].Name != "analyze" || recs[0].Parent != "" {
+		t.Errorf("root record = %+v", recs[0])
+	}
+	if recs[1].Name != "step1" || recs[1].Parent != "analyze" {
+		t.Errorf("child record = %+v", recs[1])
+	}
+	if recs[1].StartUS < recs[0].StartUS {
+		t.Errorf("child starts (%dus) before its parent (%dus)", recs[1].StartUS, recs[0].StartUS)
+	}
+	if recs[1].WallUS > recs[0].WallUS {
+		t.Errorf("child wall %dus exceeds enclosing parent wall %dus", recs[1].WallUS, recs[0].WallUS)
+	}
+}
+
+func TestSpanDurationMonotonic(t *testing.T) {
+	const sleep = 10 * time.Millisecond
+	tr := NewTracer()
+	sp := tr.Start("slow")
+	time.Sleep(sleep)
+	rec := sp.End()
+	// Wall time comes from the monotonic clock, so it can never
+	// undercount the enclosed sleep (or go backwards across a clock step).
+	if rec.Wall() < sleep {
+		t.Errorf("span wall %v shorter than the %v it enclosed", rec.Wall(), sleep)
+	}
+	if rec.StartUS < 0 || rec.CPUUS < 0 {
+		t.Errorf("negative span fields: %+v", rec)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("once")
+	first := sp.End()
+	second := sp.End()
+	if second != (SpanRecord{}) {
+		t.Errorf("second End returned %+v, want zero record", second)
+	}
+	if first.Name != "once" {
+		t.Errorf("first End returned %+v", first)
+	}
+	if n := len(tr.Records()); n != 1 {
+		t.Errorf("double End appended %d records, want 1", n)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 50
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Start("task").End()
+			}
+		}()
+	}
+	wg.Wait()
+	recs := tr.Records()
+	if len(recs) != goroutines*perG {
+		t.Fatalf("%d records, want %d", len(recs), goroutines*perG)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].StartUS < recs[i-1].StartUS {
+			t.Fatalf("records not sorted by start: [%d]=%d < [%d]=%d",
+				i, recs[i].StartUS, i-1, recs[i-1].StartUS)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("a")
+	root.Child("b").End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("line %q does not parse: %v", line, err)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := NewTracer()
+	a1 := tr.Start("stage_a")
+	a1.End()
+	b := tr.Start("stage_b")
+	b.End()
+	a2 := tr.Start("stage_a")
+	a2.End()
+
+	sum := tr.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("%d summaries, want 2", len(sum))
+	}
+	// Ordered by each name's first start: stage_a opened first.
+	if sum[0].Name != "stage_a" || sum[0].Count != 2 {
+		t.Errorf("summary[0] = %+v, want stage_a count 2", sum[0])
+	}
+	if sum[1].Name != "stage_b" || sum[1].Count != 1 {
+		t.Errorf("summary[1] = %+v, want stage_b count 1", sum[1])
+	}
+	if sum[0].Wall < 0 || sum[0].CPU < 0 {
+		t.Errorf("negative aggregate durations: %+v", sum[0])
+	}
+}

@@ -15,7 +15,32 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// Pool saturation metrics: every ForEach/Map fan-out in the process
+// (analysis steps, experiment sweeps, shutdown dumps) reports through
+// these, so /metrics answers "is the pool the bottleneck" live.
+var (
+	mTasks    = obs.Default.Counter("parallel_tasks_total", "tasks executed by the worker pool")
+	gInflight = obs.Default.Gauge("parallel_tasks_inflight", "tasks currently executing")
+	gQueued   = obs.Default.Gauge("parallel_queue_depth", "tasks accepted by ForEach/Map but not yet started")
+	hTask     = obs.Default.Histogram("parallel_task_seconds", "per-task latency through the pool", nil)
+)
+
+// instrument wraps one task execution with the pool metrics.
+func instrument(fn func(i int) error, i int) error {
+	gQueued.Dec()
+	gInflight.Inc()
+	start := time.Now()
+	err := fn(i)
+	hTask.Observe(time.Since(start).Seconds())
+	gInflight.Dec()
+	mTasks.Inc()
+	return err
+}
 
 // Workers resolves a requested worker count against n items: a request
 // of 0 (or any non-positive value) means one worker per available CPU
@@ -64,9 +89,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		return nil
 	}
 	workers = Workers(workers, n)
+	gQueued.Add(float64(n))
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := instrument(fn, i); err != nil {
+				// The serial loop stops at the first error; the items it
+				// never dispatched leave the queue gauge with them.
+				gQueued.Add(float64(-(n - i - 1)))
 				return err
 			}
 		}
@@ -85,7 +114,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = instrument(fn, i)
 			}
 		}()
 	}

@@ -14,8 +14,8 @@ func TestWorkersClamping(t *testing.T) {
 	}{
 		{1, 10, 1},
 		{4, 10, 4},
-		{16, 4, 4},   // never more workers than items
-		{3, 0, 1},    // degenerate item count still yields one worker
+		{16, 4, 4},                             // never more workers than items
+		{3, 0, 1},                              // degenerate item count still yields one worker
 		{-5, 8, min(runtime.GOMAXPROCS(0), 8)}, // negative = auto
 	}
 	for _, c := range cases {

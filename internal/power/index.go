@@ -3,7 +3,16 @@ package power
 import (
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// Attribution-path counters: one lookup per event instance, one build
+// per bundle. Their ratio on /metrics shows whether the O(log S) index
+// is amortizing (many lookups per build) on a live corpus.
+var (
+	mIndexBuilds  = obs.Default.Counter("power_index_builds_total", "prefix-sum power indexes built")
+	mIndexLookups = obs.Default.Counter("power_index_lookups_total", "interval mean-power queries answered by the index")
 )
 
 // Index is a precomputed prefix-sum index over a power trace that
@@ -61,6 +70,7 @@ func NewIndex(pt *trace.PowerTrace) *Index {
 	for i, p := range ix.power {
 		ix.prefix[i+1] = ix.prefix[i] + p
 	}
+	mIndexBuilds.Inc()
 	return ix
 }
 
@@ -72,6 +82,7 @@ func (ix *Index) Len() int { return len(ix.ts) }
 // midpoint when the interval holds none (events shorter than the
 // sampling period). The boolean is false only for an empty trace.
 func (ix *Index) MeanBetween(startMS, endMS int64) (float64, bool) {
+	mIndexLookups.Inc()
 	n := len(ix.ts)
 	if n == 0 {
 		return 0, false

@@ -95,12 +95,12 @@ func TestIndexNearestFallback(t *testing.T) {
 		start, end int64
 		want       float64
 	}{
-		{1100, 1200, 20},  // mid 1150 nearest 1000
-		{1600, 1900, 30},  // mid 1750 nearest 2000
-		{-500, -100, 10},  // before the trace
-		{5000, 6000, 30},  // after the trace
-		{400, 600, 10},    // mid 500: equidistant, earlier sample wins
-		{1400, 1600, 20},  // mid 1500: equidistant, earlier sample wins
+		{1100, 1200, 20}, // mid 1150 nearest 1000
+		{1600, 1900, 30}, // mid 1750 nearest 2000
+		{-500, -100, 10}, // before the trace
+		{5000, 6000, 30}, // after the trace
+		{400, 600, 10},   // mid 500: equidistant, earlier sample wins
+		{1400, 1600, 20}, // mid 1500: equidistant, earlier sample wins
 	}
 	for _, c := range cases {
 		got, ok := ix.MeanBetween(c.start, c.end)
