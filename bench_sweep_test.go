@@ -14,13 +14,15 @@ import (
 
 // sweepEntry is one timed configuration in the machine-readable sweep.
 type sweepEntry struct {
-	Name        string  `json:"name"`
-	Workers     int     `json:"workers"` // 0 = GOMAXPROCS
-	Iterations  int     `json:"iterations"`
-	NsPerOp     int64   `json:"nsPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	Speedup     float64 `json:"speedupVsSerial,omitempty"`
+	Name           string  `json:"name"`
+	Workers        int     `json:"workers"` // 0 = GOMAXPROCS
+	Iterations     int     `json:"iterations"`
+	NsPerOp        int64   `json:"nsPerOp"`
+	AllocsPerOp    int64   `json:"allocsPerOp"`
+	BytesPerOp     int64   `json:"bytesPerOp"`
+	Speedup        float64 `json:"speedupVsSerial,omitempty"`
+	SpeedupVsBatch float64 `json:"speedupVsBatch,omitempty"`
+	CacheHitRate   float64 `json:"cacheHitRate,omitempty"`
 }
 
 // sweepReport is the BENCH_sweep.json document.
@@ -125,6 +127,66 @@ func TestBenchSweepJSON(t *testing.T) {
 		}
 		report.Entries = append(report.Entries, p.serial, p.parallel)
 	}
+
+	// Incremental engine: re-analysis after one bundle joins an
+	// already-analyzed corpus. Batch redoes Step 1 for all N bundles;
+	// incremental serves N-1 from the content-keyed cache and computes
+	// exactly one, so its per-report hit rate must be >= (N-1)/N.
+	incCfg := core.DefaultConfig()
+	incCfg.DeveloperImpactPercent = corpus.ImpactedPercent
+	n := len(corpus.Bundles)
+	inc, err := core.NewIncrementalAnalyzer(incCfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bd := range corpus.Bundles[:n-1] {
+		inc.Add(bd)
+	}
+	if _, err := inc.Report(); err != nil {
+		t.Fatal(err)
+	}
+	before := inc.CacheStats()
+	inc.Add(corpus.Bundles[n-1])
+	if _, err := inc.Report(); err != nil {
+		t.Fatal(err)
+	}
+	after := inc.CacheStats()
+	hitRate := float64(after.Hits-before.Hits) / float64(after.Lookups-before.Lookups)
+	if want := float64(n-1) / float64(n); hitRate < want {
+		t.Fatalf("single-add re-analysis hit rate %.4f < (N-1)/N = %.4f: Step-1 work is not O(1)", hitRate, want)
+	}
+
+	incBench := func(b *testing.B) {
+		inc, err := core.NewIncrementalAnalyzer(incCfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bd := range corpus.Bundles[:n-1] {
+			inc.Add(bd)
+		}
+		if _, err := inc.Report(); err != nil {
+			b.Fatal(err)
+		}
+		last := corpus.Bundles[n-1]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key, _ := inc.Add(last)
+			if _, err := inc.Report(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			inc.Remove(key) // next iteration re-adds; cache entry survives
+			b.StartTimer()
+		}
+	}
+	batchEntry := timeOne("reanalyze-after-add/batch", 0, analyzeBench(0))
+	incEntry := timeOne("reanalyze-after-add/incremental", 0, incBench)
+	incEntry.CacheHitRate = hitRate
+	if incEntry.NsPerOp > 0 {
+		incEntry.SpeedupVsBatch = float64(batchEntry.NsPerOp) / float64(incEntry.NsPerOp)
+	}
+	report.Entries = append(report.Entries, batchEntry, incEntry)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

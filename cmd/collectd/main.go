@@ -14,14 +14,24 @@
 // moment a shutdown signal arrives, so a load balancer drains the
 // instance before the listener closes.
 //
+// The -serve-analysis flag turns the collector into an online
+// diagnosis service: accepted bundles feed per-app incremental
+// analyzers (Step-1 results cached by content key), re-analysis is
+// debounced behind upload bursts, and the latest report per app is
+// served under /analysis/ on the debug mux:
+//
+//	curl http://127.0.0.1:7601/analysis/apps
+//	curl http://127.0.0.1:7601/analysis/report?app=k9mail
+//
 // Usage:
 //
 //	collectd -addr 127.0.0.1:7600 -out ./corpora
 //	collectd -store ./store -faults 'corrupt=0.1,drop=0.05,seed=7'
-//	collectd -debug-addr 127.0.0.1:7601 -log-format json -log-level debug
+//	collectd -debug-addr 127.0.0.1:7601 -serve-analysis
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -32,9 +42,11 @@ import (
 	"time"
 
 	"repro/internal/collect"
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -55,6 +67,9 @@ func run() error {
 		maxLineBytes = flag.Int("max-line-bytes", 0, "reject serialized bundles over this size (0 = default 16 MiB)")
 		maxRecords   = flag.Int("max-records", 0, "reject bundles with more event records than this (0 = default)")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, /debug/vars and /debug/pprof on this address ('' = disabled)")
+		serveAnal    = flag.Bool("serve-analysis", false, "incrementally re-analyze ingested bundles and serve the latest per-app report under /analysis/ on -debug-addr")
+		analDebounce = flag.Duration("analysis-debounce", 500*time.Millisecond, "quiet period after the last upload before a dirty app is re-analyzed")
+		analCache    = flag.Int("analysis-cache", 0, "per-app Step-1 result cache capacity in bundles (0 = default)")
 		logLevel     = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logFormat    = flag.String("log-format", "text", "log output format: text|json")
 	)
@@ -93,21 +108,55 @@ func run() error {
 		logger.Warn("CHAOS MODE: injecting faults on received lines", "spec", *faultSpec)
 	}
 
+	var svc *serve.Service
+	if *serveAnal {
+		if *debugAddr == "" {
+			return errors.New("-serve-analysis requires -debug-addr (reports are served on the debug mux)")
+		}
+		svc, err = serve.New(serve.Config{
+			Analysis: core.DefaultConfig(),
+			CacheCap: *analCache,
+			Debounce: *analDebounce,
+			Logger:   logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		opts = append(opts, collect.WithIngestHook(svc.Notify))
+	}
+
 	health := obs.NewHealth()
 	var debug *obs.DebugServer
 	if *debugAddr != "" {
-		debug, err = obs.ServeDebug(*debugAddr, obs.DebugMux(obs.Default, health))
+		mux := obs.DebugMux(obs.Default, health)
+		paths := "/metrics /healthz /readyz /debug/vars /debug/pprof"
+		if svc != nil {
+			mux.Handle("/analysis/", svc.Handler())
+			paths += " /analysis"
+		}
+		debug, err = obs.ServeDebug(*debugAddr, mux)
 		if err != nil {
 			return err
 		}
 		defer debug.Close()
-		logger.Info("debug endpoints up", "addr", debug.Addr(),
-			"paths", "/metrics /healthz /readyz /debug/vars /debug/pprof")
+		logger.Info("debug endpoints up", "addr", debug.Addr(), "paths", paths)
 	}
 
 	srv, err := collect.NewServer(*addr, opts...)
 	if err != nil {
 		return err
+	}
+	// Warm the analysis service from the restored store so reports are
+	// available before the first new upload arrives.
+	if svc != nil && srv.Count() > 0 {
+		for _, app := range srv.Apps() {
+			for _, b := range srv.Bundles(app) {
+				svc.Notify(b)
+			}
+		}
+		svc.Flush()
+		logger.Info("analysis warmed from restored store", "bundles", srv.Count())
 	}
 	health.SetReady(true)
 	logger.Info("listening", "addr", srv.Addr(), "restored_bundles", srv.Count())

@@ -9,11 +9,18 @@
 // (including one per worker task) as JSONL, and -cpuprofile/-memprofile
 // write pprof profiles of the run.
 //
+// The -watch flag keeps the process alive and re-analyzes whenever the
+// corpus file changes (polled every -watch-interval): reloads go
+// through an incremental analyzer that caches per-trace Step-1 power
+// estimation by content key, so appending one bundle to a large corpus
+// re-runs Steps 2-5 but recomputes Step 1 only for the new bundle.
+//
 // Usage:
 //
 //	tracegen -app k9mail -out corpus.jsonl
 //	energydx -in corpus.jsonl -impacted-pct 15
 //	energydx -in corpus.jsonl -stats -trace spans.jsonl -cpuprofile cpu.pb.gz
+//	energydx -in corpus.jsonl -watch -watch-interval 2s
 package main
 
 import (
@@ -24,6 +31,9 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -49,6 +59,8 @@ func run() error {
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON instead of text")
 		par        = flag.Int("parallel", 0, "analysis worker goroutines for Steps 1-4 (0 = GOMAXPROCS, 1 = serial); output is identical at any count")
 		lenient    = flag.Bool("lenient", false, "tolerate corrupt input: skip undecodable corpus lines and invalid traces (accounted on stderr / in the report) instead of failing")
+		watch      = flag.Bool("watch", false, "stay alive and re-analyze incrementally whenever -in changes (requires a file, not stdin); exit on SIGINT/SIGTERM")
+		watchEvery = flag.Duration("watch-interval", 2*time.Second, "corpus file poll interval for -watch")
 		stats      = flag.Bool("stats", false, "print the per-step wall/CPU latency breakdown to stderr after the report")
 		traceOut   = flag.String("trace", "", "write the analysis spans (steps + per-trace worker tasks) as JSONL to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -70,6 +82,27 @@ func run() error {
 	}
 	defer stopCPU()
 
+	cfg := core.DefaultConfig()
+	cfg.DeveloperImpactPercent = *impacted
+	cfg.WindowEvents = *window
+	cfg.FenceMultiplier = *fence
+	cfg.NormBasePercentile = *normBase
+	cfg.Parallelism = *par
+	cfg.SkipInvalidTraces = *lenient
+
+	if *watch {
+		if *in == "-" {
+			return errors.New("-watch requires -in to be a file, not stdin")
+		}
+		if *traceOut != "" {
+			return errors.New("-trace is not supported with -watch (spans would accumulate without bound)")
+		}
+		if err := watchLoop(*in, *watchEvery, cfg, *lenient, *asJSON, *top, *stats, logger); err != nil {
+			return err
+		}
+		return obs.WriteHeapProfile(*memProfile)
+	}
+
 	bundles, err := readCorpus(*in, *lenient, logger)
 	if err != nil {
 		return err
@@ -78,13 +111,6 @@ func run() error {
 		return errors.New("corpus is empty")
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.DeveloperImpactPercent = *impacted
-	cfg.WindowEvents = *window
-	cfg.FenceMultiplier = *fence
-	cfg.NormBasePercentile = *normBase
-	cfg.Parallelism = *par
-	cfg.SkipInvalidTraces = *lenient
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		// Per-task spans are only worth their cost when they will be
@@ -109,26 +135,8 @@ func run() error {
 		}
 		logger.Info("wrote span trace", "path", *traceOut, "spans", len(tracer.Records()))
 	}
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			return err
-		}
-	} else {
-		if err := report.WriteText(os.Stdout); err != nil {
-			return err
-		}
-
-		// Code reduction, when we know the app's APK model.
-		if app, err := apps.ByAppID(report.AppID); err == nil {
-			cr, err := core.ComputeCodeReduction(report, app.Package(), *top)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("\ncode reduction: %d of %d lines to inspect (%.1f%% reduction)\n",
-				cr.DiagnosisLines, cr.TotalLines, cr.Reduction*100)
-		}
+	if err := printReport(report, *asJSON, *top); err != nil {
+		return err
 	}
 	if *stats {
 		if err := report.WriteStages(os.Stderr); err != nil {
@@ -136,6 +144,119 @@ func run() error {
 		}
 	}
 	return obs.WriteHeapProfile(*memProfile)
+}
+
+// printReport renders one diagnosis report to stdout: full JSON under
+// -json, else the developer-facing text rendering followed by the
+// code-reduction metric when the app's APK model is in the catalog.
+func printReport(report *core.Report, asJSON bool, top int) error {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	if err := report.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if app, err := apps.ByAppID(report.AppID); err == nil {
+		cr, err := core.ComputeCodeReduction(report, app.Package(), top)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncode reduction: %d of %d lines to inspect (%.1f%% reduction)\n",
+			cr.DiagnosisLines, cr.TotalLines, cr.Reduction*100)
+	}
+	return nil
+}
+
+// watchLoop polls the corpus file and re-analyzes it through an
+// incremental analyzer whenever its mtime or size changes. Bundles
+// whose content survives a rewrite keep their cached Step-1 results,
+// so an append costs one Step-1 computation plus Steps 2-5.
+func watchLoop(path string, interval time.Duration, cfg core.Config, lenient, asJSON bool, top int, stats bool, logger *slog.Logger) error {
+	inc, err := core.NewIncrementalAnalyzer(cfg, 0)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	logger.Info("watching corpus", "path", path, "interval", interval)
+
+	var lastMod time.Time
+	lastSize := int64(-1)
+	for {
+		if fi, err := os.Stat(path); err != nil {
+			logger.Warn("watch: stat failed; corpus may be mid-rewrite", "path", path, "err", err)
+		} else if fi.ModTime() != lastMod || fi.Size() != lastSize {
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+			if err := watchRefresh(inc, path, lenient, asJSON, top, stats, logger); err != nil {
+				return err
+			}
+		}
+		select {
+		case got := <-sig:
+			logger.Info("watch: shutting down", "signal", got.String())
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// watchRefresh reloads the corpus, syncs the incremental analyzer's
+// bundle set to it (content-key diff: additions computed, removals
+// dropped, survivors served from cache), and reprints the report when
+// anything actually changed. Transient read/analysis failures are
+// logged and retried on the next poll, never fatal.
+func watchRefresh(inc *core.IncrementalAnalyzer, path string, lenient, asJSON bool, top int, stats bool, logger *slog.Logger) error {
+	bundles, err := readCorpus(path, lenient, logger)
+	if err != nil {
+		logger.Warn("watch: corpus reload failed", "err", err)
+		return nil
+	}
+	live := make(map[string]bool, len(bundles))
+	added := 0
+	for _, b := range bundles {
+		key, ok := inc.Add(b)
+		live[key] = true
+		if ok {
+			added++
+		}
+	}
+	removed := 0
+	for _, key := range inc.Keys() {
+		if !live[key] {
+			inc.Remove(key)
+			removed++
+		}
+	}
+	if added == 0 && removed == 0 {
+		return nil // touched but content-identical: nothing to redo
+	}
+	start := time.Now()
+	report, err := inc.Report()
+	if err != nil {
+		logger.Warn("watch: analysis failed", "err", err)
+		return nil
+	}
+	for _, sk := range report.Skipped {
+		logger.Warn("skipped invalid trace", "index", sk.Index, "trace", sk.TraceID, "reason", sk.Reason)
+	}
+	cs := inc.CacheStats()
+	logger.Info("watch: re-analyzed corpus",
+		"bundles", report.TotalTraces, "added", added, "removed", removed,
+		"wall", time.Since(start).Round(time.Millisecond),
+		"cache_hit_rate", fmt.Sprintf("%.3f", cs.HitRate()))
+	fmt.Printf("=== corpus changed (+%d/-%d bundles) ===\n", added, removed)
+	if err := printReport(report, asJSON, top); err != nil {
+		return err
+	}
+	if stats {
+		return report.WriteStages(os.Stderr)
+	}
+	return nil
 }
 
 // writeSpans exports the tracer's spans as JSONL.

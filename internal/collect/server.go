@@ -159,8 +159,9 @@ type Server struct {
 	ln       net.Listener
 	store    *FileStore // optional durable store
 	limits   Limits
-	injector *faults.Injector // optional chaos injector on received lines
-	tracer   *obs.Tracer      // optional span sink for the ingest path
+	injector *faults.Injector         // optional chaos injector on received lines
+	tracer   *obs.Tracer              // optional span sink for the ingest path
+	hook     func(*trace.TraceBundle) // optional accepted-bundle hook
 
 	// Lock-free ingestion counters (see ServerStats).
 	accepted, duplicated, quarantined atomic.Int64
@@ -197,6 +198,19 @@ func WithLimits(l Limits) ServerOption {
 // truncated or duplicated, connections dropped, and ingestion delayed.
 func WithServerFaults(in *faults.Injector) ServerOption {
 	return func(s *Server) { s.injector = in }
+}
+
+// WithIngestHook calls fn for every bundle accepted into the corpus —
+// after validation, scrubbing, dedup and durable persistence, so fn
+// only ever sees bundles that analysis would. Re-uploads recognized by
+// content key do not fire it. fn runs on the connection handler
+// goroutine outside the server's state lock; it must be
+// concurrency-safe and should return quickly (hand heavy work, like
+// triggering re-analysis, to a debounced consumer such as
+// serve.Service). The bundle is the stored instance: treat it as
+// read-only.
+func WithIngestHook(fn func(*trace.TraceBundle)) ServerOption {
+	return func(s *Server) { s.hook = fn }
 }
 
 // WithServerTracer records one span per ingested line ("server.ingest",
@@ -362,7 +376,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				sp = s.tracer.Start("server.ingest")
 			}
 			start := time.Now()
-			key, dup, err := s.ingest(ln)
+			key, stored, dup, err := s.ingest(ln)
 			hSrvIngest.Observe(time.Since(start).Seconds())
 			if err != nil {
 				bad++
@@ -382,6 +396,9 @@ func (s *Server) handleConn(conn net.Conn) {
 				} else {
 					s.accepted.Add(1)
 					mSrvAccepted.Inc()
+					if s.hook != nil {
+						s.hook(stored)
+					}
 				}
 				fmt.Fprintf(w, "%s %s\n", ackOK, keyOrUnknown(key))
 			}
@@ -412,54 +429,55 @@ func keyOrUnknown(key string) string {
 }
 
 // ingest validates, scrubs and stores one serialized bundle, returning
-// the bundle's stamped key when one could be decoded and whether the
-// bundle was a content-key duplicate of an already stored one.
-func (s *Server) ingest(line []byte) (key string, dup bool, err error) {
+// the bundle's stamped key when one could be decoded, the stored
+// (scrubbed) bundle on acceptance, and whether the bundle was a
+// content-key duplicate of an already stored one.
+func (s *Server) ingest(line []byte) (key string, stored *trace.TraceBundle, dup bool, err error) {
 	b, err := trace.DecodeBundle(bytes.NewReader(line))
 	if err != nil {
-		return "", false, fmt.Errorf("decode: %v", err)
+		return "", nil, false, fmt.Errorf("decode: %v", err)
 	}
 	key = b.Key
 	// Integrity before anything else: a line altered in flight must not
 	// reach the store even if it still parses.
 	if err := trace.VerifyContentKey(b); err != nil {
-		return key, false, fmt.Errorf("integrity: %v", err)
+		return key, nil, false, fmt.Errorf("integrity: %v", err)
 	}
 	if b.Event.AppID == "" {
-		return key, false, errors.New("bundle has no app id")
+		return key, nil, false, errors.New("bundle has no app id")
 	}
 	if n := len(b.Event.Records); n > s.limits.MaxRecords {
-		return key, false, fmt.Errorf("event trace has %d records, limit %d", n, s.limits.MaxRecords)
+		return key, nil, false, fmt.Errorf("event trace has %d records, limit %d", n, s.limits.MaxRecords)
 	}
 	if n := len(b.Util.Samples); n > s.limits.MaxSamples {
-		return key, false, fmt.Errorf("utilization trace has %d samples, limit %d", n, s.limits.MaxSamples)
+		return key, nil, false, fmt.Errorf("utilization trace has %d samples, limit %d", n, s.limits.MaxSamples)
 	}
 	if err := b.Event.Validate(); err != nil {
-		return key, false, fmt.Errorf("event trace: %v", err)
+		return key, nil, false, fmt.Errorf("event trace: %v", err)
 	}
 	if err := b.Util.Validate(); err != nil {
-		return key, false, fmt.Errorf("utilization trace: %v", err)
+		return key, nil, false, fmt.Errorf("utilization trace: %v", err)
 	}
 	scrubbed := trace.ScrubBundle(b)
 	dk := dedupKey(scrubbed)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return key, false, errors.New("server shutting down")
+		return key, nil, false, errors.New("server shutting down")
 	}
 	if _, seen := s.dupes[dk]; seen {
-		return key, true, nil // idempotent: re-uploads after a lost ack are fine
+		return key, nil, true, nil // idempotent: re-uploads after a lost ack are fine
 	}
 	if s.store != nil {
 		// Persist before acknowledging: an acked bundle survives a
 		// crash; a failed write is reported so the phone retries.
 		if err := s.store.Append(scrubbed); err != nil {
-			return key, false, err
+			return key, nil, false, err
 		}
 	}
 	s.dupes[dk] = struct{}{}
 	s.byApp[scrubbed.Event.AppID] = append(s.byApp[scrubbed.Event.AppID], scrubbed)
-	return key, false, nil
+	return key, scrubbed, false, nil
 }
 
 // quarantineLine records a rejected wire line: bounded in memory,

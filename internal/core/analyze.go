@@ -174,6 +174,18 @@ func (a *Analyzer) Analyze(bundles []*trace.TraceBundle) (*Report, error) {
 		return nil, err
 	}
 	rec1 := s1.End()
+	return a.finish(bundles, traces, skipped, root, rec1)
+}
+
+// finish runs Steps 2–5 over already-estimated traces and assembles the
+// report. It is the single implementation behind both the batch path
+// (Analyze, which computes Step 1 fresh) and the incremental path
+// (IncrementalAnalyzer.Report, which replays cached Step-1 outputs), so
+// the two are byte-identical by construction. bundles is the submitted
+// corpus in order (including invalid entries), used for the AppID scan
+// and the Step-1 item count; traces and skipped partition it.
+func (a *Analyzer) finish(bundles []*trace.TraceBundle, traces []*AnalyzedTrace, skipped []SkippedTrace, root *obs.Span, rec1 obs.SpanRecord) (*Report, error) {
+	detail := a.cfg.Tracer != nil
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("core: all %d traces invalid (first: %s)", len(bundles), skipped[0].Reason)
 	}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestStepCacheLRUEviction pins the eviction policy: the entry that
+// falls out is always the least recently *used* (gets refresh
+// recency), never merely the oldest inserted.
+func TestStepCacheLRUEviction(t *testing.T) {
+	c := newStepCache(2)
+	res := func(id string) stepOneResult {
+		return stepOneResult{at: &AnalyzedTrace{TraceID: id}}
+	}
+	c.put("a", res("a"))
+	c.put("b", res("b"))
+	if _, ok := c.get("a"); !ok { // refresh a: now b is LRU
+		t.Fatal("a missing right after put")
+	}
+	c.put("c", res("c")) // must evict b, not a
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; LRU order ignores get recency")
+	}
+	if r, ok := c.get("a"); !ok || r.at.TraceID != "a" {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if r, ok := c.get("c"); !ok || r.at.TraceID != "c" {
+		t.Fatal("newest entry c missing")
+	}
+	st := c.stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("size/capacity = %d/%d, want 2/2", st.Size, st.Capacity)
+	}
+}
+
+// TestStepCacheStatsReconcile pins the metric invariant
+// hits + misses == lookups over a randomized-ish workload, and that
+// size never exceeds capacity.
+func TestStepCacheStatsReconcile(t *testing.T) {
+	c := newStepCache(8)
+	for i := 0; i < 200; i++ {
+		// A few hot keys (hits) over a wide cold tail (misses +
+		// evictions), so every counter moves.
+		key := fmt.Sprintf("hot%d", i%3)
+		if i%4 == 3 {
+			key = fmt.Sprintf("cold%d", i)
+		}
+		if _, ok := c.get(key); !ok {
+			c.put(key, stepOneResult{at: &AnalyzedTrace{TraceID: key}})
+		}
+		if st := c.stats(); st.Size > st.Capacity {
+			t.Fatalf("iteration %d: size %d exceeds capacity %d", i, st.Size, st.Capacity)
+		}
+	}
+	st := c.stats()
+	if st.Hits+st.Misses != st.Lookups {
+		t.Fatalf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, st.Lookups)
+	}
+	if st.Lookups != 200 {
+		t.Fatalf("lookups = %d, want 200", st.Lookups)
+	}
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("workload should mix hits and misses, got %+v", st)
+	}
+	if got := st.HitRate(); got != float64(st.Hits)/float64(st.Lookups) {
+		t.Fatalf("hit rate %v inconsistent with counters", got)
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Fatal("zero-lookup hit rate must be 0")
+	}
+}
+
+// TestStepCachePutExistingKey: re-putting a key updates in place (no
+// growth, no eviction) and refreshes recency.
+func TestStepCachePutExistingKey(t *testing.T) {
+	c := newStepCache(2)
+	c.put("a", stepOneResult{at: &AnalyzedTrace{TraceID: "a1"}})
+	c.put("b", stepOneResult{at: &AnalyzedTrace{TraceID: "b"}})
+	c.put("a", stepOneResult{at: &AnalyzedTrace{TraceID: "a2"}}) // update: a now MRU
+	if st := c.stats(); st.Size != 2 || st.Evictions != 0 {
+		t.Fatalf("update grew or evicted: %+v", st)
+	}
+	c.put("c", stepOneResult{at: &AnalyzedTrace{TraceID: "c"}}) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived; update did not refresh a's recency")
+	}
+	if r, ok := c.get("a"); !ok || r.at.TraceID != "a2" {
+		t.Fatal("updated value for a not served")
+	}
+}
+
+// TestStepCacheDefaultCapacity: non-positive capacities fall back to
+// the default bound.
+func TestStepCacheDefaultCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		if got := newStepCache(capacity).stats().Capacity; got != DefaultStepCacheCap {
+			t.Fatalf("capacity %d -> %d, want %d", capacity, got, DefaultStepCacheCap)
+		}
+	}
+}
+
+// TestEvictionThenRecomputeEquivalence: with a cache smaller than the
+// corpus, every Report thrashes the LRU — evicted entries must be
+// recomputed to byte-identical Step-1 outputs, so repeated reports
+// never drift.
+func TestEvictionThenRecomputeEquivalence(t *testing.T) {
+	corpus := multiDeviceCorpus(t, 79)
+	cfg := DefaultConfig()
+	inc, err := NewIncrementalAnalyzer(cfg, 4) // corpus has 12 bundles
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range corpus.Bundles {
+		inc.Add(b)
+	}
+	var want []byte
+	for round := 0; round < 3; round++ {
+		report, err := inc.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			want = data
+			continue
+		}
+		if string(data) != string(want) {
+			t.Fatalf("round %d: report drifted under eviction-recompute churn", round)
+		}
+	}
+	st := inc.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatal("cache never evicted; test is not exercising recompute")
+	}
+	if st.Size > 4 {
+		t.Fatalf("cache size %d exceeds capacity 4", st.Size)
+	}
+	if st.Hits+st.Misses != st.Lookups {
+		t.Fatalf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, st.Lookups)
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// Incremental-analysis metrics on the process registry. The hit-rate
+// and computed gauges describe the most recent Report; the histogram
+// accumulates incremental re-analysis wall times so they can be
+// compared against full-batch runs (core_analyses timings / the sweep
+// benchmarks) on one dashboard.
+var (
+	mIncReports  = obs.Default.Counter("core_incremental_reports_total", "completed IncrementalAnalyzer.Report runs")
+	hIncReport   = obs.Default.Histogram("core_incremental_report_seconds", "wall time of incremental re-analysis runs", nil)
+	gIncHitRate  = obs.Default.Gauge("core_incremental_last_hit_rate", "step-1 cache hit rate of the most recent incremental report")
+	gIncComputed = obs.Default.Gauge("core_incremental_last_step1_computed", "bundles needing fresh step-1 work in the most recent incremental report")
+	gIncCorpus   = obs.Default.Gauge("core_incremental_corpus_bundles", "bundles currently in the most recently reported incremental corpus")
+)
+
+// cloneStepOne returns a fresh pristine Step-1 copy of the trace:
+// identity fields and a deep copy of the Events vector, with every
+// derived (Steps 2–5) field zero — exactly the state estimateEvents
+// leaves a new trace in. Both directions of aliasing are severed: Steps
+// 2–5 mutate only the clone (the cached original stays pristine), and a
+// caller holding a long-lived served report cannot reach cache state
+// through it.
+func (at *AnalyzedTrace) cloneStepOne() *AnalyzedTrace {
+	events := make([]EventPower, len(at.Events))
+	copy(events, at.Events)
+	return &AnalyzedTrace{
+		TraceID: at.TraceID,
+		UserID:  at.UserID,
+		Device:  at.Device,
+		Events:  events,
+	}
+}
+
+// IncrementalAnalyzer maintains a mutable corpus and re-analyzes it
+// incrementally: Step 1 (power estimation, per trace and pure in the
+// bundle's content) is cached in a bounded LRU keyed by the bundle's
+// content key, so a corpus change costs Step-1 work only for bundles
+// never seen (or evicted), plus the corpus-wide Steps 2–5. Report is
+// byte-identical to Analyzer.Analyze over the same bundles in the same
+// order — both run the same finish path, and the differential harness
+// (TestIncrementalMatchesBatch) pins the equivalence.
+//
+// All methods are safe for concurrent use. Report serializes against
+// mutations: the report reflects exactly the corpus at its start.
+type IncrementalAnalyzer struct {
+	a *Analyzer
+
+	mu      sync.Mutex
+	order   []string // content keys in corpus (insertion) order
+	bundles map[string]*trace.TraceBundle
+	cache   *stepCache
+}
+
+// NewIncrementalAnalyzer validates the configuration and builds an
+// incremental analyzer whose Step-1 cache holds up to cacheCap bundles
+// (<= 0 means DefaultStepCacheCap).
+func NewIncrementalAnalyzer(cfg Config, cacheCap int) (*IncrementalAnalyzer, error) {
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &IncrementalAnalyzer{
+		a:       a,
+		bundles: make(map[string]*trace.TraceBundle),
+		cache:   newStepCache(cacheCap),
+	}, nil
+}
+
+// bundleKey returns the bundle's dedup/cache key: the stamped content
+// key when the uploader provided one (the collection server has already
+// verified it against the content), else the content hash computed
+// here.
+func bundleKey(b *trace.TraceBundle) string {
+	if b.Key != "" {
+		return b.Key
+	}
+	return trace.ContentKey(b)
+}
+
+// Add appends the bundle to the corpus and returns its content key.
+// Adding a bundle whose content is already in the corpus is a no-op
+// (added == false): content-keyed deduplication makes re-delivery after
+// a lost ack idempotent end to end.
+func (ia *IncrementalAnalyzer) Add(b *trace.TraceBundle) (key string, added bool) {
+	key = bundleKey(b)
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	if _, ok := ia.bundles[key]; ok {
+		return key, false
+	}
+	ia.bundles[key] = b
+	ia.order = append(ia.order, key)
+	return key, true
+}
+
+// Remove deletes the bundle with the given content key from the corpus,
+// reporting whether it was present. The Step-1 cache entry is kept (it
+// is content-addressed, so a later re-add is a cache hit); the bounded
+// LRU retires it if it stays cold.
+func (ia *IncrementalAnalyzer) Remove(key string) bool {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	if _, ok := ia.bundles[key]; !ok {
+		return false
+	}
+	delete(ia.bundles, key)
+	for i, k := range ia.order {
+		if k == key {
+			ia.order = append(ia.order[:i:i], ia.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Contains reports whether a bundle with the given content key is in
+// the corpus.
+func (ia *IncrementalAnalyzer) Contains(key string) bool {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	_, ok := ia.bundles[key]
+	return ok
+}
+
+// Len returns the number of bundles in the corpus.
+func (ia *IncrementalAnalyzer) Len() int {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	return len(ia.order)
+}
+
+// Keys returns the corpus's content keys in insertion order (a copy).
+func (ia *IncrementalAnalyzer) Keys() []string {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	return append([]string(nil), ia.order...)
+}
+
+// CacheStats snapshots the Step-1 cache counters.
+func (ia *IncrementalAnalyzer) CacheStats() CacheStats {
+	return ia.cache.stats()
+}
+
+// Report re-analyzes the current corpus: Step 1 runs only for bundles
+// missing from the cache (fanned out through the shared pool), Steps
+// 2–5 run over the whole corpus, exactly as Analyzer.Analyze would.
+// The returned report is detached from analyzer state — its traces are
+// deep copies of the cached Step-1 outputs — so callers may hold or
+// mutate it indefinitely (a served report outliving many re-analyses)
+// without corrupting later reports.
+func (ia *IncrementalAnalyzer) Report() (*Report, error) {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	if len(ia.order) == 0 {
+		return nil, ErrNoTraces
+	}
+	start := time.Now()
+	detail := ia.a.cfg.Tracer != nil
+	tr := ia.a.cfg.Tracer
+	if tr == nil {
+		tr = obs.NewTracer()
+	}
+	root := tr.Start("analyze")
+	s1 := root.Child("step1.estimate")
+
+	bundles := make([]*trace.TraceBundle, len(ia.order))
+	results := make([]stepOneResult, len(ia.order))
+	var missing []int
+	for i, key := range ia.order {
+		bundles[i] = ia.bundles[key]
+		if res, ok := ia.cache.get(key); ok {
+			results[i] = res
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	// Fresh Step-1 work only for cache misses; each miss writes its own
+	// slot, so the fan-out is deterministic under any worker count. The
+	// worker closure never returns an error — failures are captured per
+	// slot (and negatively cached) so the skip/fail decision below
+	// mirrors stepOneAll exactly.
+	_ = parallel.ForEach(ia.a.cfg.Parallelism, len(missing), func(j int) error {
+		if detail {
+			sp := s1.Child("step1.trace")
+			defer sp.End()
+		}
+		i := missing[j]
+		at, err := ia.a.estimateEvents(bundles[i])
+		results[i] = stepOneResult{at: at, err: err}
+		return nil
+	})
+	for _, i := range missing {
+		ia.cache.put(ia.order[i], results[i])
+	}
+	rec1 := s1.End()
+
+	traces := make([]*AnalyzedTrace, 0, len(results))
+	var skipped []SkippedTrace
+	for i, res := range results {
+		switch {
+		case res.err == nil:
+			traces = append(traces, res.at.cloneStepOne())
+		case ia.a.cfg.SkipInvalidTraces:
+			skipped = append(skipped, SkippedTrace{
+				Index:   i,
+				TraceID: bundles[i].Event.TraceID,
+				Reason:  res.err.Error(),
+			})
+		default:
+			return nil, fmt.Errorf("trace %d (%s): %w", i, bundles[i].Event.TraceID, res.err)
+		}
+	}
+	report, err := ia.a.finish(bundles, traces, skipped, root, rec1)
+	if err != nil {
+		return nil, err
+	}
+	mIncReports.Inc()
+	hIncReport.Observe(time.Since(start).Seconds())
+	gIncComputed.Set(float64(len(missing)))
+	gIncCorpus.Set(float64(len(bundles)))
+	if n := len(bundles); n > 0 {
+		gIncHitRate.Set(float64(n-len(missing)) / float64(n))
+	}
+	return report, nil
+}

@@ -1,0 +1,367 @@
+// Package serve turns the EnergyDx backend from a batch pipeline into
+// an online service: it keeps one incremental analyzer
+// (core.IncrementalAnalyzer) per app, re-analyzes a corpus shortly
+// after new bundles arrive (debounced, so an upload burst costs one
+// re-analysis rather than one per bundle), and serves the latest
+// diagnosis report per app over HTTP — mounted on the same debug mux
+// that serves /metrics (collectd -serve-analysis).
+//
+// Endpoints (all GET unless noted):
+//
+//	/analysis/apps            apps tracked, corpus sizes, cache stats
+//	/analysis/report?app=X    latest report (JSON; ?format=text for the
+//	                          developer-facing rendering)
+//	/analysis/flush           POST: synchronously re-analyze dirty apps
+//
+// The served report bytes are a snapshot: the incremental engine's
+// reports are detached from analyzer state, so a long-lived client can
+// never observe (or cause) mutation of a later analysis.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Serving-layer metrics on the process registry.
+var (
+	mAnalyses = obs.Default.Counter("serve_analyses_total", "debounced per-app re-analyses run by the serving layer")
+	mNotifies = obs.Default.Counter("serve_notifies_total", "bundle arrivals offered to the serving layer")
+	mErrors   = obs.Default.Counter("serve_analysis_errors_total", "per-app re-analyses that failed")
+	hAnalysis = obs.Default.Histogram("serve_analysis_seconds", "wall time of one debounced per-app re-analysis", nil)
+	mRequests = obs.Default.Counter("serve_http_requests_total", "HTTP requests handled by the analysis endpoints")
+)
+
+// Config parameterizes the serving layer.
+type Config struct {
+	// Analysis is the core pipeline configuration every per-app
+	// incremental analyzer runs with. SkipInvalidTraces is forced on:
+	// an online service must degrade per trace, never refuse a corpus.
+	Analysis core.Config
+	// CacheCap bounds each app's Step-1 LRU cache (<= 0 means
+	// core.DefaultStepCacheCap).
+	CacheCap int
+	// Debounce is the quiet period after the last arrival before a
+	// dirty app is re-analyzed (default 500ms). Shorter means fresher
+	// reports; longer coalesces bursts harder.
+	Debounce time.Duration
+	// MaxDelay caps how long a continuously-arriving stream can defer
+	// re-analysis (default 10x Debounce): under sustained load the
+	// report still refreshes at least this often.
+	MaxDelay time.Duration
+	// Logger receives analysis outcomes (nil means slog.Default).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Debounce <= 0 {
+		c.Debounce = 500 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 10 * c.Debounce
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	c.Analysis.SkipInvalidTraces = true
+	return c
+}
+
+// appState is the serving state of one app.
+type appState struct {
+	inc *core.IncrementalAnalyzer
+
+	dirty      bool
+	report     *core.Report // latest successful analysis (detached)
+	reportJSON []byte       // its serialized form, served verbatim
+	analyzedAt time.Time
+	lastWall   time.Duration
+	analyses   int64
+	lastErr    string
+}
+
+// Service owns the per-app incremental analyzers and the debounce
+// machinery. Create with New, feed with Notify (typically wired as
+// collect.WithIngestHook), serve with Handler, stop with Close.
+type Service struct {
+	cfg Config
+
+	mu         sync.Mutex
+	apps       map[string]*appState
+	timer      *time.Timer
+	firstDirty time.Time // first un-flushed Notify, for the MaxDelay cap
+	closed     bool
+
+	// flushMu serializes re-analysis passes so two timer firings (or a
+	// timer racing an explicit Flush) never analyze the same app
+	// concurrently or store results out of order.
+	flushMu sync.Mutex
+	wg      sync.WaitGroup
+}
+
+// New builds a serving layer. The configuration is validated eagerly so
+// a bad analysis config fails at startup, not on first upload.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	// Validate by constructing a throwaway analyzer.
+	if _, err := core.NewIncrementalAnalyzer(cfg.Analysis, cfg.CacheCap); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Service{cfg: cfg, apps: make(map[string]*appState)}
+	obs.Default.GaugeFunc("serve_apps_tracked", "apps with a live incremental analyzer", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.apps))
+	})
+	obs.Default.GaugeFunc("serve_apps_dirty", "apps with arrivals not yet re-analyzed", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, st := range s.apps {
+			if st.dirty {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	return s, nil
+}
+
+// Notify offers one accepted bundle to the serving layer: it joins the
+// app's incremental corpus (content-key deduplicated) and schedules a
+// debounced re-analysis. Safe for concurrent use; cheap enough for the
+// ingest hot path (no analysis runs here).
+func (s *Service) Notify(b *trace.TraceBundle) {
+	if b == nil || b.Event.AppID == "" {
+		return
+	}
+	mNotifies.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	st, ok := s.apps[b.Event.AppID]
+	if !ok {
+		inc, err := core.NewIncrementalAnalyzer(s.cfg.Analysis, s.cfg.CacheCap)
+		if err != nil {
+			// New() validated the config; this cannot fail afterwards.
+			s.cfg.Logger.Error("serve: analyzer construction failed", "app", b.Event.AppID, "err", err)
+			return
+		}
+		st = &appState{inc: inc}
+		s.apps[b.Event.AppID] = st
+	}
+	if _, added := st.inc.Add(b); !added {
+		return // duplicate content: nothing changed, no re-analysis
+	}
+	st.dirty = true
+	now := time.Now()
+	switch {
+	case s.timer == nil:
+		s.firstDirty = now
+		s.timer = time.AfterFunc(s.cfg.Debounce, s.flushAsync)
+	case now.Sub(s.firstDirty) < s.cfg.MaxDelay:
+		// Still inside the burst window: push the deadline out.
+		s.timer.Reset(s.cfg.Debounce)
+	default:
+		// MaxDelay exceeded: leave the pending timer alone so the flush
+		// fires even under a sustained arrival stream.
+	}
+}
+
+// flushAsync is the timer callback: run the flush off the timer
+// goroutine, tracked for Close.
+func (s *Service) flushAsync() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		s.Flush()
+	}()
+}
+
+// Flush synchronously re-analyzes every dirty app and installs the new
+// reports. It is the debounce timer's target and may also be called
+// directly (tests, the /analysis/flush endpoint, startup warm-up).
+func (s *Service) Flush() {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+
+	s.mu.Lock()
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	type job struct {
+		app string
+		st  *appState
+	}
+	var jobs []job
+	for app, st := range s.apps {
+		if st.dirty {
+			st.dirty = false
+			jobs = append(jobs, job{app, st})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].app < jobs[j].app })
+
+	for _, j := range jobs {
+		start := time.Now()
+		report, err := j.st.inc.Report() // analyzer-internal locking; s.mu not held
+		wall := time.Since(start)
+		mAnalyses.Inc()
+		hAnalysis.Observe(wall.Seconds())
+		cs := j.st.inc.CacheStats()
+		s.mu.Lock()
+		j.st.analyses++
+		j.st.analyzedAt = time.Now()
+		j.st.lastWall = wall
+		if err != nil {
+			j.st.lastErr = err.Error()
+			s.mu.Unlock()
+			mErrors.Inc()
+			s.cfg.Logger.Error("re-analysis failed", "app", j.app, "err", err)
+			continue
+		}
+		data, merr := json.Marshal(report)
+		if merr != nil {
+			j.st.lastErr = merr.Error()
+			s.mu.Unlock()
+			mErrors.Inc()
+			s.cfg.Logger.Error("report serialization failed", "app", j.app, "err", merr)
+			continue
+		}
+		j.st.lastErr = ""
+		j.st.report = report
+		j.st.reportJSON = data
+		s.mu.Unlock()
+		s.cfg.Logger.Info("re-analyzed corpus",
+			"app", j.app, "traces", report.TotalTraces, "skipped", len(report.Skipped),
+			"impacted_traces", report.ImpactedTraces, "wall", wall.Round(time.Microsecond),
+			"step1_cache_hit_rate", fmt.Sprintf("%.3f", cs.HitRate()))
+	}
+}
+
+// Close stops the debounce timer and waits for in-flight flushes.
+// Pending dirty apps are not analyzed; callers wanting a final report
+// call Flush first.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// appSummary is one row of the /analysis/apps listing.
+type appSummary struct {
+	App            string          `json:"app"`
+	Traces         int             `json:"traces"`
+	Dirty          bool            `json:"dirty"`
+	Analyses       int64           `json:"analyses"`
+	LastAnalysisMS float64         `json:"lastAnalysisMillis"`
+	AnalyzedAt     string          `json:"analyzedAt,omitempty"`
+	LastError      string          `json:"lastError,omitempty"`
+	Cache          core.CacheStats `json:"step1Cache"`
+}
+
+// Handler returns the HTTP handler for the /analysis/ endpoints; mount
+// it at the mux root (paths are absolute).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analysis/apps", s.serveApps)
+	mux.HandleFunc("/analysis/report", s.serveReport)
+	mux.HandleFunc("/analysis/flush", s.serveFlush)
+	return mux
+}
+
+func (s *Service) serveApps(w http.ResponseWriter, _ *http.Request) {
+	mRequests.Inc()
+	s.mu.Lock()
+	out := make([]appSummary, 0, len(s.apps))
+	for app, st := range s.apps {
+		row := appSummary{
+			App:            app,
+			Traces:         st.inc.Len(),
+			Dirty:          st.dirty,
+			Analyses:       st.analyses,
+			LastAnalysisMS: float64(st.lastWall) / float64(time.Millisecond),
+			LastError:      st.lastErr,
+			Cache:          st.inc.CacheStats(),
+		}
+		if !st.analyzedAt.IsZero() {
+			row.AnalyzedAt = st.analyzedAt.UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, row)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func (s *Service) serveReport(w http.ResponseWriter, req *http.Request) {
+	mRequests.Inc()
+	app := req.URL.Query().Get("app")
+	if app == "" {
+		http.Error(w, "missing ?app= parameter", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	st, ok := s.apps[app]
+	var (
+		data   []byte
+		report *core.Report
+	)
+	if ok {
+		data, report = st.reportJSON, st.report
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown app "+app, http.StatusNotFound)
+		return
+	}
+	if data == nil {
+		// Tracked but not yet analyzed (inside the debounce window).
+		http.Error(w, "no analysis yet for "+app+"; retry shortly or POST /analysis/flush", http.StatusServiceUnavailable)
+		return
+	}
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = report.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+func (s *Service) serveFlush(w http.ResponseWriter, req *http.Request) {
+	mRequests.Inc()
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.Flush()
+	fmt.Fprintln(w, "flushed")
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testCorpus(t *testing.T, users int, seed int64) []*trace.TraceBundle {
+	t.Helper()
+	app, err := apps.K9Mail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig(app, seed)
+	cfg.Users = users
+	cfg.ImpactedFraction = 0.25
+	corpus, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus.Bundles
+}
+
+// TestServedReportMatchesBatch: after Notify+Flush, the served JSON is
+// byte-identical to a batch analysis of the same bundles under the
+// service's effective config (SkipInvalidTraces forced on).
+func TestServedReportMatchesBatch(t *testing.T) {
+	bundles := testCorpus(t, 8, 11)
+	svc, err := New(Config{Analysis: core.DefaultConfig(), Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for _, b := range bundles {
+		svc.Notify(b)
+	}
+	svc.Flush()
+
+	rr := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/report?app=k9mail", nil))
+	if rr.Code != 200 {
+		t.Fatalf("report status %d: %s", rr.Code, rr.Body.String())
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.SkipInvalidTraces = true
+	batch, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batch.Analyze(bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(rr.Body.Bytes()), wantJSON) {
+		t.Fatal("served report diverged from batch analysis")
+	}
+
+	// Text rendering serves the same report.
+	rr = httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/report?app=k9mail&format=text", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "EnergyDx diagnosis report for k9mail") {
+		t.Fatalf("text report wrong: status %d body %.120s", rr.Code, rr.Body.String())
+	}
+}
+
+// TestDebounceCoalescesBursts: a burst of arrivals triggers one
+// re-analysis, not one per bundle.
+func TestDebounceCoalescesBursts(t *testing.T) {
+	bundles := testCorpus(t, 6, 13)
+	svc, err := New(Config{Analysis: core.DefaultConfig(), Debounce: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for _, b := range bundles {
+		svc.Notify(b)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		svc.mu.Lock()
+		st := svc.apps["k9mail"]
+		analyses := int64(0)
+		ready := false
+		if st != nil {
+			analyses = st.analyses
+			ready = st.reportJSON != nil
+		}
+		svc.mu.Unlock()
+		if ready {
+			if analyses != 1 {
+				t.Fatalf("burst of %d bundles ran %d analyses, want 1", len(bundles), analyses)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("debounced analysis never ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A duplicate re-delivery is not a corpus change: no new analysis.
+	svc.Notify(bundles[0])
+	time.Sleep(150 * time.Millisecond)
+	svc.mu.Lock()
+	analyses := svc.apps["k9mail"].analyses
+	svc.mu.Unlock()
+	if analyses != 1 {
+		t.Fatalf("duplicate notify triggered re-analysis (%d runs)", analyses)
+	}
+}
+
+// TestHandlerStatusCodes covers the endpoint error contract.
+func TestHandlerStatusCodes(t *testing.T) {
+	bundles := testCorpus(t, 4, 17)
+	svc, err := New(Config{Analysis: core.DefaultConfig(), Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	h := svc.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		return rr
+	}
+	if rr := get("/analysis/report"); rr.Code != 400 {
+		t.Fatalf("missing app param: %d", rr.Code)
+	}
+	if rr := get("/analysis/report?app=nope"); rr.Code != 404 {
+		t.Fatalf("unknown app: %d", rr.Code)
+	}
+	svc.Notify(bundles[0])
+	if rr := get("/analysis/report?app=k9mail"); rr.Code != 503 {
+		t.Fatalf("tracked-but-unanalyzed app: %d, want 503", rr.Code)
+	}
+	if rr := get("/analysis/flush"); rr.Code != 405 {
+		t.Fatalf("GET flush: %d, want 405", rr.Code)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/analysis/flush", nil))
+	if rr.Code != 200 {
+		t.Fatalf("POST flush: %d", rr.Code)
+	}
+	if rr := get("/analysis/report?app=k9mail"); rr.Code != 200 {
+		t.Fatalf("report after flush: %d", rr.Code)
+	}
+	rr = get("/analysis/apps")
+	if rr.Code != 200 {
+		t.Fatalf("apps listing: %d", rr.Code)
+	}
+	var rows []appSummary
+	if err := json.Unmarshal(rr.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("apps listing not JSON: %v", err)
+	}
+	if len(rows) != 1 || rows[0].App != "k9mail" || rows[0].Traces != 1 {
+		t.Fatalf("apps listing wrong: %+v", rows)
+	}
+	if rows[0].Cache.Hits+rows[0].Cache.Misses != rows[0].Cache.Lookups {
+		t.Fatalf("cache stats in listing do not reconcile: %+v", rows[0].Cache)
+	}
+}
+
+// TestEndToEndIngestToServe wires the real collection server to the
+// serving layer through WithIngestHook and drives it with the real
+// upload client: uploaded bundles must surface in the served report,
+// and re-uploads must not.
+func TestEndToEndIngestToServe(t *testing.T) {
+	bundles := testCorpus(t, 5, 19)
+	svc, err := New(Config{Analysis: core.DefaultConfig(), Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv, err := collect.NewServer("127.0.0.1:0", collect.WithIngestHook(svc.Notify))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := collect.NewClient(srv.Addr())
+	state := collect.PhoneState{Charging: true, OnWiFi: true}
+	if err := client.Upload(state, bundles); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Upload(state, bundles); err != nil { // idempotent re-upload
+		t.Fatal(err)
+	}
+	svc.Flush()
+
+	rr := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/report?app=k9mail", nil))
+	if rr.Code != 200 {
+		t.Fatalf("report status %d: %s", rr.Code, rr.Body.String())
+	}
+	var report core.Report
+	if err := json.Unmarshal(rr.Body.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalTraces != len(bundles) {
+		t.Fatalf("served %d traces, want %d (re-upload must not inflate the corpus)",
+			report.TotalTraces, len(bundles))
+	}
+}
