@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Per-stage micro-benchmarks over the fixed 20-user K-9 corpus. Each
+// drives exactly one pipeline stage through core.StageBench against
+// pre-primed inputs, serial (Parallelism=1) so allocs/op is stable for
+// the allocation gate. BenchmarkAnalyzePipeline in bench_test.go covers
+// the end-to-end composition.
+
+func stageHarness(b *testing.B) *core.StageBench {
+	b.Helper()
+	_, corpus := k9Corpus(b)
+	cfg := core.DefaultConfig()
+	cfg.DeveloperImpactPercent = corpus.ImpactedPercent
+	cfg.Parallelism = 1
+	sb, err := core.NewStageBench(cfg, corpus.Bundles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sb
+}
+
+func BenchmarkStepOne(b *testing.B) {
+	sb := stageHarness(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sb.StepOne(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankAndBase(b *testing.B) {
+	sb := stageHarness(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sb.RankAndBase(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	sb := stageHarness(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Normalize()
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	sb := stageHarness(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sb.Detect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -13,6 +13,9 @@ import (
 )
 
 // sweepEntry is one timed configuration in the machine-readable sweep.
+// The memstats fields are whole-run runtime.MemStats deltas around the
+// measurement (including warm-up iterations), recording the GC pressure
+// each configuration generates rather than per-op averages alone.
 type sweepEntry struct {
 	Name           string  `json:"name"`
 	Workers        int     `json:"workers"` // 0 = GOMAXPROCS
@@ -20,6 +23,9 @@ type sweepEntry struct {
 	NsPerOp        int64   `json:"nsPerOp"`
 	AllocsPerOp    int64   `json:"allocsPerOp"`
 	BytesPerOp     int64   `json:"bytesPerOp"`
+	TotalAllocB    uint64  `json:"totalAllocBytes"`
+	NumGC          uint32  `json:"numGC"`
+	GCPauseNs      uint64  `json:"gcPauseTotalNs"`
 	Speedup        float64 `json:"speedupVsSerial,omitempty"`
 	SpeedupVsBatch float64 `json:"speedupVsBatch,omitempty"`
 	CacheHitRate   float64 `json:"cacheHitRate,omitempty"`
@@ -66,7 +72,10 @@ func TestBenchSweepJSON(t *testing.T) {
 	}
 
 	timeOne := func(name string, workers int, fn func(b *testing.B)) sweepEntry {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		res := testing.Benchmark(fn)
+		runtime.ReadMemStats(&after)
 		return sweepEntry{
 			Name:        name,
 			Workers:     workers,
@@ -74,6 +83,9 @@ func TestBenchSweepJSON(t *testing.T) {
 			NsPerOp:     res.NsPerOp(),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
+			TotalAllocB: after.TotalAlloc - before.TotalAlloc,
+			NumGC:       after.NumGC - before.NumGC,
+			GCPauseNs:   after.PauseTotalNs - before.PauseTotalNs,
 		}
 	}
 	analyzeBench := func(workers int) func(b *testing.B) {
@@ -127,6 +139,33 @@ func TestBenchSweepJSON(t *testing.T) {
 		}
 		report.Entries = append(report.Entries, p.serial, p.parallel)
 	}
+
+	// Per-stage allocation profile: each of the four pipeline stages in
+	// isolation (serial), matching the allocation gate's entries.
+	stageCfg := core.DefaultConfig()
+	stageCfg.DeveloperImpactPercent = corpus.ImpactedPercent
+	stageCfg.Parallelism = 1
+	sb, err := core.NewStageBench(stageCfg, corpus.Bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageBench := func(fn func() error) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	report.Entries = append(report.Entries,
+		timeOne("stage/step1", 1, stageBench(sb.StepOne)),
+		timeOne("stage/rank", 1, stageBench(sb.RankAndBase)),
+		timeOne("stage/normalize", 1, stageBench(func() error { sb.Normalize(); return nil })),
+		timeOne("stage/detect", 1, stageBench(sb.Detect)),
+	)
 
 	// Incremental engine: re-analysis after one bundle joins an
 	// already-analyzed corpus. Batch redoes Step 1 for all N bundles;

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -57,14 +58,16 @@ func run() error {
 	cfg.Users = *users
 	cfg.ImpactedFraction = *impacted
 	cfg.Fixed = *fixed
-	res, err := workload.Generate(cfg)
-	if err != nil {
-		return err
-	}
-	logger.Info("generated corpus", "bundles", len(res.Bundles), "app", app.Name,
-		"impacted_pct", fmt.Sprintf("%.1f", res.ImpactedPercent))
 
 	if *upload != "" {
+		// The upload client batches and retries over the whole corpus, so
+		// this path still materializes it.
+		res, err := workload.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		logger.Info("generated corpus", "bundles", len(res.Bundles), "app", app.Name,
+			"impacted_pct", fmt.Sprintf("%.1f", res.ImpactedPercent))
 		client := collect.NewClient(*upload)
 		state := collect.PhoneState{Charging: true, OnWiFi: true}
 		if err := client.Upload(state, res.Bundles); err != nil {
@@ -76,6 +79,9 @@ func run() error {
 		return nil
 	}
 
+	// File and stdout output stream each bundle to the writer as its
+	// session completes: peak memory is one user's traces, not the
+	// corpus.
 	var w io.Writer = os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -85,5 +91,19 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	return trace.WriteBundles(w, res.Bundles)
+	bw := bufio.NewWriter(w)
+	bundles := 0
+	res, err := workload.GenerateStream(cfg, func(b *trace.TraceBundle) error {
+		bundles++
+		return trace.EncodeBundle(bw, b)
+	})
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("write corpus: %w", err)
+	}
+	logger.Info("generated corpus", "bundles", bundles, "app", app.Name,
+		"impacted_pct", fmt.Sprintf("%.1f", res.ImpactedPercent))
+	return nil
 }

@@ -4,13 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/device"
 	"repro/internal/obs"
 	"repro/internal/parallel"
-	"repro/internal/power"
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -57,6 +56,15 @@ type AnalyzedTrace struct {
 	// WindowKeys are the distinct event keys inside the manifestation
 	// windows of this trace (Step 5 input).
 	WindowKeys []trace.EventKey `json:"windowKeys"`
+
+	// keyIDs[i] is Events[i].Instance.Key interned in the owning
+	// analyzer's key table: the dense-ID column Steps 2–5 index flat
+	// slices with instead of hashing EventKey structs. windowIDs mirrors
+	// WindowKeys the same way. Both are derivable from the exported
+	// fields, so they stay out of the JSON encoding and are rebuilt on
+	// demand (ensureKeyIDs) for traces that arrive without them.
+	keyIDs    []uint32
+	windowIDs []uint32
 }
 
 // Impact is one reported event with the fraction of traces it impacted
@@ -132,9 +140,24 @@ func (r *Report) TopKeys(n int) []trace.EventKey {
 }
 
 // Analyzer runs the 5-step manifestation analysis.
+//
+// Memory model: every event key is interned into a per-analyzer key
+// table the first time Step 1 sees it, and all cross-trace state in
+// Steps 2–5 is flat slices indexed by the resulting dense uint32 IDs.
+// Transient working memory (power model + attribution index, pairing
+// buffers, sort/rank scratch, the grouped Step-2 columns) comes from
+// per-analyzer sync.Pools, so steady-state analysis allocates only the
+// vectors that outlive the call — the report itself. The pools are
+// per-analyzer, not package-global, because pairing buffers memoize
+// interned IDs that are meaningless under another analyzer's table.
 type Analyzer struct {
-	cfg Config
-	ref device.Profile
+	cfg  Config
+	ref  device.Profile
+	keys *trace.Interner
+
+	s1  sync.Pool // *step1Scratch
+	wrk sync.Pool // *workerScratch
+	fin sync.Pool // *finishScratch
 }
 
 // NewAnalyzer validates the configuration and builds an analyzer.
@@ -146,7 +169,24 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analyzer{cfg: cfg, ref: ref}, nil
+	a := &Analyzer{cfg: cfg, ref: ref, keys: trace.NewInterner()}
+	a.s1.New = func() any { return &step1Scratch{pair: trace.NewPairBuffer(a.keys)} }
+	a.wrk.New = func() any { return &workerScratch{} }
+	a.fin.New = func() any { return &finishScratch{} }
+	return a, nil
+}
+
+// ensureKeyIDs fills the trace's interned-key-ID column when absent.
+// Traces produced by estimateEvents arrive with it already populated,
+// so on the pipeline path this is a length check.
+func (a *Analyzer) ensureKeyIDs(at *AnalyzedTrace) {
+	if len(at.keyIDs) == len(at.Events) {
+		return
+	}
+	at.keyIDs = make([]uint32, len(at.Events))
+	for i := range at.Events {
+		at.keyIDs[i] = a.keys.ID(at.Events[i].Instance.Key)
+	}
 }
 
 // ErrNoTraces is returned when Analyze receives an empty corpus.
@@ -197,9 +237,15 @@ func (a *Analyzer) finish(bundles []*trace.TraceBundle, traces []*AnalyzedTrace,
 		}
 	}
 
+	// Corpus-wide scratch (grouped Step-2 columns, per-ID counts and
+	// bases) lives for the whole finish: rankAndBase fills it, normalize
+	// reads the bases out of it, rankImpacts reuses its count table.
+	fin := a.fin.Get().(*finishScratch)
+	defer a.fin.Put(fin)
+
 	// Step 2: rank all instances of the same event across all traces.
 	s2 := root.Child("step2.rank")
-	basePower, err := a.rankAndBase(report.Traces)
+	basePower, err := a.rankAndBase(report.Traces, fin)
 	rec2 := s2.End()
 	if err != nil {
 		return nil, err
@@ -245,7 +291,7 @@ func (a *Analyzer) finish(bundles []*trace.TraceBundle, traces []*AnalyzedTrace,
 
 	// Step 5: percentage-based sorting of events in the windows.
 	s5 := root.Child("step5.impacts")
-	a.rankImpacts(report)
+	a.rankImpacts(report, fin)
 	rec5 := s5.End()
 	recTotal := root.End()
 
@@ -317,7 +363,11 @@ func (a *Analyzer) StepOne(b *trace.TraceBundle) (*AnalyzedTrace, error) {
 
 // estimateEvents implements Step 1 for one bundle: estimate the app's
 // power from utilization with the device's model, scale to the reference
-// device, and attribute mean power to each paired event instance.
+// device, and attribute mean power to each paired event instance. All
+// working state — the model, the prefix-sum attribution index (answering
+// each instance's mean-power query in O(log samples)), and the pairing
+// buffer — is pooled scratch rebuilt in place, so the only allocations
+// that survive the call are the returned trace's own vectors.
 func (a *Analyzer) estimateEvents(b *trace.TraceBundle) (*AnalyzedTrace, error) {
 	devName := b.Event.Device
 	if devName == "" {
@@ -327,18 +377,15 @@ func (a *Analyzer) estimateEvents(b *trace.TraceBundle) (*AnalyzedTrace, error) 
 	if err != nil {
 		return nil, fmt.Errorf("step 1: %w", err)
 	}
-	var opts []power.Option
-	if a.cfg.EstimationNoiseFrac > 0 {
-		opts = append(opts, power.WithNoise(a.cfg.EstimationNoiseFrac, a.cfg.NoiseSeed))
-	}
-	model := power.NewModel(profile, opts...)
-	pt, err := model.Estimate(&b.Util)
-	if err != nil {
+	sc := a.s1.Get().(*step1Scratch)
+	defer a.s1.Put(sc)
+	sc.model.Reset(profile, a.cfg.EstimationNoiseFrac, a.cfg.NoiseSeed)
+	factor := device.ScaleFactor(&profile, &a.ref)
+	if err := sc.index.BuildScaled(&sc.model, &b.Util, factor); err != nil {
 		return nil, fmt.Errorf("step 1: %w", err)
 	}
-	pt = power.Scale(pt, &profile, &a.ref)
 
-	instances, err := b.Event.Pair()
+	instances, ids, err := b.Event.PairInto(sc.pair)
 	if err != nil {
 		return nil, fmt.Errorf("step 1: %w", err)
 	}
@@ -347,19 +394,15 @@ func (a *Analyzer) estimateEvents(b *trace.TraceBundle) (*AnalyzedTrace, error) 
 		UserID:  b.Event.UserID,
 		Device:  devName,
 		Events:  make([]EventPower, 0, len(instances)),
+		keyIDs:  make([]uint32, 0, len(instances)),
 	}
-	// The prefix-sum index answers each instance's mean-power query in
-	// O(log samples); it is built once per bundle, so attribution costs
-	// O(samples + events * log samples) instead of O(events * samples).
-	// Interval semantics ([start, end) with nearest-sample fallback)
-	// live in power.Index.
-	idx := power.NewIndex(pt)
-	for _, in := range instances {
-		p, ok := idx.MeanBetween(in.StartMS, in.EndMS)
+	for i, in := range instances {
+		p, ok := sc.index.MeanBetween(in.StartMS, in.EndMS)
 		if !ok {
 			continue // no power sample anywhere near the instance
 		}
 		at.Events = append(at.Events, EventPower{Instance: in, PowerMW: p})
+		at.keyIDs = append(at.keyIDs, ids[i])
 	}
 	return at, nil
 }
@@ -367,79 +410,104 @@ func (a *Analyzer) estimateEvents(b *trace.TraceBundle) (*AnalyzedTrace, error) 
 // rankAndBase implements Step 2 (cross-trace ranking of each event's
 // instances) and derives the Step-3 normalization base: the configured
 // percentile of each event key's power distribution across all traces.
-func (a *Analyzer) rankAndBase(traces []*AnalyzedTrace) (map[trace.EventKey]float64, error) {
-	type ref struct {
-		trace *AnalyzedTrace
-		idx   int
-	}
-	byKey := make(map[trace.EventKey][]ref)
-	powersByKey := make(map[trace.EventKey][]float64)
+// Returned bases are indexed by interned key ID and owned by fin.
+//
+// Layout: a counting pass groups every instance's power into one flat
+// column ordered by key ID then (trace, event-index) — the same
+// within-key order the map-of-slices assembly produced — with an offset
+// table marking each ID's group. The per-key ranking fans out over the
+// IDs present in this corpus; every (trace, event-index) slot belongs
+// to exactly one key, so concurrent shards write disjoint rank
+// elements and the result is identical at any worker count.
+func (a *Analyzer) rankAndBase(traces []*AnalyzedTrace, fin *finishScratch) ([]float64, error) {
+	total := 0
 	for _, at := range traces {
+		a.ensureKeyIDs(at)
 		at.Rank = make([]float64, len(at.Events))
-		for i, ep := range at.Events {
-			byKey[ep.Instance.Key] = append(byKey[ep.Instance.Key], ref{at, i})
-			powersByKey[ep.Instance.Key] = append(powersByKey[ep.Instance.Key], ep.PowerMW)
+		total += len(at.Events)
+	}
+	K := a.keys.Len()
+	fin.counts = growIntsZero(fin.counts, K)
+	for _, at := range traces {
+		for _, id := range at.keyIDs {
+			fin.counts[id]++
 		}
 	}
-	// The per-key ranking/base computation fans out over shards of the
-	// sorted key list. Every (trace, event-index) slot belongs to
-	// exactly one key, so concurrent shards write disjoint Rank
-	// elements; the per-key power vectors were assembled serially in
-	// trace order above, so ranks and bases are identical at any worker
-	// count.
-	keys := make([]trace.EventKey, 0, len(byKey))
-	for key := range byKey {
-		keys = append(keys, key)
+	// The interner is append-only across the analyzer's lifetime, so
+	// IDs from earlier corpora may have no instances here; they are
+	// simply absent from the present list.
+	fin.starts = growInts(fin.starts, K+1)
+	fin.present = fin.present[:0]
+	sum := 0
+	for id := 0; id < K; id++ {
+		fin.starts[id] = sum
+		sum += fin.counts[id]
+		if fin.counts[id] > 0 {
+			fin.present = append(fin.present, uint32(id))
+		}
 	}
-	sort.Slice(keys, func(x, y int) bool {
-		if keys[x].Class != keys[y].Class {
-			return keys[x].Class < keys[y].Class
+	fin.starts[K] = sum
+	fin.powers = growFloats(fin.powers, total)
+	fin.ranks = growFloats(fin.ranks, total)
+	fin.cursors = growInts(fin.cursors, K)
+	copy(fin.cursors, fin.starts[:K])
+	for _, at := range traces {
+		for i, id := range at.keyIDs {
+			fin.powers[fin.cursors[id]] = at.Events[i].PowerMW
+			fin.cursors[id]++
 		}
-		return keys[x].Callback < keys[y].Callback
-	})
-	bases := make([]float64, len(keys))
-	err := parallel.ForEach(a.cfg.Parallelism, len(keys), func(k int) error {
-		key := keys[k]
-		powers := powersByKey[key]
-		ranks, err := stats.Ranks(powers)
+	}
+	bases := growFloatsZero(fin.bases, K)
+	fin.bases = bases
+	err := parallel.ForEach(a.cfg.Parallelism, len(fin.present), func(k int) error {
+		id := fin.present[k]
+		lo, hi := fin.starts[id], fin.starts[id+1]
+		powers := fin.powers[lo:hi]
+		ws := a.wrk.Get().(*workerScratch)
+		defer a.wrk.Put(ws)
+		if err := ws.st.Ranks(powers, fin.ranks[lo:hi]); err != nil {
+			return fmt.Errorf("step 2: rank %s: %w", a.keys.Key(id), err)
+		}
+		b, err := ws.st.Percentile(powers, a.cfg.NormBasePercentile)
 		if err != nil {
-			return fmt.Errorf("step 2: rank %s: %w", key, err)
+			return fmt.Errorf("step 3: base for %s: %w", a.keys.Key(id), err)
 		}
-		for i, r := range byKey[key] {
-			r.trace.Rank[r.idx] = ranks[i]
-		}
-		b, err := stats.Percentile(powers, a.cfg.NormBasePercentile)
-		if err != nil {
-			return fmt.Errorf("step 3: base for %s: %w", key, err)
-		}
-		bases[k] = b
+		bases[id] = b
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	base := make(map[trace.EventKey]float64, len(keys))
-	for k, key := range keys {
-		base[key] = bases[k]
+	copy(fin.cursors, fin.starts[:K])
+	for _, at := range traces {
+		for i, id := range at.keyIDs {
+			at.Rank[i] = fin.ranks[fin.cursors[id]]
+			fin.cursors[id]++
+		}
 	}
-	return base, nil
+	return bases, nil
 }
 
 // normalize implements Step 3: each instance's power divided by its
 // event's base power, "eliminating the relative power consumption
 // differences among different events but keeping the difference among
-// different instances of the same event".
-func (a *Analyzer) normalize(at *AnalyzedTrace, base map[trace.EventKey]float64) {
+// different instances of the same event". base is indexed by interned
+// key ID (IDs beyond its length read as 0, i.e. no base).
+func (a *Analyzer) normalize(at *AnalyzedTrace, base []float64) {
+	a.ensureKeyIDs(at)
 	at.NormPower = make([]float64, len(at.Events))
-	for i, ep := range at.Events {
-		b := base[ep.Instance.Key]
+	for i := range at.Events {
+		var b float64
+		if id := at.keyIDs[i]; int(id) < len(base) {
+			b = base[id]
+		}
 		if b <= 0 {
 			// Power estimates include the device base term so this only
 			// happens with degenerate inputs; fall back to raw power.
-			at.NormPower[i] = ep.PowerMW
+			at.NormPower[i] = at.Events[i].PowerMW
 			continue
 		}
-		at.NormPower[i] = ep.PowerMW / b
+		at.NormPower[i] = at.Events[i].PowerMW / b
 	}
 }
 
@@ -455,7 +523,9 @@ func (a *Analyzer) detect(at *AnalyzedTrace) error {
 		at.Manifestations = nil
 		return nil
 	}
-	fences, err := stats.ComputeFences(at.Amplitude, a.cfg.FenceMultiplier)
+	ws := a.wrk.Get().(*workerScratch)
+	defer a.wrk.Put(ws)
+	fences, err := ws.st.Fences(at.Amplitude, a.cfg.FenceMultiplier)
 	if err != nil {
 		return fmt.Errorf("step 4: %w", err)
 	}
@@ -474,7 +544,7 @@ func (a *Analyzer) detect(at *AnalyzedTrace) error {
 			at.Manifestations = append(at.Manifestations, i)
 		}
 	}
-	at.WindowKeys = a.windowKeys(at)
+	at.WindowKeys = a.windowKeys(at, ws)
 	return nil
 }
 
@@ -518,9 +588,21 @@ func SingleStepAmplitudes(norm []float64) []float64 {
 }
 
 // windowKeys implements the first half of Step 5: the distinct event keys
-// within the manifestation window of each detected point.
-func (a *Analyzer) windowKeys(at *AnalyzedTrace) []trace.EventKey {
-	seen := make(map[trace.EventKey]struct{})
+// within the manifestation window of each detected point. Dedup runs on
+// the interned-ID column against a pooled seen bitmap; the resulting IDs
+// are sorted in the keys' lexicographic order, so the materialized
+// WindowKeys list is identical to the map-and-sort path it replaced.
+// The trace's windowIDs column is refreshed alongside (freshly
+// allocated, like Manifestations, so re-analysis cannot clobber arrays
+// behind a previously returned report).
+func (a *Analyzer) windowKeys(at *AnalyzedTrace, ws *workerScratch) []trace.EventKey {
+	a.ensureKeyIDs(at)
+	K := a.keys.Len()
+	if cap(ws.seen) < K {
+		ws.seen = make([]bool, K)
+	}
+	seen := ws.seen[:K]
+	ids := ws.ids[:0]
 	for _, m := range at.Manifestations {
 		lo := m - a.cfg.WindowEvents
 		hi := m + a.cfg.WindowEvents
@@ -531,37 +613,52 @@ func (a *Analyzer) windowKeys(at *AnalyzedTrace) []trace.EventKey {
 			hi = len(at.Events) - 1
 		}
 		for i := lo; i <= hi; i++ {
-			seen[at.Events[i].Instance.Key] = struct{}{}
+			if id := at.keyIDs[i]; !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
 		}
 	}
-	keys := make([]trace.EventKey, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
+	ws.sortIDs(a.keys, ids)
+	keys := make([]trace.EventKey, len(ids))
+	at.windowIDs = make([]uint32, len(ids))
+	for i, id := range ids {
+		keys[i] = a.keys.Key(id)
+		at.windowIDs[i] = id
+		seen[id] = false
 	}
-	sort.Slice(keys, func(x, y int) bool {
-		if keys[x].Class != keys[y].Class {
-			return keys[x].Class < keys[y].Class
-		}
-		return keys[x].Callback < keys[y].Callback
-	})
+	ws.ids = ids[:0]
 	return keys
 }
 
 // rankImpacts implements the second half of Step 5: for every event seen
 // in any window, the percentage of traces it impacted, sorted by
 // closeness to the developer-reported impacted-user percentage (or by
-// percentage descending when none was provided).
-func (a *Analyzer) rankImpacts(report *Report) {
-	counts := make(map[trace.EventKey]int)
+// percentage descending when none was provided). Window membership is
+// counted on the interned-ID columns into fin's count table; the
+// comparator is a strict total order (distinct impacts have distinct
+// keys), so assembling candidates in ID order instead of map order
+// yields the same sorted result.
+func (a *Analyzer) rankImpacts(report *Report, fin *finishScratch) {
+	K := a.keys.Len()
+	fin.counts = growIntsZero(fin.counts, K)
+	distinct := 0
 	for _, at := range report.Traces {
-		for _, k := range at.WindowKeys {
-			counts[k]++
+		for _, id := range at.windowIDs {
+			if fin.counts[id] == 0 {
+				distinct++
+			}
+			fin.counts[id]++
 		}
 	}
-	impacts := make([]Impact, 0, len(counts))
-	for k, n := range counts {
+	impacts := make([]Impact, 0, distinct)
+	for id := 0; id < K; id++ {
+		n := fin.counts[id]
+		if n == 0 {
+			continue
+		}
 		impacts = append(impacts, Impact{
-			Key:     k,
+			Key:     a.keys.Key(uint32(id)),
 			Traces:  n,
 			Percent: 100 * float64(n) / float64(report.TotalTraces),
 		})

@@ -495,8 +495,9 @@ func TestNormalizeFallbackOnZeroBase(t *testing.T) {
 		{Instance: trace.Instance{Key: key}, PowerMW: 42},
 	}}
 	// A zero/negative base (degenerate input) falls back to raw power
-	// instead of dividing by zero.
-	a.normalize(at, map[trace.EventKey]float64{key: 0})
+	// instead of dividing by zero. The key interns to ID 0 on a fresh
+	// analyzer, so base[0] is its slot.
+	a.normalize(at, []float64{0})
 	if at.NormPower[0] != 42 {
 		t.Errorf("norm = %v, want raw fallback 42", at.NormPower[0])
 	}

@@ -33,11 +33,17 @@ var (
 func (at *AnalyzedTrace) cloneStepOne() *AnalyzedTrace {
 	events := make([]EventPower, len(at.Events))
 	copy(events, at.Events)
+	var ids []uint32
+	if at.keyIDs != nil {
+		ids = make([]uint32, len(at.keyIDs))
+		copy(ids, at.keyIDs)
+	}
 	return &AnalyzedTrace{
 		TraceID: at.TraceID,
 		UserID:  at.UserID,
 		Device:  at.Device,
 		Events:  events,
+		keyIDs:  ids,
 	}
 }
 

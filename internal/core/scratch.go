@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// step1Scratch is the reusable per-worker state for one Step-1 bundle
+// estimation: a resettable power model, the prefix-sum attribution
+// index rebuilt in place per bundle, and the pairing buffer whose
+// key-lookup memo persists across bundles. Pooled per analyzer (not
+// package-wide) because the pair buffer's interned-ID memo is only
+// valid against its own analyzer's key table.
+type step1Scratch struct {
+	model power.Model
+	index power.Index
+	pair  *trace.PairBuffer
+}
+
+// workerScratch is the reusable per-worker state for Steps 2–4: sort
+// and rank buffers (stats.Scratch), and the window-key dedup state
+// (seen bitmap indexed by key ID, the collected ID list, and its
+// sorter). Invariant between uses: seen is all-false and ids is empty.
+type workerScratch struct {
+	st   stats.Scratch
+	seen []bool
+	ids  []uint32
+	srt  idSorter
+}
+
+// idSorter sorts key IDs by their event key's (Class, Callback) order —
+// the same lexicographic order the map-based path sorted materialized
+// keys in. Distinct IDs always map to distinct keys, so the order is
+// strict and the result permutation-independent.
+type idSorter struct {
+	ids []uint32
+	in  *trace.Interner
+}
+
+func (s *idSorter) Len() int { return len(s.ids) }
+func (s *idSorter) Less(a, b int) bool {
+	ka, kb := s.in.Key(s.ids[a]), s.in.Key(s.ids[b])
+	if ka.Class != kb.Class {
+		return ka.Class < kb.Class
+	}
+	return ka.Callback < kb.Callback
+}
+func (s *idSorter) Swap(a, b int) { s.ids[a], s.ids[b] = s.ids[b], s.ids[a] }
+
+// sortIDs sorts ids with the scratch-held sorter (no closure allocation).
+func (ws *workerScratch) sortIDs(in *trace.Interner, ids []uint32) {
+	ws.srt.in = in
+	ws.srt.ids = ids
+	sort.Sort(&ws.srt)
+	ws.srt.ids = nil
+}
+
+// finishScratch is the corpus-wide scratch for Steps 2–5: the per-ID
+// instance counts, the grouped-by-ID power/rank columns with their
+// offset and cursor tables, the list of IDs present in this corpus, and
+// the per-ID normalization bases. One is checked out per finish run.
+type finishScratch struct {
+	counts  []int
+	starts  []int
+	cursors []int
+	present []uint32
+	powers  []float64
+	ranks   []float64
+	bases   []float64
+}
+
+// growInts returns s with length n, reusing capacity; contents are
+// unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growIntsZero returns s with length n and every element zero.
+func growIntsZero(s []int, n int) []int {
+	s = growInts(s, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growFloatsZero(s []float64, n int) []float64 {
+	s = growFloats(s, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// StageBench drives individual pipeline stages in isolation over a
+// fixed corpus, for the per-stage micro-benchmarks and the allocation
+// gate. Construction primes the full pipeline once — Step 1 per bundle,
+// then ranking and normalization — so each stage method afterwards
+// re-runs exactly its own stage against inputs the real pipeline would
+// hand it. Methods are idempotent and cheap to call in a benchmark
+// loop; they are not safe for concurrent use with each other because
+// they share the primed traces.
+type StageBench struct {
+	a       *Analyzer
+	bundles []*trace.TraceBundle
+	traces  []*AnalyzedTrace
+	// bases is a private copy of the Step-3 bases: rankAndBase returns a
+	// slice owned by pooled scratch, invalid once the scratch is
+	// returned.
+	bases []float64
+}
+
+// NewStageBench builds the harness and primes every stage once.
+func NewStageBench(cfg Config, bundles []*trace.TraceBundle) (*StageBench, error) {
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sb := &StageBench{a: a, bundles: bundles}
+	for i, b := range bundles {
+		at, err := a.estimateEvents(b)
+		if err != nil {
+			return nil, fmt.Errorf("stagebench: bundle %d: %w", i, err)
+		}
+		sb.traces = append(sb.traces, at)
+	}
+	if len(sb.traces) == 0 {
+		return nil, ErrNoTraces
+	}
+	fin := a.fin.Get().(*finishScratch)
+	bases, err := a.rankAndBase(sb.traces, fin)
+	if err != nil {
+		a.fin.Put(fin)
+		return nil, err
+	}
+	sb.bases = append([]float64(nil), bases...)
+	a.fin.Put(fin)
+	for _, at := range sb.traces {
+		a.normalize(at, sb.bases)
+	}
+	return sb, nil
+}
+
+// Traces reports the number of primed traces.
+func (sb *StageBench) Traces() int { return len(sb.traces) }
+
+// StepOne re-runs Step 1 (pairing + power estimation + attribution) on
+// every bundle, discarding the results.
+func (sb *StageBench) StepOne() error {
+	for i, b := range sb.bundles {
+		if _, err := sb.a.estimateEvents(b); err != nil {
+			return fmt.Errorf("stagebench: bundle %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RankAndBase re-runs Step 2 (cross-trace ranking) and the Step-3 base
+// derivation over the primed traces.
+func (sb *StageBench) RankAndBase() error {
+	fin := sb.a.fin.Get().(*finishScratch)
+	defer sb.a.fin.Put(fin)
+	_, err := sb.a.rankAndBase(sb.traces, fin)
+	return err
+}
+
+// Normalize re-runs Step 3 over the primed traces.
+func (sb *StageBench) Normalize() {
+	for _, at := range sb.traces {
+		sb.a.normalize(at, sb.bases)
+	}
+}
+
+// Detect re-runs Step 4 (amplitude attribution + IQR fence detection +
+// window-key collection) over the primed traces.
+func (sb *StageBench) Detect() error {
+	for _, at := range sb.traces {
+		if err := sb.a.detect(at); err != nil {
+			return fmt.Errorf("stagebench: trace %s: %w", at.TraceID, err)
+		}
+	}
+	return nil
+}

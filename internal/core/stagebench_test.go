@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStageBenchMatchesPipeline checks that the primed harness holds
+// exactly the state the full pipeline produces, and that re-running
+// each stage (as a benchmark loop does) leaves it unchanged.
+func TestStageBenchMatchesPipeline(t *testing.T) {
+	bundles := corpus(6, 2)
+	cfg := DefaultConfig()
+
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Analyze(bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb, err := NewStageBench(cfg, bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if err := sb.StepOne(); err != nil {
+			t.Fatalf("round %d: StepOne: %v", round, err)
+		}
+		if err := sb.RankAndBase(); err != nil {
+			t.Fatalf("round %d: RankAndBase: %v", round, err)
+		}
+		sb.Normalize()
+		if err := sb.Detect(); err != nil {
+			t.Fatalf("round %d: Detect: %v", round, err)
+		}
+	}
+
+	if sb.Traces() != len(want.Traces) {
+		t.Fatalf("harness holds %d traces, pipeline produced %d", sb.Traces(), len(want.Traces))
+	}
+	for i, got := range sb.traces {
+		w := want.Traces[i]
+		if !reflect.DeepEqual(got.Events, w.Events) {
+			t.Errorf("trace %s: events diverged", w.TraceID)
+		}
+		if !reflect.DeepEqual(got.Rank, w.Rank) {
+			t.Errorf("trace %s: ranks diverged: %v vs %v", w.TraceID, got.Rank, w.Rank)
+		}
+		if !reflect.DeepEqual(got.NormPower, w.NormPower) {
+			t.Errorf("trace %s: normalized power diverged", w.TraceID)
+		}
+		if !reflect.DeepEqual(got.Amplitude, w.Amplitude) {
+			t.Errorf("trace %s: amplitudes diverged", w.TraceID)
+		}
+		if got.Fence != w.Fence {
+			t.Errorf("trace %s: fence %v, pipeline %v", w.TraceID, got.Fence, w.Fence)
+		}
+		if !reflect.DeepEqual(got.Manifestations, w.Manifestations) && !(len(got.Manifestations) == 0 && len(w.Manifestations) == 0) {
+			t.Errorf("trace %s: manifestations diverged: %v vs %v", w.TraceID, got.Manifestations, w.Manifestations)
+		}
+		if !reflect.DeepEqual(got.WindowKeys, w.WindowKeys) && !(len(got.WindowKeys) == 0 && len(w.WindowKeys) == 0) {
+			t.Errorf("trace %s: window keys diverged: %v vs %v", w.TraceID, got.WindowKeys, w.WindowKeys)
+		}
+	}
+}
+
+func TestStageBenchErrors(t *testing.T) {
+	if _, err := NewStageBench(Config{}, corpus(1, 0)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewStageBench(DefaultConfig(), nil); !errors.Is(err, ErrNoTraces) {
+		t.Errorf("empty corpus: err = %v, want ErrNoTraces", err)
+	}
+	bad := &trace.TraceBundle{
+		Event: trace.EventTrace{TraceID: "bad"},
+		Util:  trace.UtilizationTrace{PeriodMS: 0},
+	}
+	if _, err := NewStageBench(DefaultConfig(), []*trace.TraceBundle{bad}); err == nil {
+		t.Error("invalid bundle accepted")
+	}
+}

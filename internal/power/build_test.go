@@ -1,0 +1,152 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// randomUtilTrace builds a valid utilization trace with seeded random
+// per-component utilization.
+func randomUtilTrace(rng *rand.Rand, samples int) *trace.UtilizationTrace {
+	ut := &trace.UtilizationTrace{AppID: "app", PID: 1, PeriodMS: 500}
+	for i := 0; i < samples; i++ {
+		var s trace.UtilizationSample
+		s.TimestampMS = int64(i) * 500
+		for _, c := range trace.Components() {
+			s.Util.Set(c, rng.Float64())
+		}
+		ut.Samples = append(ut.Samples, s)
+	}
+	return ut
+}
+
+// TestBuildScaledMatchesUnfusedPath pins the fused Estimate+Scale+Index
+// build to the three-call path it replaced: bit-identical interval
+// means for every query, with and without estimation noise, across
+// in-place index reuse.
+func TestBuildScaledMatchesUnfusedPath(t *testing.T) {
+	devs := device.NewRegistry()
+	from, err := devs.Lookup("nexus6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := devs.Lookup("galaxys5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var reused Index
+	for _, tc := range []struct {
+		name  string
+		noise float64
+		seed  int64
+	}{
+		{"no-noise", 0, 0},
+		{"paper-noise", PaperNoiseFrac, 42},
+	} {
+		for _, samples := range []int{0, 1, 2, 17, 256} {
+			ut := randomUtilTrace(rng, samples)
+
+			var opts []Option
+			if tc.noise > 0 {
+				opts = append(opts, WithNoise(tc.noise, tc.seed))
+			}
+			ref := NewModel(from, opts...)
+			pt, err := ref.Estimate(ut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt = Scale(pt, &from, &to)
+			want := NewIndex(pt)
+
+			fused := NewModel(from)
+			fused.Reset(from, tc.noise, tc.seed)
+			factor := device.ScaleFactor(&from, &to)
+			if err := reused.BuildScaled(fused, ut, factor); err != nil {
+				t.Fatal(err)
+			}
+
+			if reused.Len() != want.Len() {
+				t.Fatalf("%s/%d: fused index has %d samples, want %d", tc.name, samples, reused.Len(), want.Len())
+			}
+			for q := 0; q < 50; q++ {
+				lo := rng.Int63n(int64(samples)*500 + 1000)
+				hi := lo + rng.Int63n(2000)
+				wantP, wantOK := want.MeanBetween(lo, hi)
+				gotP, gotOK := reused.MeanBetween(lo, hi)
+				if wantOK != gotOK || wantP != gotP {
+					t.Fatalf("%s/%d: MeanBetween(%d, %d) = (%v, %v), want (%v, %v)",
+						tc.name, samples, lo, hi, gotP, gotOK, wantP, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestModelResetReplaysNoiseSequence checks that reseeding a pooled
+// model reproduces a fresh model's noise draws exactly.
+func TestModelResetReplaysNoiseSequence(t *testing.T) {
+	devs := device.NewRegistry()
+	p, err := devs.Lookup("nexus6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u trace.UtilizationVector
+	u.Set(trace.CPU, 0.5)
+
+	fresh := func() []float64 {
+		m := NewModel(p, WithNoise(PaperNoiseFrac, 99))
+		var out []float64
+		for i := 0; i < 16; i++ {
+			v, _ := m.At(u)
+			out = append(out, v)
+		}
+		return out
+	}
+	want := fresh()
+
+	m := NewModel(p, WithNoise(PaperNoiseFrac, 1))
+	for i := 0; i < 3; i++ {
+		v, _ := m.At(u) // burn draws so Reset must truly rewind
+		_ = v
+	}
+	m.Reset(p, PaperNoiseFrac, 99)
+	for i, w := range want {
+		v, _ := m.At(u)
+		if v != w {
+			t.Fatalf("draw %d after Reset = %v, fresh model gives %v", i, v, w)
+		}
+	}
+
+	// Disabling noise via Reset must produce deterministic estimates.
+	m.Reset(p, 0, 0)
+	a, _ := m.At(u)
+	b, _ := m.At(u)
+	if a != b {
+		t.Fatalf("noiseless resets still vary: %v vs %v", a, b)
+	}
+}
+
+// TestBuildScaledValidationError checks the fused path returns the same
+// wrapped validation error Estimate would.
+func TestBuildScaledValidationError(t *testing.T) {
+	devs := device.NewRegistry()
+	p, err := devs.Lookup("nexus6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &trace.UtilizationTrace{PeriodMS: 0}
+	m := NewModel(p)
+	_, wantErr := m.Estimate(bad)
+	var ix Index
+	gotErr := ix.BuildScaled(m, bad, 1)
+	if wantErr == nil || gotErr == nil {
+		t.Fatalf("expected errors, got %v and %v", wantErr, gotErr)
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("error text diverged:\n  Estimate:    %s\n  BuildScaled: %s", wantErr, gotErr)
+	}
+}

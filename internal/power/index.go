@@ -1,6 +1,7 @@
 package power
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/obs"
@@ -76,6 +77,55 @@ func NewIndex(pt *trace.PowerTrace) *Index {
 
 // Len returns the number of indexed samples.
 func (ix *Index) Len() int { return len(ix.ts) }
+
+// BuildScaled refills the index in place from a utilization trace: each
+// sample's power is the model's estimate scaled by factor. It fuses
+// Model.Estimate + Scale + NewIndex without materializing the two
+// intermediate PowerTraces, and reuses the index's backing arrays, so a
+// pooled Index makes steady-state Step-1 attribution allocation-free.
+// The arithmetic is performed in the same order as the fused calls
+// (estimate the total, then multiply by the factor), so the resulting
+// prefix sums are bit-identical to the unfused path. Validation failures
+// return the same wrapped error Estimate would.
+func (ix *Index) BuildScaled(m *Model, ut *trace.UtilizationTrace, factor float64) error {
+	if err := ut.Validate(); err != nil {
+		return fmt.Errorf("estimate power: %w", err)
+	}
+	n := len(ut.Samples)
+	ix.ts = growI64(ix.ts, n)
+	ix.power = growF64(ix.power, n)
+	ix.prefix = growF64(ix.prefix, n+1)
+	ix.prefix[0] = 0
+	// A validated utilization trace is sorted, so no sort pass is needed:
+	// the timestamps land in the index exactly as NewIndex would store
+	// them.
+	for i := range ut.Samples {
+		s := &ut.Samples[i]
+		total, _ := m.At(s.Util)
+		total *= factor
+		ix.ts[i] = s.TimestampMS
+		ix.power[i] = total
+		ix.prefix[i+1] = ix.prefix[i] + total
+	}
+	mIndexBuilds.Inc()
+	return nil
+}
+
+// growI64 returns s resized to n, reallocating only when capacity is
+// short; contents are not preserved.
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
 
 // MeanBetween returns the mean power of samples with timestamps in
 // [startMS, endMS), falling back to the sample nearest to the interval

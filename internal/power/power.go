@@ -63,6 +63,24 @@ func NewModel(p Profile, opts ...Option) *Model {
 // PaperNoiseFrac is the paper's reported power-model error bound (2.5%).
 const PaperNoiseFrac = 0.025
 
+// Reset reconfigures the model in place for a new device profile and
+// noise setting, so a pooled Model can be reused across bundles without
+// reallocating. Reseeding the retained RNG yields the same draw sequence
+// as a freshly constructed rand.New(rand.NewSource(seed)), so estimates
+// are identical to a NewModel(p, WithNoise(frac, seed)) model.
+func (m *Model) Reset(p Profile, noiseFrac float64, seed int64) {
+	m.profile = p
+	m.noiseFrac = noiseFrac
+	if noiseFrac <= 0 {
+		return
+	}
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(seed))
+		return
+	}
+	m.rng.Seed(seed)
+}
+
 // At estimates instantaneous app power (mW) and its per-component
 // breakdown from one utilization vector. The breakdown excludes the base
 // term and estimation noise so components always sum to at most the total.

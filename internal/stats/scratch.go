@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+func isNaNOrInf(x float64) bool { return math.IsNaN(x) || math.IsInf(x, 0) }
+
+// Scratch holds reusable buffers for the allocation-free variants of
+// the hot-path primitives (Ranks, Percentile, ComputeFences). The
+// variants compute exactly what their package-level counterparts do —
+// same validation order, same error text, same arithmetic — but sort in
+// retained buffers instead of fresh copies. A Scratch is not safe for
+// concurrent use; pool one per worker.
+type Scratch struct {
+	buf []float64
+	arg []argEntry
+	srt argSorter
+}
+
+// argEntry pairs a sample with its original index for the rank argsort.
+type argEntry struct {
+	v float64
+	i int32
+}
+
+type argSorter struct{ a []argEntry }
+
+func (s *argSorter) Len() int           { return len(s.a) }
+func (s *argSorter) Less(a, b int) bool { return s.a[a].v < s.a[b].v }
+func (s *argSorter) Swap(a, b int)      { s.a[a], s.a[b] = s.a[b], s.a[a] }
+
+// Ranks writes the fractional ascending ranks of xs into dst (which
+// must have len(xs)), producing the same values as the package-level
+// Ranks: ties are permutation-independent because every tied block
+// receives the block's mean rank.
+func (sc *Scratch) Ranks(xs, dst []float64) error {
+	if err := checkFinite(xs); err != nil {
+		return err
+	}
+	n := len(xs)
+	if len(dst) != n {
+		return fmt.Errorf("stats: rank destination has %d slots for %d samples", len(dst), n)
+	}
+	if cap(sc.arg) < n {
+		sc.arg = make([]argEntry, n)
+	}
+	sc.arg = sc.arg[:n]
+	for i, x := range xs {
+		sc.arg[i] = argEntry{v: x, i: int32(i)}
+	}
+	sc.srt.a = sc.arg
+	sort.Sort(&sc.srt)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && sc.arg[j+1].v == sc.arg[i].v {
+			j++
+		}
+		mean := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			dst[sc.arg[k].i] = mean
+		}
+		i = j + 1
+	}
+	return nil
+}
+
+// sorted fills the scratch buffer with xs in ascending order.
+func (sc *Scratch) sorted(xs []float64) []float64 {
+	n := len(xs)
+	if cap(sc.buf) < n {
+		sc.buf = make([]float64, n)
+	}
+	sc.buf = sc.buf[:n]
+	copy(sc.buf, xs)
+	sort.Float64s(sc.buf)
+	return sc.buf
+}
+
+// Percentile is the scratch-backed Percentile: identical checks, error
+// text and type-7 interpolation, without the sorted copy allocation.
+func (sc *Scratch) Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("%w: %v", ErrBadPercentile, p)
+	}
+	if err := checkFinite(xs); err != nil {
+		return 0, err
+	}
+	return percentileSorted(sc.sorted(xs), p), nil
+}
+
+// Fences is the scratch-backed ComputeFences: identical validation
+// order and quartile arithmetic, one retained sort buffer.
+func (sc *Scratch) Fences(xs []float64, multiplier float64) (Fences, error) {
+	if multiplier < 0 || isNaNOrInf(multiplier) {
+		return Fences{}, fmt.Errorf("stats: invalid fence multiplier %v", multiplier)
+	}
+	if len(xs) == 0 {
+		return Fences{}, ErrEmpty
+	}
+	if err := checkFinite(xs); err != nil {
+		return Fences{}, err
+	}
+	sorted := sc.sorted(xs)
+	q := Quartiles{
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+	}
+	iqr := q.IQR()
+	return Fences{
+		Quartiles:  q,
+		Multiplier: multiplier,
+		LowerOuter: q.Q1 - multiplier*iqr,
+		UpperOuter: q.Q3 + multiplier*iqr,
+	}, nil
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scratchInputs covers the shapes that matter for rank/percentile
+// equivalence: empties, singletons, ties (whole-vector and block),
+// sorted/reverse runs, and seeded random vectors of varied length.
+func scratchInputs() [][]float64 {
+	ins := [][]float64{
+		{},
+		{3.5},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+		{2, 2, 2, 2},
+		{1, 2, 2, 3, 3, 3, 10},
+		{-4, 0, 0, 7.5, -4},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 17, 100, 1001} {
+		xs := make([]float64, n)
+		for i := range xs {
+			// Quantize so random vectors still contain ties.
+			xs[i] = math.Floor(rng.Float64()*50) / 2
+		}
+		ins = append(ins, xs)
+	}
+	return ins
+}
+
+// TestScratchMatchesAllocatingFunctions pins the pooled scratch paths
+// to the allocating originals they replaced, including error parity,
+// across repeated reuse of one Scratch.
+func TestScratchMatchesAllocatingFunctions(t *testing.T) {
+	var sc Scratch
+	bad := [][]float64{
+		{1, math.NaN(), 2},
+		{math.Inf(1)},
+		{0, math.Inf(-1), 5},
+	}
+	for round := 0; round < 2; round++ {
+		for _, xs := range append(scratchInputs(), bad...) {
+			want, wantErr := Ranks(xs)
+			dst := make([]float64, len(xs))
+			gotErr := sc.Ranks(xs, dst)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("Ranks(%v): err %v vs scratch %v", xs, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Errorf("Ranks(%v): error text %q vs %q", xs, wantErr, gotErr)
+				}
+			} else {
+				for i := range want {
+					if want[i] != dst[i] {
+						t.Fatalf("Ranks(%v)[%d] = %v, scratch %v", xs, i, want[i], dst[i])
+					}
+				}
+			}
+
+			for _, p := range []float64{-1, 0, 10, 50, 99.9, 100, 101} {
+				wantV, wantErr := Percentile(xs, p)
+				gotV, gotErr := sc.Percentile(xs, p)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("Percentile(%v, %v): err %v vs scratch %v", xs, p, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if wantErr.Error() != gotErr.Error() {
+						t.Errorf("Percentile(%v, %v): error text %q vs %q", xs, p, wantErr, gotErr)
+					}
+					continue
+				}
+				if wantV != gotV {
+					t.Fatalf("Percentile(%v, %v) = %v, scratch %v", xs, p, wantV, gotV)
+				}
+			}
+
+			for _, k := range []float64{0, 1.5, 3} {
+				wantF, wantErr := ComputeFences(xs, k)
+				gotF, gotErr := sc.Fences(xs, k)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("Fences(%v, %v): err %v vs scratch %v", xs, k, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if wantErr.Error() != gotErr.Error() {
+						t.Errorf("Fences(%v, %v): error text %q vs %q", xs, k, wantErr, gotErr)
+					}
+					continue
+				}
+				if wantF != gotF {
+					t.Fatalf("Fences(%v, %v) = %+v, scratch %+v", xs, k, wantF, gotF)
+				}
+			}
+		}
+	}
+}
+
+func TestScratchRanksDstLengthMismatch(t *testing.T) {
+	var sc Scratch
+	if err := sc.Ranks([]float64{1, 2}, make([]float64, 3)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestScratchDoesNotMutateInput guards the argsort contract: callers
+// hand Ranks live report vectors.
+func TestScratchDoesNotMutateInput(t *testing.T) {
+	var sc Scratch
+	xs := []float64{5, 1, 4, 1, 3}
+	orig := append([]float64(nil), xs...)
+	dst := make([]float64, len(xs))
+	if err := sc.Ranks(xs, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Percentile(xs, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Fences(xs, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("input mutated at %d: %v vs %v", i, xs[i], orig[i])
+		}
+	}
+}

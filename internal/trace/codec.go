@@ -2,11 +2,13 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // This file implements the two serialization formats used by EnergyDx:
@@ -115,18 +117,20 @@ func (e *ParseTextError) Error() string {
 // ...) is not part of the text format and is left zero.
 func ReadText(r io.Reader) (*EventTrace, error) {
 	t := &EventTrace{}
+	p := getLineParser()
+	defer putLineParser(p)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		rec, err := parseTextLine(line)
+		rec, err := p.parseLine(line)
 		if err != nil {
-			return nil, &ParseTextError{Line: lineNo, Text: line, Msg: err.Error()}
+			return nil, &ParseTextError{Line: lineNo, Text: string(line), Msg: err.Error()}
 		}
 		t.Records = append(t.Records, rec)
 	}
@@ -160,19 +164,21 @@ type TextReadStats struct {
 func ReadTextLenient(r io.Reader) (*EventTrace, *TextReadStats, error) {
 	t := &EventTrace{}
 	stats := &TextReadStats{}
+	p := getLineParser()
+	defer putLineParser(p)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		stats.Lines++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		rec, err := parseTextLine(line)
+		rec, err := p.parseLine(line)
 		if err != nil {
 			stats.Skipped++
 			if len(stats.Errors) < maxRetainedLineErrors {
-				stats.Errors = append(stats.Errors, &ParseTextError{Line: stats.Lines, Text: line, Msg: err.Error()})
+				stats.Errors = append(stats.Errors, &ParseTextError{Line: stats.Lines, Text: string(line), Msg: err.Error()})
 			}
 			continue
 		}
@@ -185,13 +191,64 @@ func ReadTextLenient(r io.Reader) (*EventTrace, *TextReadStats, error) {
 	return t, stats, nil
 }
 
-func parseTextLine(line string) (Record, error) {
-	// Format: "<ts> <+|-> <class>; <callback>"
-	fields := strings.SplitN(line, " ", 3)
-	if len(fields) != 3 {
-		return Record{}, fmt.Errorf("want 3 fields, got %d", len(fields))
+// lineParser is the pooled per-reader state of the byte-level Fig-5
+// line parser: a bounded string-dedup cache so the class/callback of
+// every record in a trace (typically a few dozen distinct names over
+// thousands of lines) is materialized once instead of per line. The
+// parser consumes the scanner's reused byte buffer directly — no
+// per-line string conversion, no strings.Split garbage.
+type lineParser struct {
+	names map[string]string
+}
+
+// maxInternedNames bounds the dedup cache; an adversarial trace with
+// endless distinct names resets the cache instead of growing it.
+const maxInternedNames = 4096
+
+var lineParserPool = sync.Pool{
+	New: func() any { return &lineParser{names: make(map[string]string, 64)} },
+}
+
+func getLineParser() *lineParser  { return lineParserPool.Get().(*lineParser) }
+func putLineParser(p *lineParser) { lineParserPool.Put(p) }
+
+// intern returns b as a string, reusing a previously materialized copy
+// when the same bytes were seen before. The map lookup with a
+// string-converted key does not allocate (compiler-recognized pattern);
+// only first sight of a name pays the copy.
+func (p *lineParser) intern(b []byte) string {
+	if s, ok := p.names[string(b)]; ok {
+		return s
 	}
-	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if len(p.names) >= maxInternedNames {
+		p.names = make(map[string]string, 64)
+	}
+	s := string(b)
+	p.names[s] = s
+	return s
+}
+
+// parseLine parses one trimmed, non-empty, non-comment Fig-5 line:
+// "<ts> <+|-> <class>; <callback>". It accepts exactly the language of
+// the strings.SplitN-based parser it replaced and produces identical
+// records and error text (codec_bytes_test.go pins the equivalence
+// against the reference implementation).
+func (p *lineParser) parseLine(line []byte) (Record, error) {
+	// strings.SplitN(line, " ", 3) equivalent: fields 0 and 1 end at the
+	// first two spaces, field 2 is the raw remainder.
+	i := bytes.IndexByte(line, ' ')
+	if i < 0 {
+		return Record{}, fmt.Errorf("want 3 fields, got %d", 1)
+	}
+	j := bytes.IndexByte(line[i+1:], ' ')
+	if j < 0 {
+		return Record{}, fmt.Errorf("want 3 fields, got %d", 2)
+	}
+	tsField := line[:i]
+	dirField := line[i+1 : i+1+j]
+	rest := line[i+1+j+1:]
+
+	ts, err := parseTimestamp(tsField)
 	if err != nil {
 		return Record{}, fmt.Errorf("bad timestamp: %v", err)
 	}
@@ -199,27 +256,59 @@ func parseTextLine(line string) (Record, error) {
 		return Record{}, fmt.Errorf("negative timestamp %d", ts)
 	}
 	var dir Direction
-	switch fields[1] {
-	case "+":
+	switch {
+	case len(dirField) == 1 && dirField[0] == '+':
 		dir = Enter
-	case "-":
+	case len(dirField) == 1 && dirField[0] == '-':
 		dir = Exit
 	default:
-		return Record{}, fmt.Errorf("bad direction %q", fields[1])
+		return Record{}, fmt.Errorf("bad direction %q", dirField)
 	}
-	cls, cb, ok := strings.Cut(fields[2], ";")
-	if !ok {
+	sep := bytes.IndexByte(rest, ';')
+	if sep < 0 {
 		return Record{}, fmt.Errorf("missing %q separator", ";")
 	}
-	cls = strings.TrimSpace(cls)
-	cb = strings.TrimSpace(cb)
-	if cls == "" || cb == "" {
+	cls := bytes.TrimSpace(rest[:sep])
+	cb := bytes.TrimSpace(rest[sep+1:])
+	if len(cls) == 0 || len(cb) == 0 {
 		return Record{}, fmt.Errorf("empty class or callback")
 	}
-	if strings.ContainsAny(cls, "\r") || strings.ContainsAny(cb, "\r") {
+	if bytes.IndexByte(cls, '\r') >= 0 || bytes.IndexByte(cb, '\r') >= 0 {
 		return Record{}, fmt.Errorf("control character in class or callback")
 	}
-	return Record{TimestampMS: ts, Dir: dir, Key: EventKey{Class: cls, Callback: cb}}, nil
+	return Record{TimestampMS: ts, Dir: dir, Key: EventKey{Class: p.intern(cls), Callback: p.intern(cb)}}, nil
+}
+
+// parseTimestamp parses a base-10 int64 from bytes without allocating.
+// The fast path covers an optional sign followed by 1–19 ASCII digits
+// with no overflow; anything else falls back to strconv.ParseInt on a
+// copied string, so rejected inputs carry strconv's exact error text.
+func parseTimestamp(b []byte) (int64, error) {
+	s := b
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	// 19 digits can overflow int64 but never uint64, so any wrapped
+	// value shows up as negative and falls back.
+	if len(s) == 0 || len(s) > 19 {
+		return strconv.ParseInt(string(b), 10, 64)
+	}
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return strconv.ParseInt(string(b), 10, 64)
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if v < 0 {
+		return strconv.ParseInt(string(b), 10, 64)
+	}
+	if neg {
+		return -v, nil
+	}
+	return v, nil
 }
 
 // EncodeBundle writes a trace bundle as a single JSON line, the unit of

@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file pins the byte-level Fig-5 line parser to the
+// strings.SplitN-based parser it replaced: parseTextLineReference below
+// is that implementation, kept verbatim as the executable spec. Every
+// edge case from codec_edge_test.go and every fuzz seed corpus line
+// must decode to the identical record — or fail with the identical
+// error text — under both.
+
+func parseTextLineReference(line string) (Record, error) {
+	// Format: "<ts> <+|-> <class>; <callback>"
+	fields := strings.SplitN(line, " ", 3)
+	if len(fields) != 3 {
+		return Record{}, fmt.Errorf("want 3 fields, got %d", len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad timestamp: %v", err)
+	}
+	if ts < 0 {
+		return Record{}, fmt.Errorf("negative timestamp %d", ts)
+	}
+	var dir Direction
+	switch fields[1] {
+	case "+":
+		dir = Enter
+	case "-":
+		dir = Exit
+	default:
+		return Record{}, fmt.Errorf("bad direction %q", fields[1])
+	}
+	cls, cb, ok := strings.Cut(fields[2], ";")
+	if !ok {
+		return Record{}, fmt.Errorf("missing %q separator", ";")
+	}
+	cls = strings.TrimSpace(cls)
+	cb = strings.TrimSpace(cb)
+	if cls == "" || cb == "" {
+		return Record{}, fmt.Errorf("empty class or callback")
+	}
+	if strings.ContainsAny(cls, "\r") || strings.ContainsAny(cb, "\r") {
+		return Record{}, fmt.Errorf("control character in class or callback")
+	}
+	return Record{TimestampMS: ts, Dir: dir, Key: EventKey{Class: cls, Callback: cb}}, nil
+}
+
+// conformanceLines is the union of the codec edge cases, the fuzz seed
+// corpus (line by line), and inputs aimed at the byte parser's specific
+// risk spots: the manual int fast path (signs, overflow, leading zeros,
+// non-ASCII digits), the two-space field split, and the dedup cache.
+var conformanceLines = []string{
+	// Well-formed records.
+	"28223867 + Lcom/fsck/k9/service/MailService; onDestroy",
+	"28223868 - Lcom/fsck/k9/service/MailService; onDestroy",
+	"10 + La/B; onCreate",
+	"10 - La/B; onCreate",
+	"5 + La/B; onStart",
+	"5 - La/B; onStop",
+	"1 + La/B; run;sub", // callback containing the separator
+	"0 + La/B;cb",       // no space after ";"
+	"7 + La/B;  spaced  ",
+	"+5 + La/B; cb", // explicit plus sign timestamp
+	"007 + La/B; cb",
+	"9223372036854775807 + La/B; cb", // max int64
+	// Malformed lines of every kind (fuzz seeds + edge tests).
+	"x + La/B; cb",
+	"-1 + La/B; cb",
+	"-0 + La/B; cb", // ParseInt accepts, value 0
+	"1 * La/B; cb",
+	"1 + ; cb",
+	"1 + La/B cb",
+	"1 +",
+	"bogus line",
+	"3 ? La/B; onCreate",
+	"1  + La/B; cb",                   // double space: empty direction field
+	"9223372036854775808 + La/B; cb",  // int64 overflow (range error)
+	"99999999999999999999 + La/B; cb", // 20 digits
+	"1_0 + La/B; cb",                  // underscore rejected in base 10
+	"0x10 + La/B; cb",
+	"١٢٣ + La/B; cb", // non-ASCII digits
+	"1.5 + La/B; cb",
+	"++ + La/B; cb",
+	"- + La/B; cb",
+	"1 ++ La/B; cb",
+	"1 +- La/B; cb",
+	"1 + La/B; cb\rx", // carriage return inside callback
+	"1 + \r; cb",
+}
+
+func TestByteParserMatchesReference(t *testing.T) {
+	p := getLineParser()
+	defer putLineParser(p)
+	for _, line := range conformanceLines {
+		// The readers hand the parser trimmed lines; mirror that.
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		wantRec, wantErr := parseTextLineReference(trimmed)
+		gotRec, gotErr := p.parseLine([]byte(trimmed))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("%q: reference err %v, byte parser err %v", line, wantErr, gotErr)
+			continue
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Errorf("%q: error text diverged:\n  reference: %s\n  byte:      %s", line, wantErr, gotErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(wantRec, gotRec) {
+			t.Errorf("%q: record diverged: reference %+v, byte parser %+v", line, wantRec, gotRec)
+		}
+	}
+}
+
+// readTextReference is ReadText as it was before the byte-level
+// rewrite, driving the reference line parser.
+func readTextReference(input string) (*EventTrace, error) {
+	t := &EventTrace{}
+	lineNo := 0
+	sc := bytes.NewBufferString(input)
+	for {
+		raw, err := sc.ReadString('\n')
+		if raw == "" && err != nil {
+			break
+		}
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			if err != nil {
+				break
+			}
+			continue
+		}
+		rec, perr := parseTextLineReference(line)
+		if perr != nil {
+			return nil, &ParseTextError{Line: lineNo, Text: line, Msg: perr.Error()}
+		}
+		t.Records = append(t.Records, rec)
+		if err != nil {
+			break
+		}
+	}
+	return t, nil
+}
+
+// conformanceDocs are whole-document inputs: the fuzz seed corpus plus
+// mixed documents exercising lenient accounting and the dedup cache.
+var conformanceDocs = []string{
+	"",
+	"# comment only\n\n",
+	"28223867 + Lcom/fsck/k9/service/MailService; onDestroy\n" +
+		"28223868 - Lcom/fsck/k9/service/MailService; onDestroy\n",
+	"10 + La/B; onCreate\n10 - La/B; onCreate\n",
+	"5 + La/B; onStart\n5 + Lc/D; onStart\n6 - Lc/D; onStart\n6 - La/B; onStart\n",
+	"5 - La/B; onStop\n",
+	"1 + La/B; run;sub\n",
+	"x + La/B; cb\n",
+	"-1 + La/B; cb\n",
+	"1 * La/B; cb\n",
+	"1 + ; cb\n",
+	"1 + La/B cb\n",
+	"1 +\n",
+	"# header comment\n1 + La/B; onCreate\nbogus line\n\n2 - La/B; onCreate\n3 ? La/B; onCreate\n",
+	"   10 + La/B; cb   \n\t11 - La/B; cb\t\n", // surrounding whitespace trimmed per line
+	"1 + La/B; cb", // no trailing newline
+}
+
+func TestReadTextMatchesReference(t *testing.T) {
+	for _, doc := range conformanceDocs {
+		want, wantErr := readTextReference(doc)
+		got, gotErr := ReadText(strings.NewReader(doc))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("doc %q: reference err %v, got err %v", doc, wantErr, gotErr)
+			continue
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Errorf("doc %q: error diverged:\n  reference: %s\n  got:       %s", doc, wantErr, gotErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(want.Records, got.Records) {
+			t.Errorf("doc %q: records diverged:\n  reference: %+v\n  got:       %+v", doc, want.Records, got.Records)
+		}
+	}
+}
+
+func TestReadTextLenientMatchesStrictOnDocs(t *testing.T) {
+	// On every conformance document the lenient reader must keep
+	// exactly the lines the reference parser accepts, in order.
+	for _, doc := range conformanceDocs {
+		var want []Record
+		lineNo := 0
+		wantSkipped := 0
+		for _, raw := range strings.Split(doc, "\n") {
+			lineNo++
+			line := strings.TrimSpace(raw)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			rec, err := parseTextLineReference(line)
+			if err != nil {
+				wantSkipped++
+				continue
+			}
+			want = append(want, rec)
+		}
+		got, stats, err := ReadTextLenient(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("doc %q: lenient read failed: %v", doc, err)
+		}
+		if !reflect.DeepEqual(want, got.Records) && !(len(want) == 0 && len(got.Records) == 0) {
+			t.Errorf("doc %q: lenient records diverged:\n  reference: %+v\n  got:       %+v", doc, want, got.Records)
+		}
+		if stats.Skipped != wantSkipped {
+			t.Errorf("doc %q: skipped %d lines, reference skips %d", doc, stats.Skipped, wantSkipped)
+		}
+	}
+}
+
+func TestLineParserDedupesAndSurvivesCacheReset(t *testing.T) {
+	// More distinct names than the cache bound: parsing must stay
+	// correct across the reset, and repeated names within capacity must
+	// share one materialized string.
+	var sb strings.Builder
+	n := maxInternedNames + 100
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d + Lcls%d/X; cb%d\n", 2*i, i, i)
+		fmt.Fprintf(&sb, "%d - Lcls%d/X; cb%d\n", 2*i+1, i, i)
+	}
+	tr, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2*n {
+		t.Fatalf("parsed %d records, want %d", len(tr.Records), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		enter, exit := tr.Records[2*i], tr.Records[2*i+1]
+		if want := fmt.Sprintf("Lcls%d/X", i); enter.Key.Class != want {
+			t.Fatalf("record %d class %q, want %q", 2*i, enter.Key.Class, want)
+		}
+		if enter.Key != exit.Key {
+			t.Fatalf("enter/exit keys diverged at %d: %+v vs %+v", i, enter.Key, exit.Key)
+		}
+	}
+}
+
+func TestParseTimestampMatchesStrconv(t *testing.T) {
+	cases := []string{
+		"0", "1", "42", "007", "+5", "-5", "-0", "9223372036854775807",
+		"9223372036854775808", "-9223372036854775808", "-9223372036854775809",
+		"99999999999999999999", "", "+", "-", "x", "1x", "1_0", "0x10",
+		"١٢٣", "1.5", " 1", "1 ",
+	}
+	for _, c := range cases {
+		wantV, wantErr := strconv.ParseInt(c, 10, 64)
+		gotV, gotErr := parseTimestamp([]byte(c))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("%q: strconv err %v, parseTimestamp err %v", c, wantErr, gotErr)
+			continue
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Errorf("%q: error text diverged: %v vs %v", c, wantErr, gotErr)
+			}
+			continue
+		}
+		if wantV != gotV {
+			t.Errorf("%q: value diverged: %d vs %d", c, wantV, gotV)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Interner assigns dense uint32 IDs to event keys. IDs are append-only
+// and stable for the interner's lifetime, so flat slices indexed by ID
+// replace map[EventKey] lookups on the analysis hot path. Safe for
+// concurrent use; reads take only an RLock.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[EventKey]uint32
+	keys []EventKey
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[EventKey]uint32)}
+}
+
+// ID returns the dense ID for k, assigning the next free one on first
+// sight.
+func (in *Interner) ID(k EventKey) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[k]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok = in.ids[k]; ok {
+		return id
+	}
+	id = uint32(len(in.keys))
+	in.ids[k] = id
+	in.keys = append(in.keys, k)
+	return id
+}
+
+// Key returns the event key for a previously assigned ID (the zero key
+// for IDs never handed out).
+func (in *Interner) Key(id uint32) EventKey {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if int(id) >= len(in.keys) {
+		return EventKey{}
+	}
+	return in.keys[id]
+}
+
+// Len returns the number of interned keys; every assigned ID is < Len.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.keys)
+}
+
+// pairState is the per-key pairing state retained by a PairBuffer across
+// calls: the interned ID and the LIFO stack of open enter timestamps.
+type pairState struct {
+	key     EventKey
+	id      uint32
+	stack   []int64
+	touched bool // key seen by the current PairInto call
+}
+
+// PairBuffer is reusable scratch for EventTrace.PairInto. It memoizes
+// key lookups (EventKey -> state index, and the interned ID) across
+// calls, so pairing a stream of similar traces does per-record map work
+// only on first sight of each key. A buffer is bound to at most one
+// interner and must not be used concurrently; pool buffers per analyzer.
+type PairBuffer struct {
+	in      *Interner
+	byKey   map[EventKey]int32
+	states  []pairState
+	touched []int32 // state indices entered this call, in first-entry order
+
+	insts []Instance
+	ids   []uint32
+}
+
+// NewPairBuffer returns an empty buffer whose interned-ID column is
+// assigned by in (nil for callers that ignore the ID column).
+func NewPairBuffer(in *Interner) *PairBuffer {
+	return &PairBuffer{in: in, byKey: make(map[EventKey]int32)}
+}
+
+// pairSorter sorts the instance and key-ID columns in lockstep with the
+// same ordering Pair has always used: by start time, ties by end time.
+type pairSorter struct {
+	insts []Instance
+	ids   []uint32
+}
+
+func (s *pairSorter) Len() int { return len(s.insts) }
+func (s *pairSorter) Less(a, b int) bool {
+	if s.insts[a].StartMS != s.insts[b].StartMS {
+		return s.insts[a].StartMS < s.insts[b].StartMS
+	}
+	return s.insts[a].EndMS < s.insts[b].EndMS
+}
+func (s *pairSorter) Swap(a, b int) {
+	s.insts[a], s.insts[b] = s.insts[b], s.insts[a]
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
+}
+
+// PairInto is the zero-allocation (steady-state) form of Pair: it
+// validates and pairs in one pass, writing the instance column and the
+// parallel interned-key-ID column into buf and returning slices that
+// remain valid until the next call on buf. Validation checks run in
+// Validate's per-record order, so the first error reported is identical
+// to Validate-then-pair; the one divergence is the end-of-trace
+// unbalanced error, which names the first-entered unbalanced key instead
+// of a random one (Validate ranges over a map there, so no caller can
+// depend on which key it picks).
+func (t *EventTrace) PairInto(buf *PairBuffer) (insts []Instance, ids []uint32, err error) {
+	buf.insts = buf.insts[:0]
+	buf.ids = buf.ids[:0]
+	defer func() {
+		// Reset per-call state so the buffer is clean for reuse even on
+		// the error paths; the key -> state memo survives.
+		for _, si := range buf.touched {
+			st := &buf.states[si]
+			st.stack = st.stack[:0]
+			st.touched = false
+		}
+		buf.touched = buf.touched[:0]
+	}()
+	var last int64
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.TimestampMS < 0 {
+			return nil, nil, fmt.Errorf("%w: record %d at %d", ErrBadTimestamp, i, r.TimestampMS)
+		}
+		if i > 0 && r.TimestampMS < last {
+			return nil, nil, fmt.Errorf("%w: record %d at %d after %d", ErrUnsortedRecords, i, r.TimestampMS, last)
+		}
+		last = r.TimestampMS
+		si, ok := buf.byKey[r.Key]
+		if !ok {
+			if err := r.Key.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("%w: record %d: %v", ErrBadKey, i, err)
+			}
+			var id uint32
+			if buf.in != nil {
+				id = buf.in.ID(r.Key)
+			}
+			si = int32(len(buf.states))
+			buf.states = append(buf.states, pairState{key: r.Key, id: id})
+			buf.byKey[r.Key] = si
+		}
+		st := &buf.states[si]
+		if !st.touched {
+			st.touched = true
+			buf.touched = append(buf.touched, si)
+		}
+		switch r.Dir {
+		case Enter:
+			st.stack = append(st.stack, r.TimestampMS)
+		case Exit:
+			if len(st.stack) == 0 {
+				return nil, nil, fmt.Errorf("%w: %s at %d", ErrExitBeforeEnter, r.Key, r.TimestampMS)
+			}
+			start := st.stack[len(st.stack)-1]
+			st.stack = st.stack[:len(st.stack)-1]
+			buf.insts = append(buf.insts, Instance{Key: r.Key, StartMS: start, EndMS: r.TimestampMS})
+			buf.ids = append(buf.ids, st.id)
+		default:
+			return nil, nil, fmt.Errorf("trace: record %d has invalid direction %d", i, r.Dir)
+		}
+	}
+	for _, si := range buf.touched {
+		if st := &buf.states[si]; len(st.stack) != 0 {
+			return nil, nil, fmt.Errorf("%w: %s left open %d time(s)", ErrUnbalanced, st.key, len(st.stack))
+		}
+	}
+	sorter := pairSorter{insts: buf.insts, ids: buf.ids}
+	sort.Sort(&sorter)
+	return buf.insts, buf.ids, nil
+}

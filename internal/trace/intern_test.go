@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestInternerAssignsDenseStableIDs(t *testing.T) {
+	in := NewInterner()
+	a := EventKey{Class: "La/B", Callback: "x"}
+	b := EventKey{Class: "La/B", Callback: "y"}
+	if got := in.ID(a); got != 0 {
+		t.Fatalf("first key got ID %d, want 0", got)
+	}
+	if got := in.ID(b); got != 1 {
+		t.Fatalf("second key got ID %d, want 1", got)
+	}
+	if got := in.ID(a); got != 0 {
+		t.Fatalf("re-interning changed the ID to %d", got)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if got := in.Key(1); got != b {
+		t.Fatalf("Key(1) = %+v, want %+v", got, b)
+	}
+	if got := in.Key(99); got != (EventKey{}) {
+		t.Fatalf("out-of-range Key = %+v, want zero", got)
+	}
+}
+
+func TestInternerConcurrentAgreement(t *testing.T) {
+	in := NewInterner()
+	keys := make([]EventKey, 64)
+	for i := range keys {
+		keys[i] = EventKey{Class: fmt.Sprintf("LC%d", i), Callback: "cb"}
+	}
+	var wg sync.WaitGroup
+	got := make([][]uint32, 8)
+	for g := range got {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]uint32, len(keys))
+			for i, k := range keys {
+				ids[i] = in.ID(k)
+			}
+			got[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(got); g++ {
+		if !reflect.DeepEqual(got[0], got[g]) {
+			t.Fatalf("goroutine %d saw different IDs", g)
+		}
+	}
+	for i, id := range got[0] {
+		if in.Key(id) != keys[i] {
+			t.Fatalf("ID %d resolves to %+v, want %+v", id, in.Key(id), keys[i])
+		}
+	}
+}
+
+// pairCases are event traces covering the pairing state machine: LIFO
+// nesting, interleaving, zero duration, duplicate timestamps, and every
+// validation failure.
+func pairCases() map[string]*EventTrace {
+	k := func(c, cb string) EventKey { return EventKey{Class: c, Callback: cb} }
+	r := func(ts int64, d Direction, key EventKey) Record {
+		return Record{TimestampMS: ts, Dir: d, Key: key}
+	}
+	ab := k("La/B", "onCreate")
+	cd := k("Lc/D", "onStart")
+	return map[string]*EventTrace{
+		"empty": {},
+		"single": {Records: []Record{
+			r(1, Enter, ab), r(5, Exit, ab),
+		}},
+		"nested-same-key": {Records: []Record{
+			r(1, Enter, ab), r(2, Enter, ab), r(3, Exit, ab), r(9, Exit, ab),
+		}},
+		"interleaved": {Records: []Record{
+			r(1, Enter, ab), r(2, Enter, cd), r(3, Exit, ab), r(4, Exit, cd),
+		}},
+		"zero-duration": {Records: []Record{
+			r(7, Enter, ab), r(7, Exit, ab),
+		}},
+		"duplicate-timestamps": {Records: []Record{
+			r(5, Enter, ab), r(5, Enter, cd), r(5, Exit, cd), r(5, Exit, ab),
+		}},
+		"equal-start-ties": {Records: []Record{
+			r(1, Enter, ab), r(1, Enter, cd), r(2, Exit, cd), r(3, Exit, ab),
+			r(4, Enter, ab), r(4, Enter, cd), r(5, Exit, ab), r(5, Exit, cd),
+		}},
+		"negative-timestamp": {Records: []Record{
+			r(-1, Enter, ab),
+		}},
+		"unsorted": {Records: []Record{
+			r(5, Enter, ab), r(3, Exit, ab),
+		}},
+		"bad-key": {Records: []Record{
+			r(1, Enter, k("", "cb")),
+		}},
+		"exit-before-enter": {Records: []Record{
+			r(1, Exit, ab),
+		}},
+		"bad-direction": {Records: []Record{
+			{TimestampMS: 1, Dir: Direction(9), Key: ab},
+		}},
+		"unbalanced": {Records: []Record{
+			r(1, Enter, ab), r(2, Enter, ab), r(3, Exit, ab),
+		}},
+		"later-record-error-after-pairs": {Records: []Record{
+			r(1, Enter, ab), r(2, Exit, ab), r(3, Enter, k("bad key ", "x")),
+		}},
+	}
+}
+
+func TestPairIntoMatchesPair(t *testing.T) {
+	in := NewInterner()
+	buf := NewPairBuffer(in)
+	for name, tr := range pairCases() {
+		want, wantErr := tr.Pair()
+		got, ids, gotErr := tr.PairInto(buf)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("%s: Pair err %v, PairInto err %v", name, wantErr, gotErr)
+			continue
+		}
+		if wantErr != nil {
+			// Same sentinel; the unbalanced end-of-trace message may name
+			// a different (map-ordered) key, every other text matches.
+			for _, sentinel := range []error{
+				ErrBadTimestamp, ErrUnsortedRecords, ErrBadKey,
+				ErrExitBeforeEnter, ErrUnbalanced,
+			} {
+				if errors.Is(wantErr, sentinel) != errors.Is(gotErr, sentinel) {
+					t.Errorf("%s: sentinel %v: Pair=%v PairInto=%v", name, sentinel, wantErr, gotErr)
+				}
+			}
+			if !errors.Is(wantErr, ErrUnbalanced) && wantErr.Error() != gotErr.Error() {
+				t.Errorf("%s: error text diverged:\n  Pair:     %s\n  PairInto: %s", name, wantErr, gotErr)
+			}
+			continue
+		}
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: instances diverged:\n  Pair:     %+v\n  PairInto: %+v", name, want, got)
+		}
+		if len(ids) != len(got) {
+			t.Fatalf("%s: %d ids for %d instances", name, len(ids), len(got))
+		}
+		for i, id := range ids {
+			if in.Key(id) != got[i].Key {
+				t.Errorf("%s: ids[%d] = %d resolves to %+v, want %+v", name, i, id, in.Key(id), got[i].Key)
+			}
+		}
+	}
+}
+
+func TestPairBufferReuseAcrossTraces(t *testing.T) {
+	// Run every case twice through one buffer: results must not depend
+	// on buffer history (stale stacks, dirty touched flags).
+	in := NewInterner()
+	buf := NewPairBuffer(in)
+	for round := 0; round < 2; round++ {
+		for name, tr := range pairCases() {
+			want, wantErr := tr.Pair()
+			got, _, gotErr := tr.PairInto(buf)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("round %d %s: Pair err %v, PairInto err %v", round, name, wantErr, gotErr)
+			}
+			if wantErr == nil && len(want) > 0 && !reflect.DeepEqual(want, got) {
+				t.Fatalf("round %d %s: instances diverged", round, name)
+			}
+		}
+	}
+}
+
+func TestPairIntoNilInterner(t *testing.T) {
+	buf := NewPairBuffer(nil)
+	tr := &EventTrace{Records: []Record{
+		{TimestampMS: 1, Dir: Enter, Key: EventKey{Class: "La/B", Callback: "x"}},
+		{TimestampMS: 2, Dir: Exit, Key: EventKey{Class: "La/B", Callback: "x"}},
+	}}
+	insts, ids, err := tr.PairInto(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || len(ids) != 1 {
+		t.Fatalf("got %d instances, %d ids", len(insts), len(ids))
+	}
+}

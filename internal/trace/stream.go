@@ -2,9 +2,9 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 )
 
 // This file provides JSON-lines corpus streaming shared by the CLI
@@ -36,11 +36,11 @@ func ScanBundles(r io.Reader, fn func(*TraceBundle) error) error {
 	line := 0
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
 			continue
 		}
-		b, err := DecodeBundle(strings.NewReader(text))
+		b, err := DecodeBundle(bytes.NewReader(text))
 		if err != nil {
 			return fmt.Errorf("trace: line %d: %w", line, err)
 		}
@@ -78,18 +78,18 @@ func ScanBundlesLenient(r io.Reader, fn func(*TraceBundle) error, onBad func(Bad
 	line := 0
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
 			continue
 		}
-		b, err := DecodeBundle(strings.NewReader(text))
+		b, err := DecodeBundle(bytes.NewReader(text))
 		if err != nil {
 			if onBad != nil {
 				prefix := text
 				if len(prefix) > 120 {
 					prefix = prefix[:120]
 				}
-				if err := onBad(BadBundleLine{Line: line, Text: prefix, Err: err}); err != nil {
+				if err := onBad(BadBundleLine{Line: line, Text: string(prefix), Err: err}); err != nil {
 					return err
 				}
 			}

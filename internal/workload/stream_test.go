@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/trace"
+)
+
+// TestGenerateStreamMatchesGenerate checks the streaming generator is
+// the batch generator minus materialization: same bundles in the same
+// order, same ground truth, same session accounting.
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	app, err := apps.K9Mail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(app, 7)
+	cfg.Users = 6
+	cfg.ImpactedFraction = 0.5
+
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*trace.TraceBundle
+	res, err := GenerateStream(cfg, func(b *trace.TraceBundle) error {
+		got = append(got, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bundles != nil {
+		t.Errorf("stream result materialized %d bundles", len(res.Bundles))
+	}
+	if len(got) != len(want.Bundles) {
+		t.Fatalf("stream emitted %d bundles, batch produced %d", len(got), len(want.Bundles))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want.Bundles[i]) {
+			t.Errorf("bundle %d diverged (trace %s vs %s)", i, got[i].Event.TraceID, want.Bundles[i].Event.TraceID)
+		}
+	}
+	if !reflect.DeepEqual(res.ImpactedUsers, want.ImpactedUsers) {
+		t.Errorf("impacted users diverged: %v vs %v", res.ImpactedUsers, want.ImpactedUsers)
+	}
+	if res.ImpactedPercent != want.ImpactedPercent {
+		t.Errorf("impacted percent %v, batch %v", res.ImpactedPercent, want.ImpactedPercent)
+	}
+	if res.Stats != want.Stats {
+		t.Errorf("stats diverged: %+v vs %+v", res.Stats, want.Stats)
+	}
+}
+
+// TestGenerateStreamEmitError checks an emit failure aborts generation
+// with the user attributed.
+func TestGenerateStreamEmitError(t *testing.T) {
+	app, err := apps.K9Mail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(app, 7)
+	cfg.Users = 4
+	sentinel := errors.New("disk full")
+	emitted := 0
+	_, err = GenerateStream(cfg, func(b *trace.TraceBundle) error {
+		if emitted == 2 {
+			return sentinel
+		}
+		emitted++
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if emitted != 2 {
+		t.Fatalf("emitted %d bundles before the failing one, want 2", emitted)
+	}
+}

@@ -100,8 +100,26 @@ type Result struct {
 	Stats SessionStats
 }
 
-// Generate produces one corpus.
+// Generate produces one corpus, materialized in memory.
 func Generate(cfg Config) (*Result, error) {
+	var bundles []*trace.TraceBundle
+	res, err := GenerateStream(cfg, func(b *trace.TraceBundle) error {
+		bundles = append(bundles, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Bundles = bundles
+	return res, nil
+}
+
+// GenerateStream produces the same corpus as Generate but hands each
+// bundle to emit as soon as its session completes, so callers writing
+// to disk never hold more than one user's traces in memory. Bundles
+// arrive in user order; an emit error aborts generation. The returned
+// Result carries the ground truth and session stats with Bundles nil.
+func GenerateStream(cfg Config, emit func(*trace.TraceBundle) error) (*Result, error) {
 	if cfg.App == nil {
 		return nil, fmt.Errorf("workload: no app configured")
 	}
@@ -144,7 +162,9 @@ func Generate(cfg Config) (*Result, error) {
 		if impacted[u] {
 			res.ImpactedUsers[bundle.Event.UserID] = true
 		}
-		res.Bundles = append(res.Bundles, bundle)
+		if err := emit(bundle); err != nil {
+			return nil, fmt.Errorf("user %d: %w", u, err)
+		}
 	}
 	nImpacted := 0
 	for _, im := range impacted {
