@@ -642,25 +642,35 @@ func (a *Analyzer) windowKeys(at *AnalyzedTrace, ws *workerScratch) []trace.Even
 func (a *Analyzer) rankImpacts(report *Report, fin *finishScratch) {
 	K := a.keys.Len()
 	fin.counts = growIntsZero(fin.counts, K)
-	distinct := 0
 	for _, at := range report.Traces {
 		for _, id := range at.windowIDs {
-			if fin.counts[id] == 0 {
-				distinct++
-			}
 			fin.counts[id]++
 		}
 	}
+	report.Impacted = a.impactsFromCounts(fin.counts, report.TotalTraces)
+}
+
+// impactsFromCounts materializes and sorts the Step-5 impact table from
+// a per-key-ID window-membership count column. It is shared by the
+// batch finish (counts filled fresh by rankImpacts) and the incremental
+// engine (counts maintained under add/remove), so both paths assemble
+// and order impacts through identical code.
+func (a *Analyzer) impactsFromCounts(counts []int, totalTraces int) []Impact {
+	distinct := 0
+	for _, n := range counts {
+		if n > 0 {
+			distinct++
+		}
+	}
 	impacts := make([]Impact, 0, distinct)
-	for id := 0; id < K; id++ {
-		n := fin.counts[id]
-		if n == 0 {
+	for id, n := range counts {
+		if n <= 0 {
 			continue
 		}
 		impacts = append(impacts, Impact{
 			Key:     a.keys.Key(uint32(id)),
 			Traces:  n,
-			Percent: 100 * float64(n) / float64(report.TotalTraces),
+			Percent: 100 * float64(n) / float64(totalTraces),
 		})
 	}
 	target := a.cfg.DeveloperImpactPercent
@@ -679,7 +689,7 @@ func (a *Analyzer) rankImpacts(report *Report, fin *finishScratch) {
 		}
 		return a.Key.Callback < b.Key.Callback
 	})
-	report.Impacted = impacts
+	return impacts
 }
 
 func absFloat(x float64) float64 {

@@ -71,15 +71,14 @@ func TestAnalyzeByteIdenticalAcrossWorkerCounts(t *testing.T) {
 					}
 					continue
 				}
-				// Stages carries wall/CPU timings, which legitimately
-				// differ run to run; the determinism contract covers the
-				// analytic content.
-				stripped := *report
-				strippedBase := *baseReport
-				stripped.Stages, strippedBase.Stages = nil, nil
-				if !reflect.DeepEqual(&strippedBase, &stripped) {
-					t.Errorf("workers=%d: report differs from workers=1 (DeepEqual)", workers)
-				}
+				// The contract is the JSON encoding, byte for byte: it
+				// covers every analytic field. Stages (wall/CPU timings)
+				// and the traces' unexported interner-ID columns
+				// (keyIDs/windowIDs) legitimately differ run to run —
+				// dense IDs are assigned in first-come order under the
+				// parallel Step-1 fan-out and are derivable state, never
+				// observable output — so a struct-level DeepEqual would
+				// flake on scheduling, not on real divergence.
 				if !bytes.Equal(baseJSON, blob) {
 					t.Errorf("workers=%d: JSON encoding differs from workers=1", workers)
 				}

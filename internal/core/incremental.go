@@ -47,24 +47,84 @@ func (at *AnalyzedTrace) cloneStepOne() *AnalyzedTrace {
 	}
 }
 
+// cloneSlice deep-copies a slice preserving nil-vs-empty: the JSON
+// encodings differ (null vs []) and the differential harness
+// byte-compares reports, so a clone must not promote one to the other.
+func cloneSlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
+// cloneAnalyzed returns a fully detached deep copy of an analyzed trace
+// including every derived Steps-2–5 vector, so a served report cannot
+// alias (or be clobbered by) the incremental engine's master state.
+func (at *AnalyzedTrace) cloneAnalyzed() *AnalyzedTrace {
+	return &AnalyzedTrace{
+		TraceID:        at.TraceID,
+		UserID:         at.UserID,
+		Device:         at.Device,
+		Events:         cloneSlice(at.Events),
+		Rank:           cloneSlice(at.Rank),
+		NormPower:      cloneSlice(at.NormPower),
+		Amplitude:      cloneSlice(at.Amplitude),
+		Fence:          at.Fence,
+		Manifestations: cloneSlice(at.Manifestations),
+		WindowKeys:     cloneSlice(at.WindowKeys),
+		keyIDs:         cloneSlice(at.keyIDs),
+		windowIDs:      cloneSlice(at.windowIDs),
+	}
+}
+
+// pendingOp is one queued corpus mutation awaiting application.
+type pendingOp struct {
+	key string // "" marks a canceled (tombstoned) op
+	add bool
+}
+
 // IncrementalAnalyzer maintains a mutable corpus and re-analyzes it
-// incrementally: Step 1 (power estimation, per trace and pure in the
+// sublinearly. Step 1 (power estimation, per trace and pure in the
 // bundle's content) is cached in a bounded LRU keyed by the bundle's
-// content key, so a corpus change costs Step-1 work only for bundles
-// never seen (or evicted), plus the corpus-wide Steps 2–5. Report is
-// byte-identical to Analyzer.Analyze over the same bundles in the same
-// order — both run the same finish path, and the differential harness
-// (TestIncrementalMatchesBatch) pins the equivalence.
+// content key; Steps 2–5 are served from per-event-key order-statistic
+// summaries (see summaries.go) maintained under add/remove in
+// O(E log N) per mutation, with normalization/detection re-run only for
+// traces whose cross-trace inputs (key multisets, base powers) actually
+// changed. Report is byte-identical to Analyzer.Analyze over the same
+// bundles in the same order — the summary queries are bit-identical to
+// the batch statistics and the remaining stages run the same code — and
+// the differential harness (TestIncrementalMatchesBatch) pins the
+// equivalence after every mutation.
 //
-// All methods are safe for concurrent use. Report serializes against
-// mutations: the report reflects exactly the corpus at its start.
+// Add and Remove only queue the mutation (O(1) on the ingest path);
+// Refresh or Report applies the queue. All methods are safe for
+// concurrent use. Report serializes against mutations: the report
+// reflects exactly the corpus at its start.
 type IncrementalAnalyzer struct {
 	a *Analyzer
 
-	mu      sync.Mutex
-	order   []string // content keys in corpus (insertion) order
-	bundles map[string]*trace.TraceBundle
-	cache   *stepCache
+	mu sync.Mutex
+	// order holds content keys in corpus (insertion) order. Removal
+	// tombstones the slot ("") instead of splicing, so Remove stays O(1)
+	// on a 10k-bundle corpus; compactOrder rewrites the slice once
+	// tombstones outnumber live keys, keeping walks amortized O(live).
+	order      []string
+	orderIdx   map[string]int // live key -> index in order
+	tombstones int
+	bundles    map[string]*trace.TraceBundle
+	cache      *stepCache
+
+	cs         *corpusState
+	pending    []pendingOp
+	pendingIdx map[string]int // key -> outstanding index in pending
+
+	// Step-1 cache activity since the last Report, feeding the gauges.
+	lookups, hits int64
+	fresh         int
+	// Stale-trace counts recomputed by the most recent Report.
+	lastRankDirty, lastDetectDirty int
 }
 
 // NewIncrementalAnalyzer validates the configuration and builds an
@@ -76,9 +136,12 @@ func NewIncrementalAnalyzer(cfg Config, cacheCap int) (*IncrementalAnalyzer, err
 		return nil, err
 	}
 	return &IncrementalAnalyzer{
-		a:       a,
-		bundles: make(map[string]*trace.TraceBundle),
-		cache:   newStepCache(cacheCap),
+		a:          a,
+		orderIdx:   make(map[string]int),
+		bundles:    make(map[string]*trace.TraceBundle),
+		cache:      newStepCache(cacheCap),
+		cs:         newCorpusState(),
+		pendingIdx: make(map[string]int),
 	}, nil
 }
 
@@ -93,10 +156,62 @@ func bundleKey(b *trace.TraceBundle) string {
 	return trace.ContentKey(b)
 }
 
+// queue records a corpus mutation for key. An outstanding opposite op
+// cancels instead of stacking: the corpus is content-keyed, so
+// remove-then-re-add restores the exact prior state and both ops can be
+// dropped. The invariant this preserves — at most one outstanding op
+// per key, and its direction always flips the key's applied state —
+// is what lets applyAdd/applyRemove skip existence re-checks.
+func (ia *IncrementalAnalyzer) queue(key string, add bool) {
+	if i, ok := ia.pendingIdx[key]; ok {
+		ia.pending[i].key = ""
+		delete(ia.pendingIdx, key)
+		return
+	}
+	ia.pendingIdx[key] = len(ia.pending)
+	ia.pending = append(ia.pending, pendingOp{key: key, add: add})
+}
+
+// applyLocked drains the pending mutation queue into the applied corpus
+// state. Callers hold ia.mu.
+func (ia *IncrementalAnalyzer) applyLocked() {
+	if len(ia.pending) == 0 {
+		return
+	}
+	for _, op := range ia.pending {
+		if op.key == "" {
+			continue
+		}
+		// Delete per key rather than clear()ing after the loop: a map
+		// clear zeroes the whole table, whose capacity is the historical
+		// high-water mark (the initial bulk load), turning every later
+		// one-bundle Refresh into an O(N) sweep.
+		delete(ia.pendingIdx, op.key)
+		if op.add {
+			ia.applyAdd(op.key)
+		} else {
+			ia.applyRemove(op.key)
+		}
+	}
+	clear(ia.pending) // release key refs; O(ops drained), not O(cap)
+	ia.pending = ia.pending[:0]
+}
+
+// Refresh applies all pending corpus mutations to the per-key summaries
+// without producing a report: O(E log N) per mutation. Ingest paths
+// that want bounded-latency adds call Add then Refresh; paths that only
+// care about the next Report can skip it (Report refreshes first).
+func (ia *IncrementalAnalyzer) Refresh() {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	ia.applyLocked()
+}
+
 // Add appends the bundle to the corpus and returns its content key.
 // Adding a bundle whose content is already in the corpus is a no-op
 // (added == false): content-keyed deduplication makes re-delivery after
-// a lost ack idempotent end to end.
+// a lost ack idempotent end to end. The summary update is deferred to
+// the next Refresh or Report.
 func (ia *IncrementalAnalyzer) Add(b *trace.TraceBundle) (key string, added bool) {
 	key = bundleKey(b)
 	ia.mu.Lock()
@@ -105,14 +220,17 @@ func (ia *IncrementalAnalyzer) Add(b *trace.TraceBundle) (key string, added bool
 		return key, false
 	}
 	ia.bundles[key] = b
+	ia.orderIdx[key] = len(ia.order)
 	ia.order = append(ia.order, key)
+	ia.queue(key, true)
 	return key, true
 }
 
 // Remove deletes the bundle with the given content key from the corpus,
 // reporting whether it was present. The Step-1 cache entry is kept (it
 // is content-addressed, so a later re-add is a cache hit); the bounded
-// LRU retires it if it stays cold.
+// LRU retires it if it stays cold. The summary retraction is deferred
+// to the next Refresh or Report.
 func (ia *IncrementalAnalyzer) Remove(key string) bool {
 	ia.mu.Lock()
 	defer ia.mu.Unlock()
@@ -120,13 +238,31 @@ func (ia *IncrementalAnalyzer) Remove(key string) bool {
 		return false
 	}
 	delete(ia.bundles, key)
-	for i, k := range ia.order {
-		if k == key {
-			ia.order = append(ia.order[:i:i], ia.order[i+1:]...)
-			break
-		}
+	ia.order[ia.orderIdx[key]] = ""
+	delete(ia.orderIdx, key)
+	ia.tombstones++
+	if ia.tombstones > len(ia.bundles) {
+		ia.compactOrder()
 	}
+	ia.queue(key, false)
 	return true
+}
+
+// compactOrder rewrites ia.order without tombstones and reindexes the
+// surviving keys. Insertion order of live keys is preserved, so the
+// corpus order a Report sees is unchanged.
+func (ia *IncrementalAnalyzer) compactOrder() {
+	live := ia.order[:0]
+	for _, k := range ia.order {
+		if k == "" {
+			continue
+		}
+		ia.orderIdx[k] = len(live)
+		live = append(live, k)
+	}
+	clear(ia.order[len(live):]) // release key refs in the trimmed tail
+	ia.order = live
+	ia.tombstones = 0
 }
 
 // Contains reports whether a bundle with the given content key is in
@@ -142,14 +278,20 @@ func (ia *IncrementalAnalyzer) Contains(key string) bool {
 func (ia *IncrementalAnalyzer) Len() int {
 	ia.mu.Lock()
 	defer ia.mu.Unlock()
-	return len(ia.order)
+	return len(ia.bundles)
 }
 
 // Keys returns the corpus's content keys in insertion order (a copy).
 func (ia *IncrementalAnalyzer) Keys() []string {
 	ia.mu.Lock()
 	defer ia.mu.Unlock()
-	return append([]string(nil), ia.order...)
+	keys := make([]string, 0, len(ia.bundles))
+	for _, k := range ia.order {
+		if k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 // CacheStats snapshots the Step-1 cache counters.
@@ -157,39 +299,185 @@ func (ia *IncrementalAnalyzer) CacheStats() CacheStats {
 	return ia.cache.stats()
 }
 
-// Report re-analyzes the current corpus: Step 1 runs only for bundles
-// missing from the cache (fanned out through the shared pool), Steps
-// 2–5 run over the whole corpus, exactly as Analyzer.Analyze would.
-// The returned report is detached from analyzer state — its traces are
-// deep copies of the cached Step-1 outputs — so callers may hold or
-// mutate it indefinitely (a served report outliving many re-analyses)
-// without corrupting later reports.
+// Report re-analyzes the current corpus: pending mutations are applied
+// to the per-key summaries, then only the traces whose ranks or bases
+// went stale are recomputed — exactly as Analyzer.Analyze would compute
+// them, byte for byte. The returned report is detached from analyzer
+// state — its traces are deep copies — so callers may hold or mutate it
+// indefinitely (a served report outliving many re-analyses) without
+// corrupting later reports.
 func (ia *IncrementalAnalyzer) Report() (*Report, error) {
 	ia.mu.Lock()
 	defer ia.mu.Unlock()
-	if len(ia.order) == 0 {
-		return nil, ErrNoTraces
-	}
 	start := time.Now()
-	detail := ia.a.cfg.Tracer != nil
 	tr := ia.a.cfg.Tracer
 	if tr == nil {
 		tr = obs.NewTracer()
 	}
 	root := tr.Start("analyze")
 	s1 := root.Child("step1.estimate")
+	ia.applyLocked()
+	if len(ia.bundles) == 0 {
+		s1.End()
+		root.End()
+		return nil, ErrNoTraces
+	}
+	if ia.cs.tainted > 0 {
+		// Non-finite powers cannot live in the summaries; replay the
+		// full batch finish so degenerate corpora keep the batch
+		// pipeline's exact error behavior.
+		return ia.reportFullLocked(start, root, s1)
+	}
+	rec1 := s1.End()
 
-	bundles := make([]*trace.TraceBundle, len(ia.order))
-	results := make([]stepOneResult, len(ia.order))
+	// Partition the corpus into analyzable entries and skipped traces,
+	// mirroring stepOneAll's slot scan (including strict-mode errors on
+	// the lowest failing index).
+	entries := make([]*traceEntry, 0, len(ia.bundles))
+	var skipped []SkippedTrace
+	idx := 0 // batch position: live keys only, tombstones invisible
+	for _, key := range ia.order {
+		if key == "" {
+			continue
+		}
+		e := ia.cs.entries[key]
+		if e.err != nil {
+			if !ia.a.cfg.SkipInvalidTraces {
+				return nil, fmt.Errorf("trace %d (%s): %w", idx, e.traceID, e.err)
+			}
+			skipped = append(skipped, SkippedTrace{Index: idx, TraceID: e.traceID, Reason: e.err.Error()})
+			idx++
+			continue
+		}
+		entries = append(entries, e)
+		idx++
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: all %d traces invalid (first: %s)", len(ia.bundles), skipped[0].Reason)
+	}
+
+	// Step 2: re-rank only traces whose key multisets changed.
+	s2 := root.Child("step2.rank")
+	rankDirty := 0
+	for _, e := range entries {
+		if e.rankStale(ia.cs) {
+			ia.refreshRanks(e)
+			rankDirty++
+		}
+	}
+	rec2 := s2.End()
+
+	// Step 3: re-normalize only traces whose base powers changed.
+	s3 := root.Child("step3.normalize")
+	var detectDirty []*traceEntry
+	for _, e := range entries {
+		if e.baseStale(ia.cs) {
+			ia.a.normalize(e.at, ia.cs.base)
+			detectDirty = append(detectDirty, e)
+		}
+	}
+	rec3 := s3.End()
+
+	// Step 4: re-detect the same traces, in corpus order so a detection
+	// error surfaces for the same trace the batch fan-out would pick
+	// (its lowest-index error; a failing trace is always stale because
+	// errors never stamp).
+	s4 := root.Child("step4.detect")
+	for _, e := range detectDirty {
+		if err := ia.refreshDetect(e); err != nil {
+			return nil, fmt.Errorf("trace %s: %w", e.at.TraceID, err)
+		}
+	}
+	rec4 := s4.End()
+
+	report := &Report{
+		TotalTraces:    len(entries),
+		ImpactedTraces: ia.cs.impactedTraces,
+		Skipped:        skipped,
+	}
+	for _, key := range ia.order {
+		if key == "" {
+			continue
+		}
+		if b := ia.bundles[key]; b.Event.AppID != "" {
+			report.AppID = b.Event.AppID
+			break
+		}
+	}
+	traces := make([]*AnalyzedTrace, len(entries))
+	for i, e := range entries {
+		traces[i] = e.at.cloneAnalyzed()
+	}
+	report.Traces = traces
+
+	// Step 5: the impact table from the maintained membership counts,
+	// assembled and sorted by the same code as the batch finish.
+	s5 := root.Child("step5.impacts")
+	report.Impacted = ia.a.impactsFromCounts(ia.cs.impact, report.TotalTraces)
+	rec5 := s5.End()
+	recTotal := root.End()
+
+	report.Stages = []StageTiming{
+		{Step: 1, Name: "estimate", Wall: rec1.Wall(), CPU: rec1.CPU(), Items: len(ia.bundles)},
+		{Step: 2, Name: "rank", Wall: rec2.Wall(), CPU: rec2.CPU(), Items: rankDirty},
+		{Step: 3, Name: "normalize", Wall: rec3.Wall(), CPU: rec3.CPU(), Items: len(detectDirty)},
+		{Step: 4, Name: "detect", Wall: rec4.Wall(), CPU: rec4.CPU(), Items: len(detectDirty)},
+		{Step: 5, Name: "impacts", Wall: rec5.Wall(), CPU: rec5.CPU(), Items: len(report.Impacted)},
+		{Step: 0, Name: "total", Wall: recTotal.Wall(), CPU: recTotal.CPU(), Items: len(entries)},
+	}
+	ia.lastRankDirty, ia.lastDetectDirty = rankDirty, len(detectDirty)
+
+	mAnalyses.Inc()
+	mTracesAnalyzed.Add(int64(len(entries)))
+	mTracesSkipped.Add(int64(len(skipped)))
+	gSkippedLast.Set(float64(len(skipped)))
+	ia.finishReportMetrics(start, len(ia.bundles))
+	return report, nil
+}
+
+// finishReportMetrics updates the incremental gauges from the Step-1
+// activity accumulated since the last report and resets the counters.
+func (ia *IncrementalAnalyzer) finishReportMetrics(start time.Time, corpus int) {
+	mIncReports.Inc()
+	hIncReport.Observe(time.Since(start).Seconds())
+	gIncComputed.Set(float64(ia.fresh))
+	gIncCorpus.Set(float64(corpus))
+	if ia.lookups > 0 {
+		gIncHitRate.Set(float64(ia.hits) / float64(ia.lookups))
+	} else {
+		gIncHitRate.Set(1)
+	}
+	ia.fresh, ia.lookups, ia.hits = 0, 0, 0
+}
+
+// reportFullLocked is the full-replay fallback: Step 1 for the whole
+// corpus through the cache, then the batch finish — the executable spec
+// the sublinear path is differentially tested against. It serves
+// corpora the summaries cannot represent (non-finite Step-1 powers) so
+// their batch-identical error behavior is preserved.
+func (ia *IncrementalAnalyzer) reportFullLocked(start time.Time, root, s1 *obs.Span) (*Report, error) {
+	detail := ia.a.cfg.Tracer != nil
+	n := len(ia.bundles)
+	bundles := make([]*trace.TraceBundle, 0, n)
+	keys := make([]string, 0, n)
+	results := make([]stepOneResult, n)
 	var missing []int
-	for i, key := range ia.order {
-		bundles[i] = ia.bundles[key]
+	for _, key := range ia.order {
+		if key == "" {
+			continue
+		}
+		i := len(bundles)
+		bundles = append(bundles, ia.bundles[key])
+		keys = append(keys, key)
 		if res, ok := ia.cache.get(key); ok {
 			results[i] = res
 		} else {
 			missing = append(missing, i)
 		}
 	}
+	ia.lookups += int64(n)
+	ia.hits += int64(n - len(missing))
+	ia.fresh += len(missing)
 	// Fresh Step-1 work only for cache misses; each miss writes its own
 	// slot, so the fan-out is deterministic under any worker count. The
 	// worker closure never returns an error — failures are captured per
@@ -206,7 +494,7 @@ func (ia *IncrementalAnalyzer) Report() (*Report, error) {
 		return nil
 	})
 	for _, i := range missing {
-		ia.cache.put(ia.order[i], results[i])
+		ia.cache.put(keys[i], results[i])
 	}
 	rec1 := s1.End()
 
@@ -230,12 +518,7 @@ func (ia *IncrementalAnalyzer) Report() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	mIncReports.Inc()
-	hIncReport.Observe(time.Since(start).Seconds())
-	gIncComputed.Set(float64(len(missing)))
-	gIncCorpus.Set(float64(len(bundles)))
-	if n := len(bundles); n > 0 {
-		gIncHitRate.Set(float64(n-len(missing)) / float64(n))
-	}
+	ia.lastRankDirty, ia.lastDetectDirty = len(traces), len(traces)
+	ia.finishReportMetrics(start, len(bundles))
 	return report, nil
 }

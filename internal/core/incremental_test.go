@@ -85,7 +85,7 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 	}{
 		{"no-noise", 0, 0, 120},
 		{"paper-noise", power.PaperNoiseFrac, 0, 120},
-		{"tiny-cache", 0, 3, 60},
+		{"tiny-cache", 0, 3, 80},
 	}
 	pool := bundlePool(t, 14, 41)
 	for _, v := range variants {

@@ -224,6 +224,171 @@ func TestMetamorphicDuplicateBundleIdempotency(t *testing.T) {
 	}
 }
 
+// TestMetamorphicInterleavedMutationInvariance: the incremental
+// engine's report is a pure function of the final ordered corpus — any
+// interleaving of adds, removes, refreshes and intermediate reports
+// that ends at the same corpus must produce a byte-identical report,
+// and (history-independence of the treap summaries) the same summary
+// key/value/node counts.
+func TestMetamorphicInterleavedMutationInvariance(t *testing.T) {
+	pool := multiDeviceCorpus(t, 79).Bundles
+	target := pool[:8] // the final corpus, in this insertion order
+	decoys := pool[8:]
+
+	// Reference: a fresh analyzer fed only the final corpus.
+	ref, err := NewIncrementalAnalyzer(DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range target {
+		ref.Add(b)
+	}
+	refReport, err := ref.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(refReport)
+	refStats := ref.SummaryStats()
+
+	for schedule := 0; schedule < 3; schedule++ {
+		rng := rand.New(rand.NewSource(300 + int64(schedule)))
+		inc, err := NewIncrementalAnalyzer(DefaultConfig(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoyKey := make(map[int]string) // decoy index -> key while present
+		churnDecoys := func() {
+			for n := rng.Intn(3); n > 0; n-- {
+				i := rng.Intn(len(decoys))
+				if key, ok := decoyKey[i]; ok {
+					if !inc.Remove(key) {
+						t.Fatalf("schedule %d: decoy %d vanished", schedule, i)
+					}
+					delete(decoyKey, i)
+				} else {
+					key, _ := inc.Add(decoys[i])
+					decoyKey[i] = key
+				}
+				if rng.Intn(2) == 0 {
+					inc.Refresh()
+				}
+			}
+		}
+		for _, b := range target {
+			churnDecoys()
+			key, added := inc.Add(b)
+			if !added {
+				t.Fatalf("schedule %d: target bundle deduplicated", schedule)
+			}
+			// Thrash the newest member: remove + re-add keeps it at the
+			// end of the insertion order, via either the pending-queue
+			// cancellation path or (with Refresh between) the full
+			// apply/retract path.
+			if rng.Intn(2) == 0 {
+				if rng.Intn(2) == 0 {
+					inc.Refresh()
+				}
+				inc.Remove(key)
+				if rng.Intn(2) == 0 {
+					inc.Refresh()
+				}
+				inc.Add(b)
+			}
+			// Intermediate reports force summary application at random
+			// corpus prefixes.
+			if rng.Intn(3) == 0 {
+				if _, err := inc.Report(); err != nil {
+					t.Fatalf("schedule %d: intermediate report: %v", schedule, err)
+				}
+			}
+		}
+		for i, key := range decoyKey {
+			if !inc.Remove(key) {
+				t.Fatalf("schedule %d: decoy %d vanished at drain", schedule, i)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			inc.Refresh()
+		}
+		got, err := inc.Report()
+		if err != nil {
+			t.Fatalf("schedule %d: final report: %v", schedule, err)
+		}
+		gotJSON, _ := json.Marshal(got)
+		if string(gotJSON) != string(refJSON) {
+			t.Fatalf("schedule %d: report depends on mutation history, not just the final corpus", schedule)
+		}
+		st := inc.SummaryStats()
+		if st.Keys != refStats.Keys || st.Values != refStats.Values || st.Nodes != refStats.Nodes {
+			t.Fatalf("schedule %d: summary state diverged from fresh build: got keys=%d values=%d nodes=%d, want keys=%d values=%d nodes=%d",
+				schedule, st.Keys, st.Values, st.Nodes, refStats.Keys, refStats.Values, refStats.Nodes)
+		}
+	}
+}
+
+// TestMetamorphicAddRemoveThrash: adversarially adding and removing the
+// same bundle 1000 times must return the summaries to their exact
+// initial state — same key/value/node counts (no leak in the treap
+// arenas) and a byte-identical report.
+func TestMetamorphicAddRemoveThrash(t *testing.T) {
+	pool := multiDeviceCorpus(t, 83).Bundles
+	base, extra := pool[:len(pool)-1], pool[len(pool)-1]
+	inc, err := NewIncrementalAnalyzer(DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range base {
+		inc.Add(b)
+	}
+	inc.Refresh()
+	st0 := inc.SummaryStats()
+	refReport, err := inc.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(refReport)
+
+	// Applied thrash: every cycle round-trips the summaries through a
+	// real insert + retract.
+	for cycle := 0; cycle < 1000; cycle++ {
+		key, added := inc.Add(extra)
+		if !added {
+			t.Fatalf("cycle %d: thrash bundle deduplicated", cycle)
+		}
+		inc.Refresh()
+		if !inc.Remove(key) {
+			t.Fatalf("cycle %d: thrash bundle missing at remove", cycle)
+		}
+		inc.Refresh()
+	}
+	// Queued thrash: without a Refresh between them, add+remove cancel
+	// in the pending queue and never touch the summaries.
+	for cycle := 0; cycle < 1000; cycle++ {
+		inc.Add(extra)
+		inc.Remove(bundleKey(extra))
+	}
+	if st := inc.SummaryStats(); st.PendingMutations != 0 {
+		t.Fatalf("canceled add/remove pairs left %d pending mutations", st.PendingMutations)
+	}
+
+	if inc.Len() != len(base) {
+		t.Fatalf("thrash changed corpus size: %d, want %d", inc.Len(), len(base))
+	}
+	st1 := inc.SummaryStats()
+	if st1.Keys != st0.Keys || st1.Values != st0.Values || st1.Nodes != st0.Nodes {
+		t.Fatalf("thrash leaked summary state: keys %d -> %d, values %d -> %d, nodes %d -> %d",
+			st0.Keys, st1.Keys, st0.Values, st1.Values, st0.Nodes, st1.Nodes)
+	}
+	got, err := inc.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(refJSON) {
+		t.Fatal("report changed after add/remove thrash")
+	}
+}
+
 // TestMetamorphicEdgeCorpora covers the Steps 2–4 degenerate shapes:
 // an empty corpus, a single-trace corpus, and traces with zero or one
 // event instance (too short for amplitude/fence computation).

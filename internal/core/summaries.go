@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats/orderstat"
+)
+
+// This file is the sublinear re-analysis engine behind
+// IncrementalAnalyzer: per-event-key order-statistic summaries plus
+// epoch-stamped dirty tracking, so a corpus mutation costs O(E log N)
+// summary maintenance (E = events in the touched bundle) instead of the
+// corpus-wide counting sort, and a Report only recomputes the traces
+// whose cross-trace inputs actually changed.
+//
+// Exactness contract: every number the exact path produces comes from
+// the same code the batch finish runs — orderstat.FracRank/Percentile
+// are bit-identical to stats.Ranks/stats.Percentile (pinned in
+// internal/stats/orderstat), normalization and detection call the very
+// same Analyzer.normalize/Analyzer.detect, and the impact table is
+// assembled by the shared impactsFromCounts. The differential harness
+// (TestIncrementalMatchesBatch) byte-compares the two paths after every
+// mutation.
+//
+// Dirty-set propagation rules:
+//
+//   - A trace's Rank column depends on the full power multiset of every
+//     key it contains. Each key carries msetEpoch, bumped on any
+//     add/remove touching its multiset; a trace whose per-key rank
+//     stamps lag any msetEpoch is re-ranked.
+//   - NormPower (and everything downstream: Amplitude, Fence,
+//     Manifestations, WindowKeys, impact membership) depends only on
+//     the *value* of each key's base power. baseEpoch is bumped only
+//     when the recomputed percentile actually changes, so a mutation
+//     that shifts a key's multiset without moving its 10th percentile
+//     re-ranks but does not re-detect.
+//
+// Traces with non-finite Step-1 powers cannot enter the summaries
+// (orderstat rejects non-finite values by design); while any such trace
+// is in the corpus the analyzer falls back to the full finish path,
+// which reproduces the batch pipeline's error behavior exactly.
+
+// traceEntry is the applied per-trace state of the incremental corpus.
+type traceEntry struct {
+	key     string
+	traceID string
+	// err is the trace's terminal Step-1 error; when set the trace is
+	// skipped (or fails the corpus under strict mode) and the remaining
+	// fields stay zero.
+	err error
+	// at is the master analyzed trace: Step-1 events plus the most
+	// recently refreshed Steps-2–4 vectors. Reports hand out deep
+	// clones, never the master.
+	at *AnalyzedTrace
+	// ids are the distinct interned key IDs occurring in this trace —
+	// the stamp vectors below are indexed parallel to it.
+	ids []uint32
+	// rankStamp[j] is msetEpoch[ids[j]] as of the last rank refresh;
+	// nil (or short) means rank-stale.
+	rankStamp []uint64
+	// baseStamp[j] is baseEpoch[ids[j]] as of the last successful
+	// detect refresh; nil (or short) means detect-stale.
+	baseStamp []uint64
+	// contributed are the windowIDs currently counted into
+	// corpusState.impact for this trace.
+	contributed []uint32
+	// manifested mirrors len(at.Manifestations) > 0 as counted into
+	// corpusState.impactedTraces.
+	manifested bool
+	// nonFinite marks a trace whose Step-1 powers contain NaN/Inf; it
+	// taints the corpus onto the full-finish fallback path.
+	nonFinite bool
+}
+
+// corpusState is the applied incremental corpus: per-key summaries and
+// bases in flat columns indexed by the analyzer's dense interned IDs,
+// plus the per-trace entries and the maintained Step-5 aggregates.
+type corpusState struct {
+	entries map[string]*traceEntry
+
+	// Per-interned-ID columns; grown monotonically to the interner's
+	// size as new keys appear.
+	sums      []*orderstat.Multiset
+	msetEpoch []uint64
+	base      []float64
+	baseEpoch []uint64
+	impact    []int // window-membership count, the Step-5 input
+
+	// impactedTraces counts applied traces with >= 1 manifestation.
+	impactedTraces int
+	// tainted counts applied traces with non-finite Step-1 powers.
+	tainted int
+
+	// touched/touchedAt dedupe the IDs hit by one mutation without a
+	// per-mutation map: touchedAt[id] == serial marks id as collected.
+	touched   []uint32
+	touchedAt []uint64
+	serial    uint64
+}
+
+func newCorpusState() *corpusState {
+	return &corpusState{entries: make(map[string]*traceEntry)}
+}
+
+// grow extends the per-ID columns to cover k interned keys.
+func (cs *corpusState) grow(k int) {
+	for len(cs.sums) < k {
+		cs.sums = append(cs.sums, nil)
+		cs.msetEpoch = append(cs.msetEpoch, 0)
+		cs.base = append(cs.base, 0)
+		cs.baseEpoch = append(cs.baseEpoch, 0)
+		cs.impact = append(cs.impact, 0)
+		cs.touchedAt = append(cs.touchedAt, 0)
+	}
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// applyAdd materializes the pending addition of key: Step 1 through the
+// content-keyed cache, per-key summary insertion for every event power,
+// base refresh for the touched keys, and an eager rank+detect refresh of
+// the new trace itself (its vectors are fully determined by the
+// post-mutation summaries, so computing them now keeps Report's dirty
+// scan from always finding at least one stale trace).
+func (ia *IncrementalAnalyzer) applyAdd(key string) {
+	cs := ia.cs
+	if _, ok := cs.entries[key]; ok {
+		// Unreachable under the pending-queue cancellation invariant
+		// (an applied key only ever has a pending *remove*); degrade
+		// gracefully rather than double-count.
+		ia.applyRemove(key)
+	}
+	b := ia.bundles[key]
+	if b == nil {
+		return // canceled add; unreachable, see queue()
+	}
+	res, ok := ia.cache.get(key)
+	ia.lookups++
+	if ok {
+		ia.hits++
+	} else {
+		at, err := ia.a.estimateEvents(b)
+		res = stepOneResult{at: at, err: err}
+		ia.cache.put(key, res)
+		ia.fresh++
+	}
+	e := &traceEntry{key: key, traceID: b.Event.TraceID}
+	cs.entries[key] = e
+	if res.err != nil {
+		e.err = res.err
+		return
+	}
+	e.at = res.at.cloneStepOne()
+	for i := range e.at.Events {
+		if !isFinite(e.at.Events[i].PowerMW) {
+			e.nonFinite = true
+		}
+	}
+	if e.nonFinite {
+		cs.tainted++
+		return
+	}
+	ia.a.ensureKeyIDs(e.at)
+	cs.grow(ia.a.keys.Len())
+	cs.serial++
+	cs.touched = cs.touched[:0]
+	for i, id := range e.at.keyIDs {
+		if cs.touchedAt[id] != cs.serial {
+			cs.touchedAt[id] = cs.serial
+			cs.touched = append(cs.touched, id)
+		}
+		if cs.sums[id] == nil {
+			cs.sums[id] = &orderstat.Multiset{}
+		}
+		// Add cannot fail: the powers were just checked finite.
+		_ = cs.sums[id].Add(e.at.Events[i].PowerMW)
+	}
+	e.ids = append([]uint32(nil), cs.touched...)
+	for _, id := range e.ids {
+		cs.msetEpoch[id]++
+		ia.updateBase(id)
+	}
+	ia.refreshRanks(e)
+	ia.a.normalize(e.at, cs.base)
+	// A detect failure here is deliberately swallowed: the entry stays
+	// detect-stale, so the next Report recomputes it in corpus order and
+	// surfaces the error exactly where the batch pipeline would.
+	_ = ia.refreshDetect(e)
+}
+
+// applyRemove retracts key's applied state: summary deletions, base
+// refresh for the touched keys, and withdrawal of the trace's Step-5
+// contributions.
+func (ia *IncrementalAnalyzer) applyRemove(key string) {
+	cs := ia.cs
+	e := cs.entries[key]
+	if e == nil {
+		return // unreachable under the queue invariant
+	}
+	delete(cs.entries, key)
+	if e.err != nil {
+		return
+	}
+	if e.nonFinite {
+		cs.tainted--
+		return
+	}
+	for i, id := range e.at.keyIDs {
+		cs.sums[id].Remove(e.at.Events[i].PowerMW)
+	}
+	for _, id := range e.ids {
+		cs.msetEpoch[id]++
+		ia.updateBase(id)
+	}
+	for _, id := range e.contributed {
+		cs.impact[id]--
+	}
+	if e.manifested {
+		cs.impactedTraces--
+	}
+}
+
+// updateBase recomputes key id's normalization base from its summary and
+// bumps baseEpoch only when the value moved — the load-bearing half of
+// the dirty-set rules: an unchanged base keeps every dependent trace's
+// detection fresh.
+func (ia *IncrementalAnalyzer) updateBase(id uint32) {
+	cs := ia.cs
+	var nb float64
+	if s := cs.sums[id]; s != nil && s.Len() > 0 {
+		v, err := s.Percentile(ia.a.cfg.NormBasePercentile)
+		if err != nil {
+			// Unreachable: the summary holds only finite values and the
+			// percentile is validated at config time. Degrade to the
+			// batch absent-key semantics (base 0 => raw-power fallback).
+			v = 0
+		}
+		nb = v
+	}
+	if nb != cs.base[id] {
+		cs.base[id] = nb
+		cs.baseEpoch[id]++
+	}
+}
+
+// rankStale reports whether any key multiset this trace ranks against
+// changed since its last rank refresh.
+func (e *traceEntry) rankStale(cs *corpusState) bool {
+	if len(e.rankStamp) != len(e.ids) {
+		return true
+	}
+	for j, id := range e.ids {
+		if e.rankStamp[j] != cs.msetEpoch[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// baseStale reports whether any base power this trace normalizes
+// against changed since its last successful detect refresh.
+func (e *traceEntry) baseStale(cs *corpusState) bool {
+	if len(e.baseStamp) != len(e.ids) {
+		return true
+	}
+	for j, id := range e.ids {
+		if e.baseStamp[j] != cs.baseEpoch[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshRanks recomputes the trace's Step-2 rank column from the
+// per-key summaries. FracRank is bit-identical to the batch tied-block
+// mean, so the column matches rankAndBase exactly.
+func (ia *IncrementalAnalyzer) refreshRanks(e *traceEntry) {
+	cs := ia.cs
+	at := e.at
+	// Fresh allocation, mirroring rankAndBase: the master's previous
+	// column may still back an earlier report's clone source.
+	at.Rank = make([]float64, len(at.Events))
+	for i, id := range at.keyIDs {
+		fr, err := cs.sums[id].FracRank(at.Events[i].PowerMW)
+		if err != nil {
+			// Unreachable: this trace's own instances are in the summary.
+			fr = 0
+		}
+		at.Rank[i] = fr
+	}
+	if cap(e.rankStamp) < len(e.ids) {
+		e.rankStamp = make([]uint64, len(e.ids))
+	}
+	e.rankStamp = e.rankStamp[:len(e.ids)]
+	for j, id := range e.ids {
+		e.rankStamp[j] = cs.msetEpoch[id]
+	}
+}
+
+// refreshDetect re-runs Step 4 on an already-normalized trace and folds
+// the trace's new Step-5 contributions into the maintained aggregates.
+// The caller must have run Analyzer.normalize against cs.base first. On
+// error nothing is stamped, so the trace stays detect-stale and the
+// error reproduces on the next Report.
+func (ia *IncrementalAnalyzer) refreshDetect(e *traceEntry) error {
+	cs := ia.cs
+	at := e.at
+	if err := ia.a.detect(at); err != nil {
+		return err
+	}
+	for _, id := range e.contributed {
+		cs.impact[id]--
+	}
+	e.contributed = append(e.contributed[:0], at.windowIDs...)
+	for _, id := range e.contributed {
+		cs.impact[id]++
+	}
+	man := len(at.Manifestations) > 0
+	if man != e.manifested {
+		if man {
+			cs.impactedTraces++
+		} else {
+			cs.impactedTraces--
+		}
+		e.manifested = man
+	}
+	if cap(e.baseStamp) < len(e.ids) {
+		e.baseStamp = make([]uint64, len(e.ids))
+	}
+	e.baseStamp = e.baseStamp[:len(e.ids)]
+	for j, id := range e.ids {
+		e.baseStamp[j] = cs.baseEpoch[id]
+	}
+	return nil
+}
+
+// SummaryStats is a snapshot of the incremental engine's summary state,
+// exported for the observability gauges and the thrash tests' leak
+// detection.
+type SummaryStats struct {
+	// Keys is the number of event keys with a non-empty power summary.
+	Keys int `json:"keys"`
+	// Values is the total power samples across all summaries (one per
+	// event instance in the applied corpus).
+	Values int `json:"values"`
+	// Nodes is the total distinct-value tree nodes — the thrash tests'
+	// leak detector: returning to the same corpus must return to the
+	// same node count.
+	Nodes int `json:"nodes"`
+	// Bytes is the retained summary arena memory.
+	Bytes int `json:"bytes"`
+	// PendingMutations is the add/remove queue depth not yet applied.
+	PendingMutations int `json:"pendingMutations"`
+	// TaintedTraces counts applied traces with non-finite powers (the
+	// corpus analyzes via the full fallback path while > 0).
+	TaintedTraces int `json:"taintedTraces"`
+	// RankDirtyTraces / DetectDirtyTraces are the stale-trace counts
+	// recomputed by the most recent Report.
+	RankDirtyTraces   int `json:"rankDirtyTraces"`
+	DetectDirtyTraces int `json:"detectDirtyTraces"`
+}
+
+// SummaryStats snapshots the per-key summary and dirty-set state.
+func (ia *IncrementalAnalyzer) SummaryStats() SummaryStats {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	st := SummaryStats{
+		TaintedTraces:     ia.cs.tainted,
+		RankDirtyTraces:   ia.lastRankDirty,
+		DetectDirtyTraces: ia.lastDetectDirty,
+	}
+	for _, op := range ia.pending {
+		if op.key != "" {
+			st.PendingMutations++
+		}
+	}
+	for _, s := range ia.cs.sums {
+		if s == nil {
+			continue
+		}
+		if s.Len() > 0 {
+			st.Keys++
+		}
+		st.Values += s.Len()
+		st.Nodes += s.Nodes()
+		st.Bytes += s.Bytes()
+	}
+	return st
+}

@@ -8,10 +8,16 @@
 //
 // Endpoints (all GET unless noted):
 //
-//	/analysis/apps            apps tracked, corpus sizes, cache stats
+//	/analysis/apps            apps tracked, corpus sizes, cache and
+//	                          summary stats
 //	/analysis/report?app=X    latest report (JSON; ?format=text for the
 //	                          developer-facing rendering)
 //	/analysis/flush           POST: synchronously re-analyze dirty apps
+//	/analysis/remove?app=X&key=K
+//	                          DELETE (or POST): retract one bundle by
+//	                          content key (quarantine reversals,
+//	                          version-diff workloads) and schedule
+//	                          re-analysis — sublinear, no corpus rebuild
 //
 // The served report bytes are a snapshot: the incremental engine's
 // reports are detached from analyzer state, so a long-lived client can
@@ -39,6 +45,7 @@ var (
 	mErrors   = obs.Default.Counter("serve_analysis_errors_total", "per-app re-analyses that failed")
 	hAnalysis = obs.Default.Histogram("serve_analysis_seconds", "wall time of one debounced per-app re-analysis", nil)
 	mRequests = obs.Default.Counter("serve_http_requests_total", "HTTP requests handled by the analysis endpoints")
+	mRemoves  = obs.Default.Counter("serve_removes_total", "bundle retractions accepted by the serving layer")
 )
 
 // Config parameterizes the serving layer.
@@ -133,7 +140,29 @@ func New(cfg Config) (*Service, error) {
 		}
 		return float64(n)
 	})
+	// Per-app summary state rolled up across the fleet of analyzers;
+	// the per-app breakdown is served by /analysis/apps.
+	obs.Default.GaugeFunc("analysis_summary_keys", "event keys with a live per-key power summary across all apps", func() float64 {
+		return s.sumSummaries(func(st core.SummaryStats) float64 { return float64(st.Keys) })
+	})
+	obs.Default.GaugeFunc("analysis_summary_bytes", "retained per-key summary memory across all apps", func() float64 {
+		return s.sumSummaries(func(st core.SummaryStats) float64 { return float64(st.Bytes) })
+	})
+	obs.Default.GaugeFunc("analysis_dirty_traces", "traces re-ranked by the most recent incremental re-analyses across all apps", func() float64 {
+		return s.sumSummaries(func(st core.SummaryStats) float64 { return float64(st.RankDirtyTraces) })
+	})
 	return s, nil
+}
+
+// sumSummaries folds one SummaryStats field across every tracked app.
+func (s *Service) sumSummaries(f func(core.SummaryStats) float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total float64
+	for _, st := range s.apps {
+		total += f(st.inc.SummaryStats())
+	}
+	return total
 }
 
 // Notify offers one accepted bundle to the serving layer: it joins the
@@ -164,6 +193,12 @@ func (s *Service) Notify(b *trace.TraceBundle) {
 	if _, added := st.inc.Add(b); !added {
 		return // duplicate content: nothing changed, no re-analysis
 	}
+	s.scheduleLocked(st)
+}
+
+// scheduleLocked marks the app dirty and (re)arms the debounce timer.
+// Callers hold s.mu.
+func (s *Service) scheduleLocked(st *appState) {
 	st.dirty = true
 	now := time.Now()
 	switch {
@@ -177,6 +212,29 @@ func (s *Service) Notify(b *trace.TraceBundle) {
 		// MaxDelay exceeded: leave the pending timer alone so the flush
 		// fires even under a sustained arrival stream.
 	}
+}
+
+// Remove retracts the bundle with the given content key from app's
+// corpus and schedules a debounced re-analysis, reporting whether the
+// bundle was present. The retraction itself is queued O(1); the next
+// re-analysis pays only the touched keys' summary updates (sublinear in
+// corpus size), never a full rebuild.
+func (s *Service) Remove(app, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	st, ok := s.apps[app]
+	if !ok {
+		return false
+	}
+	if !st.inc.Remove(key) {
+		return false
+	}
+	mRemoves.Inc()
+	s.scheduleLocked(st)
+	return true
 }
 
 // flushAsync is the timer callback: run the flush off the timer
@@ -282,6 +340,10 @@ type appSummary struct {
 	AnalyzedAt     string          `json:"analyzedAt,omitempty"`
 	LastError      string          `json:"lastError,omitempty"`
 	Cache          core.CacheStats `json:"step1Cache"`
+	// Summaries is the incremental engine's per-key summary and
+	// dirty-set state (the per-app view of the analysis_summary_* and
+	// analysis_dirty_traces gauges).
+	Summaries core.SummaryStats `json:"summaries"`
 }
 
 // Handler returns the HTTP handler for the /analysis/ endpoints; mount
@@ -291,6 +353,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/analysis/apps", s.serveApps)
 	mux.HandleFunc("/analysis/report", s.serveReport)
 	mux.HandleFunc("/analysis/flush", s.serveFlush)
+	mux.HandleFunc("/analysis/remove", s.serveRemove)
 	return mux
 }
 
@@ -307,6 +370,7 @@ func (s *Service) serveApps(w http.ResponseWriter, _ *http.Request) {
 			LastAnalysisMS: float64(st.lastWall) / float64(time.Millisecond),
 			LastError:      st.lastErr,
 			Cache:          st.inc.CacheStats(),
+			Summaries:      st.inc.SummaryStats(),
 		}
 		if !st.analyzedAt.IsZero() {
 			row.AnalyzedAt = st.analyzedAt.UTC().Format(time.RFC3339Nano)
@@ -364,4 +428,36 @@ func (s *Service) serveFlush(w http.ResponseWriter, req *http.Request) {
 	}
 	s.Flush()
 	fmt.Fprintln(w, "flushed")
+}
+
+func (s *Service) serveRemove(w http.ResponseWriter, req *http.Request) {
+	mRequests.Inc()
+	if req.Method != http.MethodDelete && req.Method != http.MethodPost {
+		http.Error(w, "DELETE or POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	q := req.URL.Query()
+	app, key := q.Get("app"), q.Get("key")
+	if app == "" || key == "" {
+		http.Error(w, "missing ?app= or ?key= parameter", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	st, tracked := s.apps[app]
+	s.mu.Unlock()
+	if !tracked {
+		http.Error(w, "unknown app "+app, http.StatusNotFound)
+		return
+	}
+	if !s.Remove(app, key) {
+		http.Error(w, "no bundle with key "+key+" in corpus of "+app, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"removed": true,
+		"app":     app,
+		"key":     key,
+		"traces":  st.inc.Len(),
+	})
 }

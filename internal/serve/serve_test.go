@@ -175,6 +175,100 @@ func TestHandlerStatusCodes(t *testing.T) {
 	}
 }
 
+// TestRemoveEndpoint covers bundle retraction end to end: DELETE
+// /analysis/remove drops the bundle from the corpus, schedules a
+// re-analysis, and the next served report is byte-identical to a batch
+// analysis of the remaining bundles. The /analysis/apps listing
+// surfaces the per-key summary state alongside.
+func TestRemoveEndpoint(t *testing.T) {
+	bundles := testCorpus(t, 6, 23)
+	svc, err := New(Config{Analysis: core.DefaultConfig(), Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	h := svc.Handler()
+	keys := make([]string, len(bundles))
+	for i, b := range bundles {
+		svc.Notify(b)
+		keys[i] = b.Key
+		if keys[i] == "" {
+			keys[i] = trace.ContentKey(b)
+		}
+	}
+	svc.Flush()
+
+	do := func(method, path string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(method, path, nil))
+		return rr
+	}
+	if rr := do("GET", "/analysis/remove?app=k9mail&key="+keys[2]); rr.Code != 405 {
+		t.Fatalf("GET remove: %d, want 405", rr.Code)
+	}
+	if rr := do("DELETE", "/analysis/remove?app=k9mail"); rr.Code != 400 {
+		t.Fatalf("missing key param: %d, want 400", rr.Code)
+	}
+	if rr := do("DELETE", "/analysis/remove?app=nope&key="+keys[2]); rr.Code != 404 {
+		t.Fatalf("unknown app: %d, want 404", rr.Code)
+	}
+	if rr := do("DELETE", "/analysis/remove?app=k9mail&key=not-a-content-key"); rr.Code != 404 {
+		t.Fatalf("unknown key: %d, want 404", rr.Code)
+	}
+	rr := do("DELETE", "/analysis/remove?app=k9mail&key="+keys[2])
+	if rr.Code != 200 {
+		t.Fatalf("remove: %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp struct {
+		Removed bool `json:"removed"`
+		Traces  int  `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil || !resp.Removed || resp.Traces != len(bundles)-1 {
+		t.Fatalf("remove response wrong (%v): %s", err, rr.Body.String())
+	}
+	// Retraction marked the app dirty; the flush must serve the shrunken
+	// corpus, byte-identical to a batch run without the removed bundle.
+	if rr := do("DELETE", "/analysis/remove?app=k9mail&key="+keys[2]); rr.Code != 404 {
+		t.Fatalf("double remove: %d, want 404", rr.Code)
+	}
+	svc.Flush()
+	rr = do("GET", "/analysis/report?app=k9mail")
+	if rr.Code != 200 {
+		t.Fatalf("report after remove: %d", rr.Code)
+	}
+	remaining := append(append([]*trace.TraceBundle(nil), bundles[:2]...), bundles[3:]...)
+	cfg := core.DefaultConfig()
+	cfg.SkipInvalidTraces = true
+	batch, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batch.Analyze(remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(bytes.TrimSpace(rr.Body.Bytes()), wantJSON) {
+		t.Fatal("report after retraction diverged from batch over the remaining bundles")
+	}
+
+	rr = do("GET", "/analysis/apps")
+	var rows []appSummary
+	if err := json.Unmarshal(rr.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("apps listing not JSON: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Traces != len(bundles)-1 {
+		t.Fatalf("apps listing wrong after remove: %+v", rows)
+	}
+	sum := rows[0].Summaries
+	if sum.Keys == 0 || sum.Values == 0 || sum.Nodes == 0 || sum.Bytes == 0 {
+		t.Fatalf("summary stats missing from listing: %+v", sum)
+	}
+	if sum.PendingMutations != 0 {
+		t.Fatalf("flushed corpus still has %d pending mutations", sum.PendingMutations)
+	}
+}
+
 // TestEndToEndIngestToServe wires the real collection server to the
 // serving layer through WithIngestHook and drives it with the real
 // upload client: uploaded bundles must surface in the served report,

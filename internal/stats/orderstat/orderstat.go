@@ -1,0 +1,406 @@
+// Package orderstat provides an exact, mergeable order-statistic
+// multiset over float64 values: Add, Remove, Rank, Kth, Percentile and
+// Fences all run in O(log n). It is the summary structure behind the
+// sublinear re-analysis path — one multiset per interned event key
+// replaces the corpus-wide counting sort of the batch pipeline, while
+// returning bit-identical answers.
+//
+// Exactness, not approximation: unlike quantile sketches, a Multiset
+// stores every distinct value (with a multiplicity count), so
+// Percentile reproduces stats.Percentile and FracRank reproduces the
+// tied-block mean of stats.Ranks to the last bit. The differential
+// harness in internal/core leans on exactly this property.
+//
+// The tree is a treap whose priorities are a fixed hash of the value's
+// bit pattern, which makes the shape a pure function of the value set:
+// any add/remove history reaching the same multiset yields the same
+// tree, so performance (and the node count checked by the thrash tests)
+// is history-independent. Nodes live in one flat slice with index links
+// and a free list — no per-node allocations in steady state.
+//
+// A Multiset is not safe for concurrent use; callers serialize access
+// (the incremental analyzer holds its own lock).
+package orderstat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// nilIdx marks an absent child link.
+const nilIdx = int32(-1)
+
+// node is one distinct value with its multiplicity and subtree
+// aggregate. total is the multiset cardinality of the subtree (counts,
+// not nodes), which Rank and Kth walk.
+type node struct {
+	val   float64
+	pri   uint64
+	l, r  int32
+	cnt   uint32
+	total uint32
+}
+
+// Multiset is an order-statistic multiset of finite float64 values.
+// The zero value is an empty multiset ready for use.
+type Multiset struct {
+	nodes []node
+	free  []int32
+	root  int32
+	init  bool
+}
+
+// priority hashes the value's bit pattern (splitmix64 finalizer) so the
+// treap shape is canonical for a given value set. NaNs are rejected
+// before hashing; -0 and +0 compare equal and coalesce into one node.
+func priority(v float64) uint64 {
+	z := math.Float64bits(v) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (m *Multiset) ensureInit() {
+	if !m.init {
+		m.root = nilIdx
+		m.init = true
+	}
+}
+
+// Len returns the number of values in the multiset (with multiplicity).
+func (m *Multiset) Len() int {
+	if !m.init || m.root == nilIdx {
+		return 0
+	}
+	return int(m.nodes[m.root].total)
+}
+
+// Nodes returns the number of distinct values currently stored. The
+// thrash tests pin this as the leak detector: any add/remove history
+// returning to the same multiset must return to the same node count.
+func (m *Multiset) Nodes() int {
+	return len(m.nodes) - len(m.free)
+}
+
+// Bytes returns the retained memory of the node arena in bytes
+// (capacity, not live nodes: freed nodes stay pooled for reuse).
+func (m *Multiset) Bytes() int {
+	const nodeSize = 32 // unsafe.Sizeof(node{}) on 64-bit, kept literal to stay portable
+	return cap(m.nodes)*nodeSize + cap(m.free)*4
+}
+
+func (m *Multiset) alloc(v float64) int32 {
+	if n := len(m.free); n > 0 {
+		i := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.nodes[i] = node{val: v, pri: priority(v), l: nilIdx, r: nilIdx, cnt: 1, total: 1}
+		return i
+	}
+	m.nodes = append(m.nodes, node{val: v, pri: priority(v), l: nilIdx, r: nilIdx, cnt: 1, total: 1})
+	return int32(len(m.nodes) - 1)
+}
+
+func (m *Multiset) subTotal(i int32) uint32 {
+	if i == nilIdx {
+		return 0
+	}
+	return m.nodes[i].total
+}
+
+// pull recomputes i's aggregate from its children.
+func (m *Multiset) pull(i int32) {
+	n := &m.nodes[i]
+	n.total = n.cnt + m.subTotal(n.l) + m.subTotal(n.r)
+}
+
+// rotateRight lifts i's left child above it and returns the new
+// subtree root.
+func (m *Multiset) rotateRight(i int32) int32 {
+	l := m.nodes[i].l
+	m.nodes[i].l = m.nodes[l].r
+	m.nodes[l].r = i
+	m.pull(i)
+	m.pull(l)
+	return l
+}
+
+// rotateLeft lifts i's right child above it and returns the new
+// subtree root.
+func (m *Multiset) rotateLeft(i int32) int32 {
+	r := m.nodes[i].r
+	m.nodes[i].r = m.nodes[r].l
+	m.nodes[r].l = i
+	m.pull(i)
+	m.pull(r)
+	return r
+}
+
+// Add inserts one occurrence of v. Non-finite values are rejected with
+// an error so a corrupted sample cannot silently poison the summary
+// (mirroring stats.ErrNonFinite at the batch layer).
+func (m *Multiset) Add(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: %v", stats.ErrNonFinite, v)
+	}
+	m.ensureInit()
+	m.root = m.add(m.root, v)
+	return nil
+}
+
+func (m *Multiset) add(i int32, v float64) int32 {
+	if i == nilIdx {
+		return m.alloc(v)
+	}
+	n := &m.nodes[i]
+	switch {
+	case v < n.val:
+		l := m.add(n.l, v)
+		m.nodes[i].l = l
+		m.pull(i)
+		if m.nodes[l].pri > m.nodes[i].pri {
+			return m.rotateRight(i)
+		}
+	case v > n.val:
+		r := m.add(n.r, v)
+		m.nodes[i].r = r
+		m.pull(i)
+		if m.nodes[r].pri > m.nodes[i].pri {
+			return m.rotateLeft(i)
+		}
+	default:
+		n.cnt++
+		n.total++
+	}
+	return i
+}
+
+// Remove deletes one occurrence of v, reporting whether it was present.
+func (m *Multiset) Remove(v float64) bool {
+	if !m.init || m.root == nilIdx || math.IsNaN(v) {
+		return false
+	}
+	var ok bool
+	m.root, ok = m.remove(m.root, v)
+	return ok
+}
+
+func (m *Multiset) remove(i int32, v float64) (int32, bool) {
+	if i == nilIdx {
+		return nilIdx, false
+	}
+	n := &m.nodes[i]
+	switch {
+	case v < n.val:
+		l, ok := m.remove(n.l, v)
+		if !ok {
+			return i, false
+		}
+		m.nodes[i].l = l
+		m.pull(i)
+		return i, true
+	case v > n.val:
+		r, ok := m.remove(n.r, v)
+		if !ok {
+			return i, false
+		}
+		m.nodes[i].r = r
+		m.pull(i)
+		return i, true
+	default:
+		if n.cnt > 1 {
+			n.cnt--
+			n.total--
+			return i, true
+		}
+		root := m.dropNode(i)
+		m.free = append(m.free, i)
+		return root, true
+	}
+}
+
+// dropNode rotates i down until it is a leaf (choosing the
+// higher-priority child to preserve the heap property) and returns the
+// subtree that replaces it.
+func (m *Multiset) dropNode(i int32) int32 {
+	n := &m.nodes[i]
+	switch {
+	case n.l == nilIdx && n.r == nilIdx:
+		return nilIdx
+	case n.l == nilIdx:
+		return n.r
+	case n.r == nilIdx:
+		return n.l
+	case m.nodes[n.l].pri > m.nodes[n.r].pri:
+		// The higher-priority left child becomes the subtree root and i
+		// its right child; keep sinking i from there.
+		root := m.rotateRight(i)
+		m.nodes[root].r = m.dropNode(i)
+		m.pull(root)
+		return root
+	default:
+		root := m.rotateLeft(i)
+		m.nodes[root].l = m.dropNode(i)
+		m.pull(root)
+		return root
+	}
+}
+
+// Rank returns how many stored values are strictly less than v and how
+// many equal it.
+func (m *Multiset) Rank(v float64) (less, equal int) {
+	if !m.init {
+		return 0, 0
+	}
+	i := m.root
+	for i != nilIdx {
+		n := &m.nodes[i]
+		switch {
+		case v < n.val:
+			i = n.l
+		case v > n.val:
+			less += int(m.subTotal(n.l)) + int(n.cnt)
+			i = n.r
+		default:
+			less += int(m.subTotal(n.l))
+			return less, int(n.cnt)
+		}
+	}
+	return less, 0
+}
+
+// FracRank returns the 1-based fractional (mean-of-ties) ascending rank
+// of v, exactly as stats.Ranks assigns it: the tied block spanning
+// 0-based positions [less, less+equal-1] receives float64(less +
+// (less+equal-1))/2 + 1. v must be present in the multiset.
+func (m *Multiset) FracRank(v float64) (float64, error) {
+	less, equal := m.Rank(v)
+	if equal == 0 {
+		return 0, fmt.Errorf("orderstat: value %v not in multiset", v)
+	}
+	// Identical integer arithmetic to the batch tie loop (i=less,
+	// j=less+equal-1; mean = float64(i+j)/2 + 1), so the float result is
+	// bit-identical.
+	return float64(less+(less+equal-1))/2 + 1, nil
+}
+
+// Kth returns the k-th smallest value (0-based, counting multiplicity).
+func (m *Multiset) Kth(k int) (float64, error) {
+	if k < 0 || k >= m.Len() {
+		return 0, fmt.Errorf("orderstat: order statistic %d out of range [0, %d)", k, m.Len())
+	}
+	i := m.root
+	for {
+		n := &m.nodes[i]
+		lt := int(m.subTotal(n.l))
+		switch {
+		case k < lt:
+			i = n.l
+		case k < lt+int(n.cnt):
+			return n.val, nil
+		default:
+			k -= lt + int(n.cnt)
+			i = n.r
+		}
+	}
+}
+
+// Percentile computes the p-th percentile (0 <= p <= 100) with the same
+// type-7 linear interpolation — and the same operation order, so the
+// same bits — as stats.Percentile over the sorted value slice.
+func (m *Multiset) Percentile(p float64) (float64, error) {
+	n := m.Len()
+	if n == 0 {
+		return 0, stats.ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("%w: %v", stats.ErrBadPercentile, p)
+	}
+	if n == 1 {
+		return m.Kth(0)
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	vlo, err := m.Kth(lo)
+	if err != nil {
+		return 0, err
+	}
+	if lo == hi {
+		return vlo, nil
+	}
+	vhi, err := m.Kth(hi)
+	if err != nil {
+		return 0, err
+	}
+	frac := rank - float64(lo)
+	return vlo*(1-frac) + vhi*frac, nil
+}
+
+// Quartiles returns Q1/median/Q3 with stats.ComputeQuartiles parity.
+func (m *Multiset) Quartiles() (stats.Quartiles, error) {
+	q1, err := m.Percentile(25)
+	if err != nil {
+		return stats.Quartiles{}, err
+	}
+	med, err := m.Percentile(50)
+	if err != nil {
+		return stats.Quartiles{}, err
+	}
+	q3, err := m.Percentile(75)
+	if err != nil {
+		return stats.Quartiles{}, err
+	}
+	return stats.Quartiles{Q1: q1, Median: med, Q3: q3}, nil
+}
+
+// Fences derives Tukey outlier fences with the given multiplier,
+// matching stats.ComputeFences (validation order and arithmetic) over
+// the stored values.
+func (m *Multiset) Fences(multiplier float64) (stats.Fences, error) {
+	if multiplier < 0 || math.IsNaN(multiplier) || math.IsInf(multiplier, 0) {
+		return stats.Fences{}, fmt.Errorf("stats: invalid fence multiplier %v", multiplier)
+	}
+	q, err := m.Quartiles()
+	if err != nil {
+		return stats.Fences{}, err
+	}
+	iqr := q.IQR()
+	return stats.Fences{
+		Quartiles:  q,
+		Multiplier: multiplier,
+		LowerOuter: q.Q1 - multiplier*iqr,
+		UpperOuter: q.Q3 + multiplier*iqr,
+	}, nil
+}
+
+// Reset empties the multiset, retaining the node arena for reuse.
+func (m *Multiset) Reset() {
+	m.nodes = m.nodes[:0]
+	m.free = m.free[:0]
+	m.root = nilIdx
+	m.init = true
+}
+
+// AppendValues appends every stored value in ascending order (each
+// repeated by its multiplicity) to dst and returns it; a debugging and
+// test helper, O(n).
+func (m *Multiset) AppendValues(dst []float64) []float64 {
+	if !m.init {
+		return dst
+	}
+	return m.appendValues(dst, m.root)
+}
+
+func (m *Multiset) appendValues(dst []float64, i int32) []float64 {
+	if i == nilIdx {
+		return dst
+	}
+	n := &m.nodes[i]
+	dst = m.appendValues(dst, n.l)
+	for c := uint32(0); c < n.cnt; c++ {
+		dst = append(dst, n.val)
+	}
+	return m.appendValues(dst, n.r)
+}
