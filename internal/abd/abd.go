@@ -1,11 +1,30 @@
-// Package abd models the three classes of abnormal-battery-drain root
-// causes the paper evaluates (§IV-A): no-sleep (a resource such as a
-// wakelock, GPS listener or sensor registration is not released), loop
-// (the app periodically performs unnecessary work), and configuration
-// (a misconfiguration makes the app burn power, e.g. K-9 Mail retrying
-// connections after the user sets an IMAP connection count the server
-// rejects). Per the paper's cited study [2], these three classes cover
-// about 89.3% of real ABD causes.
+// Package abd models the classes of abnormal-battery-drain root causes
+// the evaluation injects. The paper evaluates three (§IV-A): no-sleep
+// (a resource such as a wakelock, GPS listener or sensor registration
+// is not released), loop (the app periodically performs unnecessary
+// work), and configuration (a misconfiguration makes the app burn
+// power, e.g. K-9 Mail retrying connections after the user sets an
+// IMAP connection count the server rejects). Per the paper's cited
+// study [2], these three classes cover about 89.3% of real ABD causes.
+//
+// The scenario-matrix extension adds four more families from the
+// energy-issue taxonomy of Li et al., "Detecting and Diagnosing Energy
+// Issues for Mobile Applications" (PAPERS.md):
+//
+//   - gps-navigation: a sustained-fix leak — navigation keeps a
+//     high-accuracy GPS fix plus a fix-processing loop alive after the
+//     user leaves the route view (sensory-data underutilization).
+//   - media-stream: a decoder hold — playback teardown forgets to stop
+//     the decoder pipeline, so audio output and decode work continue in
+//     the background. The hold is behavioral (a media session), not an
+//     acquire in the code, so acquire/release static analysis is blind
+//     to it.
+//   - sync-storm: an alarm fan-out — one action schedules several
+//     repeating sync alarms that are never cancelled, multiplying
+//     periodic background work.
+//   - tail-energy: a chatty radio teardown — frequent tiny transfers
+//     each pay the radio's tail energy, a weak but long-lasting drain
+//     that deviation-threshold detectors (eDelta) sit right under.
 //
 // A Fault can be injected both dynamically (into an app's behavior map,
 // so the simulated app actually drains power) and statically (into its
@@ -32,9 +51,27 @@ const (
 	Loop
 	// Configuration is a misconfiguration-driven drain.
 	Configuration
+	// GPSNavigation is a sustained-fix leak: a held GPS fix plus a
+	// fix-processing loop survive past the release point.
+	GPSNavigation
+	// MediaStream is a decoder hold: the playback pipeline (audio
+	// output hold + decode loop) keeps running after teardown.
+	MediaStream
+	// SyncStorm is an alarm fan-out: several repeating sync alarms are
+	// scheduled and never cancelled.
+	SyncStorm
+	// TailEnergy is a chatty radio teardown: frequent tiny transfers
+	// each pay the radio tail, a weak-but-long drain.
+	TailEnergy
 )
 
-// String names the root-cause class as Table III does.
+// Kinds lists every root-cause class, paper classes first.
+func Kinds() []Kind {
+	return []Kind{NoSleep, Loop, Configuration, GPSNavigation, MediaStream, SyncStorm, TailEnergy}
+}
+
+// String names the root-cause class as Table III (and the scenario
+// matrix) does.
 func (k Kind) String() string {
 	switch k {
 	case NoSleep:
@@ -43,12 +80,21 @@ func (k Kind) String() string {
 		return "loop"
 	case Configuration:
 		return "configuration"
+	case GPSNavigation:
+		return "gps-navigation"
+	case MediaStream:
+		return "media-stream"
+	case SyncStorm:
+		return "sync-storm"
+	case TailEnergy:
+		return "tail-energy"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
-// ParseKind parses a Table III root-cause string.
+// ParseKind parses a root-cause string (Table III or scenario-matrix
+// spelling).
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "no-sleep":
@@ -57,6 +103,14 @@ func ParseKind(s string) (Kind, error) {
 		return Loop, nil
 	case "configuration":
 		return Configuration, nil
+	case "gps-navigation":
+		return GPSNavigation, nil
+	case "media-stream":
+		return MediaStream, nil
+	case "sync-storm":
+		return SyncStorm, nil
+	case "tail-energy":
+		return TailEnergy, nil
 	default:
 		return 0, fmt.Errorf("abd: unknown root cause %q", s)
 	}
@@ -80,17 +134,32 @@ type Fault struct {
 	Resource string
 
 	// Component and Level describe the hardware drain of a no-sleep
-	// hold.
+	// hold. GPSNavigation and MediaStream reuse them for the sustained
+	// fix / decoder-output hold that rides alongside their work loop.
 	Component trace.Component
 	Level     float64
 
-	// LoopSpec describes the periodic drain of loop/configuration ABDs.
+	// LoopSpec describes the periodic drain of loop/configuration ABDs,
+	// the fix-processing/decode loop of gps-navigation/media-stream,
+	// each alarm of a sync-storm, and the chatty transfer cadence of a
+	// tail-energy fault.
 	LoopSpec android.LoopSpec
+
+	// FanOut is how many repeating alarms a sync-storm schedules.
+	FanOut int
 
 	// ConfigKey/ConfigValue guard configuration ABDs: the drain starts
 	// only when the app's config matches (the user misconfigured it).
 	ConfigKey   string
 	ConfigValue string
+}
+
+// holdName/loopName/alarmName derive the per-resource identifiers the
+// compound faults install, so buggy and fixed variants always agree.
+func (f *Fault) holdName() string { return f.Resource + "-hold" }
+func (f *Fault) loopName() string { return f.Resource + "-work" }
+func (f *Fault) alarmName(i int) string {
+	return fmt.Sprintf("%s-alarm-%d", f.Resource, i)
 }
 
 // Validate checks the fault is fully specified for its kind.
@@ -116,6 +185,31 @@ func (f *Fault) Validate() error {
 		}
 		if f.ConfigKey == "" {
 			return fmt.Errorf("abd: configuration fault needs a config key")
+		}
+	case GPSNavigation:
+		if f.Level <= 0 {
+			return fmt.Errorf("abd: gps-navigation fault needs a positive fix-hold level")
+		}
+		if f.LoopSpec.PeriodMS <= 0 || f.LoopSpec.BurstMS <= 0 {
+			return fmt.Errorf("abd: gps-navigation fault needs a fix-processing loop spec")
+		}
+	case MediaStream:
+		if f.Level <= 0 {
+			return fmt.Errorf("abd: media-stream fault needs a positive decoder-hold level")
+		}
+		if f.LoopSpec.PeriodMS <= 0 || f.LoopSpec.BurstMS <= 0 {
+			return fmt.Errorf("abd: media-stream fault needs a decode loop spec")
+		}
+	case SyncStorm:
+		if f.LoopSpec.PeriodMS <= 0 || f.LoopSpec.BurstMS <= 0 {
+			return fmt.Errorf("abd: sync-storm fault needs an alarm loop spec")
+		}
+		if f.FanOut < 2 {
+			return fmt.Errorf("abd: sync-storm fault needs a fan-out of at least 2, got %d", f.FanOut)
+		}
+	case TailEnergy:
+		if f.LoopSpec.PeriodMS <= 0 || f.LoopSpec.BurstMS <= 0 {
+			return fmt.Errorf("abd: tail-energy fault needs a transfer loop spec")
 		}
 	default:
 		return fmt.Errorf("abd: unknown fault kind %d", f.Kind)
@@ -145,7 +239,11 @@ func (f *Fault) InjectBehavior(b android.BehaviorMap, fixed bool) error {
 			HoldComponent: f.Component,
 			HoldLevel:     f.Level,
 		})
-	case Loop:
+	case Loop, TailEnergy:
+		// A tail-energy drain has the same dynamic skeleton as a loop —
+		// a periodic task that should have been stopped — but its spec
+		// is a weak, radio-tail-dominated cadence and its static shape
+		// (InjectAPK) is a chatty transfer, not a timer.
 		tb.Effects = append(tb.Effects, android.Effect{
 			Kind: android.EffectStartLoop,
 			Name: f.Resource,
@@ -159,6 +257,34 @@ func (f *Fault) InjectBehavior(b android.BehaviorMap, fixed bool) error {
 			ConfigKey:   f.ConfigKey,
 			ConfigValue: f.ConfigValue,
 		})
+	case GPSNavigation, MediaStream:
+		// A sustained hold (the GPS fix / the decoder's audio output)
+		// plus the periodic work that consumes it.
+		tb.Effects = append(tb.Effects,
+			android.Effect{
+				Kind:          android.EffectAcquire,
+				Name:          f.holdName(),
+				HoldComponent: f.Component,
+				HoldLevel:     f.Level,
+			},
+			android.Effect{
+				Kind: android.EffectStartLoop,
+				Name: f.loopName(),
+				Loop: f.LoopSpec,
+			},
+		)
+	case SyncStorm:
+		// The fan-out: every alarm repeats at a staggered period so the
+		// bursts interleave instead of aliasing onto one tick.
+		for i := 0; i < f.FanOut; i++ {
+			spec := f.LoopSpec
+			spec.PeriodMS += int64(i) * f.LoopSpec.PeriodMS / 3
+			tb.Effects = append(tb.Effects, android.Effect{
+				Kind: android.EffectStartLoop,
+				Name: f.alarmName(i),
+				Loop: spec,
+			})
+		}
 	}
 	b[f.Trigger] = tb
 
@@ -175,21 +301,36 @@ func (f *Fault) InjectBehavior(b android.BehaviorMap, fixed bool) error {
 			Kind: android.EffectRelease,
 			Name: f.Resource,
 		})
-	case Loop, Configuration:
+	case Loop, Configuration, TailEnergy:
 		rb.Effects = append(rb.Effects, android.Effect{
 			Kind: android.EffectStopLoop,
 			Name: f.Resource,
 		})
+	case GPSNavigation, MediaStream:
+		rb.Effects = append(rb.Effects,
+			android.Effect{Kind: android.EffectRelease, Name: f.holdName()},
+			android.Effect{Kind: android.EffectStopLoop, Name: f.loopName()},
+		)
+	case SyncStorm:
+		for i := 0; i < f.FanOut; i++ {
+			rb.Effects = append(rb.Effects, android.Effect{
+				Kind: android.EffectStopLoop,
+				Name: f.alarmName(i),
+			})
+		}
 	}
 	b[f.ReleasePoint] = rb
 	return nil
 }
 
 // InjectAPK rewrites the trigger method's body so the static structure of
-// the bug is analyzable: a no-sleep fault becomes an acquire with a
-// leaking early-return path, a loop fault a scheduling call, and a
-// configuration fault a config-guarded scheduling call. When fixed is
-// true the no-sleep body releases on every path.
+// the bug is analyzable: a no-sleep (or gps-navigation) fault becomes an
+// acquire with a leaking early-return path, a loop fault a scheduling
+// call, a configuration fault a config-guarded scheduling call, a
+// media-stream fault a media-session start (no acquire to pair), a
+// sync-storm a fan of alarm registrations, and a tail-energy fault a
+// per-message connect/disconnect. When fixed is true the acquire-shaped
+// bodies release on every path.
 func (f *Fault) InjectAPK(p *apk.Package, fixed bool) error {
 	if err := f.Validate(); err != nil {
 		return err
@@ -232,6 +373,60 @@ func (f *Fault) InjectAPK(p *apk.Package, fixed bool) error {
 			{Op: apk.OpIf, Args: []string{"skip"}},
 			{Op: apk.OpCall, Args: []string{"Ljava/util/Timer;->schedule"}},
 			{Op: apk.OpLabel, Args: []string{"skip"}},
+			{Op: apk.OpReturn},
+		}
+	case GPSNavigation:
+		// The sustained fix IS an acquire-shaped leak, so acquire/release
+		// static analysis (No-sleep Detection) has a real path to find —
+		// it is the one non-paper family that detector can credit.
+		if fixed {
+			m.Body = []apk.Instruction{
+				{Op: apk.OpAcquire, Args: []string{f.holdName()}},
+				{Op: apk.OpCall, Args: []string{"Landroid/location/LocationManager;->requestLocationUpdates"}},
+				{Op: apk.OpWork},
+				{Op: apk.OpRelease, Args: []string{f.holdName()}},
+				{Op: apk.OpReturn},
+			}
+		} else {
+			m.Body = []apk.Instruction{
+				{Op: apk.OpAcquire, Args: []string{f.holdName()}},
+				{Op: apk.OpCall, Args: []string{"Landroid/location/LocationManager;->requestLocationUpdates"}},
+				{Op: apk.OpIf, Args: []string{"reroute"}},
+				{Op: apk.OpWork},
+				{Op: apk.OpRelease, Args: []string{f.holdName()}},
+				{Op: apk.OpReturn},
+				{Op: apk.OpLabel, Args: []string{"reroute"}},
+				{Op: apk.OpReturn},
+			}
+		}
+	case MediaStream:
+		// The decoder hold is a media-session object, not an acquire:
+		// statically there is nothing to pair, which is exactly why
+		// acquire/release analysis misses this family.
+		m.Body = []apk.Instruction{
+			{Op: apk.OpCall, Args: []string{"Landroid/media/MediaCodec;->start"}},
+			{Op: apk.OpCall, Args: []string{"Landroid/media/AudioTrack;->play"}},
+			{Op: apk.OpWork},
+			{Op: apk.OpReturn},
+		}
+	case SyncStorm:
+		// One scheduling call per fanned-out alarm.
+		body := make([]apk.Instruction, 0, f.FanOut+2)
+		body = append(body, apk.Instruction{Op: apk.OpWork})
+		for i := 0; i < f.FanOut; i++ {
+			body = append(body, apk.Instruction{
+				Op: apk.OpCall, Args: []string{"Landroid/app/AlarmManager;->setRepeating"},
+			})
+		}
+		m.Body = append(body, apk.Instruction{Op: apk.OpReturn})
+	case TailEnergy:
+		// A per-message connect/send/disconnect: each call pays the
+		// radio tail instead of batching.
+		m.Body = []apk.Instruction{
+			{Op: apk.OpCall, Args: []string{"Ljava/net/HttpURLConnection;->connect"}},
+			{Op: apk.OpWork},
+			{Op: apk.OpCall, Args: []string{"Ljava/net/HttpURLConnection;->disconnect"}},
+			{Op: apk.OpCall, Args: []string{"Landroid/os/Handler;->postDelayed"}},
 			{Op: apk.OpReturn},
 		}
 	}

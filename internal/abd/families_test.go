@@ -1,0 +1,289 @@
+package abd
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/trace"
+)
+
+func gpsNavFault() Fault {
+	return Fault{
+		Kind:         GPSNavigation,
+		Trigger:      trace.EventKey{Class: "LNav/RouteActivity", Callback: "onClick"},
+		ReleasePoint: trace.EventKey{Class: "LNav/RouteActivity", Callback: android.OnPause},
+		Resource:     "navigation",
+		Component:    trace.GPS,
+		Level:        1,
+		LoopSpec: android.LoopSpec{
+			PeriodMS: 1000, BurstMS: 700,
+			Usages: []android.ComponentUsage{{Component: trace.CPU, Level: 0.4}},
+		},
+	}
+}
+
+func mediaStreamFault() Fault {
+	return Fault{
+		Kind:         MediaStream,
+		Trigger:      trace.EventKey{Class: "LPlayer/PlayerActivity", Callback: "onClick"},
+		ReleasePoint: trace.EventKey{Class: "LPlayer/PlayerActivity", Callback: android.OnPause},
+		Resource:     "playback",
+		Component:    trace.Audio,
+		Level:        0.85,
+		LoopSpec: android.LoopSpec{
+			PeriodMS: 800, BurstMS: 600,
+			Usages: []android.ComponentUsage{{Component: trace.CPU, Level: 0.45}},
+		},
+	}
+}
+
+func syncStormFault() Fault {
+	return Fault{
+		Kind:         SyncStorm,
+		Trigger:      trace.EventKey{Class: "LSync/AccountsActivity", Callback: "onClick"},
+		ReleasePoint: trace.EventKey{Class: "LSync/AccountsActivity", Callback: android.OnPause},
+		Resource:     "accounts",
+		FanOut:       3,
+		LoopSpec: android.LoopSpec{
+			PeriodMS: 2000, BurstMS: 900,
+			Usages: []android.ComponentUsage{{Component: trace.WiFi, Level: 0.55}},
+		},
+	}
+}
+
+func tailEnergyFault() Fault {
+	return Fault{
+		Kind:         TailEnergy,
+		Trigger:      trace.EventKey{Class: "LChat/ChatActivity", Callback: "onClick"},
+		ReleasePoint: trace.EventKey{Class: "LChat/ChatActivity", Callback: android.OnPause},
+		Resource:     "presence-ping",
+		LoopSpec: android.LoopSpec{
+			PeriodMS: 3000, BurstMS: 2400,
+			Usages: []android.ComponentUsage{{Component: trace.Cellular, Level: 0.25}},
+		},
+	}
+}
+
+// drainNames lists the dynamic resources (holds and loops) a fault
+// installs at its trigger, so the table-driven test can assert the
+// fault is inert before the trigger and torn down by the fix.
+func drainNames(f Fault) (holds, loops []string) {
+	switch f.Kind {
+	case GPSNavigation, MediaStream:
+		return []string{f.holdName()}, []string{f.loopName()}
+	case SyncStorm:
+		for i := 0; i < f.FanOut; i++ {
+			loops = append(loops, f.alarmName(i))
+		}
+		return nil, loops
+	case TailEnergy:
+		return nil, []string{f.Resource}
+	default:
+		return nil, []string{f.Resource}
+	}
+}
+
+// TestNewFamiliesBuggyVsFixed mirrors TestNoSleepBuggyVsFixed for every
+// new root-cause family: the fault is inert until its trigger event
+// fires, the buggy variant keeps draining after the release point, and
+// the fixed variant tears everything down.
+func TestNewFamiliesBuggyVsFixed(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault Fault
+		// holdComponent is the component whose utilization the hold pins
+		// during background idle (zero Component means loop-only fault).
+		holdComponent trace.Component
+		holdLevel     float64
+	}{
+		{"gps-navigation", gpsNavFault(), trace.GPS, 1},
+		{"media-stream", mediaStreamFault(), trace.Audio, 0.85},
+		{"sync-storm", syncStormFault(), 0, 0},
+		{"tail-energy", tailEnergyFault(), 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, fixed := range []bool{false, true} {
+				f := tc.fault
+				behaviors := android.BehaviorMap{}
+				if err := f.InjectBehavior(behaviors, fixed); err != nil {
+					t.Fatal(err)
+				}
+				sys := android.NewSystem(0)
+				p := sys.NewProcess(tc.name, android.WithBehaviors(behaviors))
+				if err := p.LaunchActivity(f.Trigger.Class); err != nil {
+					t.Fatal(err)
+				}
+				// Before the trigger event nothing drains: browsing the
+				// trigger activity alone must not start the fault.
+				holds, loops := drainNames(f)
+				for _, h := range holds {
+					if p.HoldActive(h) {
+						t.Fatalf("fixed=%v: hold %q active before trigger", fixed, h)
+					}
+				}
+				for _, l := range loops {
+					if p.LoopActive(l) {
+						t.Fatalf("fixed=%v: loop %q active before trigger", fixed, l)
+					}
+				}
+				if err := p.Tap(f.Trigger.Callback); err != nil {
+					t.Fatal(err)
+				}
+				// The drain starts at the trigger in both variants (the
+				// feature itself is legitimate).
+				for _, l := range loops {
+					if !p.LoopActive(l) {
+						t.Fatalf("fixed=%v: loop %q not started by trigger", fixed, l)
+					}
+				}
+				// Backgrounding fires onPause — the release point.
+				if err := p.Background(); err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Idle(60_000); err != nil {
+					t.Fatal(err)
+				}
+				for _, h := range holds {
+					if got := p.HoldActive(h); got == fixed {
+						t.Errorf("fixed=%v: hold %q active in background = %v", fixed, h, got)
+					}
+				}
+				for _, l := range loops {
+					if got := p.LoopActive(l); got == fixed {
+						t.Errorf("fixed=%v: loop %q active in background = %v", fixed, l, got)
+					}
+				}
+				if tc.holdComponent != 0 {
+					u := sys.Ledger().UtilizationAt(p.PID(), sys.NowMS()-1)
+					want := tc.holdLevel
+					if fixed {
+						want = 0
+					}
+					if got := u.Get(tc.holdComponent); got != want {
+						t.Errorf("fixed=%v: background %s utilization = %v, want %v",
+							fixed, tc.holdComponent, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNewKindsRoundTrip pins ParseKind/String over the full taxonomy.
+func TestNewKindsRoundTrip(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 7 {
+		t.Fatalf("Kinds() lists %d kinds, want 7", len(kinds))
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+		back, err := ParseKind(s)
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", s, err)
+		}
+		if back != k {
+			t.Errorf("round trip %v -> %v", k, back)
+		}
+	}
+}
+
+// TestNewFamiliesValidate exercises the per-kind validation rules.
+func TestNewFamiliesValidate(t *testing.T) {
+	for _, f := range []Fault{gpsNavFault(), mediaStreamFault(), syncStormFault(), tailEnergyFault()} {
+		if err := f.Validate(); err != nil {
+			t.Errorf("valid %v fault rejected: %v", f.Kind, err)
+		}
+	}
+	bad := gpsNavFault()
+	bad.Level = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("gps-navigation without fix-hold level accepted")
+	}
+	bad = gpsNavFault()
+	bad.LoopSpec.BurstMS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("gps-navigation without fix loop accepted")
+	}
+	bad = mediaStreamFault()
+	bad.Level = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("media-stream without decoder-hold level accepted")
+	}
+	bad = syncStormFault()
+	bad.FanOut = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("sync-storm with fan-out 1 accepted")
+	}
+	bad = tailEnergyFault()
+	bad.LoopSpec.PeriodMS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("tail-energy without transfer loop accepted")
+	}
+}
+
+// TestNewFamiliesInjectAPKShapes checks each family's static signature:
+// gps-navigation leaks an acquire (the one new family acquire/release
+// analysis can credit); the other three must NOT look like no-sleep
+// bugs to the static baseline.
+func TestNewFamiliesInjectAPKShapes(t *testing.T) {
+	f := gpsNavFault()
+	pkg := triggerPkg(f)
+	if err := f.InjectAPK(pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	m, err := pkg.Lookup(f.Trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := apk.BuildCFG(m.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq := apk.Acquires(m.Body)
+	if len(acq) != 1 {
+		t.Fatalf("gps-navigation acquires = %v, want 1", acq)
+	}
+	if !g.LeakPathExists(acq[0].Index, acq[0].Resource) {
+		t.Error("buggy gps-navigation body has no leaking path")
+	}
+	fixedPkg := triggerPkg(f)
+	if err := f.InjectAPK(fixedPkg, true); err != nil {
+		t.Fatal(err)
+	}
+	m, err = fixedPkg.Lookup(f.Trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = apk.BuildCFG(m.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq = apk.Acquires(m.Body)
+	if g.LeakPathExists(acq[0].Index, acq[0].Resource) {
+		t.Error("fixed gps-navigation body still leaks")
+	}
+
+	for _, f := range []Fault{mediaStreamFault(), syncStormFault(), tailEnergyFault()} {
+		pkg := triggerPkg(f)
+		if err := f.InjectAPK(pkg, false); err != nil {
+			t.Fatal(err)
+		}
+		m, err := pkg.Lookup(f.Trigger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := apk.BuildCFG(m.Body); err != nil {
+			t.Errorf("%v body has invalid CFG: %v", f.Kind, err)
+		}
+		if len(apk.Acquires(m.Body)) != 0 {
+			t.Errorf("%v body contains acquires", f.Kind)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package abd
+
+import "testing"
+
+// FuzzParseKind checks ParseKind never panics and stays consistent
+// with String: any input that parses must round-trip exactly.
+func FuzzParseKind(f *testing.F) {
+	for _, k := range Kinds() {
+		f.Add(k.String())
+	}
+	f.Add("")
+	f.Add("no-sleep ")
+	f.Add("GPS-NAVIGATION")
+	f.Add("tail-energy\x00")
+	f.Add("sync-storm-storm")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKind(s)
+		if err != nil {
+			return
+		}
+		if k.String() != s {
+			t.Errorf("ParseKind(%q) = %v, String() = %q", s, k, k.String())
+		}
+	})
+}

@@ -155,9 +155,10 @@ type Process struct {
 	states     map[string]ActivityState
 	foreground bool
 
-	displayHold *procfs.OpenUsage
-	holds       map[string]*procfs.OpenUsage
-	loops       map[string]*runningLoop
+	displayHold  *procfs.OpenUsage
+	holds        map[string]*procfs.OpenUsage
+	loops        map[string]*runningLoop
+	batterySaver bool
 
 	// Aggregate instrumentation accounting for the overhead experiment.
 	eventCount        int64
@@ -645,9 +646,44 @@ func (p *Process) Kill() {
 	p.foreground = false
 }
 
+// SaverBrightnessFactor is the fraction of configured brightness the
+// display runs at while battery-saver mode is on. Android's saver mode
+// dims the panel and throttles background work; the simulator models
+// the dominant effect, the display drop, which perturbs an app's
+// baseline power mid-session without touching its fault behavior.
+const SaverBrightnessFactor = 0.45
+
+// SetBatterySaver toggles battery-saver mode. While on, the display is
+// held at SaverBrightnessFactor of the configured brightness; if the
+// app is foreground the display hold is reopened immediately so the
+// power change lands at the current simulated instant.
+func (p *Process) SetBatterySaver(on bool) {
+	if p.batterySaver == on {
+		return
+	}
+	wasOpen := p.displayHold != nil
+	if wasOpen {
+		p.closeDisplay()
+	}
+	p.batterySaver = on
+	if wasOpen {
+		p.openDisplay()
+	}
+}
+
+// BatterySaver reports whether battery-saver mode is on.
+func (p *Process) BatterySaver() bool { return p.batterySaver }
+
+func (p *Process) brightness() float64 {
+	if p.batterySaver {
+		return p.displayBrightness * SaverBrightnessFactor
+	}
+	return p.displayBrightness
+}
+
 func (p *Process) openDisplay() {
 	if p.displayHold == nil {
-		p.displayHold = p.sys.ledger.Open(p.pid, trace.Display, p.sys.NowMS(), p.displayBrightness)
+		p.displayHold = p.sys.ledger.Open(p.pid, trace.Display, p.sys.NowMS(), p.brightness())
 	}
 }
 

@@ -29,6 +29,9 @@ const (
 	// StepSetConfig writes an app configuration value (modelling a
 	// settings change the user makes through the UI).
 	StepSetConfig
+	// StepBatterySaver toggles battery-saver mode (dimmed display),
+	// perturbing the app's baseline power mid-session.
+	StepBatterySaver
 )
 
 // Step is one scripted user action.
@@ -39,6 +42,7 @@ type Step struct {
 	DurMS    int64  // idle duration for StepIdle
 	Key      string // config key for StepSetConfig
 	Value    string // config value for StepSetConfig
+	On       bool   // saver state for StepBatterySaver
 }
 
 // Convenience constructors keep scripts readable.
@@ -75,6 +79,9 @@ func StopSvc(class string) Step { return Step{Kind: StepStopService, Class: clas
 // SetCfg returns a configuration-change step.
 func SetCfg(key, value string) Step { return Step{Kind: StepSetConfig, Key: key, Value: value} }
 
+// Saver returns a battery-saver toggle step.
+func Saver(on bool) Step { return Step{Kind: StepBatterySaver, On: on} }
+
 // RunScript executes the steps against a process, stopping at the first
 // error.
 func RunScript(p *Process, steps []Step) error {
@@ -108,6 +115,9 @@ func runStep(p *Process, s Step) error {
 		return p.StopService(s.Class)
 	case StepSetConfig:
 		p.SetConfig(s.Key, s.Value)
+		return nil
+	case StepBatterySaver:
+		p.SetBatterySaver(s.On)
 		return nil
 	default:
 		return fmt.Errorf("android: unknown step kind %d", s.Kind)

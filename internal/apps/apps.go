@@ -252,7 +252,7 @@ func ByAppID(appID string) (*App, error) {
 			return generate(row)
 		}
 	}
-	return nil, fmt.Errorf("apps: unknown app %q", appID)
+	return byExtendedAppID(appID)
 }
 
 // CountByCause tallies the catalog's root causes (used by the baseline

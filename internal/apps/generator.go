@@ -268,6 +268,134 @@ func generate(row catalogRow) (*App, error) {
 			android.Back(), // returning to Main fires onResume with the bad config
 			android.Home(),
 		}
+	case abd.GPSNavigation:
+		// Sustained-fix leak: starting turn-by-turn navigation pins the
+		// GPS at full fix rate plus a route-recalculation loop; leaving
+		// the navigation screen must stop both, the bug doesn't.
+		trg := apk.Class{Name: base + "/NavigationActivity"}
+		addLifecycle(&trg, behaviors, rng)
+		addWidget(&trg, behaviors, "onClick", lightWidget, rng)
+		addHelpers(&trg, 2+rng.Intn(3), rng)
+		pkg.Classes = append(pkg.Classes, trg)
+
+		a.Fault = abd.Fault{
+			Kind:         abd.GPSNavigation,
+			Trigger:      trace.EventKey{Class: trg.Name, Callback: "onClick"},
+			ReleasePoint: trace.EventKey{Class: trg.Name, Callback: android.OnPause},
+			Resource:     "navigation",
+			Component:    trace.GPS,
+			Level:        1,
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 1200 + int64(rng.Intn(800)),
+				BurstMS:  0, // set below as a moderate duty cycle
+				Usages: []android.ComponentUsage{
+					{Component: trace.CPU, Level: 0.35 + rng.Float64()*0.15},
+				},
+			},
+		}
+		a.Fault.LoopSpec.BurstMS = a.Fault.LoopSpec.PeriodMS * (55 + int64(rng.Intn(20))) / 100
+		a.TriggerScript = []android.Step{
+			android.Launch(a.MainActivity),
+			android.Launch(trg.Name),
+			android.Tap("onClick"),
+			android.Home(),
+		}
+	case abd.MediaStream:
+		// Decoder hold: starting playback keeps the audio pipeline and a
+		// decode loop alive after the player screen is paused. No wakelock
+		// is involved, so acquire/release static analysis sees nothing.
+		trg := apk.Class{Name: base + "/PlayerActivity"}
+		addLifecycle(&trg, behaviors, rng)
+		addWidget(&trg, behaviors, "onClick", lightWidget, rng)
+		addHelpers(&trg, 2+rng.Intn(3), rng)
+		pkg.Classes = append(pkg.Classes, trg)
+
+		a.Fault = abd.Fault{
+			Kind:         abd.MediaStream,
+			Trigger:      trace.EventKey{Class: trg.Name, Callback: "onClick"},
+			ReleasePoint: trace.EventKey{Class: trg.Name, Callback: android.OnPause},
+			Resource:     "playback",
+			Component:    trace.Audio,
+			Level:        0.8 + rng.Float64()*0.15,
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 800 + int64(rng.Intn(600)),
+				BurstMS:  0, // set below as a high duty cycle (steady decode)
+				Usages: []android.ComponentUsage{
+					{Component: trace.CPU, Level: 0.4 + rng.Float64()*0.15},
+				},
+			},
+		}
+		a.Fault.LoopSpec.BurstMS = a.Fault.LoopSpec.PeriodMS * (70 + int64(rng.Intn(20))) / 100
+		a.TriggerScript = []android.Step{
+			android.Launch(a.MainActivity),
+			android.Launch(trg.Name),
+			android.Tap("onClick"),
+			android.Home(),
+		}
+	case abd.SyncStorm:
+		// Alarm fan-out: enabling account sync schedules several repeating
+		// alarms with staggered periods; the buggy variant never cancels
+		// them at the release point.
+		trg := apk.Class{Name: base + "/AccountsActivity"}
+		addLifecycle(&trg, behaviors, rng)
+		addWidget(&trg, behaviors, "onClick", lightWidget, rng)
+		addHelpers(&trg, 2+rng.Intn(3), rng)
+		pkg.Classes = append(pkg.Classes, trg)
+
+		a.Fault = abd.Fault{
+			Kind:         abd.SyncStorm,
+			Trigger:      trace.EventKey{Class: trg.Name, Callback: "onClick"},
+			ReleasePoint: trace.EventKey{Class: trg.Name, Callback: android.OnPause},
+			Resource:     "accounts",
+			FanOut:       3 + rng.Intn(3),
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 1500 + int64(rng.Intn(1500)),
+				BurstMS:  0, // set below as a moderate duty cycle
+				Usages: []android.ComponentUsage{
+					{Component: trace.WiFi, Level: 0.45 + rng.Float64()*0.2},
+					{Component: trace.CPU, Level: 0.2 + rng.Float64()*0.15},
+				},
+			},
+		}
+		a.Fault.LoopSpec.BurstMS = a.Fault.LoopSpec.PeriodMS * (55 + int64(rng.Intn(25))) / 100
+		a.TriggerScript = []android.Step{
+			android.Launch(a.MainActivity),
+			android.Launch(trg.Name),
+			android.Tap("onClick"),
+			android.Home(),
+		}
+	case abd.TailEnergy:
+		// Chatty radio teardown: a presence ping keeps waking the cellular
+		// radio, paying the tail energy on every transfer. The per-sample
+		// deviation is deliberately weak (below eDelta's absolute 250 mW
+		// threshold on every device profile) but lasts the whole session —
+		// a weak-but-long drain only normalized detection catches.
+		trg := apk.Class{Name: base + "/ChatActivity"}
+		addLifecycle(&trg, behaviors, rng)
+		addWidget(&trg, behaviors, "onClick", lightWidget, rng)
+		addHelpers(&trg, 2+rng.Intn(3), rng)
+		pkg.Classes = append(pkg.Classes, trg)
+
+		a.Fault = abd.Fault{
+			Kind:         abd.TailEnergy,
+			Trigger:      trace.EventKey{Class: trg.Name, Callback: "onClick"},
+			ReleasePoint: trace.EventKey{Class: trg.Name, Callback: android.OnPause},
+			Resource:     "presence-ping",
+			LoopSpec: android.LoopSpec{
+				PeriodMS: 2500 + int64(rng.Intn(1000)),
+				BurstMS:  0, // set below as a high duty cycle (radio tail)
+				Usages: []android.ComponentUsage{
+					{Component: trace.Cellular, Level: 0.18 + rng.Float64()*0.05},
+				},
+			},
+		}
+		a.Fault.LoopSpec.BurstMS = a.Fault.LoopSpec.PeriodMS * (75 + int64(rng.Intn(15))) / 100
+		a.TriggerScript = []android.Step{
+			android.Launch(a.MainActivity),
+			android.Launch(trg.Name),
+			android.Tap("onClick"),
+			android.Home(),
+		}
 	}
 
 	a.pkg = pkg

@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestIncrementalMatchesBatchNewScenarios extends the differential
+// suite over the new ABD scenario families: one app per family
+// (gps-navigation, media-stream, sync-storm, tail-energy) plus a
+// battery-saver-perturbed corpus. For each corpus, bundles are added
+// one by one and then removed one by one, and after every mutation the
+// incremental report must be byte-identical to batch Analyze over the
+// remaining bundles.
+func TestIncrementalMatchesBatchNewScenarios(t *testing.T) {
+	cases := []struct {
+		name       string
+		appID      string
+		saverPhase int
+	}{
+		{"gps-navigation", "navtracker", 0},
+		{"media-stream", "podstream", 0},
+		{"sync-storm", "syncmania", 0},
+		{"tail-energy", "chatterbox", 0},
+		{"battery-saver", "navtracker", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			app, err := apps.ByAppID(tc.appID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := workload.DefaultConfig(app, 63)
+			cfg.Users = 8
+			cfg.ImpactedFraction = 0.25
+			cfg.BatterySaverPhase = tc.saverPhase
+			corpus, err := workload.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := corpus.Bundles
+
+			acfg := core.DefaultConfig()
+			batch, err := core.NewAnalyzer(acfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := core.NewIncrementalAnalyzer(acfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(step string, n int) {
+				t.Helper()
+				got, gotErr := inc.Report()
+				if n == 0 {
+					if !errors.Is(gotErr, core.ErrNoTraces) {
+						t.Fatalf("%s: empty corpus: got %v, want ErrNoTraces", step, gotErr)
+					}
+					return
+				}
+				if gotErr != nil {
+					t.Fatalf("%s: incremental report: %v", step, gotErr)
+				}
+				want, wantErr := batch.Analyze(pool[:n])
+				if wantErr != nil {
+					t.Fatalf("%s: batch analyze: %v", step, wantErr)
+				}
+				if !bytes.Equal(reportJSON(t, got), reportJSON(t, want)) {
+					t.Fatalf("%s: incremental report diverged from batch over %d bundles", step, n)
+				}
+			}
+
+			keys := make([]string, len(pool))
+			for i, b := range pool {
+				key, added := inc.Add(b)
+				if !added {
+					t.Fatalf("add %d: fresh bundle %s reported as duplicate", i, key)
+				}
+				keys[i] = key
+				check("add", i+1)
+			}
+			// Remove from the tail so the remaining corpus stays a prefix
+			// of the pool (what the batch oracle re-analyzes).
+			for i := len(pool) - 1; i >= 0; i-- {
+				if !inc.Remove(keys[i]) {
+					t.Fatalf("remove %d: present key %s returned false", i, keys[i])
+				}
+				check("remove", i)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package evaluate
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Interval is a two-sided confidence interval around a sample mean.
+type Interval struct {
+	Mean float64 `json:"mean"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// BootstrapCI estimates a percentile-bootstrap confidence interval for
+// the mean of values. confidence is the two-sided coverage (e.g. 0.95),
+// resamples the number of bootstrap replicates, and seed drives the
+// resampling RNG, so a fixed (values, confidence, resamples, seed)
+// tuple always yields the same interval — the matrix experiment depends
+// on that for byte-identical output across runs.
+//
+// Degenerate inputs collapse sensibly: an empty corpus returns the zero
+// Interval; a single value or an all-same corpus returns Lo == Mean ==
+// Hi (zero width), since every resample is identical.
+func BootstrapCI(values []float64, confidence float64, resamples int, seed int64) Interval {
+	if len(values) == 0 {
+		return Interval{}
+	}
+	mean := meanOf(values)
+	iv := Interval{Mean: mean, Lo: mean, Hi: mean}
+	if len(values) == 1 || allSame(values) || resamples <= 0 {
+		return iv
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	sample := make([]float64, len(values))
+	for r := 0; r < resamples; r++ {
+		for i := range sample {
+			sample[i] = values[rng.Intn(len(values))]
+		}
+		means[r] = meanOf(sample)
+	}
+	sort.Float64s(means)
+
+	alpha := (1 - confidence) / 2
+	iv.Lo = percentileSorted(means, alpha)
+	iv.Hi = percentileSorted(means, 1-alpha)
+	return iv
+}
+
+func meanOf(values []float64) float64 {
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+func allSame(values []float64) bool {
+	for _, v := range values[1:] {
+		if v != values[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// percentileSorted returns the p-quantile (0 ≤ p ≤ 1) of a sorted
+// slice, with linear interpolation between order statistics.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
+	}
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

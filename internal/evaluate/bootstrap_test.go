@@ -1,0 +1,79 @@
+package evaluate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCICoverage(t *testing.T) {
+	// Draw corpora from a known distribution and check the 95% interval
+	// contains the true mean at roughly its nominal rate. The RNG is
+	// seeded, so this is a deterministic regression test, not a flaky
+	// statistical one.
+	rng := rand.New(rand.NewSource(42))
+	const trials = 200
+	trueMean := 5.0
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		values := make([]float64, 30)
+		for i := range values {
+			values[i] = trueMean + rng.NormFloat64()*2
+		}
+		iv := BootstrapCI(values, 0.95, 500, int64(trial))
+		if iv.Lo > iv.Mean || iv.Hi < iv.Mean {
+			t.Fatalf("trial %d: interval [%v, %v] excludes its own mean %v", trial, iv.Lo, iv.Hi, iv.Mean)
+		}
+		if iv.Contains(trueMean) {
+			covered++
+		}
+	}
+	// Nominal 95%; allow slack for small-sample bootstrap undercoverage.
+	if covered < trials*85/100 {
+		t.Errorf("true mean covered in %d/%d trials, want >= 85%%", covered, trials)
+	}
+	if covered == trials {
+		t.Errorf("true mean covered in all %d trials; interval suspiciously wide", trials)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	if iv := BootstrapCI(nil, 0.95, 100, 1); iv != (Interval{}) {
+		t.Errorf("empty corpus interval = %+v, want zero", iv)
+	}
+	iv := BootstrapCI([]float64{7.5}, 0.95, 100, 1)
+	if iv.Mean != 7.5 || iv.Lo != 7.5 || iv.Hi != 7.5 {
+		t.Errorf("single value interval = %+v, want degenerate at 7.5", iv)
+	}
+	iv = BootstrapCI([]float64{3, 3, 3, 3, 3}, 0.95, 100, 1)
+	if iv.Mean != 3 || iv.Lo != 3 || iv.Hi != 3 || iv.Width() != 0 {
+		t.Errorf("all-same corpus interval = %+v, want zero width at 3", iv)
+	}
+	// Resamples <= 0 degrades to the point estimate rather than panicking.
+	iv = BootstrapCI([]float64{1, 2, 3}, 0.95, 0, 1)
+	if iv.Lo != iv.Mean || iv.Hi != iv.Mean {
+		t.Errorf("zero-resample interval = %+v, want degenerate", iv)
+	}
+}
+
+func TestBootstrapCISeedStability(t *testing.T) {
+	values := []float64{0.91, 0.84, 0.97, 0.88, 0.93, 0.79, 0.95}
+	a := BootstrapCI(values, 0.95, 2000, 1234)
+	b := BootstrapCI(values, 0.95, 2000, 1234)
+	if a != b {
+		t.Errorf("same seed gave different intervals: %+v vs %+v", a, b)
+	}
+	c := BootstrapCI(values, 0.95, 2000, 5678)
+	if a == c {
+		t.Errorf("different seeds gave identical intervals %+v; RNG not wired through", a)
+	}
+	// Different seeds must still agree closely on a well-behaved corpus.
+	if d := c.Lo - a.Lo; d > 0.05 || d < -0.05 {
+		t.Errorf("seed-to-seed Lo drift %v too large (a=%+v c=%+v)", d, a, c)
+	}
+	if a.Lo >= a.Hi {
+		t.Errorf("non-degenerate corpus produced empty interval %+v", a)
+	}
+	if !a.Contains(a.Mean) {
+		t.Errorf("interval %+v excludes its own mean", a)
+	}
+}

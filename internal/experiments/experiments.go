@@ -110,6 +110,7 @@ func Registry() []registryEntry {
 		{"stability", "Extension: Table III average across seeds", RunStability},
 		{"edoctor", "Extension: app-level (eDoctor-style) vs event-level diagnosis", RunEDoctor},
 		{"unknown", "Extension: diagnosing an un-taxonomized (unknown) fault class", RunUnknown},
+		{"matrix", "Extension: scenario × detector accuracy matrix with bootstrap CIs", RunMatrix},
 		{"ingest", "Extension: fault-injected ingestion convergence (chaos collection tier)", RunIngest},
 	}
 	for i := range entries {

@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/evaluate"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The scenario × detector matrix is the living extension of Table III:
+// every scenario family (the paper's three root causes, the four new
+// ABD kinds, and the battery-saver perturbation) runs through all five
+// detectors, and each cell carries seed-bootstrap 95% confidence
+// intervals so a new scenario ships with an accuracy verdict instead of
+// a single point estimate.
+
+// MatrixDetectors is the detector column order, fixed so rendered
+// output is byte-stable.
+var MatrixDetectors = []string{"EnergyDx", "CheckAll", "No-sleep", "eDelta", "eDoctor"}
+
+// matrixSeeds is how many independent corpus seeds each (family, app)
+// pair is run with; cells aggregate appsPerFamily × matrixSeeds runs.
+const matrixSeeds = 3
+
+// matrixResamples is the bootstrap replicate count per interval.
+const matrixResamples = 1000
+
+// matrixConfidence is the two-sided CI coverage.
+const matrixConfidence = 0.95
+
+// MatrixCell is one (scenario family, detector) measurement.
+type MatrixCell struct {
+	Family   string
+	Detector string
+	Runs     int
+	// Accuracy is the detection rate in percent (a run scores 100 when
+	// the detector's verdict points at the injected fault, 0 otherwise)
+	// with its bootstrap CI.
+	Accuracy evaluate.Interval
+	// Reduction is the code-reduction percentage with its bootstrap CI.
+	// Detection-only baselines follow the paper's accounting: 100% on a
+	// hit, 0% on a miss; CheckAll and EnergyDx report measured values;
+	// eDoctor's app-level verdict is always 0%.
+	Reduction evaluate.Interval
+}
+
+// MatrixOverall is one detector's aggregate over every run of every
+// family.
+type MatrixOverall struct {
+	Detector  string
+	Runs      int
+	Accuracy  evaluate.Interval
+	Reduction evaluate.Interval
+}
+
+// MatrixResult is the full scenario × detector accuracy surface.
+type MatrixResult struct {
+	Families  []string
+	Detectors []string
+	// Cells is families × detectors, row-major in the order above.
+	Cells []MatrixCell
+	// Overall aggregates per detector across all runs, in detector order.
+	Overall []MatrixOverall
+	// Notes explains each family (what makes it hard), in family order.
+	Notes []string
+}
+
+// ExperimentID implements Result.
+func (r *MatrixResult) ExperimentID() string { return "matrix" }
+
+// Cell returns the (family, detector) cell, or nil.
+func (r *MatrixResult) Cell(family, detector string) *MatrixCell {
+	for i := range r.Cells {
+		if r.Cells[i].Family == family && r.Cells[i].Detector == detector {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// OverallFor returns a detector's aggregate, or nil.
+func (r *MatrixResult) OverallFor(detector string) *MatrixOverall {
+	for i := range r.Overall {
+		if r.Overall[i].Detector == detector {
+			return &r.Overall[i]
+		}
+	}
+	return nil
+}
+
+func fmtCI(iv evaluate.Interval) string {
+	return fmt.Sprintf("%.1f [%.1f, %.1f]", iv.Mean, iv.Lo, iv.Hi)
+}
+
+// Render returns the matrix as GitHub-flavored markdown: one accuracy
+// table, one code-reduction table, the per-detector overall row, and
+// the per-family notes.
+func (r *MatrixResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## Scenario × detector matrix (%d families × %d detectors, %d runs/cell, %v%% bootstrap CIs)\n",
+		len(r.Families), len(r.Detectors), r.Cells[0].Runs, matrixConfidence*100)
+
+	writeTable := func(title string, pick func(MatrixCell) evaluate.Interval, overall func(MatrixOverall) evaluate.Interval) {
+		fmt.Fprintf(&sb, "\n### %s\n\n", title)
+		fmt.Fprintf(&sb, "| scenario |")
+		for _, d := range r.Detectors {
+			fmt.Fprintf(&sb, " %s |", d)
+		}
+		fmt.Fprintf(&sb, "\n|---|")
+		for range r.Detectors {
+			fmt.Fprintf(&sb, "---|")
+		}
+		fmt.Fprintln(&sb)
+		for fi, fam := range r.Families {
+			fmt.Fprintf(&sb, "| %s |", fam)
+			for di := range r.Detectors {
+				fmt.Fprintf(&sb, " %s |", fmtCI(pick(r.Cells[fi*len(r.Detectors)+di])))
+			}
+			fmt.Fprintln(&sb)
+		}
+		fmt.Fprintf(&sb, "| **overall** |")
+		for _, o := range r.Overall {
+			fmt.Fprintf(&sb, " %s |", fmtCI(overall(o)))
+		}
+		fmt.Fprintln(&sb)
+	}
+	writeTable("Detection accuracy (%)",
+		func(c MatrixCell) evaluate.Interval { return c.Accuracy },
+		func(o MatrixOverall) evaluate.Interval { return o.Accuracy })
+	writeTable("Code reduction (%)",
+		func(c MatrixCell) evaluate.Interval { return c.Reduction },
+		func(o MatrixOverall) evaluate.Interval { return o.Reduction })
+
+	fmt.Fprintf(&sb, "\n### Scenario notes\n\n")
+	for i, fam := range r.Families {
+		fmt.Fprintf(&sb, "- **%s** — %s\n", fam, r.Notes[i])
+	}
+	return sb.String()
+}
+
+// CSVFiles exports the per-cell and overall tables.
+func (r *MatrixResult) CSVFiles() map[string][][]string {
+	cells := [][]string{{"family", "detector", "runs",
+		"accuracy_pct", "accuracy_lo", "accuracy_hi",
+		"reduction_pct", "reduction_lo", "reduction_hi"}}
+	for _, c := range r.Cells {
+		cells = append(cells, []string{
+			c.Family, c.Detector, itoa(c.Runs),
+			ftoa(c.Accuracy.Mean), ftoa(c.Accuracy.Lo), ftoa(c.Accuracy.Hi),
+			ftoa(c.Reduction.Mean), ftoa(c.Reduction.Lo), ftoa(c.Reduction.Hi),
+		})
+	}
+	overall := [][]string{{"detector", "runs",
+		"accuracy_pct", "accuracy_lo", "accuracy_hi",
+		"reduction_pct", "reduction_lo", "reduction_hi"}}
+	for _, o := range r.Overall {
+		overall = append(overall, []string{
+			o.Detector, itoa(o.Runs),
+			ftoa(o.Accuracy.Mean), ftoa(o.Accuracy.Lo), ftoa(o.Accuracy.Hi),
+			ftoa(o.Reduction.Mean), ftoa(o.Reduction.Lo), ftoa(o.Reduction.Hi),
+		})
+	}
+	return map[string][][]string{
+		"matrix_cells.csv":   cells,
+		"matrix_overall.csv": overall,
+	}
+}
+
+var _ CSVExporter = (*MatrixResult)(nil)
+
+// matrixRun is one (family, app, seed) run's five detector outcomes,
+// in MatrixDetectors order.
+type matrixRun struct {
+	hit [5]bool
+	red [5]float64
+}
+
+// relatedKey decides whether a reported event points at the injected
+// fault: the trigger, the missed release point, anything in the
+// trigger's class, or the background-idle pseudo-event the drain
+// elevates (same relatedness the §IV-B comparison uses).
+func relatedKey(key trace.EventKey, app *apps.App) bool { return eDeltaRelated(key, app) }
+
+// runMatrixCell runs every detector over one corpus.
+func runMatrixCell(app *apps.App, sc workload.Scenario, seed int64) (matrixRun, error) {
+	var out matrixRun
+	cfg := workload.DefaultConfig(app, seed)
+	cfg.Users = corpusUsers
+	cfg.ImpactedFraction = defaultImpacted
+	cfg.BatterySaverPhase = sc.BatterySaverPhase
+	corpus, err := workload.GenerateCached(cfg)
+	if err != nil {
+		return out, err
+	}
+	total := app.TotalSourceLines()
+
+	// EnergyDx: full five-step pipeline; a hit requires a detected
+	// manifestation AND a fault-related key among the reported events.
+	report, err := diagnose(corpus)
+	if err != nil {
+		return out, fmt.Errorf("energydx: %w", err)
+	}
+	cr, err := core.ComputeCodeReduction(report, app.Package(), reportedEvents)
+	if err != nil {
+		return out, fmt.Errorf("energydx: %w", err)
+	}
+	if report.ImpactedTraces > 0 {
+		for _, key := range report.TopKeys(reportedEvents) {
+			if relatedKey(key, app) {
+				out.hit[0] = true
+				break
+			}
+		}
+	}
+	out.red[0] = cr.Reduction * 100
+
+	// CheckAll: Step-1-only transition windows; measured code reduction.
+	ca, err := baseline.CheckAll(baseline.DefaultCheckAllConfig(), corpus.Bundles)
+	if err != nil {
+		return out, fmt.Errorf("checkall: %w", err)
+	}
+	for _, key := range ca.Keys {
+		if relatedKey(key, app) {
+			out.hit[1] = true
+			break
+		}
+	}
+	caLines := app.Package().LinesFor(ca.Keys)
+	out.red[1] = 100 * float64(total-caLines) / float64(total)
+
+	// No-sleep Detection: static acquire-without-release; per the
+	// paper's accounting a detection baseline scores 100% reduction on
+	// a hit and 0% on a miss.
+	ns, err := baseline.DetectNoSleep(app.Package())
+	if err != nil {
+		return out, fmt.Errorf("no-sleep: %w", err)
+	}
+	for _, f := range ns.Findings {
+		if f.Key == app.Fault.Trigger || f.Key.Class == app.Fault.Trigger.Class {
+			out.hit[2] = true
+			break
+		}
+	}
+	if out.hit[2] {
+		out.red[2] = 100
+	}
+
+	// eDelta: absolute per-API deviation threshold.
+	ed, err := baseline.EDelta(baseline.DefaultEDeltaConfig(), corpus.Bundles)
+	if err != nil {
+		return out, fmt.Errorf("edelta: %w", err)
+	}
+	for _, f := range ed.Findings {
+		if relatedKey(f.Key, app) {
+			out.hit[3] = true
+			break
+		}
+	}
+	if out.hit[3] {
+		out.red[3] = 100
+	}
+
+	// eDoctor: app-level abnormal-phase verdict per user phone; a hit
+	// flags the app on at least one phone, and the in-app code
+	// reduction is 0 by construction.
+	utils := make([]*trace.UtilizationTrace, len(corpus.Bundles))
+	for i, b := range corpus.Bundles {
+		utils[i] = &b.Util
+	}
+	edoc, err := baseline.EDoctor(baseline.DefaultEDoctorConfig(), utils)
+	if err != nil {
+		return out, fmt.Errorf("edoctor: %w", err)
+	}
+	for _, a := range edoc.Apps {
+		if a.Flagged {
+			out.hit[4] = true
+			break
+		}
+	}
+	out.red[4] = 0
+	return out, nil
+}
+
+// RunMatrix measures the scenario × detector matrix. Runs fan out
+// through the shared pool — one item per (family, app, seed), joined
+// in input order — and per-cell bootstrap RNGs are seeded from the cell
+// position, so the result is byte-identical at any parallelism.
+func RunMatrix(seed int64) (Result, error) {
+	scenarios := workload.Scenarios()
+
+	type runKey struct {
+		fam, app, seedIdx int
+	}
+	var keys []runKey
+	var scApps [][]*apps.App
+	for fi, sc := range scenarios {
+		resolved := make([]*apps.App, len(sc.AppIDs))
+		for ai, id := range sc.AppIDs {
+			a, err := apps.ByAppID(id)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: scenario %s: %w", sc.Family, err)
+			}
+			resolved[ai] = a
+			for s := 0; s < matrixSeeds; s++ {
+				keys = append(keys, runKey{fam: fi, app: ai, seedIdx: s})
+			}
+		}
+		scApps = append(scApps, resolved)
+	}
+
+	runs, err := parallel.Map(sweepParallelism, len(keys), func(i int) (matrixRun, error) {
+		k := keys[i]
+		sc := scenarios[k.fam]
+		app := scApps[k.fam][k.app]
+		runSeed := seed + int64(k.fam)*10_000 + int64(k.app)*1_000 + int64(k.seedIdx)
+		run, err := runMatrixCell(app, sc, runSeed)
+		if err != nil {
+			return matrixRun{}, fmt.Errorf("%s/%s seed %d: %w", sc.Family, app.AppID, k.seedIdx, err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MatrixResult{Detectors: MatrixDetectors}
+	// Group runs per family (keys are family-major, so runs are too).
+	perFam := make([][]matrixRun, len(scenarios))
+	for i, k := range keys {
+		perFam[k.fam] = append(perFam[k.fam], runs[i])
+	}
+	allAcc := make([][]float64, len(MatrixDetectors))
+	allRed := make([][]float64, len(MatrixDetectors))
+	for fi, sc := range scenarios {
+		res.Families = append(res.Families, sc.Family)
+		res.Notes = append(res.Notes, sc.Notes)
+		for di, det := range MatrixDetectors {
+			var acc, red []float64
+			for _, run := range perFam[fi] {
+				v := 0.0
+				if run.hit[di] {
+					v = 100
+				}
+				acc = append(acc, v)
+				red = append(red, run.red[di])
+			}
+			allAcc[di] = append(allAcc[di], acc...)
+			allRed[di] = append(allRed[di], red...)
+			cellSeed := seed + int64(fi)*100 + int64(di)
+			cell := MatrixCell{
+				Family:    sc.Family,
+				Detector:  det,
+				Runs:      len(acc),
+				Accuracy:  evaluate.BootstrapCI(acc, matrixConfidence, matrixResamples, cellSeed),
+				Reduction: evaluate.BootstrapCI(red, matrixConfidence, matrixResamples, cellSeed+50),
+			}
+			res.Cells = append(res.Cells, cell)
+			exportMatrixCell(cell)
+		}
+	}
+	for di, det := range MatrixDetectors {
+		o := MatrixOverall{
+			Detector:  det,
+			Runs:      len(allAcc[di]),
+			Accuracy:  evaluate.BootstrapCI(allAcc[di], matrixConfidence, matrixResamples, seed+90_000+int64(di)),
+			Reduction: evaluate.BootstrapCI(allRed[di], matrixConfidence, matrixResamples, seed+91_000+int64(di)),
+		}
+		res.Overall = append(res.Overall, o)
+		obs.Default.Gauge("matrix_overall_accuracy_pct_"+metricName(det),
+			"overall detection accuracy of "+det+" across all scenario families").Set(o.Accuracy.Mean)
+		obs.Default.Gauge("matrix_overall_reduction_pct_"+metricName(det),
+			"overall code reduction of "+det+" across all scenario families").Set(o.Reduction.Mean)
+	}
+	return res, nil
+}
+
+// exportMatrixCell publishes one cell's point estimates as gauges.
+func exportMatrixCell(c MatrixCell) {
+	suffix := metricName(c.Family) + "_" + metricName(c.Detector)
+	obs.Default.Gauge("matrix_accuracy_pct_"+suffix,
+		"detection accuracy of "+c.Detector+" on the "+c.Family+" scenario family").Set(c.Accuracy.Mean)
+	obs.Default.Gauge("matrix_reduction_pct_"+suffix,
+		"code reduction of "+c.Detector+" on the "+c.Family+" scenario family").Set(c.Reduction.Mean)
+}
+
+// metricName lowercases a family/detector name and maps every
+// non-alphanumeric rune to '_' (the obs registry accepts only
+// [a-zA-Z0-9_]).
+func metricName(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

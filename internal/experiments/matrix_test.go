@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// updateMatrix regenerates the matrix golden files instead of comparing:
+//
+//	go test ./internal/experiments -run TestMatrixGolden -update-matrix
+//
+// Regenerate only for intentional scenario/detector changes and review
+// the golden diff like code.
+var updateMatrix = flag.Bool("update-matrix", false, "rewrite the matrix golden files under testdata")
+
+func runMatrix(t *testing.T, seed int64) *MatrixResult {
+	t.Helper()
+	r, err := RunMatrix(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.(*MatrixResult)
+}
+
+func TestMatrixShape(t *testing.T) {
+	res := runMatrix(t, testSeed)
+	if len(res.Families) < 7 {
+		t.Errorf("matrix has %d scenario families, want >= 7", len(res.Families))
+	}
+	if len(res.Detectors) != 5 {
+		t.Errorf("matrix has %d detectors, want 5", len(res.Detectors))
+	}
+	if want := len(res.Families) * len(res.Detectors); len(res.Cells) != want {
+		t.Errorf("matrix has %d cells, want %d", len(res.Cells), want)
+	}
+	if len(res.Notes) != len(res.Families) {
+		t.Errorf("notes rows = %d, want one per family", len(res.Notes))
+	}
+	for _, c := range res.Cells {
+		if c.Runs < 2 {
+			t.Errorf("cell %s/%s aggregates %d runs, want >= 2", c.Family, c.Detector, c.Runs)
+		}
+		for name, iv := range map[string]struct{ lo, mean, hi float64 }{
+			"accuracy":  {c.Accuracy.Lo, c.Accuracy.Mean, c.Accuracy.Hi},
+			"reduction": {c.Reduction.Lo, c.Reduction.Mean, c.Reduction.Hi},
+		} {
+			if iv.lo > iv.mean || iv.mean > iv.hi {
+				t.Errorf("cell %s/%s %s interval malformed: lo=%v mean=%v hi=%v",
+					c.Family, c.Detector, name, iv.lo, iv.mean, iv.hi)
+			}
+			if iv.lo < 0 || iv.hi > 100 {
+				t.Errorf("cell %s/%s %s interval outside [0, 100]: [%v, %v]",
+					c.Family, c.Detector, name, iv.lo, iv.hi)
+			}
+		}
+	}
+	for _, det := range MatrixDetectors {
+		if res.OverallFor(det) == nil {
+			t.Errorf("no overall row for %s", det)
+		}
+	}
+}
+
+// matrixBytes flattens every rendered artifact (markdown + each CSV in
+// name order) into one byte stream for identity comparison.
+func matrixBytes(res *MatrixResult) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(res.Render())
+	files := res.CSVFiles()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		buf.WriteString(name + "\n")
+		_ = WriteCSV(&buf, files[name])
+	}
+	return buf.Bytes()
+}
+
+// TestMatrixDeterministicAcrossParallelism pins the acceptance
+// criterion: the matrix output is byte-identical at -parallelism 1, 4
+// and 8, and across repeated runs at the same setting.
+func TestMatrixDeterministicAcrossParallelism(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	SetParallelism(1)
+	want := matrixBytes(runMatrix(t, testSeed))
+	for _, workers := range []int{4, 8} {
+		SetParallelism(workers)
+		got := matrixBytes(runMatrix(t, testSeed))
+		if !bytes.Equal(want, got) {
+			t.Errorf("matrix output at parallelism %d differs from serial run", workers)
+		}
+	}
+	SetParallelism(8)
+	again := matrixBytes(runMatrix(t, testSeed))
+	if !bytes.Equal(want, again) {
+		t.Error("repeated matrix run at fixed seed differs")
+	}
+}
+
+// TestMatrixGolden locks the rendered markdown and CSV artifacts
+// byte-for-byte against checked-in files; regenerate with -update-matrix.
+func TestMatrixGolden(t *testing.T) {
+	res := runMatrix(t, testSeed)
+	artifacts := map[string][]byte{"matrix_render.md": []byte(res.Render())}
+	for name, rows := range res.CSVFiles() {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		artifacts[name+".golden"] = buf.Bytes()
+	}
+	names := make([]string, 0, len(artifacts))
+	for name := range artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join("testdata", name)
+		if *updateMatrix {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, artifacts[name], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", path, len(artifacts[name]))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file %s (run with -update-matrix): %v", path, err)
+		}
+		if !bytes.Equal(want, artifacts[name]) {
+			t.Errorf("%s drifted from golden; if intentional, regenerate with -update-matrix", name)
+		}
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"EnergyDx":       "energydx",
+		"No-sleep":       "no_sleep",
+		"gps-navigation": "gps_navigation",
+		"eDelta":         "edelta",
+	} {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -14,16 +14,17 @@ import (
 // the same key produce bit-identical corpora — there is no reason to
 // run the simulation twice.
 type cacheKey struct {
-	AppID            string
-	Users            int
-	ImpactedFraction float64
-	Seed             int64
-	Devices          string
-	Fixed            bool
-	Instrument       android.InstrumentationConfig
-	SamplePeriodMS   int64
-	BrowsePhases     int
-	Scrub            bool
+	AppID             string
+	Users             int
+	ImpactedFraction  float64
+	Seed              int64
+	Devices           string
+	Fixed             bool
+	Instrument        android.InstrumentationConfig
+	SamplePeriodMS    int64
+	BrowsePhases      int
+	Scrub             bool
+	BatterySaverPhase int
 }
 
 // keyFor normalizes a Config into its cache key, applying the same
@@ -42,16 +43,17 @@ func keyFor(cfg Config) cacheKey {
 		devices = []string{"nexus6"}
 	}
 	return cacheKey{
-		AppID:            cfg.App.AppID,
-		Users:            cfg.Users,
-		ImpactedFraction: cfg.ImpactedFraction,
-		Seed:             cfg.Seed,
-		Devices:          strings.Join(devices, ","),
-		Fixed:            cfg.Fixed,
-		Instrument:       cfg.Instrument,
-		SamplePeriodMS:   period,
-		BrowsePhases:     phases,
-		Scrub:            cfg.Scrub,
+		AppID:             cfg.App.AppID,
+		Users:             cfg.Users,
+		ImpactedFraction:  cfg.ImpactedFraction,
+		Seed:              cfg.Seed,
+		Devices:           strings.Join(devices, ","),
+		Fixed:             cfg.Fixed,
+		Instrument:        cfg.Instrument,
+		SamplePeriodMS:    period,
+		BrowsePhases:      phases,
+		Scrub:             cfg.Scrub,
+		BatterySaverPhase: cfg.BatterySaverPhase,
 	}
 }
 

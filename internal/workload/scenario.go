@@ -1,0 +1,70 @@
+package workload
+
+// Scenario is one evaluation family for the scenario × detector matrix:
+// a named root-cause class (or workload perturbation), the catalog apps
+// that exercise it, and any session-shape knobs the family needs.
+type Scenario struct {
+	// Family names the row of the matrix (a root-cause kind, or a
+	// workload perturbation like "battery-saver").
+	Family string
+	// AppIDs are the catalog apps run for this family (resolved via
+	// apps.ByAppID).
+	AppIDs []string
+	// BatterySaverPhase, when positive, is copied into Config so every
+	// session of the family toggles battery-saver mid-session.
+	BatterySaverPhase int
+	// Notes explains what makes the family hard — rendered in the
+	// matrix markdown.
+	Notes string
+}
+
+// Scenarios returns the matrix's scenario families: the paper's three
+// root causes, the four new ABD kinds, and the battery-saver
+// perturbation family (new-kind apps with the baseline power dimmed
+// mid-session). Order is fixed — it is the row order of every rendered
+// matrix, so determinism tests can compare output bytes directly.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Family: "no-sleep",
+			AppIDs: []string{"facebook", "opencamera"},
+			Notes:  "paper root cause: resource acquired, never released",
+		},
+		{
+			Family: "loop",
+			AppIDs: []string{"bostonbusmap", "artwatch"},
+			Notes:  "paper root cause: periodic task never stopped",
+		},
+		{
+			Family: "configuration",
+			AppIDs: []string{"sofianav", "pedometer"},
+			Notes:  "paper root cause: drain only under a bad setting",
+		},
+		{
+			Family: "gps-navigation",
+			AppIDs: []string{"navtracker", "cyclemaps"},
+			Notes:  "sustained GPS fix + reroute loop leak; acquire-shaped statically",
+		},
+		{
+			Family: "media-stream",
+			AppIDs: []string{"podstream", "radioloud"},
+			Notes:  "decoder/audio pipeline held after pause; no wakelock involved",
+		},
+		{
+			Family: "sync-storm",
+			AppIDs: []string{"syncmania", "notebridge"},
+			Notes:  "staggered repeating alarms never cancelled; fan-out of weak loops",
+		},
+		{
+			Family: "tail-energy",
+			AppIDs: []string{"chatterbox", "pingwall"},
+			Notes:  "weak-but-long radio tail, below eDelta's absolute threshold",
+		},
+		{
+			Family:            "battery-saver",
+			AppIDs:            []string{"navtracker", "podstream"},
+			BatterySaverPhase: 4,
+			Notes:             "saver mode dims baseline power mid-session; detectors must not confuse the step with the ABD",
+		},
+	}
+}

@@ -45,6 +45,11 @@ type Config struct {
 	// Scrub applies the privacy pass to uploaded bundles (default on
 	// via DefaultConfig; the raw generator leaves it to the caller).
 	Scrub bool
+	// BatterySaverPhase, when positive, toggles battery-saver mode on at
+	// that browse phase (dimming the display and perturbing the app's
+	// baseline power mid-session) and back off two phases later. Phases
+	// are counted from 1 so the zero value means "never".
+	BatterySaverPhase int
 }
 
 // DefaultConfig returns the evaluation defaults: 30 users, 6 device
@@ -212,6 +217,15 @@ func runSession(cfg Config, userID, deviceName string, triggersABD bool, rng *ra
 		triggerAt = phases/3 + rng.Intn(phases/3+1)
 	}
 	for phase := 0; phase < phases; phase++ {
+		if cfg.BatterySaverPhase > 0 {
+			// Battery-saver spans two phases: the mid-session baseline
+			// perturbation every detector must not mistake for an ABD.
+			if phase+1 == cfg.BatterySaverPhase {
+				p.SetBatterySaver(true)
+			} else if phase+1 == cfg.BatterySaverPhase+2 {
+				p.SetBatterySaver(false)
+			}
+		}
 		if phase == triggerAt {
 			if err := android.RunScript(p, app.TriggerScript); err != nil {
 				return nil, SessionStats{}, fmt.Errorf("trigger: %w", err)
