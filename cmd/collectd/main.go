@@ -18,10 +18,20 @@
 // diagnosis service: accepted bundles feed per-app incremental
 // analyzers (Step-1 results cached by content key), re-analysis is
 // debounced behind upload bursts, and the latest report per app is
-// served under /analysis/ on the debug mux:
+// served under /analysis/ on the debug mux — versioned (strong ETag,
+// If-None-Match/304, ?wait= long-poll), with a snapshot history ring,
+// a live SSE update stream and read-only what-if re-analysis:
 //
 //	curl http://127.0.0.1:7601/analysis/apps
 //	curl http://127.0.0.1:7601/analysis/report?app=k9mail
+//	curl -N http://127.0.0.1:7601/analysis/events
+//	curl 'http://127.0.0.1:7601/analysis/whatif?app=k9mail&fence=2'
+//
+// The same service backs the embedded operator dashboard at /ui/ —
+// fleet overview with live SSE row updates, per-app power-vs-rank
+// charts with manifestation windows and the amplitude fence, snapshot
+// history and what-if knobs. All debug-mux traffic is instrumented
+// with per-endpoint request counters and latency histograms.
 //
 // Usage:
 //
@@ -48,6 +58,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/serve"
 	"repro/internal/trace"
+	"repro/internal/ui"
 )
 
 func main() {
@@ -134,8 +145,17 @@ func run() error {
 		if svc != nil {
 			mux.Handle("/analysis/", svc.Handler())
 			paths += " /analysis"
+			dash, err := ui.New(svc, obs.Default)
+			if err != nil {
+				return err
+			}
+			mux.Handle("/ui/", dash.Handler())
+			mux.Handle("/ui", dash.Handler())
+			paths += " /ui"
 		}
-		debug, err = obs.ServeDebug(*debugAddr, mux)
+		// Per-endpoint request counters and latency histograms over the
+		// whole debug surface (dashboard and SSE stream included).
+		debug, err = obs.ServeDebug(*debugAddr, obs.Default.InstrumentHTTP(mux, nil))
 		if err != nil {
 			return err
 		}

@@ -15,29 +15,42 @@
 // estimation by content key, so appending one bundle to a large corpus
 // re-runs Steps 2-5 but recomputes Step 1 only for the new bundle.
 //
+// When -in is an http(s) URL of a collectd -serve-analysis instance,
+// -watch switches from file polling to the server's /analysis/events
+// SSE stream: each report-update event triggers one conditional
+// (If-None-Match) fetch of the versioned report, and the connection is
+// resumed with Last-Event-ID after transient drops. -app selects which
+// app to follow (required for remote watch).
+//
 // Usage:
 //
 //	tracegen -app k9mail -out corpus.jsonl
 //	energydx -in corpus.jsonl -impacted-pct 15
 //	energydx -in corpus.jsonl -stats -trace spans.jsonl -cpuprofile cpu.pb.gz
 //	energydx -in corpus.jsonl -watch -watch-interval 2s
+//	energydx -in http://127.0.0.1:7601 -app k9mail -watch
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -59,7 +72,8 @@ func run() error {
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON instead of text")
 		par        = flag.Int("parallel", 0, "analysis worker goroutines for Steps 1-4 (0 = GOMAXPROCS, 1 = serial); output is identical at any count")
 		lenient    = flag.Bool("lenient", false, "tolerate corrupt input: skip undecodable corpus lines and invalid traces (accounted on stderr / in the report) instead of failing")
-		watch      = flag.Bool("watch", false, "stay alive and re-analyze incrementally whenever -in changes (requires a file, not stdin); exit on SIGINT/SIGTERM")
+		watch      = flag.Bool("watch", false, "stay alive and re-analyze incrementally whenever -in changes (file path, not stdin); with an http(s) -in, follow the server's SSE event stream instead; exit on SIGINT/SIGTERM")
+		appID      = flag.String("app", "", "app to follow when -watch points -in at a collectd analysis server URL")
 		watchEvery = flag.Duration("watch-interval", 2*time.Second, "corpus file poll interval for -watch")
 		stats      = flag.Bool("stats", false, "print the per-step wall/CPU latency breakdown to stderr after the report")
 		traceOut   = flag.String("trace", "", "write the analysis spans (steps + per-trace worker tasks) as JSONL to this file")
@@ -92,10 +106,19 @@ func run() error {
 
 	if *watch {
 		if *in == "-" {
-			return errors.New("-watch requires -in to be a file, not stdin")
+			return errors.New("-watch requires -in to be a file or server URL, not stdin")
 		}
 		if *traceOut != "" {
 			return errors.New("-trace is not supported with -watch (spans would accumulate without bound)")
+		}
+		if strings.HasPrefix(*in, "http://") || strings.HasPrefix(*in, "https://") {
+			if *appID == "" {
+				return errors.New("remote -watch requires -app (which app's reports to follow)")
+			}
+			if err := watchRemote(*in, *appID, *asJSON, *top, logger); err != nil {
+				return err
+			}
+			return obs.WriteHeapProfile(*memProfile)
 		}
 		if err := watchLoop(*in, *watchEvery, cfg, *lenient, *asJSON, *top, *stats, logger); err != nil {
 			return err
@@ -257,6 +280,91 @@ func watchRefresh(inc *core.IncrementalAnalyzer, path string, lenient, asJSON bo
 		return report.WriteStages(os.Stderr)
 	}
 	return nil
+}
+
+// watchRemote follows a collectd analysis server: it subscribes to the
+// /analysis/events SSE stream (resuming with Last-Event-ID across
+// reconnects) and, on every report-update event for the app, fetches
+// the versioned report conditionally — If-None-Match with the last
+// printed ETag, so a replayed or duplicate event costs one 304, not a
+// report transfer. Exits cleanly on SIGINT/SIGTERM.
+func watchRemote(baseURL, app string, asJSON bool, top int, logger *slog.Logger) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{}
+	var lastID uint64
+	var lastETag string
+	logger.Info("watching analysis server", "url", baseURL, "app", app)
+
+	backoff := time.Second
+	for {
+		err := serve.WatchEvents(ctx, client, baseURL, app, lastID, func(ev serve.StreamEvent) error {
+			if ev.ID > lastID {
+				lastID = ev.ID
+			}
+			backoff = time.Second // stream is delivering; reset reconnect delay
+			return fetchRemoteReport(ctx, client, baseURL, app, &lastETag, asJSON, top, ev, logger)
+		})
+		if ctx.Err() != nil {
+			logger.Info("watch: shutting down")
+			return nil
+		}
+		if err == nil {
+			err = io.EOF
+		}
+		logger.Warn("watch: event stream disconnected; reconnecting",
+			"err", err, "last_event_id", lastID, "backoff", backoff)
+		select {
+		case <-ctx.Done():
+			logger.Info("watch: shutting down")
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff < 30*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// fetchRemoteReport performs the conditional report fetch behind one
+// stream event and prints the report when it actually changed.
+// Transient failures log and return nil — the stream stays up and the
+// next event retries.
+func fetchRemoteReport(ctx context.Context, client *http.Client, baseURL, app string, lastETag *string, asJSON bool, top int, ev serve.StreamEvent, logger *slog.Logger) error {
+	u := strings.TrimSuffix(baseURL, "/") + "/analysis/report?app=" + url.QueryEscape(app)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	if *lastETag != "" {
+		req.Header.Set("If-None-Match", *lastETag)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		logger.Warn("watch: report fetch failed", "err", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil // replayed/duplicate event: already printed this version
+	case http.StatusOK:
+	default:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		logger.Warn("watch: report fetch failed", "status", resp.Status)
+		return nil
+	}
+	var report core.Report
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		logger.Warn("watch: report decode failed", "err", err)
+		return nil
+	}
+	*lastETag = resp.Header.Get("ETag")
+	fmt.Printf("=== report update: %s v%d (etag %s) ===\n", ev.Event.App, ev.Event.Version, ev.Event.ETag)
+	return printReport(&report, asJSON, top)
 }
 
 // writeSpans exports the tracer's spans as JSONL.

@@ -281,6 +281,24 @@ func (ia *IncrementalAnalyzer) Len() int {
 	return len(ia.bundles)
 }
 
+// Bundles returns the corpus's bundles in insertion order (a fresh
+// slice; the bundles themselves are shared and treated as immutable
+// everywhere in the pipeline). It is the read side what-if analyses are
+// built on: a caller can run a fresh Analyzer with different knobs over
+// exactly the served corpus without touching this analyzer's caches,
+// summaries, or pending mutations.
+func (ia *IncrementalAnalyzer) Bundles() []*trace.TraceBundle {
+	ia.mu.Lock()
+	defer ia.mu.Unlock()
+	out := make([]*trace.TraceBundle, 0, len(ia.bundles))
+	for _, k := range ia.order {
+		if k != "" {
+			out = append(out, ia.bundles[k])
+		}
+	}
+	return out
+}
+
 // Keys returns the corpus's content keys in insertion order (a copy).
 func (ia *IncrementalAnalyzer) Keys() []string {
 	ia.mu.Lock()

@@ -1,0 +1,41 @@
+package core
+
+import "repro/internal/trace"
+
+// ReportSummary is the compact snapshot metadata of one diagnosis
+// report: the handful of numbers an operator watches to see a diagnosis
+// drift as bundles arrive, cheap enough to keep a history ring of and to
+// push over an event stream for every re-analysis. It is derived purely
+// from the report, so two byte-identical reports always summarize
+// identically.
+type ReportSummary struct {
+	// TotalTraces is the number of analyzed traces in the corpus.
+	TotalTraces int `json:"totalTraces"`
+	// ImpactedTraces is the number of traces with at least one detected
+	// manifestation point.
+	ImpactedTraces int `json:"impactedTraces"`
+	// Manifestations is the total count of detected manifestation
+	// points across all traces.
+	Manifestations int `json:"manifestations"`
+	// Skipped is the number of traces excluded under SkipInvalidTraces.
+	Skipped int `json:"skipped,omitempty"`
+	// TopKeys are the first reported event keys in Step-5 order (the
+	// culprit candidates an engineer reads first).
+	TopKeys []trace.EventKey `json:"topKeys,omitempty"`
+}
+
+// Summarize extracts the report's snapshot metadata, keeping the first
+// topN reported event keys (all when topN <= 0 or beyond the list).
+func (r *Report) Summarize(topN int) ReportSummary {
+	manifestations := 0
+	for _, at := range r.Traces {
+		manifestations += len(at.Manifestations)
+	}
+	return ReportSummary{
+		TotalTraces:    r.TotalTraces,
+		ImpactedTraces: r.ImpactedTraces,
+		Manifestations: manifestations,
+		Skipped:        len(r.Skipped),
+		TopKeys:        r.TopKeys(topN),
+	}
+}

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSummarize: the snapshot summary is derived purely from the
+// report — counts reconcile with the report's own fields, TopKeys
+// follows Step-5 order and the topN bound, and byte-identical reports
+// summarize identically.
+func TestSummarize(t *testing.T) {
+	bundles := bundlePool(t, 8, 71)
+	cfg := core.DefaultConfig()
+	analyzer, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := analyzer.Analyze(bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum := report.Summarize(3)
+	if sum.TotalTraces != report.TotalTraces {
+		t.Fatalf("TotalTraces %d != report %d", sum.TotalTraces, report.TotalTraces)
+	}
+	if sum.ImpactedTraces != report.ImpactedTraces {
+		t.Fatalf("ImpactedTraces %d != report %d", sum.ImpactedTraces, report.ImpactedTraces)
+	}
+	manifestations := 0
+	impacted := 0
+	for _, at := range report.Traces {
+		manifestations += len(at.Manifestations)
+		if len(at.Manifestations) > 0 {
+			impacted++
+		}
+	}
+	if sum.Manifestations != manifestations {
+		t.Fatalf("Manifestations %d, want %d", sum.Manifestations, manifestations)
+	}
+	if impacted == 0 || sum.ImpactedTraces != impacted {
+		t.Fatalf("corpus must exercise impact: summary %d, recount %d", sum.ImpactedTraces, impacted)
+	}
+	if sum.Skipped != len(report.Skipped) {
+		t.Fatalf("Skipped %d != report %d", sum.Skipped, len(report.Skipped))
+	}
+
+	wantKeys := report.TopKeys(3)
+	if !reflect.DeepEqual(sum.TopKeys, wantKeys) {
+		t.Fatalf("TopKeys %v, want %v", sum.TopKeys, wantKeys)
+	}
+	if len(sum.TopKeys) > 3 {
+		t.Fatalf("TopKeys exceeded bound: %d", len(sum.TopKeys))
+	}
+	// topN <= 0 keeps every reported key.
+	if all := report.Summarize(0); len(all.TopKeys) != len(report.TopKeys(0)) {
+		t.Fatalf("Summarize(0) kept %d keys, want all %d", len(all.TopKeys), len(report.TopKeys(0)))
+	}
+
+	// Determinism: same report, same summary.
+	if again := report.Summarize(3); !reflect.DeepEqual(again, sum) {
+		t.Fatalf("summary not deterministic: %+v vs %+v", again, sum)
+	}
+}

@@ -139,6 +139,30 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return r.register(name, help, func() metric { return newHistogram(help, buckets) }).(*Histogram)
 }
 
+// Value reads the current value of the named scalar metric (counter,
+// gauge, or gauge func). The second result is false when the metric is
+// not registered or is not scalar (histograms have no single value).
+// It exists for consumers that render live values outside the exposition
+// formats — the embedded dashboard's fleet overview, tests asserting on
+// one metric without parsing the whole scrape.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	switch v := m.(type) {
+	case *Counter:
+		return float64(v.Value()), true
+	case *Gauge:
+		return v.Value(), true
+	case *gaugeFunc:
+		return v.value(), true
+	}
+	return 0, false
+}
+
 // snapshot returns the metrics sorted by name.
 func (r *Registry) snapshot() (names []string, metrics []metric) {
 	r.mu.RLock()

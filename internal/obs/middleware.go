@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// statusWriter captures the response status class without disturbing the
+// handler's view of the ResponseWriter. Flush is forwarded so streaming
+// handlers (SSE, long-poll) keep working behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// DebugEndpoint maps a debug-mux request path to a bounded metric-name
+// token. The registry has no metric labels (names only), so per-endpoint
+// HTTP metrics encode the endpoint in the name; this normalizer keeps
+// that cardinality finite by mapping every known debug surface to a
+// fixed token and everything else to "other".
+func DebugEndpoint(path string) string {
+	switch {
+	case path == "/metrics":
+		return "metrics"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/readyz":
+		return "readyz"
+	case path == "/debug/vars":
+		return "debug_vars"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "debug_pprof"
+	case path == "/analysis/apps":
+		return "analysis_apps"
+	case path == "/analysis/report/history":
+		return "analysis_history"
+	case path == "/analysis/report":
+		return "analysis_report"
+	case path == "/analysis/flush":
+		return "analysis_flush"
+	case path == "/analysis/remove":
+		return "analysis_remove"
+	case path == "/analysis/events":
+		return "analysis_events"
+	case path == "/analysis/whatif":
+		return "analysis_whatif"
+	case path == "/ui" || strings.HasPrefix(path, "/ui/"):
+		return "ui"
+	default:
+		return "other"
+	}
+}
+
+// statusClass buckets a status code into the conventional 1xx..5xx
+// classes.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	case code >= 200:
+		return "2xx"
+	default:
+		return "1xx"
+	}
+}
+
+// InstrumentHTTP wraps a handler with per-endpoint request accounting:
+// a request counter per (endpoint, status class) and a latency histogram
+// per endpoint, all on this registry. normalize maps a request path to a
+// bounded endpoint token (nil means DebugEndpoint). Metric names follow
+//
+//	http_requests_<endpoint>_<class>_total
+//	http_request_seconds_<endpoint>
+//
+// because the registry is name-keyed with no label support; the
+// normalizer bounds the name cardinality. Latency for streaming
+// endpoints (SSE, long-poll) is connection lifetime — long by design.
+func (r *Registry) InstrumentHTTP(next http.Handler, normalize func(string) string) http.Handler {
+	if normalize == nil {
+		normalize = DebugEndpoint
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ep := normalize(req.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, req)
+		if sw.status == 0 {
+			// Handler wrote nothing: net/http will send 200 on return.
+			sw.status = http.StatusOK
+		}
+		r.Counter("http_requests_"+ep+"_"+statusClass(sw.status)+"_total",
+			"requests handled on the "+ep+" debug endpoint(s) by status class").Inc()
+		r.Histogram("http_request_seconds_"+ep,
+			"request latency on the "+ep+" debug endpoint(s)", nil).
+			Observe(time.Since(start).Seconds())
+	})
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestInstrumentHTTP: the middleware accounts every request to a
+// per-endpoint counter keyed by status class plus a latency histogram,
+// with path cardinality bounded by the normalizer.
+func TestInstrumentHTTP(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(200)
+	})
+	mux.HandleFunc("/analysis/report", func(w http.ResponseWriter, req *http.Request) {
+		http.Error(w, "missing app", http.StatusBadRequest)
+	})
+	mux.HandleFunc("/silent", func(w http.ResponseWriter, req *http.Request) {
+		// Writes nothing: net/http sends 200 on return; the middleware
+		// must account it as 2xx, not 0.
+	})
+	h := reg.InstrumentHTTP(mux, nil)
+
+	do := func(path string) {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	}
+	do("/healthz")
+	do("/healthz")
+	do("/analysis/report")
+	do("/silent")
+	do("/some/unknown/path")
+
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{"http_requests_healthz_2xx_total", 2},
+		{"http_requests_analysis_report_4xx_total", 1},
+		{"http_requests_other_2xx_total", 1},
+		{"http_requests_other_4xx_total", 1}, // /some/unknown/path is a mux 404
+	}
+	for _, c := range checks {
+		got, ok := reg.Value(c.name)
+		if !ok || got != c.want {
+			t.Fatalf("%s = %v (present=%v), want %v", c.name, got, ok, c.want)
+		}
+	}
+	// Histograms are per endpoint, not per status class.
+	text := scrape(reg)
+	for _, name := range []string{"http_request_seconds_healthz", "http_request_seconds_analysis_report", "http_request_seconds_other"} {
+		if !strings.Contains(text, name+"_count") {
+			t.Fatalf("missing latency histogram %s in scrape:\n%s", name, text)
+		}
+	}
+	// /silent must not leak its literal path into a metric name.
+	if strings.Contains(text, "silent") {
+		t.Fatalf("unbounded path leaked into metric names:\n%s", text)
+	}
+}
+
+// TestInstrumentHTTPFlusher: the status-capturing writer must forward
+// Flush, or SSE and long-poll handlers stall behind the middleware.
+func TestInstrumentHTTPFlusher(t *testing.T) {
+	reg := NewRegistry()
+	flushed := false
+	h := reg.InstrumentHTTP(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware hid the Flusher interface")
+		}
+		w.WriteHeader(200)
+		fl.Flush()
+		flushed = true
+	}), nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !flushed || !rr.Flushed {
+		t.Fatalf("Flush not forwarded (handler flushed=%v, recorder flushed=%v)", flushed, rr.Flushed)
+	}
+	if v, ok := reg.Value("http_requests_metrics_2xx_total"); !ok || v != 1 {
+		t.Fatalf("streaming request not accounted: %v %v", v, ok)
+	}
+}
+
+// TestDebugEndpointBounded: every known surface maps to its token and
+// arbitrary paths collapse to "other".
+func TestDebugEndpointBounded(t *testing.T) {
+	cases := map[string]string{
+		"/metrics":                  "metrics",
+		"/healthz":                  "healthz",
+		"/readyz":                   "readyz",
+		"/debug/vars":               "debug_vars",
+		"/debug/pprof/heap":         "debug_pprof",
+		"/analysis/apps":            "analysis_apps",
+		"/analysis/report":          "analysis_report",
+		"/analysis/report/history":  "analysis_history",
+		"/analysis/flush":           "analysis_flush",
+		"/analysis/remove":          "analysis_remove",
+		"/analysis/events":          "analysis_events",
+		"/analysis/whatif":          "analysis_whatif",
+		"/ui":                       "ui",
+		"/ui/app":                   "ui",
+		"/etc/passwd":               "other",
+		"/analysis/unknown":         "other",
+		"/a/very/long/unseen/path/": "other",
+	}
+	for path, want := range cases {
+		if got := DebugEndpoint(path); got != want {
+			t.Fatalf("DebugEndpoint(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// scrape renders the registry in the Prometheus text format.
+func scrape(reg *Registry) string {
+	rr := httptest.NewRecorder()
+	reg.MetricsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	return rr.Body.String()
+}

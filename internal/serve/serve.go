@@ -6,12 +6,34 @@
 // diagnosis report per app over HTTP — mounted on the same debug mux
 // that serves /metrics (collectd -serve-analysis).
 //
+// Every installed report is a versioned snapshot: a per-app
+// monotonically increasing version plus a strong ETag (content hash of
+// the served JSON). Clients cache-validate with If-None-Match (304),
+// long-poll for the next snapshot with ?wait=, resume missed updates
+// over the /analysis/events SSE stream with Last-Event-ID, and read
+// the drift of recent snapshots from /analysis/report/history.
+//
 // Endpoints (all GET unless noted):
 //
-//	/analysis/apps            apps tracked, corpus sizes, cache and
-//	                          summary stats
-//	/analysis/report?app=X    latest report (JSON; ?format=text for the
-//	                          developer-facing rendering)
+//	/analysis/apps            apps tracked, versions, corpus sizes,
+//	                          cache and summary stats
+//	/analysis/report?app=X    latest report snapshot (JSON; ?format=text
+//	                          for the developer-facing rendering).
+//	                          Honors If-None-Match (ETag) with 304;
+//	                          ?wait=<dur> long-polls: a stale client
+//	                          gets the current snapshot immediately,
+//	                          a fresh one parks until the next flush
+//	                          or the timeout (304).
+//	/analysis/report/history?app=X
+//	                          bounded ring of recent snapshot summaries
+//	                          (version, ETag, analyzedAt, top keys,
+//	                          manifestation count, wall time)
+//	/analysis/events          SSE stream of report-update events (see
+//	                          stream.go for the backpressure contract)
+//	/analysis/whatif?app=X&window=&fence=&norm=&impacted=
+//	                          read-only what-if re-analysis under
+//	                          overridden knobs; never touches serving
+//	                          state (see whatif.go)
 //	/analysis/flush           POST: synchronously re-analyze dirty apps
 //	/analysis/remove?app=X&key=K
 //	                          DELETE (or POST): retract one bundle by
@@ -25,11 +47,15 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,14 +64,18 @@ import (
 	"repro/internal/trace"
 )
 
-// Serving-layer metrics on the process registry.
+// Serving-layer metrics on the process registry. Per-endpoint HTTP
+// request counts and latencies come from obs.(*Registry).InstrumentHTTP
+// wrapped around the debug mux, not from this package.
 var (
 	mAnalyses = obs.Default.Counter("serve_analyses_total", "debounced per-app re-analyses run by the serving layer")
 	mNotifies = obs.Default.Counter("serve_notifies_total", "bundle arrivals offered to the serving layer")
 	mErrors   = obs.Default.Counter("serve_analysis_errors_total", "per-app re-analyses that failed")
 	hAnalysis = obs.Default.Histogram("serve_analysis_seconds", "wall time of one debounced per-app re-analysis", nil)
-	mRequests = obs.Default.Counter("serve_http_requests_total", "HTTP requests handled by the analysis endpoints")
 	mRemoves  = obs.Default.Counter("serve_removes_total", "bundle retractions accepted by the serving layer")
+	mNotMod   = obs.Default.Counter("serve_report_not_modified_total", "report requests answered 304 from the client's ETag")
+	mPollPark = obs.Default.Counter("serve_longpoll_parked_total", "report long-polls that parked waiting for the next snapshot")
+	mWhatIfs  = obs.Default.Counter("serve_whatif_total", "read-only what-if re-analyses served")
 )
 
 // Config parameterizes the serving layer.
@@ -65,6 +95,23 @@ type Config struct {
 	// re-analysis (default 10x Debounce): under sustained load the
 	// report still refreshes at least this often.
 	MaxDelay time.Duration
+	// HistoryCap bounds the per-app snapshot-history ring (default 32).
+	HistoryCap int
+	// TopKeys is how many leading event keys a snapshot summary carries
+	// (default 5).
+	TopKeys int
+	// MaxWait caps a report long-poll's ?wait= duration (default 30s).
+	MaxWait time.Duration
+	// StreamQueue bounds each SSE client's event queue (default 64).
+	// A full queue drops its oldest event rather than blocking the
+	// flush path; clients detect the gap from the event-ID sequence.
+	StreamQueue int
+	// StreamReplay bounds the hub's replay ring for Last-Event-ID
+	// resume (default 256 events).
+	StreamReplay int
+	// StreamHeartbeat is the SSE keep-alive comment interval
+	// (default 15s).
+	StreamHeartbeat time.Duration
 	// Logger receives analysis outcomes (nil means slog.Default).
 	Logger *slog.Logger
 }
@@ -76,6 +123,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 10 * c.Debounce
 	}
+	if c.HistoryCap <= 0 {
+		c.HistoryCap = 32
+	}
+	if c.TopKeys <= 0 {
+		c.TopKeys = 5
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	if c.StreamQueue <= 0 {
+		c.StreamQueue = 64
+	}
+	if c.StreamReplay <= 0 {
+		c.StreamReplay = 256
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -83,17 +148,34 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Snapshot is the metadata of one installed report version: what the
+// history ring retains and what a stream event carries. AnalyzedAt is
+// RFC3339Nano UTC.
+type Snapshot struct {
+	Version    int64              `json:"version"`
+	ETag       string             `json:"etag"`
+	AnalyzedAt string             `json:"analyzedAt"`
+	WallMillis float64            `json:"wallMillis"`
+	Summary    core.ReportSummary `json:"summary"`
+}
+
 // appState is the serving state of one app.
 type appState struct {
 	inc *core.IncrementalAnalyzer
 
 	dirty      bool
+	dirtySince time.Time    // first un-analyzed arrival, for staleness
 	report     *core.Report // latest successful analysis (detached)
 	reportJSON []byte       // its serialized form, served verbatim
+	version    int64        // bumps on every successful install
+	etag       string       // strong ETag: content hash of reportJSON
+	summary    core.ReportSummary
 	analyzedAt time.Time
 	lastWall   time.Duration
 	analyses   int64
 	lastErr    string
+	history    []Snapshot    // ring of the last HistoryCap snapshots
+	waitCh     chan struct{} // closed on install; wakes long-polls
 }
 
 // Service owns the per-app incremental analyzers and the debounce
@@ -101,12 +183,20 @@ type appState struct {
 // collect.WithIngestHook), serve with Handler, stop with Close.
 type Service struct {
 	cfg Config
+	hub *hub
 
 	mu         sync.Mutex
 	apps       map[string]*appState
 	timer      *time.Timer
 	firstDirty time.Time // first un-flushed Notify, for the MaxDelay cap
 	closed     bool
+
+	// snapMu guards the cached fleet metrics snapshot so one /metrics
+	// scrape takes the service lock once, not once per gauge (and walks
+	// the per-app summaries once). See metricsSnap.
+	snapMu sync.Mutex
+	snapAt time.Time
+	snap   fleetSnap
 
 	// flushMu serializes re-analysis passes so two timer firings (or a
 	// timer racing an explicit Flush) never analyze the same app
@@ -123,46 +213,93 @@ func New(cfg Config) (*Service, error) {
 	if _, err := core.NewIncrementalAnalyzer(cfg.Analysis, cfg.CacheCap); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	s := &Service{cfg: cfg, apps: make(map[string]*appState)}
+	s := &Service{
+		cfg:  cfg,
+		hub:  newHub(cfg.StreamReplay, cfg.StreamQueue),
+		apps: make(map[string]*appState),
+	}
+	// All fleet gauges read the one cached snapshot: a scrape exports
+	// five gauges for one service-lock acquisition and one summary walk.
 	obs.Default.GaugeFunc("serve_apps_tracked", "apps with a live incremental analyzer", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(len(s.apps))
+		return float64(s.metricsSnap().apps)
 	})
 	obs.Default.GaugeFunc("serve_apps_dirty", "apps with arrivals not yet re-analyzed", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		n := 0
-		for _, st := range s.apps {
-			if st.dirty {
-				n++
-			}
-		}
-		return float64(n)
+		return float64(s.metricsSnap().dirty)
+	})
+	obs.Default.GaugeFunc("serve_report_staleness_seconds", "age of the oldest dirty app's served report (0 when no app is dirty)", func() float64 {
+		return s.metricsSnap().staleness
 	})
 	// Per-app summary state rolled up across the fleet of analyzers;
 	// the per-app breakdown is served by /analysis/apps.
 	obs.Default.GaugeFunc("analysis_summary_keys", "event keys with a live per-key power summary across all apps", func() float64 {
-		return s.sumSummaries(func(st core.SummaryStats) float64 { return float64(st.Keys) })
+		return s.metricsSnap().summaryKeys
 	})
 	obs.Default.GaugeFunc("analysis_summary_bytes", "retained per-key summary memory across all apps", func() float64 {
-		return s.sumSummaries(func(st core.SummaryStats) float64 { return float64(st.Bytes) })
+		return s.metricsSnap().summaryBytes
 	})
 	obs.Default.GaugeFunc("analysis_dirty_traces", "traces re-ranked by the most recent incremental re-analyses across all apps", func() float64 {
-		return s.sumSummaries(func(st core.SummaryStats) float64 { return float64(st.RankDirtyTraces) })
+		return s.metricsSnap().dirtyTraces
 	})
 	return s, nil
 }
 
-// sumSummaries folds one SummaryStats field across every tracked app.
-func (s *Service) sumSummaries(f func(core.SummaryStats) float64) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var total float64
-	for _, st := range s.apps {
-		total += f(st.inc.SummaryStats())
+// fleetSnap is the cached roll-up behind the fleet gauges.
+type fleetSnap struct {
+	apps, dirty  int
+	summaryKeys  float64
+	summaryBytes float64
+	dirtyTraces  float64
+	staleness    float64
+}
+
+// metricsSnapTTL is how long a computed fleet snapshot serves gauge
+// reads before the next scrape recomputes it. One Prometheus scrape
+// reads several gauges within microseconds; the TTL collapses those
+// into a single service-lock acquisition without a scrape ever seeing
+// state older than a second.
+const metricsSnapTTL = time.Second
+
+// metricsSnap returns the cached fleet snapshot, recomputing it when
+// stale. A flush invalidates the cache so post-flush scrapes see the
+// new dirty set immediately.
+func (s *Service) metricsSnap() fleetSnap {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if !s.snapAt.IsZero() && time.Since(s.snapAt) < metricsSnapTTL {
+		return s.snap
 	}
-	return total
+	var fs fleetSnap
+	now := time.Now()
+	s.mu.Lock()
+	fs.apps = len(s.apps)
+	for _, st := range s.apps {
+		if st.dirty {
+			fs.dirty++
+			ref := st.analyzedAt
+			if ref.IsZero() {
+				ref = st.dirtySince
+			}
+			if !ref.IsZero() {
+				if age := now.Sub(ref).Seconds(); age > fs.staleness {
+					fs.staleness = age
+				}
+			}
+		}
+		ss := st.inc.SummaryStats()
+		fs.summaryKeys += float64(ss.Keys)
+		fs.summaryBytes += float64(ss.Bytes)
+		fs.dirtyTraces += float64(ss.RankDirtyTraces)
+	}
+	s.mu.Unlock()
+	s.snap, s.snapAt = fs, now
+	return fs
+}
+
+// invalidateMetricsSnap forces the next gauge read to recompute.
+func (s *Service) invalidateMetricsSnap() {
+	s.snapMu.Lock()
+	s.snapAt = time.Time{}
+	s.snapMu.Unlock()
 }
 
 // Notify offers one accepted bundle to the serving layer: it joins the
@@ -199,8 +336,11 @@ func (s *Service) Notify(b *trace.TraceBundle) {
 // scheduleLocked marks the app dirty and (re)arms the debounce timer.
 // Callers hold s.mu.
 func (s *Service) scheduleLocked(st *appState) {
-	st.dirty = true
 	now := time.Now()
+	if !st.dirty {
+		st.dirty = true
+		st.dirtySince = now
+	}
 	switch {
 	case s.timer == nil:
 		s.firstDirty = now
@@ -253,9 +393,19 @@ func (s *Service) flushAsync() {
 	}()
 }
 
+// etagFor derives the strong ETag of a serialized report snapshot: a
+// content hash, so byte-identical reports (across processes, restarts,
+// or the batch pipeline) validate against the same tag.
+func etagFor(data []byte) string {
+	sum := sha256.Sum256(data)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
 // Flush synchronously re-analyzes every dirty app and installs the new
-// reports. It is the debounce timer's target and may also be called
-// directly (tests, the /analysis/flush endpoint, startup warm-up).
+// report snapshots (version bump, ETag, history entry), wakes parked
+// long-polls, and publishes one stream event per installed snapshot. It
+// is the debounce timer's target and may also be called directly
+// (tests, the /analysis/flush endpoint, startup warm-up).
 func (s *Service) Flush() {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
@@ -273,6 +423,7 @@ func (s *Service) Flush() {
 	for app, st := range s.apps {
 		if st.dirty {
 			st.dirty = false
+			st.dirtySince = time.Time{}
 			jobs = append(jobs, job{app, st})
 		}
 	}
@@ -306,19 +457,51 @@ func (s *Service) Flush() {
 			continue
 		}
 		j.st.lastErr = ""
-		j.st.report = report
-		j.st.reportJSON = data
+		snap := s.installLocked(j.st, report, data, wall)
 		s.mu.Unlock()
+		s.hub.publish(Event{App: j.app, Snapshot: snap})
 		s.cfg.Logger.Info("re-analyzed corpus",
-			"app", j.app, "traces", report.TotalTraces, "skipped", len(report.Skipped),
-			"impacted_traces", report.ImpactedTraces, "wall", wall.Round(time.Microsecond),
+			"app", j.app, "version", snap.Version, "traces", report.TotalTraces,
+			"skipped", len(report.Skipped), "impacted_traces", report.ImpactedTraces,
+			"wall", wall.Round(time.Microsecond),
 			"step1_cache_hit_rate", fmt.Sprintf("%.3f", cs.HitRate()))
 	}
+	s.invalidateMetricsSnap()
 }
 
-// Close stops the debounce timer and waits for in-flight flushes.
-// Pending dirty apps are not analyzed; callers wanting a final report
-// call Flush first.
+// installLocked stores a freshly analyzed report as the app's current
+// snapshot: version bump, ETag, history ring append, long-poll wake.
+// Callers hold s.mu.
+func (s *Service) installLocked(st *appState, report *core.Report, data []byte, wall time.Duration) Snapshot {
+	st.report = report
+	st.reportJSON = data
+	st.version++
+	st.etag = etagFor(data)
+	st.summary = report.Summarize(s.cfg.TopKeys)
+	snap := Snapshot{
+		Version:    st.version,
+		ETag:       st.etag,
+		AnalyzedAt: st.analyzedAt.UTC().Format(time.RFC3339Nano),
+		WallMillis: float64(wall) / float64(time.Millisecond),
+		Summary:    st.summary,
+	}
+	if len(st.history) == s.cfg.HistoryCap {
+		copy(st.history, st.history[1:])
+		st.history[len(st.history)-1] = snap
+	} else {
+		st.history = append(st.history, snap)
+	}
+	if st.waitCh != nil {
+		close(st.waitCh)
+		st.waitCh = nil
+	}
+	return snap
+}
+
+// Close stops the debounce timer, waits for in-flight flushes, wakes
+// parked long-polls, and terminates the event stream (subscribers see
+// their channel closed). Pending dirty apps are not analyzed; callers
+// wanting a final report call Flush first.
 func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -326,25 +509,112 @@ func (s *Service) Close() {
 		s.timer.Stop()
 		s.timer = nil
 	}
+	for _, st := range s.apps {
+		if st.waitCh != nil {
+			close(st.waitCh)
+			st.waitCh = nil
+		}
+	}
 	s.mu.Unlock()
+	s.hub.close()
 	s.wg.Wait()
 }
 
-// appSummary is one row of the /analysis/apps listing.
-type appSummary struct {
-	App            string          `json:"app"`
-	Traces         int             `json:"traces"`
-	Dirty          bool            `json:"dirty"`
-	Analyses       int64           `json:"analyses"`
-	LastAnalysisMS float64         `json:"lastAnalysisMillis"`
-	AnalyzedAt     string          `json:"analyzedAt,omitempty"`
-	LastError      string          `json:"lastError,omitempty"`
-	Cache          core.CacheStats `json:"step1Cache"`
+// AppStatus is one row of the /analysis/apps listing (and the
+// dashboard's fleet overview).
+type AppStatus struct {
+	App            string             `json:"app"`
+	Version        int64              `json:"version"`
+	ETag           string             `json:"etag,omitempty"`
+	Traces         int                `json:"traces"`
+	Dirty          bool               `json:"dirty"`
+	Analyses       int64              `json:"analyses"`
+	LastAnalysisMS float64            `json:"lastAnalysisMillis"`
+	AnalyzedAt     string             `json:"analyzedAt,omitempty"`
+	LastError      string             `json:"lastError,omitempty"`
+	Summary        core.ReportSummary `json:"summary"`
+	Cache          core.CacheStats    `json:"step1Cache"`
 	// Summaries is the incremental engine's per-key summary and
 	// dirty-set state (the per-app view of the analysis_summary_* and
 	// analysis_dirty_traces gauges).
 	Summaries core.SummaryStats `json:"summaries"`
 }
+
+// statusLocked builds one app's status row. Callers hold s.mu.
+func statusLocked(app string, st *appState) AppStatus {
+	row := AppStatus{
+		App:            app,
+		Version:        st.version,
+		ETag:           st.etag,
+		Traces:         st.inc.Len(),
+		Dirty:          st.dirty,
+		Analyses:       st.analyses,
+		LastAnalysisMS: float64(st.lastWall) / float64(time.Millisecond),
+		LastError:      st.lastErr,
+		Summary:        st.summary,
+		Cache:          st.inc.CacheStats(),
+		Summaries:      st.inc.SummaryStats(),
+	}
+	if !st.analyzedAt.IsZero() {
+		row.AnalyzedAt = st.analyzedAt.UTC().Format(time.RFC3339Nano)
+	}
+	return row
+}
+
+// Statuses returns the status of every tracked app, sorted by app ID.
+func (s *Service) Statuses() []AppStatus {
+	s.mu.Lock()
+	out := make([]AppStatus, 0, len(s.apps))
+	for app, st := range s.apps {
+		out = append(out, statusLocked(app, st))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
+// AppReport returns the app's current detached report with its snapshot
+// metadata. ok is false when the app is unknown; a tracked-but-not-yet-
+// analyzed app returns ok with a nil report. Callers must treat the
+// report as read-only — it is the same detached object served over
+// HTTP, shared across readers.
+func (s *Service) AppReport(app string) (report *core.Report, snap Snapshot, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.apps[app]
+	if !ok {
+		return nil, Snapshot{}, false
+	}
+	if st.reportJSON == nil {
+		return nil, Snapshot{}, true
+	}
+	snap = Snapshot{
+		Version:    st.version,
+		ETag:       st.etag,
+		AnalyzedAt: st.analyzedAt.UTC().Format(time.RFC3339Nano),
+		WallMillis: float64(st.lastWall) / float64(time.Millisecond),
+		Summary:    st.summary,
+	}
+	return st.report, snap, true
+}
+
+// History returns the app's snapshot-history ring, oldest first.
+func (s *Service) History(app string) ([]Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.apps[app]
+	if !ok {
+		return nil, false
+	}
+	out := make([]Snapshot, len(st.history))
+	copy(out, st.history)
+	return out, true
+}
+
+// AnalysisConfig returns the effective analysis configuration the
+// serving layer runs with (SkipInvalidTraces forced on) — the defaults
+// a what-if form is pre-filled from.
+func (s *Service) AnalysisConfig() core.Config { return s.cfg.Analysis }
 
 // Handler returns the HTTP handler for the /analysis/ endpoints; mount
 // it at the mux root (paths are absolute).
@@ -352,66 +622,134 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analysis/apps", s.serveApps)
 	mux.HandleFunc("/analysis/report", s.serveReport)
+	mux.HandleFunc("/analysis/report/history", s.serveHistory)
+	mux.HandleFunc("/analysis/events", s.serveEvents)
+	mux.HandleFunc("/analysis/whatif", s.serveWhatIf)
 	mux.HandleFunc("/analysis/flush", s.serveFlush)
 	mux.HandleFunc("/analysis/remove", s.serveRemove)
 	return mux
 }
 
-func (s *Service) serveApps(w http.ResponseWriter, _ *http.Request) {
-	mRequests.Inc()
-	s.mu.Lock()
-	out := make([]appSummary, 0, len(s.apps))
-	for app, st := range s.apps {
-		row := appSummary{
-			App:            app,
-			Traces:         st.inc.Len(),
-			Dirty:          st.dirty,
-			Analyses:       st.analyses,
-			LastAnalysisMS: float64(st.lastWall) / float64(time.Millisecond),
-			LastError:      st.lastErr,
-			Cache:          st.inc.CacheStats(),
-			Summaries:      st.inc.SummaryStats(),
-		}
-		if !st.analyzedAt.IsZero() {
-			row.AnalyzedAt = st.analyzedAt.UTC().Format(time.RFC3339Nano)
-		}
-		out = append(out, row)
+// requireGET enforces the read-only endpoints' method contract.
+func requireGET(w http.ResponseWriter, req *http.Request) bool {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return false
 	}
-	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return true
+}
+
+func (s *Service) serveApps(w http.ResponseWriter, req *http.Request) {
+	if !requireGET(w, req) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(out)
+	_ = enc.Encode(s.Statuses())
+}
+
+// etagMatches reports whether the request's If-None-Match header
+// matches the given strong ETag ("*" matches anything).
+func etagMatches(req *http.Request, etag string) bool {
+	inm := req.Header.Get("If-None-Match")
+	if inm == "" || etag == "" {
+		return false
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag || cand == "*" {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Service) serveReport(w http.ResponseWriter, req *http.Request) {
-	mRequests.Inc()
-	app := req.URL.Query().Get("app")
+	if !requireGET(w, req) {
+		return
+	}
+	q := req.URL.Query()
+	app := q.Get("app")
 	if app == "" {
 		http.Error(w, "missing ?app= parameter", http.StatusBadRequest)
 		return
 	}
+	var wait time.Duration
+	if ws := q.Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			http.Error(w, "bad ?wait= duration", http.StatusBadRequest)
+			return
+		}
+		if d > s.cfg.MaxWait {
+			d = s.cfg.MaxWait
+		}
+		wait = d
+	}
+	clientVer := int64(0)
+	if vs := q.Get("version"); vs != "" {
+		v, err := strconv.ParseInt(vs, 10, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "bad ?version= parameter", http.StatusBadRequest)
+			return
+		}
+		clientVer = v
+	}
+
 	s.mu.Lock()
 	st, ok := s.apps[app]
-	var (
-		data   []byte
-		report *core.Report
-	)
-	if ok {
-		data, report = st.reportJSON, st.report
-	}
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		http.Error(w, "unknown app "+app, http.StatusNotFound)
 		return
 	}
+	// Fresh means the client already holds the current snapshot: its
+	// ETag validates or its reported version is current. A stale client
+	// is answered immediately; a fresh one parks when it asked to wait.
+	fresh := st.reportJSON != nil &&
+		(etagMatches(req, st.etag) || (clientVer > 0 && clientVer >= st.version))
+	needsWait := wait > 0 && (st.reportJSON == nil || fresh)
+	if needsWait {
+		if st.waitCh == nil {
+			st.waitCh = make(chan struct{})
+		}
+		waitCh := st.waitCh
+		s.mu.Unlock()
+		mPollPark.Inc()
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-waitCh:
+		case <-timer.C:
+		case <-req.Context().Done():
+			return
+		}
+		s.mu.Lock()
+		// Re-evaluate against whatever is installed now.
+		fresh = st.reportJSON != nil &&
+			(etagMatches(req, st.etag) || (clientVer > 0 && clientVer >= st.version))
+	}
+
+	data, report := st.reportJSON, st.report
+	etag, version := st.etag, st.version
+	s.mu.Unlock()
+
 	if data == nil {
 		// Tracked but not yet analyzed (inside the debounce window).
 		http.Error(w, "no analysis yet for "+app+"; retry shortly or POST /analysis/flush", http.StatusServiceUnavailable)
 		return
 	}
-	if req.URL.Query().Get("format") == "text" {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Analysis-Version", strconv.FormatInt(version, 10))
+	if fresh {
+		mNotMod.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if q.Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = report.WriteText(w)
 		return
@@ -420,9 +758,29 @@ func (s *Service) serveReport(w http.ResponseWriter, req *http.Request) {
 	_, _ = w.Write(data)
 }
 
+func (s *Service) serveHistory(w http.ResponseWriter, req *http.Request) {
+	if !requireGET(w, req) {
+		return
+	}
+	app := req.URL.Query().Get("app")
+	if app == "" {
+		http.Error(w, "missing ?app= parameter", http.StatusBadRequest)
+		return
+	}
+	history, ok := s.History(app)
+	if !ok {
+		http.Error(w, "unknown app "+app, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(history)
+}
+
 func (s *Service) serveFlush(w http.ResponseWriter, req *http.Request) {
-	mRequests.Inc()
 	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
@@ -431,8 +789,8 @@ func (s *Service) serveFlush(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Service) serveRemove(w http.ResponseWriter, req *http.Request) {
-	mRequests.Inc()
 	if req.Method != http.MethodDelete && req.Method != http.MethodPost {
+		w.Header().Set("Allow", "DELETE, POST")
 		http.Error(w, "DELETE or POST required", http.StatusMethodNotAllowed)
 		return
 	}

@@ -163,7 +163,7 @@ func TestHandlerStatusCodes(t *testing.T) {
 	if rr.Code != 200 {
 		t.Fatalf("apps listing: %d", rr.Code)
 	}
-	var rows []appSummary
+	var rows []AppStatus
 	if err := json.Unmarshal(rr.Body.Bytes(), &rows); err != nil {
 		t.Fatalf("apps listing not JSON: %v", err)
 	}
@@ -253,7 +253,7 @@ func TestRemoveEndpoint(t *testing.T) {
 	}
 
 	rr = do("GET", "/analysis/apps")
-	var rows []appSummary
+	var rows []AppStatus
 	if err := json.Unmarshal(rr.Body.Bytes(), &rows); err != nil {
 		t.Fatalf("apps listing not JSON: %v", err)
 	}

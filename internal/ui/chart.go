@@ -1,0 +1,215 @@
+package ui
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Inline-SVG chart geometry. Everything is precomputed in Go — the
+// templates only splice coordinate strings — so the pages ship no
+// charting JS at all.
+const (
+	chartW     = 620
+	chartH     = 240
+	marginL    = 46
+	marginR    = 12
+	marginT    = 10
+	powerH     = 120 // upper panel: normalized power vs rank
+	panelGap   = 26
+	ampH       = chartH - marginT - powerH - panelGap - 18 // lower panel: amplitude + fence
+	ampTop     = marginT + powerH + panelGap
+	plotW      = chartW - marginL - marginR
+	powerBot   = marginT + powerH
+	ampBot     = ampTop + ampH
+	maxDotsPer = 400 // thin dense traces so one SVG stays small
+)
+
+// chartDot is one plotted event instance.
+type chartDot struct {
+	X, Y float64
+}
+
+// traceChart is the render-ready power-vs-rank chart of one trace: the
+// paper's diagnosis view (normalized power over cross-trace rank, the
+// variation amplitude underneath, the Step-4 fence, manifestation
+// points and their report windows).
+type traceChart struct {
+	TraceID string
+	UserID  string
+	W, H    int
+	// PowerLine/AmpLine are rank-ordered polyline coordinates.
+	PowerLine string
+	AmpLine   string
+	// Dots by class: normal instances, manifestation-window members,
+	// detected manifestation points (upper panel).
+	Normal   []chartDot
+	Window   []chartDot
+	Manifest []chartDot
+	// FenceY is the fence's pixel y on the amplitude panel (< 0 when
+	// the fence is above the panel's scale).
+	FenceY     float64
+	FenceLabel string
+	// Axis labels.
+	PowerMaxLabel string
+	AmpMaxLabel   string
+	RankMaxLabel  string
+	// Panel geometry exported for the template.
+	MarginL, MarginT, PlotW, PlotR, PowerBot, AmpTop, AmpBot int
+	PowerPanelH, AmpPanelH                                   int
+}
+
+func coord(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// buildCharts picks up to max traces — manifestation-bearing traces
+// first, in corpus order — and lays each out as a power-vs-rank chart.
+// windowEvents is the config's manifestation-window half-width, used to
+// mark window membership.
+func buildCharts(r *core.Report, windowEvents, max int) []traceChart {
+	if max <= 0 {
+		return nil
+	}
+	var picked []*core.AnalyzedTrace
+	for _, at := range r.Traces {
+		if len(at.Manifestations) > 0 {
+			picked = append(picked, at)
+			if len(picked) == max {
+				break
+			}
+		}
+	}
+	for _, at := range r.Traces {
+		if len(picked) == max {
+			break
+		}
+		if len(at.Manifestations) == 0 {
+			picked = append(picked, at)
+		}
+	}
+	charts := make([]traceChart, 0, len(picked))
+	for _, at := range picked {
+		charts = append(charts, buildChart(at, windowEvents))
+	}
+	return charts
+}
+
+func buildChart(at *core.AnalyzedTrace, windowEvents int) traceChart {
+	c := traceChart{
+		TraceID: at.TraceID,
+		UserID:  at.UserID,
+		W:       chartW,
+		H:       chartH,
+		MarginL: marginL, MarginT: marginT, PlotW: plotW, PlotR: marginL + plotW,
+		PowerBot: powerBot, AmpTop: ampTop, AmpBot: ampBot,
+		PowerPanelH: powerH, AmpPanelH: ampH,
+	}
+	n := len(at.Events)
+	if n == 0 || len(at.Rank) != n || len(at.NormPower) != n {
+		return c
+	}
+
+	// Rank-sorted order without mutating the (shared, read-only) trace.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is one trace's events
+		for j := i; j > 0 && at.Rank[idx[j]] < at.Rank[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+
+	minRank, maxRank := at.Rank[idx[0]], at.Rank[idx[n-1]]
+	maxPower, maxAmp := 0.0, 0.0
+	minAmp := 0.0
+	for i := 0; i < n; i++ {
+		if at.NormPower[i] > maxPower {
+			maxPower = at.NormPower[i]
+		}
+		if i < len(at.Amplitude) {
+			if at.Amplitude[i] > maxAmp {
+				maxAmp = at.Amplitude[i]
+			}
+			if at.Amplitude[i] < minAmp {
+				minAmp = at.Amplitude[i]
+			}
+		}
+	}
+	if maxPower <= 0 {
+		maxPower = 1
+	}
+	ampHi := maxAmp
+	if at.Fence > ampHi {
+		ampHi = at.Fence
+	}
+	if ampHi <= minAmp {
+		ampHi = minAmp + 1
+	}
+
+	x := func(rank float64) float64 {
+		if maxRank == minRank {
+			return marginL + plotW/2
+		}
+		return marginL + (rank-minRank)/(maxRank-minRank)*plotW
+	}
+	yPower := func(p float64) float64 {
+		return float64(powerBot) - p/maxPower*float64(powerH)
+	}
+	yAmp := func(a float64) float64 {
+		return float64(ampBot) - (a-minAmp)/(ampHi-minAmp)*float64(ampH)
+	}
+
+	inWindow := make([]bool, n)
+	isManifest := make([]bool, n)
+	for _, m := range at.Manifestations {
+		if m < 0 || m >= n {
+			continue
+		}
+		isManifest[m] = true
+		for j := m - windowEvents; j <= m+windowEvents; j++ {
+			if j >= 0 && j < n {
+				inWindow[j] = true
+			}
+		}
+	}
+
+	// Thin dense traces for the polylines and the normal dots; window
+	// and manifestation dots always render.
+	step := 1
+	if n > maxDotsPer {
+		step = (n + maxDotsPer - 1) / maxDotsPer
+	}
+	var power, amp strings.Builder
+	for k, i := range idx {
+		keep := k%step == 0 || k == n-1 || inWindow[i] || isManifest[i]
+		if !keep {
+			continue
+		}
+		px, py := x(at.Rank[i]), yPower(at.NormPower[i])
+		power.WriteString(coord(px) + "," + coord(py) + " ")
+		if i < len(at.Amplitude) {
+			amp.WriteString(coord(px) + "," + coord(yAmp(at.Amplitude[i])) + " ")
+		}
+		dot := chartDot{X: px, Y: py}
+		switch {
+		case isManifest[i]:
+			c.Manifest = append(c.Manifest, dot)
+		case inWindow[i]:
+			c.Window = append(c.Window, dot)
+		default:
+			c.Normal = append(c.Normal, dot)
+		}
+	}
+	c.PowerLine = strings.TrimSpace(power.String())
+	c.AmpLine = strings.TrimSpace(amp.String())
+	c.FenceY = yAmp(at.Fence)
+	if c.FenceY < float64(ampTop) {
+		c.FenceY = -1
+	}
+	c.FenceLabel = fmt.Sprintf("fence %.2f", at.Fence)
+	c.PowerMaxLabel = fmt.Sprintf("%.1f", maxPower)
+	c.AmpMaxLabel = fmt.Sprintf("%.1f", ampHi)
+	c.RankMaxLabel = fmt.Sprintf("%.0f", maxRank)
+	return c
+}

@@ -1,0 +1,285 @@
+// Package ui is the embedded operator dashboard of the EnergyDx serving
+// layer: a zero-dependency web UI (stdlib embed.FS + html/template, a
+// hand-rolled SSE client, inline SVG charts — no JS framework, no CDN)
+// mounted on the debug mux at /ui/.
+//
+// Pages:
+//
+//	/ui/            fleet overview: tracked apps with snapshot versions,
+//	                dirty state, summary memory, quarantine and ingest
+//	                counters from the obs registry; rows update live
+//	                from the /analysis/events SSE stream
+//	/ui/app?app=X   per-app drill-down: power-vs-rank charts with
+//	                manifestation points, window membership and the
+//	                Step-4 amplitude fence, the impacted-trace table,
+//	                snapshot history, cache/summary stats, and what-if
+//	                knobs (window size n, fence multiplier, impacted
+//	                percentage target) that re-run a READ-ONLY analysis
+//	                without touching serving state
+//
+// The dashboard only reads: every handler is GET, and the what-if path
+// goes through serve.Service.WhatIf, whose isolation guarantee (fresh
+// analyzer over a bundle snapshot, no shared caches) is differentially
+// tested in the serve package.
+package ui
+
+import (
+	"embed"
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+//go:embed templates/*.html
+var tmplFS embed.FS
+
+// Server renders the dashboard over a serving layer and a metrics
+// registry.
+type Server struct {
+	svc  *serve.Service
+	reg  *obs.Registry
+	tmpl *template.Template
+}
+
+// New parses the embedded templates and builds the dashboard server.
+// reg supplies the overview's live counters (nil means obs.Default).
+func New(svc *serve.Service, reg *obs.Registry) (*Server, error) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	tmpl, err := template.ParseFS(tmplFS, "templates/*.html")
+	if err != nil {
+		return nil, fmt.Errorf("ui: templates: %w", err)
+	}
+	return &Server{svc: svc, reg: reg, tmpl: tmpl}, nil
+}
+
+// Handler returns the /ui/ handler; mount it at the mux root (paths are
+// absolute).
+func (u *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ui", u.serveOverview)
+	mux.HandleFunc("/ui/", u.serveOverview)
+	mux.HandleFunc("/ui/app", u.serveApp)
+	return mux
+}
+
+func (u *Server) render(w http.ResponseWriter, name string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := u.tmpl.ExecuteTemplate(w, name, data); err != nil {
+		// Headers are gone; all we can do is log-free best effort.
+		fmt.Fprintf(w, "\n<!-- template error: %v -->", err)
+	}
+}
+
+func requireGET(w http.ResponseWriter, req *http.Request) bool {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// metricRow is one live counter on the overview.
+type metricRow struct {
+	Label string
+	Value string
+}
+
+// fmtMetric renders a metric value compactly (bytes and counts).
+func fmtMetric(v float64, bytes bool) string {
+	if bytes {
+		switch {
+		case v >= 1<<30:
+			return fmt.Sprintf("%.1f GiB", v/(1<<30))
+		case v >= 1<<20:
+			return fmt.Sprintf("%.1f MiB", v/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.1f KiB", v/(1<<10))
+		}
+	}
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// liveMetrics reads the overview's counters off the registry; absent
+// metrics (layer not linked or not yet active) render as an em dash.
+func (u *Server) liveMetrics() []metricRow {
+	defs := []struct {
+		label, name string
+		bytes       bool
+	}{
+		{"bundles accepted", "collect_bundles_accepted_total", false},
+		{"re-uploads deduplicated", "collect_bundles_duplicated_total", false},
+		{"quarantined lines", "collect_bundles_quarantined_total", false},
+		{"bytes ingested", "collect_bytes_ingested_total", true},
+		{"connections open", "collect_connections_open", false},
+		{"re-analyses", "serve_analyses_total", false},
+		{"analysis errors", "serve_analysis_errors_total", false},
+		{"stream clients", "serve_stream_clients", false},
+		{"report staleness (s)", "serve_report_staleness_seconds", false},
+		{"summary memory", "analysis_summary_bytes", true},
+	}
+	rows := make([]metricRow, 0, len(defs))
+	for _, d := range defs {
+		val := "—"
+		if v, ok := u.reg.Value(d.name); ok {
+			val = fmtMetric(v, d.bytes)
+		}
+		rows = append(rows, metricRow{Label: d.label, Value: val})
+	}
+	return rows
+}
+
+// overviewData feeds templates/overview.html.
+type overviewData struct {
+	Now         string
+	Apps        []serve.AppStatus
+	TotalTraces int
+	DirtyApps   int
+	Metrics     []metricRow
+}
+
+func (u *Server) serveOverview(w http.ResponseWriter, req *http.Request) {
+	if !requireGET(w, req) {
+		return
+	}
+	if req.URL.Path != "/ui" && req.URL.Path != "/ui/" {
+		http.NotFound(w, req)
+		return
+	}
+	data := overviewData{
+		Now:     time.Now().UTC().Format(time.RFC3339),
+		Apps:    u.svc.Statuses(),
+		Metrics: u.liveMetrics(),
+	}
+	for _, st := range data.Apps {
+		data.TotalTraces += st.Traces
+		if st.Dirty {
+			data.DirtyApps++
+		}
+	}
+	u.render(w, "overview", data)
+}
+
+// whatIfForm carries the drill-down form state: current (or overridden)
+// knob values, pre-filled from the serving configuration.
+type whatIfForm struct {
+	Window   int
+	Fence    float64
+	Norm     float64
+	Impacted float64
+}
+
+// whatIfResult is the rendered outcome of a read-only what-if run.
+type whatIfResult struct {
+	Form     whatIfForm
+	Summary  core.ReportSummary
+	Impacted []core.Impact
+	Charts   []traceChart
+	Err      string
+}
+
+// appData feeds templates/app.html.
+type appData struct {
+	App      string
+	Status   serve.AppStatus
+	Snap     serve.Snapshot
+	HasData  bool
+	Impacted []core.Impact
+	Charts   []traceChart
+	History  []serve.Snapshot // newest first
+	Form     whatIfForm
+	WhatIf   *whatIfResult
+}
+
+func formOf(cfg core.Config) whatIfForm {
+	return whatIfForm{
+		Window:   cfg.WindowEvents,
+		Fence:    cfg.FenceMultiplier,
+		Norm:     cfg.NormBasePercentile,
+		Impacted: cfg.DeveloperImpactPercent,
+	}
+}
+
+func (u *Server) serveApp(w http.ResponseWriter, req *http.Request) {
+	if !requireGET(w, req) {
+		return
+	}
+	q := req.URL.Query()
+	app := q.Get("app")
+	if app == "" {
+		http.Error(w, "missing ?app= parameter", http.StatusBadRequest)
+		return
+	}
+	report, snap, ok := u.svc.AppReport(app)
+	if !ok {
+		http.Error(w, "unknown app "+app, http.StatusNotFound)
+		return
+	}
+	var status serve.AppStatus
+	for _, st := range u.svc.Statuses() {
+		if st.App == app {
+			status = st
+			break
+		}
+	}
+	history, _ := u.svc.History(app)
+	// Newest first for display.
+	for i, j := 0, len(history)-1; i < j; i, j = i+1, j-1 {
+		history[i], history[j] = history[j], history[i]
+	}
+	cfg := u.svc.AnalysisConfig()
+	data := appData{
+		App:     app,
+		Status:  status,
+		Snap:    snap,
+		History: history,
+		Form:    formOf(cfg),
+	}
+	if report != nil {
+		data.HasData = true
+		data.Impacted = report.Impacted
+		data.Charts = buildCharts(report, cfg.WindowEvents, maxCharts)
+	}
+	if q.Get("whatif") == "1" {
+		data.WhatIf = u.runWhatIf(app, q.Get)
+	}
+	u.render(w, "app", data)
+}
+
+// maxCharts caps the per-page chart count: one per impacted trace up to
+// this many (a 10k-trace corpus must not render 10k SVGs).
+const maxCharts = 6
+
+// runWhatIf executes the read-only what-if for the dashboard form and
+// packages the outcome for rendering; parameter and analysis errors
+// render inline rather than failing the page.
+func (u *Server) runWhatIf(app string, get func(string) string) *whatIfResult {
+	params, err := serve.ParseWhatIfParams(get)
+	if err != nil {
+		return &whatIfResult{Err: err.Error()}
+	}
+	report, cfg, ok, err := u.svc.WhatIf(app, params)
+	res := &whatIfResult{Form: formOf(cfg)}
+	if !ok {
+		res.Err = "unknown app " + app
+		return res
+	}
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Summary = report.Summarize(5)
+	res.Impacted = report.Impacted
+	res.Charts = buildCharts(report, cfg.WindowEvents, 4)
+	return res
+}

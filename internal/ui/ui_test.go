@@ -1,0 +1,206 @@
+package ui
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testService(t *testing.T, users int, seed int64) (*serve.Service, []*trace.TraceBundle) {
+	t.Helper()
+	app, err := apps.K9Mail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := workload.DefaultConfig(app, seed)
+	wcfg.Users = users
+	wcfg.ImpactedFraction = 0.25
+	corpus, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := serve.New(serve.Config{Analysis: core.DefaultConfig(), Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	for _, b := range corpus.Bundles {
+		svc.Notify(b)
+	}
+	svc.Flush()
+	return svc, corpus.Bundles
+}
+
+func newUI(t *testing.T, svc *serve.Service) *Server {
+	t.Helper()
+	u, err := New(svc, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func get(t *testing.T, u *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	u.Handler().ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr
+}
+
+// TestOverviewRenders: the fleet page lists the app with its snapshot
+// version and live-updates hook (SSE client + data-app row anchors).
+func TestOverviewRenders(t *testing.T) {
+	svc, _ := testService(t, 6, 83)
+	u := newUI(t, svc)
+	rr := get(t, u, "/ui/")
+	if rr.Code != 200 {
+		t.Fatalf("overview: %d", rr.Code)
+	}
+	body := rr.Body.String()
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, want := range []string{
+		`data-app="k9mail"`,               // live-update row anchor
+		`/ui/app?app=k9mail`,              // drill-down link
+		`EventSource("/analysis/events")`, // hand-rolled SSE client
+		"apps tracked",
+		"re-analyses",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("overview missing %q", want)
+		}
+	}
+	if strings.Contains(body, "template error") {
+		t.Fatalf("template error in overview:\n%s", body)
+	}
+	// /ui without slash renders too; other subpaths 404.
+	if rr := get(t, u, "/ui"); rr.Code != 200 {
+		t.Fatalf("/ui: %d", rr.Code)
+	}
+	if rr := get(t, u, "/ui/nope"); rr.Code != 404 {
+		t.Fatalf("/ui/nope: %d", rr.Code)
+	}
+}
+
+// TestAppPageRenders: the drill-down shows the snapshot, the impacted
+// table, inline SVG charts with fence and manifestation markup, and the
+// history table.
+func TestAppPageRenders(t *testing.T) {
+	svc, _ := testService(t, 8, 89)
+	u := newUI(t, svc)
+	rr := get(t, u, "/ui/app?app=k9mail")
+	if rr.Code != 200 {
+		t.Fatalf("app page: %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"<svg",                        // inline chart
+		`class="fence"`,               // Step-4 fence line
+		`class="d-manifest"`,          // manifestation dots
+		"Impacted event keys",         // Step-5 table
+		"Snapshot history",            // ring table
+		`name="fence"`,                // what-if knob
+		"/analysis/events?app=k9mail", // filtered SSE stream
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("app page missing %q", want)
+		}
+	}
+	if strings.Contains(body, "template error") {
+		t.Fatalf("template error in app page:\n%s", body)
+	}
+
+	if rr := get(t, u, "/ui/app"); rr.Code != 400 {
+		t.Fatalf("missing app param: %d", rr.Code)
+	}
+	if rr := get(t, u, "/ui/app?app=nope"); rr.Code != 404 {
+		t.Fatalf("unknown app: %d", rr.Code)
+	}
+}
+
+// TestWhatIfFormIsReadOnly: submitting the what-if form renders a
+// result block and leaves the served snapshot untouched.
+func TestWhatIfFormIsReadOnly(t *testing.T) {
+	svc, _ := testService(t, 8, 97)
+	u := newUI(t, svc)
+	_, before, _ := svc.AppReport("k9mail")
+
+	rr := get(t, u, "/ui/app?app=k9mail&whatif=1&window=4&fence=1.2")
+	if rr.Code != 200 {
+		t.Fatalf("what-if page: %d", rr.Code)
+	}
+	body := rr.Body.String()
+	if !strings.Contains(body, "What-if result") || !strings.Contains(body, `class="badge whatif"`) {
+		t.Fatal("what-if result block not rendered")
+	}
+	if strings.Contains(body, "template error") {
+		t.Fatalf("template error in what-if page:\n%s", body)
+	}
+	// A bad knob renders inline, it does not fail the page.
+	rr = get(t, u, "/ui/app?app=k9mail&whatif=1&window=abc")
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "bad window") {
+		t.Fatalf("param error not rendered inline: %d", rr.Code)
+	}
+
+	_, after, _ := svc.AppReport("k9mail")
+	if after.Version != before.Version || after.ETag != before.ETag {
+		t.Fatalf("dashboard what-if moved the snapshot: v%d->%d", before.Version, after.Version)
+	}
+}
+
+// TestUIMethodHygiene: the dashboard is strictly read-only — non-GET is
+// rejected.
+func TestUIMethodHygiene(t *testing.T) {
+	svc, _ := testService(t, 2, 101)
+	u := newUI(t, svc)
+	for _, path := range []string{"/ui/", "/ui/app?app=k9mail"} {
+		rr := httptest.NewRecorder()
+		u.Handler().ServeHTTP(rr, httptest.NewRequest("POST", path, nil))
+		if rr.Code != 405 || rr.Header().Get("Allow") != "GET" {
+			t.Fatalf("POST %s: %d Allow=%q", path, rr.Code, rr.Header().Get("Allow"))
+		}
+	}
+}
+
+// TestBuildChartGeometry: chart coordinates stay inside the panel
+// boxes, manifestation dots are preserved through thinning, and the
+// fence line is suppressed when above scale.
+func TestBuildChartGeometry(t *testing.T) {
+	svc, _ := testService(t, 8, 103)
+	report, _, ok := svc.AppReport("k9mail")
+	if !ok || report == nil {
+		t.Fatal("no report")
+	}
+	cfg := svc.AnalysisConfig()
+	charts := buildCharts(report, cfg.WindowEvents, 4)
+	if len(charts) == 0 {
+		t.Fatal("no charts built")
+	}
+	manifest := 0
+	for _, c := range charts {
+		for _, d := range append(append(append([]chartDot{}, c.Normal...), c.Window...), c.Manifest...) {
+			if d.X < float64(c.MarginL)-0.5 || d.X > float64(c.PlotR)+0.5 {
+				t.Fatalf("dot x %.1f outside plot [%d,%d]", d.X, c.MarginL, c.PlotR)
+			}
+			if d.Y < float64(c.MarginT)-0.5 || d.Y > float64(c.PowerBot)+0.5 {
+				t.Fatalf("dot y %.1f outside power panel [%d,%d]", d.Y, c.MarginT, c.PowerBot)
+			}
+		}
+		if c.FenceY >= 0 && (c.FenceY < float64(c.AmpTop) || c.FenceY > float64(c.AmpBot)+0.5) {
+			t.Fatalf("fence y %.1f outside amplitude panel [%d,%d]", c.FenceY, c.AmpTop, c.AmpBot)
+		}
+		manifest += len(c.Manifest)
+	}
+	if manifest == 0 {
+		t.Fatal("no manifestation dots across charts (corpus has impacted traces)")
+	}
+}
