@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/revision"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -47,14 +48,36 @@ type growthFit struct {
 	Exponent float64 `json:"exponent"`
 }
 
+// revisionsSweep is the version-diff engine's evaluation block: culprit
+// detection and gate behavior over seeded regression chains, and the
+// cross-version cache-reuse evidence (ISSUE 9 acceptance records both
+// here).
+type revisionsSweep struct {
+	RegressionChains  int     `json:"regressionChains"`
+	Detected          int     `json:"detected"`
+	DetectionAccuracy float64 `json:"detectionAccuracy"`
+	GateCaught        int     `json:"gateCaught"`
+	CleanChains       int     `json:"cleanChains"`
+	CleanHops         int     `json:"cleanHops"`
+	FalseTrips        int     `json:"falseTrips"`
+	// MeanSharedFraction is how much of each version's corpus the
+	// delta-fed analyzer carried over unchanged from the parent;
+	// RevisitCacheHitRate is the Step-1 cache hit rate when a chain is
+	// revisited (revert/bisect access pattern).
+	MeanSharedFraction  float64 `json:"meanSharedFraction"`
+	RevisitCacheHitRate float64 `json:"revisitCacheHitRate"`
+	RevisitChains       int     `json:"revisitChains"`
+}
+
 // sweepReport is the BENCH_sweep.json document.
 type sweepReport struct {
-	GoVersion  string       `json:"goVersion"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"numCPU"`
-	Seed       int64        `json:"seed"`
-	Entries    []sweepEntry `json:"entries"`
-	Growth     []growthFit  `json:"growth,omitempty"`
+	GoVersion  string          `json:"goVersion"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"numCPU"`
+	Seed       int64           `json:"seed"`
+	Entries    []sweepEntry    `json:"entries"`
+	Growth     []growthFit     `json:"growth,omitempty"`
+	Revisions  *revisionsSweep `json:"revisions,omitempty"`
 }
 
 // timeOne runs fn under testing.Benchmark and records per-op stats plus
@@ -259,6 +282,39 @@ func TestBenchSweepJSON(t *testing.T) {
 	report.Entries = append(report.Entries, sweepEntries...)
 	report.Growth = fits
 
+	// Version-chain walk: one delta-fed incremental analyzer across the
+	// whole chain vs a fresh batch Analyze per version. Both stay
+	// byte-identical (the differential battery pins that); this records
+	// the wall-clock ratio. Note the delta walk does NOT win here: with
+	// ~40% of bundles changing per hop, the Step-1 work it skips is
+	// smaller than the extra cost of materializing each version's report
+	// from the order-statistic summaries (Ω(N), ~5x a batch pass — see
+	// the reanalyze-after-add/incremental growth entries). The engine's
+	// wins are single-bundle churn and revisit/bisect reuse, recorded
+	// above and in the revisions block below.
+	report.Entries = append(report.Entries, revisionChainBench(t)...)
+
+	// Evaluation block: culprit detection accuracy and gate behavior
+	// over seeded regression + clean chains (same sweep the REVISION_GATE
+	// CI job enforces floors on).
+	revRes, err := experiments.RunRevisions(benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := revRes.(*experiments.RevisionsResult)
+	report.Revisions = &revisionsSweep{
+		RegressionChains:    rr.RegressionChains,
+		Detected:            rr.Detected,
+		DetectionAccuracy:   rr.DetectionAccuracy(),
+		GateCaught:          rr.GateCaught,
+		CleanChains:         rr.CleanChains,
+		CleanHops:           rr.CleanHops,
+		FalseTrips:          rr.FalseTrips,
+		MeanSharedFraction:  rr.MeanShared,
+		RevisitCacheHitRate: rr.MeanRevisitRate,
+		RevisitChains:       rr.RevisitChains,
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -380,6 +436,75 @@ func reanalyzeSweep(tb testing.TB, sizes []int) ([]sweepEntry, []growthFit) {
 		{Name: "reanalyze-after-add/incremental", Sizes: ns, NsPerOp: incNs, Exponent: fitGrowthExponent(ns, incNs)},
 	}
 	return entries, fits
+}
+
+// revisionChainBench times walking one regression chain (4 versions,
+// hold regression at v2, benign rewires elsewhere) two ways: a fresh
+// batch Analyze per version vs a single delta-fed incremental analyzer
+// syncing add/remove deltas between versions. The delta entry records
+// the walk's cross-version Step-1 cache hit rate (0 on a pure forward
+// walk — shared bundles are never re-looked-up, only re-added ones).
+func revisionChainBench(tb testing.TB) []sweepEntry {
+	tb.Helper()
+	app, err := apps.K9Mail()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ccfg := revision.ChainConfig{
+		App: app, Versions: 4, Seed: benchSeed,
+		RegressionAt: 2, Kind: revision.KindHold, Rewires: true,
+	}
+	chain, err := revision.GenerateChain(ccfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	corpora, err := revision.ChainCorpora(chain, ccfg, revision.CorpusConfig{Users: 12, Seed: 7, Cached: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	acfg := core.DefaultConfig()
+
+	batch := timeOne("revision-chain/batch", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, bundles := range corpora {
+				analyzer, err := core.NewAnalyzer(acfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := analyzer.Analyze(bundles); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	var hits, lookups int64
+	delta := timeOne("revision-chain/delta", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, err := revision.NewAnalyzer(revision.AnalyzeConfig{Core: acfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for v, bundles := range corpora {
+				if _, err := a.AnalyzeVersion(v, bundles); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := a.CacheStats()
+			hits, lookups = st.Hits, st.Lookups
+		}
+	})
+	if lookups > 0 {
+		delta.CacheHitRate = float64(hits) / float64(lookups)
+	}
+	if delta.NsPerOp > 0 {
+		delta.SpeedupVsBatch = float64(batch.NsPerOp) / float64(delta.NsPerOp)
+	}
+	return []sweepEntry{batch, delta}
 }
 
 // fitGrowthExponent returns the least-squares slope of log(ns/op)

@@ -29,6 +29,17 @@
 //	energydx -in corpus.jsonl -stats -trace spans.jsonl -cpuprofile cpu.pb.gz
 //	energydx -in corpus.jsonl -watch -watch-interval 2s
 //	energydx -in http://127.0.0.1:7601 -app k9mail -watch
+//
+// Version comparison: -diff analyzes two corpora (a baseline and a
+// candidate version of the same app) and prints the revision report —
+// per-event-key power deltas, newly-manifesting and disappeared
+// manifestation points, and culprit-ranked suspects. -gate evaluates
+// the same diff against regression thresholds (defaults overridable
+// via a -gate-config JSON file) and exits non-zero when the candidate
+// regresses past any fence, so a CI job can fail the build:
+//
+//	energydx -diff base.jsonl candidate.jsonl
+//	energydx -gate base.jsonl candidate.jsonl -gate-config gate.json
 package main
 
 import (
@@ -50,9 +61,14 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/revision"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
+
+// errGateFailed marks a gate verdict (already rendered to stdout) as
+// opposed to an operational error; both exit non-zero.
+var errGateFailed = errors.New("regression gate failed")
 
 func main() {
 	if err := run(); err != nil {
@@ -75,6 +91,9 @@ func run() error {
 		watch      = flag.Bool("watch", false, "stay alive and re-analyze incrementally whenever -in changes (file path, not stdin); with an http(s) -in, follow the server's SSE event stream instead; exit on SIGINT/SIGTERM")
 		appID      = flag.String("app", "", "app to follow when -watch points -in at a collectd analysis server URL")
 		watchEvery = flag.Duration("watch-interval", 2*time.Second, "corpus file poll interval for -watch")
+		diffMode   = flag.Bool("diff", false, "compare two corpora: energydx -diff <baseline> <candidate>; print the revision report")
+		gateMode   = flag.Bool("gate", false, "CI regression gate: energydx -gate <baseline> <candidate>; exit non-zero when the candidate regresses past the thresholds")
+		gateConfig = flag.String("gate-config", "", "JSON file overriding the default -gate thresholds")
 		stats      = flag.Bool("stats", false, "print the per-step wall/CPU latency breakdown to stderr after the report")
 		traceOut   = flag.String("trace", "", "write the analysis spans (steps + per-trace worker tasks) as JSONL to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -103,6 +122,21 @@ func run() error {
 	cfg.NormBasePercentile = *normBase
 	cfg.Parallelism = *par
 	cfg.SkipInvalidTraces = *lenient
+
+	if *diffMode || *gateMode {
+		if *watch {
+			return errors.New("-diff/-gate and -watch are mutually exclusive")
+		}
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-diff/-gate take exactly two corpus files (baseline, candidate), got %d args", flag.NArg())
+		}
+		return runDiff(flag.Arg(0), flag.Arg(1), cfg, diffOptions{
+			gate:       *gateMode,
+			gateConfig: *gateConfig,
+			asJSON:     *asJSON,
+			lenient:    *lenient,
+		}, logger)
+	}
 
 	if *watch {
 		if *in == "-" {
@@ -188,6 +222,80 @@ func printReport(report *core.Report, asJSON bool, top int) error {
 		}
 		fmt.Printf("\ncode reduction: %d of %d lines to inspect (%.1f%% reduction)\n",
 			cr.DiagnosisLines, cr.TotalLines, cr.Reduction*100)
+	}
+	return nil
+}
+
+type diffOptions struct {
+	gate       bool
+	gateConfig string
+	asJSON     bool
+	lenient    bool
+}
+
+// runDiff analyzes the baseline and candidate corpora with identical
+// configuration, compares the reports into a revision diff, and either
+// prints it (-diff) or evaluates it against the regression gate
+// (-gate). A gate failure is reported on stdout and surfaces as
+// errGateFailed so the process exits non-zero for CI.
+func runDiff(basePath, candPath string, cfg core.Config, opts diffOptions, logger *slog.Logger) error {
+	analyze := func(path string) (*core.Report, error) {
+		bundles, err := readCorpus(path, opts.lenient, logger)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(bundles) == 0 {
+			return nil, fmt.Errorf("%s: corpus is empty", path)
+		}
+		a, err := core.NewAnalyzer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return a.Analyze(bundles)
+	}
+	base, err := analyze(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := analyze(candPath)
+	if err != nil {
+		return err
+	}
+	if base.AppID != cand.AppID {
+		return fmt.Errorf("corpora belong to different apps: %q vs %q", base.AppID, cand.AppID)
+	}
+	d := revision.Compare(base, cand)
+
+	if !opts.gate {
+		if opts.asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(d)
+		}
+		return d.WriteText(os.Stdout)
+	}
+
+	g := revision.DefaultGate()
+	if opts.gateConfig != "" {
+		if g, err = revision.LoadGate(opts.gateConfig); err != nil {
+			return err
+		}
+	}
+	res := g.Evaluate(d)
+	if opts.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Diff *revision.Diff      `json:"diff"`
+			Gate revision.GateResult `json:"gate"`
+		}{d, res}); err != nil {
+			return err
+		}
+	} else if err := res.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if !res.Pass {
+		return errGateFailed
 	}
 	return nil
 }

@@ -82,6 +82,12 @@ type Package struct {
 	// AppID identifies the app (e.g. "k9mail").
 	AppID   string  `json:"appId"`
 	Classes []Class `json:"classes"`
+
+	// Rev carries revision metadata for versioned APKs (package
+	// revision). Nil for an unversioned package. The Assemble/
+	// Disassemble text codec does not carry it: disassembly output
+	// models one concrete APK, not its place in a version chain.
+	Rev *RevisionInfo `json:"rev,omitempty"`
 }
 
 // ErrNoSuchMethod is returned when a lookup misses.
@@ -162,6 +168,10 @@ func (p *Package) EventKeys() []trace.EventKey {
 // original APK.
 func (p *Package) Clone() *Package {
 	out := &Package{AppID: p.AppID, Classes: make([]Class, len(p.Classes))}
+	if p.Rev != nil {
+		rev := *p.Rev
+		out.Rev = &rev
+	}
 	for i, c := range p.Classes {
 		nc := Class{Name: c.Name, Methods: make([]Method, len(c.Methods))}
 		for j, m := range c.Methods {

@@ -1,0 +1,105 @@
+package apk
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// RevisionInfo identifies one version of an APK in a version chain.
+// Revision 0 is the seed version; every later revision names its parent
+// so a chain v0→vN is reconstructible from the packages alone.
+type RevisionInfo struct {
+	// Revision is the version index within the chain (0 = seed).
+	Revision int `json:"revision"`
+	// Parent is the parent version's identifier ("appID@N"), empty for
+	// the seed.
+	Parent string `json:"parent,omitempty"`
+	// Label is a free-form description of the change set.
+	Label string `json:"label,omitempty"`
+}
+
+// ID renders the package's chain identifier ("appID@N").
+func (p *Package) ID() string {
+	if p.Rev == nil {
+		return p.AppID + "@0"
+	}
+	return fmt.Sprintf("%s@%d", p.AppID, p.Rev.Revision)
+}
+
+// Stamp records revision metadata on the package, deriving the parent
+// identifier from the previous revision index.
+func (p *Package) Stamp(revision int, label string) {
+	info := &RevisionInfo{Revision: revision, Label: label}
+	if revision > 0 {
+		info.Parent = fmt.Sprintf("%s@%d", p.AppID, revision-1)
+	}
+	p.Rev = info
+}
+
+// The mutation operators below are the bytecode-level half of the
+// revision model: each one applies a small, deterministic edit to a
+// method body, the static shadow of a behavioral change applied by
+// package revision. They mutate the receiver, so callers version a
+// package by Clone()-ing the parent first.
+
+// TweakMethod perturbs a method's source-line count by deltaLines,
+// clamped so the method keeps at least one line (a revision edits code,
+// it does not erase the method).
+func (p *Package) TweakMethod(key trace.EventKey, deltaLines int) error {
+	m, err := p.Lookup(key)
+	if err != nil {
+		return err
+	}
+	m.SourceLines += deltaLines
+	if m.SourceLines < 1 {
+		m.SourceLines = 1
+	}
+	return nil
+}
+
+// AddCall inserts a `call <callee>` instruction before the method's
+// final return (or appends it when the body has no trailing return),
+// modelling an API-call addition.
+func (p *Package) AddCall(key trace.EventKey, callee string) error {
+	m, err := p.Lookup(key)
+	if err != nil {
+		return err
+	}
+	ins := Instruction{Op: OpCall, Args: []string{callee}}
+	if n := len(m.Body); n > 0 && m.Body[n-1].Op == OpReturn {
+		m.Body = append(m.Body[:n-1:n-1], ins, m.Body[n-1])
+	} else {
+		m.Body = append(m.Body, ins)
+	}
+	return nil
+}
+
+// RemoveCall deletes the first `call <callee>` instruction from the
+// method body, modelling an API-call removal. It reports whether a
+// matching call was found.
+func (p *Package) RemoveCall(key trace.EventKey, callee string) (bool, error) {
+	m, err := p.Lookup(key)
+	if err != nil {
+		return false, err
+	}
+	for i, ins := range m.Body {
+		if ins.Op == OpCall && len(ins.Args) == 1 && ins.Args[0] == callee {
+			m.Body = append(m.Body[:i:i], m.Body[i+1:]...)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// AddAcquire inserts an `acquire <resource>` instruction at the top of
+// the method body: the static shadow of a revision that starts holding
+// a resource in this callback (the no-sleep regression shape).
+func (p *Package) AddAcquire(key trace.EventKey, resource string) error {
+	m, err := p.Lookup(key)
+	if err != nil {
+		return err
+	}
+	m.Body = append([]Instruction{{Op: OpAcquire, Args: []string{resource}}}, m.Body...)
+	return nil
+}

@@ -1,0 +1,134 @@
+package apk
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var (
+	onResumeKey = trace.EventKey{Class: "Lcom/fsck/k9/activity/MessageList", Callback: "onResume"}
+	onCreateKey = trace.EventKey{Class: "Lcom/fsck/k9/activity/MessageList", Callback: "onCreate"}
+	missingKey  = trace.EventKey{Class: "LMissing", Callback: "x"}
+)
+
+func TestStampAndID(t *testing.T) {
+	p := samplePackage()
+	if got := p.ID(); got != "k9mail@0" {
+		t.Errorf("unstamped ID = %q, want k9mail@0", got)
+	}
+	p.Stamp(0, "seed")
+	if p.Rev.Parent != "" {
+		t.Errorf("seed revision has parent %q", p.Rev.Parent)
+	}
+	p.Stamp(3, "add polling")
+	if got := p.ID(); got != "k9mail@3" {
+		t.Errorf("ID = %q, want k9mail@3", got)
+	}
+	if p.Rev.Parent != "k9mail@2" {
+		t.Errorf("parent = %q, want k9mail@2", p.Rev.Parent)
+	}
+	if p.Rev.Label != "add polling" {
+		t.Errorf("label = %q", p.Rev.Label)
+	}
+}
+
+func TestCloneCopiesRevisionInfo(t *testing.T) {
+	p := samplePackage()
+	p.Stamp(2, "v2")
+	c := p.Clone()
+	if c.Rev == nil || *c.Rev != *p.Rev {
+		t.Fatalf("clone revision info = %+v, want %+v", c.Rev, p.Rev)
+	}
+	c.Rev.Revision = 9
+	if p.Rev.Revision != 2 {
+		t.Error("mutating the clone's revision info reached the original")
+	}
+	if (&Package{AppID: "a"}).Clone().Rev != nil {
+		t.Error("clone invented revision info for an unversioned package")
+	}
+}
+
+func TestTweakMethodClamps(t *testing.T) {
+	p := samplePackage()
+	if err := p.TweakMethod(onResumeKey, 25); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := p.Lookup(onResumeKey); m.SourceLines != 67 {
+		t.Errorf("lines after +25 = %d, want 67", m.SourceLines)
+	}
+	if err := p.TweakMethod(onResumeKey, -1000); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := p.Lookup(onResumeKey); m.SourceLines != 1 {
+		t.Errorf("lines after huge removal = %d, want clamp to 1", m.SourceLines)
+	}
+	if err := p.TweakMethod(missingKey, 1); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing key err = %v", err)
+	}
+}
+
+func TestAddCallBeforeReturn(t *testing.T) {
+	p := samplePackage()
+	callee := "Landroid/util/Log;->d"
+	if err := p.AddCall(onCreateKey, callee); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := p.Lookup(onCreateKey)
+	n := len(m.Body)
+	if m.Body[n-1].Op != OpReturn {
+		t.Fatalf("final instruction is %s, not return", m.Body[n-1].Op)
+	}
+	if ins := m.Body[n-2]; ins.Op != OpCall || ins.Args[0] != callee {
+		t.Fatalf("instruction before return = %s, want call %s", ins, callee)
+	}
+
+	// A body with no trailing return gets the call appended.
+	p.Class(onCreateKey.Class).Methods[0].Body = []Instruction{{Op: OpWork}}
+	if err := p.AddCall(onCreateKey, callee); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = p.Lookup(onCreateKey)
+	if last := m.Body[len(m.Body)-1]; last.Op != OpCall || last.Args[0] != callee {
+		t.Fatalf("returnless body: last instruction = %s, want call %s", last, callee)
+	}
+	if err := p.AddCall(missingKey, callee); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing key err = %v", err)
+	}
+}
+
+func TestRemoveCall(t *testing.T) {
+	p := samplePackage()
+	callee := "Lcom/fsck/k9/K9;->checkMail"
+	found, err := p.RemoveCall(onResumeKey, callee)
+	if err != nil || !found {
+		t.Fatalf("remove of present call: found=%v err=%v", found, err)
+	}
+	m, _ := p.Lookup(onResumeKey)
+	for _, ins := range m.Body {
+		if ins.Op == OpCall {
+			t.Fatalf("call survived removal: %s", ins)
+		}
+	}
+	if found, err = p.RemoveCall(onResumeKey, callee); err != nil || found {
+		t.Fatalf("remove of absent call: found=%v err=%v", found, err)
+	}
+	if _, err := p.RemoveCall(missingKey, callee); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing key err = %v", err)
+	}
+}
+
+func TestAddAcquirePrepends(t *testing.T) {
+	p := samplePackage()
+	if err := p.AddAcquire(onResumeKey, "wakelock"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := p.Lookup(onResumeKey)
+	if first := m.Body[0]; first.Op != OpAcquire || first.Args[0] != "wakelock" {
+		t.Fatalf("first instruction = %s, want acquire wakelock", first)
+	}
+	if err := p.AddAcquire(missingKey, "wakelock"); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing key err = %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/parallel"
+	"repro/internal/revision"
+)
+
+// revisionApps are the catalog apps the version-chain experiment runs
+// over: one mail client, one sensor app, one camera app — distinct
+// callback topologies and power profiles.
+var revisionApps = []string{"k9mail", "sensorium", "opencamera"}
+
+// Chain shape shared by every run: four versions with the regression
+// landing mid-chain, so the analyzer sees benign hops on both sides.
+const (
+	revisionVersions     = 4
+	revisionRegressionAt = 2
+	revisionSeedsPerCell = 2
+	revisionCleanSeeds   = 3
+	revisionUsers        = 12
+	revisionCorpusSeed   = 7
+)
+
+// RevisionRow is one analyzed version chain.
+type RevisionRow struct {
+	AppID string
+	Kind  string
+	Seed  int64
+	// Clean marks a regression-free control chain (Kind empty).
+	Clean bool
+	// Detected is whether the top-ranked suspect at the regression hop
+	// is the chain's ground-truth culprit.
+	Detected bool
+	// GateCaught is whether the regression gate failed the regression
+	// hop; for clean chains, GateFalseTrips counts hops the gate failed
+	// (every one a false positive).
+	GateCaught     bool
+	GateFalseTrips int
+	Hops           int
+	// SharedFraction is the mean fraction of each version's corpus
+	// served unchanged from the previous version (delta feeding).
+	SharedFraction float64
+	// RevisitHitRate is the Step-1 cache hit rate when the chain is
+	// re-visited (revert to v0, jump back to vN) after the forward walk;
+	// RevisitLookups is how many lookups those hops made (0 when every
+	// hop was static-only, which makes the rate meaningless).
+	RevisitHitRate float64
+	RevisitLookups int64
+}
+
+// RevisionsResult is the version-diff regression engine evaluation:
+// culprit detection accuracy and gate behavior over seeded regression
+// chains, plus gate false-trip rate over clean control chains.
+type RevisionsResult struct {
+	Rows []RevisionRow
+
+	RegressionChains int
+	Detected         int
+	GateCaught       int
+	CleanChains      int
+	CleanHops        int
+	FalseTrips       int
+	MeanShared       float64
+	// MeanRevisitRate averages RevisitHitRate over the RevisitChains
+	// whose revert hops actually looked bundles up.
+	MeanRevisitRate float64
+	RevisitChains   int
+}
+
+// ExperimentID implements Result.
+func (r *RevisionsResult) ExperimentID() string { return "revisions" }
+
+// DetectionAccuracy is the fraction of regression chains whose
+// ground-truth culprit tops the suspect ranking.
+func (r *RevisionsResult) DetectionAccuracy() float64 {
+	if r.RegressionChains == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.RegressionChains)
+}
+
+// FalseTripRate is the fraction of clean-chain hops the gate failed.
+func (r *RevisionsResult) FalseTripRate() float64 {
+	if r.CleanHops == 0 {
+		return 0
+	}
+	return float64(r.FalseTrips) / float64(r.CleanHops)
+}
+
+// Render implements Result.
+func (r *RevisionsResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Revisions (extension): version-diff energy regression engine\n")
+	fmt.Fprintf(&sb, "  %d regression chains (%d apps × {hold,loop,hot} × %d seeds, %d versions each)\n",
+		r.RegressionChains, len(revisionApps), revisionSeedsPerCell, revisionVersions)
+	fmt.Fprintf(&sb, "  culprit detection: %d/%d (%s) ranked the true edit first\n",
+		r.Detected, r.RegressionChains, fmtPct(r.DetectionAccuracy()*100))
+	fmt.Fprintf(&sb, "  regression gate:   caught %d/%d regressions, %d/%d clean hops false-tripped (%s)\n",
+		r.GateCaught, r.RegressionChains, r.FalseTrips, r.CleanHops, fmtPct(r.FalseTripRate()*100))
+	fmt.Fprintf(&sb, "  delta feeding:     %s of each version's corpus reused from the parent\n",
+		fmtPct(r.MeanShared*100))
+	fmt.Fprintf(&sb, "  step-1 cache:      %s hit rate on revert/bisect revisits (%d chains with lookups)\n",
+		fmtPct(r.MeanRevisitRate*100), r.RevisitChains)
+	return sb.String()
+}
+
+// CSVFiles exports the per-chain outcomes.
+func (r *RevisionsResult) CSVFiles() map[string][][]string {
+	rows := [][]string{{"app", "kind", "seed", "clean", "detected", "gate_caught",
+		"false_trips", "hops", "shared_fraction", "revisit_hit_rate", "revisit_lookups"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.AppID, row.Kind, fmt.Sprintf("%d", row.Seed),
+			fmt.Sprintf("%t", row.Clean), fmt.Sprintf("%t", row.Detected),
+			fmt.Sprintf("%t", row.GateCaught), itoa(row.GateFalseTrips), itoa(row.Hops),
+			ftoa(row.SharedFraction), ftoa(row.RevisitHitRate),
+			fmt.Sprintf("%d", row.RevisitLookups),
+		})
+	}
+	return map[string][][]string{"revisions_chains.csv": rows}
+}
+
+var _ CSVExporter = (*RevisionsResult)(nil)
+
+// revisionJob describes one chain to analyze.
+type revisionJob struct {
+	appID string
+	kind  revision.Kind
+	seed  int64
+	clean bool
+}
+
+// RunRevisions evaluates the version-diff engine end to end: for each
+// app × regression kind × seed it generates a version chain with one
+// injected regression, feeds the per-version corpora through the
+// delta-fed incremental analyzer, and checks that (a) the revision
+// diff's top suspect at the regression hop is the ground-truth culprit
+// and (b) the regression gate fails that hop. Clean control chains
+// measure the gate's false-trip rate and the corpus fraction the delta
+// feeding reuses across versions.
+func RunRevisions(seed int64) (Result, error) {
+	var jobs []revisionJob
+	for _, appID := range revisionApps {
+		for _, kind := range revision.Kinds() {
+			for s := int64(0); s < revisionSeedsPerCell; s++ {
+				jobs = append(jobs, revisionJob{appID: appID, kind: kind, seed: seed + s})
+			}
+		}
+		for s := int64(0); s < revisionCleanSeeds; s++ {
+			jobs = append(jobs, revisionJob{appID: appID, seed: seed + s, clean: true})
+		}
+	}
+	rows, err := parallel.Map(sweepParallelism, len(jobs), func(i int) (RevisionRow, error) {
+		return runRevisionChain(jobs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RevisionsResult{Rows: rows}
+	var sharedSum, revisitSum float64
+	for _, row := range rows {
+		sharedSum += row.SharedFraction
+		if row.RevisitLookups > 0 {
+			revisitSum += row.RevisitHitRate
+			res.RevisitChains++
+		}
+		if row.Clean {
+			res.CleanChains++
+			res.CleanHops += row.Hops
+			res.FalseTrips += row.GateFalseTrips
+			continue
+		}
+		res.RegressionChains++
+		if row.Detected {
+			res.Detected++
+		}
+		if row.GateCaught {
+			res.GateCaught++
+		}
+	}
+	if len(rows) > 0 {
+		res.MeanShared = sharedSum / float64(len(rows))
+	}
+	if res.RevisitChains > 0 {
+		res.MeanRevisitRate = revisitSum / float64(res.RevisitChains)
+	}
+	return res, nil
+}
+
+// runRevisionChain generates and analyzes one chain.
+func runRevisionChain(job revisionJob) (RevisionRow, error) {
+	row := RevisionRow{AppID: job.appID, Kind: string(job.kind), Seed: job.seed, Clean: job.clean}
+	app, err := apps.ByAppID(job.appID)
+	if err != nil {
+		return row, err
+	}
+	ccfg := revision.ChainConfig{
+		App:      app,
+		Versions: revisionVersions,
+		Seed:     job.seed,
+		Kind:     job.kind,
+	}
+	if !job.clean {
+		ccfg.RegressionAt = revisionRegressionAt
+		ccfg.Rewires = true
+	}
+	chain, err := revision.GenerateChain(ccfg)
+	if err != nil {
+		return row, err
+	}
+	cres, err := revision.RunChain(chain, ccfg,
+		revision.CorpusConfig{Users: revisionUsers, Seed: revisionCorpusSeed, Cached: true},
+		revision.AnalyzeConfig{Revisit: true})
+	if err != nil {
+		return row, err
+	}
+	row.Hops = len(cres.Diffs)
+	row.SharedFraction = cres.SharedFraction
+	row.RevisitHitRate = cres.RevisitHitRate
+	row.RevisitLookups = cres.RevisitLookups
+
+	gate := revision.DefaultGate()
+	for hop, d := range cres.Diffs {
+		verdict := gate.Evaluate(d)
+		if job.clean {
+			if !verdict.Pass {
+				row.GateFalseTrips++
+			}
+			continue
+		}
+		if hop == chain.RegressionAt-1 {
+			if !verdict.Pass {
+				row.GateCaught = true
+			}
+			if top, ok := d.TopSuspect(); ok && top.Key == chain.Culprit {
+				row.Detected = true
+			}
+		}
+	}
+	return row, nil
+}

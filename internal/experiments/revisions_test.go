@@ -1,0 +1,84 @@
+package experiments
+
+import "testing"
+
+func runRevisions(t *testing.T, seed int64) *RevisionsResult {
+	t.Helper()
+	r, err := RunRevisions(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.(*RevisionsResult)
+}
+
+// TestRevisionsAccuracy pins the ISSUE acceptance floor: the version
+// diff must rank the true culprit edit first in at least 90% of the
+// regression chains, and the gate must catch at least as many.
+func TestRevisionsAccuracy(t *testing.T) {
+	res := runRevisions(t, testSeed)
+	if want := len(revisionApps) * len([]string{"hold", "loop", "hot"}) * revisionSeedsPerCell; res.RegressionChains != want {
+		t.Fatalf("regression chains = %d, want %d", res.RegressionChains, want)
+	}
+	if res.CleanChains != len(revisionApps)*revisionCleanSeeds {
+		t.Fatalf("clean chains = %d, want %d", res.CleanChains, len(revisionApps)*revisionCleanSeeds)
+	}
+	if acc := res.DetectionAccuracy(); acc < 0.9 {
+		t.Errorf("culprit detection accuracy %.2f (%d/%d), want >= 0.90",
+			acc, res.Detected, res.RegressionChains)
+	}
+	if res.GateCaught < res.Detected {
+		t.Errorf("gate caught %d regressions but %d were detectable", res.GateCaught, res.Detected)
+	}
+}
+
+// TestRevisionsGateClean: a healthy baseline evolving through benign
+// edits must not trip the gate.
+func TestRevisionsGateClean(t *testing.T) {
+	res := runRevisions(t, testSeed)
+	if res.CleanHops == 0 {
+		t.Fatal("no clean hops evaluated")
+	}
+	if res.FalseTrips != 0 {
+		t.Errorf("gate false-tripped %d/%d clean hops", res.FalseTrips, res.CleanHops)
+	}
+}
+
+// TestRevisionsCacheReuse: delta feeding must actually reuse work — the
+// shared corpus fraction and the revisit hit rate are the ISSUE's
+// cache-reuse metrics.
+func TestRevisionsCacheReuse(t *testing.T) {
+	res := runRevisions(t, testSeed)
+	if res.MeanShared < 0.5 {
+		t.Errorf("mean shared corpus fraction %.2f, want >= 0.50 (delta feeding broken?)", res.MeanShared)
+	}
+	if res.RevisitChains == 0 {
+		t.Fatal("no chain's revisit made any cache lookups")
+	}
+	if res.MeanRevisitRate < 0.9 {
+		t.Errorf("mean revisit hit rate %.2f over %d chains, want >= 0.90 (step-1 cache not reused)",
+			res.MeanRevisitRate, res.RevisitChains)
+	}
+	for _, row := range res.Rows {
+		if row.Hops != revisionVersions-1 {
+			t.Errorf("%s/%s seed %d: %d hops, want %d", row.AppID, row.Kind, row.Seed, row.Hops, revisionVersions-1)
+		}
+	}
+}
+
+// TestRevisionsCSV: the per-chain CSV export carries one row per chain.
+func TestRevisionsCSV(t *testing.T) {
+	res := runRevisions(t, testSeed)
+	files := res.CSVFiles()
+	rows, ok := files["revisions_chains.csv"]
+	if !ok {
+		t.Fatal("no revisions_chains.csv export")
+	}
+	if len(rows) != len(res.Rows)+1 {
+		t.Fatalf("csv has %d data rows, want %d", len(rows)-1, len(res.Rows))
+	}
+	for i, r := range rows {
+		if len(r) != len(rows[0]) {
+			t.Fatalf("csv row %d has %d columns, want %d", i, len(r), len(rows[0]))
+		}
+	}
+}

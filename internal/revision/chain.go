@@ -1,0 +1,203 @@
+package revision
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ChainConfig parameterizes a generated version chain.
+type ChainConfig struct {
+	// App is the base (v0) application.
+	App *apps.App
+	// Versions is the chain length including v0 (minimum 2).
+	Versions int
+	// Seed drives edit selection.
+	Seed int64
+	// EditsPerVersion is the number of benign edits per hop (default 2).
+	EditsPerVersion int
+	// RegressionAt, when positive, injects one energy regression into
+	// that version (1-based within the chain). Zero means a clean chain.
+	RegressionAt int
+	// Kind selects the regression family; empty draws one from the seed.
+	Kind Kind
+	// Rewires additionally draws callback-rewire edits (which shuffle
+	// real power between widgets). Differential stress chains set it;
+	// chains that must pass the regression gate leave it off.
+	Rewires bool
+}
+
+// Chain is a generated version chain with its ground truth.
+type Chain struct {
+	// Versions[0] is the unmodified base app.
+	Versions []*Version
+	// RegressionAt is the index of the version introducing the
+	// regression (0 = clean chain).
+	RegressionAt int
+	// Culprit is the ground-truth culprit callback (regression chains).
+	Culprit trace.EventKey
+	// Kind is the injected regression family (regression chains).
+	Kind Kind
+}
+
+// GenerateChain derives a version chain v0→vN from the base app by
+// applying seeded mutation operators version over version. Generation
+// is deterministic in the config.
+func GenerateChain(cfg ChainConfig) (*Chain, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("revision: chain needs a base app")
+	}
+	if cfg.Versions < 2 {
+		return nil, fmt.Errorf("revision: chain needs at least 2 versions, got %d", cfg.Versions)
+	}
+	if cfg.RegressionAt >= cfg.Versions {
+		return nil, fmt.Errorf("revision: regression version %d out of chain of %d", cfg.RegressionAt, cfg.Versions)
+	}
+	edits := cfg.EditsPerVersion
+	if edits <= 0 {
+		edits = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	chain := &Chain{
+		Versions:     []*Version{{Index: 0, App: cfg.App}},
+		RegressionAt: cfg.RegressionAt,
+	}
+	for v := 1; v < cfg.Versions; v++ {
+		parent := chain.Versions[v-1].App
+		var es []Edit
+		for i := 0; i < edits; i++ {
+			e, ok := pickBenign(parent, rng)
+			if !ok {
+				continue
+			}
+			es = append(es, e)
+		}
+		if cfg.Rewires && rng.Intn(3) == 0 {
+			if e, ok := pickRewire(parent, rng); ok {
+				es = append(es, e)
+			}
+		}
+		if v == cfg.RegressionAt {
+			reg, err := pickRegression(parent, cfg.Kind, rng)
+			if err != nil {
+				return nil, err
+			}
+			es = append(es, reg)
+			chain.Culprit = reg.Target
+			chain.Kind = reg.Kind
+		}
+		ver, err := Derive(parent, v, es)
+		if err != nil {
+			return nil, err
+		}
+		chain.Versions = append(chain.Versions, ver)
+	}
+	return chain, nil
+}
+
+// pickRewire draws a behavior swap between two widgets of one activity.
+func pickRewire(app *apps.App, rng *rand.Rand) (Edit, bool) {
+	widgets := browseWidgetKeys(app)
+	byAct := make(map[string][]trace.EventKey)
+	var acts []string
+	for _, w := range widgets {
+		if len(byAct[w.Class]) == 0 {
+			acts = append(acts, w.Class)
+		}
+		byAct[w.Class] = append(byAct[w.Class], w)
+	}
+	// acts is sorted because widgets is.
+	var multi []string
+	for _, a := range acts {
+		if len(byAct[a]) >= 2 {
+			multi = append(multi, a)
+		}
+	}
+	if len(multi) == 0 {
+		return Edit{}, false
+	}
+	ws := byAct[multi[rng.Intn(len(multi))]]
+	i := rng.Intn(len(ws))
+	j := (i + 1 + rng.Intn(len(ws)-1)) % len(ws)
+	return Edit{Op: OpRewire, Target: ws[i], Other: ws[j]}, true
+}
+
+// CorpusConfig shapes the per-version corpora of a chain. Every version
+// is generated with the same workload seed, so sessions that never
+// touch an edited callback produce byte-identical bundles — the
+// cross-version sharing the delta-fed analyzer exploits.
+type CorpusConfig struct {
+	// Users per version corpus (default 12).
+	Users int
+	// Seed is the workload seed shared by every version (default 1).
+	Seed int64
+	// BrowsePhases per session (default 6).
+	BrowsePhases int
+	// ImpactedFraction is the fraction of users triggering the base
+	// app's own ABD. The default 0 keeps the base fault dormant so the
+	// only anomalies in a chain are the ones its edits introduce.
+	ImpactedFraction float64
+	// Cached routes generation through workload.GenerateCached, keyed
+	// safely per version via Config.Variant.
+	Cached bool
+	// variantPrefix discriminates corpora of distinct chains in the
+	// workload cache; set from the chain config by ChainCorpora.
+	variantPrefix string
+}
+
+// workloadConfig assembles the workload config for one version.
+func (cc CorpusConfig) workloadConfig(v *Version) workload.Config {
+	users := cc.Users
+	if users <= 0 {
+		users = 12
+	}
+	seed := cc.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	phases := cc.BrowsePhases
+	if phases <= 0 {
+		phases = 6
+	}
+	cfg := workload.DefaultConfig(v.App, seed)
+	cfg.Users = users
+	cfg.ImpactedFraction = cc.ImpactedFraction
+	cfg.BrowsePhases = phases
+	cfg.Variant = fmt.Sprintf("%sv%d", cc.variantPrefix, v.Index)
+	return cfg
+}
+
+// VersionCorpus generates the trace corpus of one chain version.
+func VersionCorpus(v *Version, cc CorpusConfig) ([]*trace.TraceBundle, error) {
+	cfg := cc.workloadConfig(v)
+	gen := workload.Generate
+	if cc.Cached {
+		gen = workload.GenerateCached
+	}
+	res, err := gen(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("revision: corpus v%d: %w", v.Index, err)
+	}
+	return res.Bundles, nil
+}
+
+// ChainCorpora generates every version's corpus. With cc.Cached set the
+// corpora are memoized process-wide under a variant key derived from
+// the chain config, so repeated runs of the same chain (differential
+// battery vs gate test vs experiment) pay one simulation each.
+func ChainCorpora(chain *Chain, chainCfg ChainConfig, cc CorpusConfig) ([][]*trace.TraceBundle, error) {
+	cc.variantPrefix = fmt.Sprintf("rev:%d:%d:%d:%s:%t:", chainCfg.Seed,
+		chainCfg.EditsPerVersion, chainCfg.RegressionAt, chainCfg.Kind, chainCfg.Rewires)
+	out := make([][]*trace.TraceBundle, len(chain.Versions))
+	for i, v := range chain.Versions {
+		bundles, err := VersionCorpus(v, cc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = bundles
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+package revision
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// The version-delta codec serializes one version's edit list as a
+// small line-oriented text format, so a chain can be stored or shipped
+// alongside its corpora:
+//
+//	energydx-revision v1
+//	app k9mail
+//	rev 3
+//	edit method-tweak key="Lcom/k9mail/ListActivity;onClick" factor=1.025
+//	edit regression key="Lcom/k9mail/ListActivity;onItemClick" kind=hold factor=3.41
+//	end
+//
+// Keys are encoded as a quoted "class;callback" pair (EventKey.Validate
+// forbids ';' inside the class, so the first ';' splits unambiguously).
+
+const codecHeader = "energydx-revision v1"
+
+// VersionDelta is the codec's unit: one version's identity and edits.
+type VersionDelta struct {
+	AppID string `json:"appId"`
+	Rev   int    `json:"rev"`
+	Edits []Edit `json:"edits"`
+}
+
+// DeltaForVersion extracts the codec unit from a chain version.
+func DeltaForVersion(appID string, v *Version) VersionDelta {
+	return VersionDelta{AppID: appID, Rev: v.Index, Edits: v.Edits}
+}
+
+func quoteKey(k trace.EventKey) string {
+	return strconv.Quote(k.Class + ";" + k.Callback)
+}
+
+func parseKey(s string) (trace.EventKey, error) {
+	raw, err := strconv.Unquote(s)
+	if err != nil {
+		return trace.EventKey{}, fmt.Errorf("revision: bad key %s: %w", s, err)
+	}
+	i := strings.IndexByte(raw, ';')
+	if i < 0 {
+		return trace.EventKey{}, fmt.Errorf("revision: key %q has no ';'", raw)
+	}
+	return trace.EventKey{Class: raw[:i], Callback: raw[i+1:]}, nil
+}
+
+// EncodeDelta writes the version delta in the text format.
+func EncodeDelta(w io.Writer, d VersionDelta) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, codecHeader)
+	fmt.Fprintf(bw, "app %s\n", d.AppID)
+	fmt.Fprintf(bw, "rev %d\n", d.Rev)
+	for _, e := range d.Edits {
+		fmt.Fprintf(bw, "edit %s key=%s", e.Op, quoteKey(e.Target))
+		if e.Other != (trace.EventKey{}) {
+			fmt.Fprintf(bw, " other=%s", quoteKey(e.Other))
+		}
+		if e.Factor != 0 {
+			fmt.Fprintf(bw, " factor=%s", strconv.FormatFloat(e.Factor, 'g', -1, 64))
+		}
+		if e.Call != "" {
+			fmt.Fprintf(bw, " call=%s", strconv.Quote(e.Call))
+		}
+		if e.ConfigKey != "" {
+			fmt.Fprintf(bw, " ckey=%s", strconv.Quote(e.ConfigKey))
+		}
+		if e.ConfigValue != "" {
+			fmt.Fprintf(bw, " cval=%s", strconv.Quote(e.ConfigValue))
+		}
+		if e.Kind != "" {
+			fmt.Fprintf(bw, " kind=%s", e.Kind)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// ParseDelta reads one version delta in the text format. It rejects
+// malformed input with an error and never panics; the fuzz target
+// FuzzRevisionDelta pins both properties plus encode/parse round-trip
+// stability.
+func ParseDelta(r io.Reader) (VersionDelta, error) {
+	var d VersionDelta
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		return d, fmt.Errorf("revision: empty delta")
+	}
+	if sc.Text() != codecHeader {
+		return d, fmt.Errorf("revision: bad header %q", sc.Text())
+	}
+	sawApp, sawRev, sawEnd := false, false, false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		verb, rest, _ := strings.Cut(line, " ")
+		switch verb {
+		case "app":
+			if sawApp || rest == "" || strings.ContainsAny(rest, " \t") {
+				return d, fmt.Errorf("revision: bad app line %q", line)
+			}
+			d.AppID = rest
+			sawApp = true
+		case "rev":
+			if sawRev {
+				return d, fmt.Errorf("revision: duplicate rev line")
+			}
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 0 {
+				return d, fmt.Errorf("revision: bad rev line %q", line)
+			}
+			d.Rev = n
+			sawRev = true
+		case "edit":
+			e, err := parseEditLine(rest)
+			if err != nil {
+				return d, err
+			}
+			d.Edits = append(d.Edits, e)
+		case "end":
+			if rest != "" {
+				return d, fmt.Errorf("revision: trailing content on end line")
+			}
+			sawEnd = true
+		default:
+			return d, fmt.Errorf("revision: unknown line %q", line)
+		}
+		if sawEnd {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return d, fmt.Errorf("revision: read delta: %w", err)
+	}
+	if !sawApp || !sawRev || !sawEnd {
+		return d, fmt.Errorf("revision: truncated delta (app=%t rev=%t end=%t)", sawApp, sawRev, sawEnd)
+	}
+	return d, nil
+}
+
+// validOps gates the ops the parser accepts.
+var validOps = map[Op]bool{
+	OpMethodTweak: true, OpAPIAdd: true, OpAPIRemove: true,
+	OpHelperEdit: true, OpConfigFlip: true, OpRewire: true, OpRegression: true,
+}
+
+var validKinds = map[Kind]bool{KindHold: true, KindLoop: true, KindHot: true}
+
+// parseEditLine parses the part of an edit line after the verb.
+func parseEditLine(rest string) (Edit, error) {
+	var e Edit
+	fields, err := splitQuoted(rest)
+	if err != nil {
+		return e, err
+	}
+	if len(fields) == 0 {
+		return e, fmt.Errorf("revision: empty edit line")
+	}
+	e.Op = Op(fields[0])
+	if !validOps[e.Op] {
+		return e, fmt.Errorf("revision: unknown edit op %q", fields[0])
+	}
+	sawKey := false
+	for _, f := range fields[1:] {
+		name, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return e, fmt.Errorf("revision: bad edit field %q", f)
+		}
+		switch name {
+		case "key":
+			if e.Target, err = parseKey(val); err != nil {
+				return e, err
+			}
+			sawKey = true
+		case "other":
+			if e.Other, err = parseKey(val); err != nil {
+				return e, err
+			}
+		case "factor":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return e, fmt.Errorf("revision: bad factor %q", val)
+			}
+			e.Factor = v
+		case "call":
+			if e.Call, err = strconv.Unquote(val); err != nil {
+				return e, fmt.Errorf("revision: bad call %q: %w", val, err)
+			}
+		case "ckey":
+			if e.ConfigKey, err = strconv.Unquote(val); err != nil {
+				return e, fmt.Errorf("revision: bad ckey %q: %w", val, err)
+			}
+		case "cval":
+			if e.ConfigValue, err = strconv.Unquote(val); err != nil {
+				return e, fmt.Errorf("revision: bad cval %q: %w", val, err)
+			}
+		case "kind":
+			e.Kind = Kind(val)
+			if !validKinds[e.Kind] {
+				return e, fmt.Errorf("revision: unknown kind %q", val)
+			}
+		default:
+			return e, fmt.Errorf("revision: unknown edit field %q", name)
+		}
+	}
+	if !sawKey {
+		return e, fmt.Errorf("revision: edit line missing key")
+	}
+	return e, nil
+}
+
+// splitQuoted splits on spaces outside double-quoted regions, keeping
+// the quotes (fields are unquoted individually by their handlers).
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	escaped := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			cur.WriteByte(c)
+			escaped = false
+		case inQuote && c == '\\':
+			cur.WriteByte(c)
+			escaped = true
+		case c == '"':
+			cur.WriteByte(c)
+			inQuote = !inQuote
+		case c == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("revision: unterminated quote in %q", s)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package revision
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// chainDeltas generates codec units from real chains — the seeds for
+// both the round-trip test and the fuzz corpus.
+func chainDeltas(t testing.TB) []VersionDelta {
+	t.Helper()
+	var out []VersionDelta
+	for _, appID := range []string{"k9mail", "sensorium"} {
+		app, err := apps.ByAppID(appID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			chain, err := GenerateChain(ChainConfig{
+				App: app, Versions: 4, Seed: seed, RegressionAt: 2, Rewires: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range chain.Versions[1:] {
+				out = append(out, DeltaForVersion(appID, v))
+			}
+		}
+	}
+	return out
+}
+
+// TestDeltaRoundTrip: encode → parse is the identity on every delta a
+// real chain produces.
+func TestDeltaRoundTrip(t *testing.T) {
+	for _, d := range chainDeltas(t) {
+		var buf bytes.Buffer
+		if err := EncodeDelta(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("parse of encoded delta failed: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v\ntext:\n%s", d, got, buf.String())
+		}
+	}
+}
+
+// TestParseDeltaRejects pins the parser's error cases.
+func TestParseDeltaRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad-header", "energydx-revision v2\napp a\nrev 1\nend\n"},
+		{"no-app", "energydx-revision v1\nrev 1\nend\n"},
+		{"no-rev", "energydx-revision v1\napp a\nend\n"},
+		{"no-end", "energydx-revision v1\napp a\nrev 1\n"},
+		{"dup-app", "energydx-revision v1\napp a\napp b\nrev 1\nend\n"},
+		{"negative-rev", "energydx-revision v1\napp a\nrev -1\nend\n"},
+		{"unknown-verb", "energydx-revision v1\napp a\nrev 1\nbogus\nend\n"},
+		{"unknown-op", "energydx-revision v1\napp a\nrev 1\nedit explode key=\"a;b\"\nend\n"},
+		{"missing-key", "energydx-revision v1\napp a\nrev 1\nedit method-tweak factor=1\nend\n"},
+		{"nan-factor", "energydx-revision v1\napp a\nrev 1\nedit method-tweak key=\"a;b\" factor=NaN\nend\n"},
+		{"inf-factor", "energydx-revision v1\napp a\nrev 1\nedit method-tweak key=\"a;b\" factor=+Inf\nend\n"},
+		{"bad-kind", "energydx-revision v1\napp a\nrev 1\nedit regression key=\"a;b\" kind=melt\nend\n"},
+		{"unterminated-quote", "energydx-revision v1\napp a\nrev 1\nedit method-tweak key=\"a;b\nend\n"},
+		{"key-without-semicolon", "energydx-revision v1\napp a\nrev 1\nedit method-tweak key=\"ab\"\nend\n"},
+		{"trailing-end", "energydx-revision v1\napp a\nrev 1\nend extra\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseDelta(strings.NewReader(tc.input)); err == nil {
+				t.Fatalf("parser accepted %q", tc.input)
+			}
+		})
+	}
+}
+
+// FuzzRevisionDelta: the parser never panics on arbitrary input, and
+// any input it accepts re-encodes to a form it parses back to the same
+// value (parse ∘ encode fixpoint).
+func FuzzRevisionDelta(f *testing.F) {
+	for _, d := range chainDeltas(f) {
+		var buf bytes.Buffer
+		if err := EncodeDelta(&buf, d); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("energydx-revision v1\napp a\nrev 0\nend\n"))
+	f.Add([]byte("energydx-revision v1\napp a\nrev 3\nedit regression key=\"L;on\" kind=hold factor=3.5\nend\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseDelta(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeDelta(&buf, d); err != nil {
+			t.Fatalf("re-encode of parsed delta failed: %v\n%+v", err, d)
+		}
+		again, err := ParseDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded delta failed: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(d, again) {
+			t.Fatalf("parse/encode fixpoint broken:\nfirst  %+v\nsecond %+v\ntext:\n%s", d, again, buf.String())
+		}
+	})
+}

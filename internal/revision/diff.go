@@ -1,0 +1,524 @@
+package revision
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// KeyDelta is the per-event-key comparison between two reports.
+type KeyDelta struct {
+	Key trace.EventKey `json:"key"`
+	// Mean device-scaled power of the key's instances in each report.
+	BaseMeanMW float64 `json:"baseMeanMilliwatts"`
+	CandMeanMW float64 `json:"candMeanMilliwatts"`
+	DeltaMW    float64 `json:"deltaMilliwatts"`
+	// DeltaPct is DeltaMW relative to the symmetric mean of the two
+	// powers, so negating a diff negates it exactly (a revert's diff is
+	// the forward diff mirrored). 0 when both means are 0.
+	DeltaPct float64 `json:"deltaPercent"`
+	// Instance counts in each report.
+	BaseCount int `json:"baseInstances"`
+	CandCount int `json:"candInstances"`
+	// Step-5 impacted-trace percentages (0 when the key is not in the
+	// report's impact table).
+	BaseImpactPct  float64 `json:"baseImpactPercent"`
+	CandImpactPct  float64 `json:"candImpactPercent"`
+	ImpactDeltaPct float64 `json:"impactDeltaPercent"`
+	// NewlyManifesting / Disappeared mark manifestation-window
+	// membership appearing or vanishing between the versions.
+	NewlyManifesting bool `json:"newlyManifesting,omitempty"`
+	Disappeared      bool `json:"disappeared,omitempty"`
+	// OnsetTraces counts paired traces — same pseudonymous user and
+	// device in both versions — whose first behavioral divergence lands
+	// on an instance of this key; OnsetDeltaMW sums those traces'
+	// mean-power shift from the divergence point onward. This is causal
+	// evidence: sessions replay deterministically, so everything before
+	// the first edited-callback invocation is bit-identical, and the key
+	// where the replays fork is the edited callback itself — even when
+	// the drain it starts surfaces later, at background transitions far
+	// from the culprit's own instances.
+	OnsetTraces  int     `json:"onsetTraces,omitempty"`
+	OnsetDeltaMW float64 `json:"onsetDeltaMilliwatts,omitempty"`
+	// Score is the correlational culprit score: the impact delta
+	// (percentage points of the fleet newly coinciding with a
+	// manifestation window) plus the symmetric power delta percentage.
+	// Suspect ranking prefers onset evidence and falls back to Score
+	// for diffs without paired traces (e.g. unrelated snapshots).
+	Score float64 `json:"score"`
+}
+
+// causal reports whether the key has positive onset evidence.
+func (kd KeyDelta) causal() bool {
+	return kd.OnsetTraces > 0 && kd.OnsetDeltaMW > 0
+}
+
+// Diff is the revision report: what changed, energy-wise, between a
+// baseline and a candidate version of one app.
+type Diff struct {
+	AppID string `json:"appId"`
+
+	BaseTraces         int `json:"baseTraces"`
+	CandTraces         int `json:"candTraces"`
+	BaseImpactedTraces int `json:"baseImpactedTraces"`
+	CandImpactedTraces int `json:"candImpactedTraces"`
+
+	// Corpus-wide mean event power in each version.
+	BaseMeanMW  float64 `json:"baseMeanMilliwatts"`
+	CandMeanMW  float64 `json:"candMeanMilliwatts"`
+	MeanDeltaMW float64 `json:"meanDeltaMilliwatts"`
+	// MeanDeltaPct is symmetric like KeyDelta.DeltaPct.
+	MeanDeltaPct float64 `json:"meanDeltaPercent"`
+
+	// Corpus-wide event energy (power × event duration, millijoules).
+	// Mean power dilutes a drain across event counts and saturates at
+	// the device's power ceiling; energy does neither, and work that
+	// merely moves between callbacks (a rewire) conserves it — so the
+	// energy delta isolates uncompensated cost the candidate added.
+	BaseEnergyMJ   float64 `json:"baseEnergyMillijoules"`
+	CandEnergyMJ   float64 `json:"candEnergyMillijoules"`
+	EnergyDeltaMJ  float64 `json:"energyDeltaMillijoules"`
+	EnergyDeltaPct float64 `json:"energyDeltaPercent"`
+
+	// NewKeys / GoneKeys are the newly-manifesting and disappeared
+	// event keys (impact-table membership), sorted.
+	NewKeys  []trace.EventKey `json:"newlyManifesting"`
+	GoneKeys []trace.EventKey `json:"disappeared"`
+
+	// Deltas holds every key seen in either version, sorted by key.
+	Deltas []KeyDelta `json:"deltas"`
+	// Suspects are the culprit-ranked regression candidates: keys whose
+	// impact or power moved up materially, best suspect first.
+	Suspects []KeyDelta `json:"suspects"`
+}
+
+// suspectMinInstances keeps keys with almost no instances (whose means
+// are noise) out of the suspect ranking.
+const suspectMinInstances = 3
+
+// suspectMinScore is the score floor below which a key is not reported
+// as a suspect (small drifts from session-timing shifts).
+const suspectMinScore = 10
+
+// keyStats accumulates one report side of a key's delta.
+type keyStats struct {
+	sumMW     float64
+	count     int
+	impactPct float64
+}
+
+// collect walks a report's traces and impact table into per-key stats,
+// the corpus mean event power, and the corpus event energy (mJ).
+func collect(r *core.Report) (map[trace.EventKey]*keyStats, float64, float64) {
+	stats := make(map[trace.EventKey]*keyStats)
+	total, n := 0.0, 0
+	energyMJ := 0.0
+	for _, at := range r.Traces {
+		for _, ev := range at.Events {
+			ks := stats[ev.Instance.Key]
+			if ks == nil {
+				ks = &keyStats{}
+				stats[ev.Instance.Key] = ks
+			}
+			ks.sumMW += ev.PowerMW
+			ks.count++
+			total += ev.PowerMW
+			n++
+			energyMJ += ev.PowerMW * float64(ev.Instance.EndMS-ev.Instance.StartMS) / 1000
+		}
+	}
+	for _, imp := range r.Impacted {
+		ks := stats[imp.Key]
+		if ks == nil {
+			ks = &keyStats{}
+			stats[imp.Key] = ks
+		}
+		ks.impactPct = imp.Percent
+	}
+	mean := 0.0
+	if n > 0 {
+		mean = total / float64(n)
+	}
+	return stats, mean, energyMJ
+}
+
+// onsetAcc accumulates onset evidence for one key.
+type onsetAcc struct {
+	traces  int
+	deltaMW float64
+}
+
+// onsets pairs the two reports' traces by (pseudonymous user, device)
+// and attributes each changed pair's divergence to the key where the
+// replays fork. Users are scrubbed with a deterministic pseudonym and
+// sessions are seeded per user, so the pairing is stable across
+// versions and shared prefixes are bit-identical.
+func onsets(base, cand *core.Report) map[trace.EventKey]onsetAcc {
+	byPair := make(map[string]*core.AnalyzedTrace, len(base.Traces))
+	for _, at := range base.Traces {
+		byPair[at.UserID+"\x00"+at.Device] = at
+	}
+	out := make(map[trace.EventKey]onsetAcc)
+	for _, ct := range cand.Traces {
+		bt := byPair[ct.UserID+"\x00"+ct.Device]
+		if bt == nil {
+			continue
+		}
+		key, delta, ok := onsetOf(bt, ct)
+		if !ok {
+			continue
+		}
+		acc := out[key]
+		acc.traces++
+		acc.deltaMW += delta
+		out[key] = acc
+	}
+	return out
+}
+
+// onsetOf finds the first event where the paired runs diverge and
+// returns the key at the fork plus the candidate-minus-baseline shift
+// in mean power over the remainder of the trace. Pairs that are
+// identical, or that fork structurally (different keys at the fork, so
+// no single callback to credit), report ok=false. The computation is
+// symmetric: swapping the arguments negates delta and keeps the key.
+func onsetOf(bt, ct *core.AnalyzedTrace) (trace.EventKey, float64, bool) {
+	n := len(bt.Events)
+	if len(ct.Events) < n {
+		n = len(ct.Events)
+	}
+	idx := -1
+	for i := 0; i < n; i++ {
+		if bt.Events[i].Instance.Key != ct.Events[i].Instance.Key ||
+			bt.Events[i].PowerMW != ct.Events[i].PowerMW {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || bt.Events[idx].Instance.Key != ct.Events[idx].Instance.Key {
+		return trace.EventKey{}, 0, false
+	}
+	return bt.Events[idx].Instance.Key, suffixMean(ct.Events[idx:]) - suffixMean(bt.Events[idx:]), true
+}
+
+func suffixMean(evs []core.EventPower) float64 {
+	if len(evs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range evs {
+		sum += evs[i].PowerMW
+	}
+	return sum / float64(len(evs))
+}
+
+// symmetricPct returns 100*(cand-base)/mean(base,cand): a relative
+// delta that negates exactly when the operands swap.
+func symmetricPct(base, cand float64) float64 {
+	mid := (base + cand) / 2
+	if mid == 0 {
+		return 0
+	}
+	return 100 * (cand - base) / mid
+}
+
+// Compare diffs two reports of the same app. Baseline and candidate
+// must come from the same analysis configuration for the comparison to
+// be meaningful; the function itself only needs the reports.
+func Compare(base, cand *core.Report) *Diff {
+	d := &Diff{
+		AppID:              cand.AppID,
+		BaseTraces:         base.TotalTraces,
+		CandTraces:         cand.TotalTraces,
+		BaseImpactedTraces: base.ImpactedTraces,
+		CandImpactedTraces: cand.ImpactedTraces,
+	}
+	if d.AppID == "" {
+		d.AppID = base.AppID
+	}
+	bs, bMean, bEnergy := collect(base)
+	cs, cMean, cEnergy := collect(cand)
+	on := onsets(base, cand)
+	d.BaseMeanMW, d.CandMeanMW = bMean, cMean
+	d.MeanDeltaMW = cMean - bMean
+	d.MeanDeltaPct = symmetricPct(bMean, cMean)
+	d.BaseEnergyMJ, d.CandEnergyMJ = bEnergy, cEnergy
+	d.EnergyDeltaMJ = cEnergy - bEnergy
+	d.EnergyDeltaPct = symmetricPct(bEnergy, cEnergy)
+
+	keys := make([]trace.EventKey, 0, len(bs)+len(cs))
+	seen := make(map[trace.EventKey]bool, len(bs)+len(cs))
+	for k := range bs {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range cs {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Class != keys[j].Class {
+			return keys[i].Class < keys[j].Class
+		}
+		return keys[i].Callback < keys[j].Callback
+	})
+
+	for _, k := range keys {
+		var b, c keyStats
+		if s := bs[k]; s != nil {
+			b = *s
+		}
+		if s := cs[k]; s != nil {
+			c = *s
+		}
+		kd := KeyDelta{Key: k, BaseCount: b.count, CandCount: c.count}
+		if b.count > 0 {
+			kd.BaseMeanMW = b.sumMW / float64(b.count)
+		}
+		if c.count > 0 {
+			kd.CandMeanMW = c.sumMW / float64(c.count)
+		}
+		kd.DeltaMW = kd.CandMeanMW - kd.BaseMeanMW
+		kd.DeltaPct = symmetricPct(kd.BaseMeanMW, kd.CandMeanMW)
+		kd.BaseImpactPct, kd.CandImpactPct = b.impactPct, c.impactPct
+		kd.ImpactDeltaPct = c.impactPct - b.impactPct
+		kd.NewlyManifesting = c.impactPct > 0 && b.impactPct == 0
+		kd.Disappeared = b.impactPct > 0 && c.impactPct == 0
+		if acc, ok := on[k]; ok {
+			kd.OnsetTraces = acc.traces
+			kd.OnsetDeltaMW = acc.deltaMW
+		}
+		kd.Score = kd.ImpactDeltaPct + kd.DeltaPct
+		d.Deltas = append(d.Deltas, kd)
+		if kd.NewlyManifesting {
+			d.NewKeys = append(d.NewKeys, k)
+		}
+		if kd.Disappeared {
+			d.GoneKeys = append(d.GoneKeys, k)
+		}
+	}
+	d.rankSuspects()
+	return d
+}
+
+// rankSuspects selects and orders the regression candidates from the
+// (already key-sorted) Deltas. Keys with positive onset evidence rank
+// first (largest attributed downstream drain on top); correlational
+// suspects — keys whose score cleared the floor without any paired
+// trace forking on them — follow, so diffs between unrelated corpora
+// still produce a ranking.
+func (d *Diff) rankSuspects() {
+	d.Suspects = d.Suspects[:0]
+	for _, kd := range d.Deltas {
+		if kd.causal() {
+			d.Suspects = append(d.Suspects, kd)
+			continue
+		}
+		if kd.BaseCount+kd.CandCount < suspectMinInstances {
+			continue
+		}
+		if kd.Score < suspectMinScore {
+			continue
+		}
+		d.Suspects = append(d.Suspects, kd)
+	}
+	sort.SliceStable(d.Suspects, func(i, j int) bool {
+		si, sj := d.Suspects[i], d.Suspects[j]
+		if ci, cj := si.causal(), sj.causal(); ci != cj {
+			return ci
+		} else if ci && si.OnsetDeltaMW != sj.OnsetDeltaMW {
+			return si.OnsetDeltaMW > sj.OnsetDeltaMW
+		}
+		return si.Score > sj.Score
+	})
+}
+
+// TopSuspect returns the best regression candidate, if any.
+func (d *Diff) TopSuspect() (KeyDelta, bool) {
+	if len(d.Suspects) == 0 {
+		return KeyDelta{}, false
+	}
+	return d.Suspects[0], true
+}
+
+// Negation returns the exact mirror of the diff: the diff Compare
+// would produce with baseline and candidate swapped. Reverting a
+// version chain back to its origin therefore yields Compare's output
+// for the reverse direction — the metamorphic contract the revision
+// suite pins.
+func (d *Diff) Negation() *Diff {
+	out := &Diff{
+		AppID:              d.AppID,
+		BaseTraces:         d.CandTraces,
+		CandTraces:         d.BaseTraces,
+		BaseImpactedTraces: d.CandImpactedTraces,
+		CandImpactedTraces: d.BaseImpactedTraces,
+		BaseMeanMW:         d.CandMeanMW,
+		CandMeanMW:         d.BaseMeanMW,
+		MeanDeltaMW:        -d.MeanDeltaMW,
+		MeanDeltaPct:       -d.MeanDeltaPct,
+		BaseEnergyMJ:       d.CandEnergyMJ,
+		CandEnergyMJ:       d.BaseEnergyMJ,
+		EnergyDeltaMJ:      -d.EnergyDeltaMJ,
+		EnergyDeltaPct:     -d.EnergyDeltaPct,
+		NewKeys:            append([]trace.EventKey(nil), d.GoneKeys...),
+		GoneKeys:           append([]trace.EventKey(nil), d.NewKeys...),
+	}
+	if d.MeanDeltaMW == 0 {
+		out.MeanDeltaMW = 0 // avoid -0
+	}
+	if d.MeanDeltaPct == 0 {
+		out.MeanDeltaPct = 0
+	}
+	if d.EnergyDeltaMJ == 0 {
+		out.EnergyDeltaMJ = 0
+	}
+	if d.EnergyDeltaPct == 0 {
+		out.EnergyDeltaPct = 0
+	}
+	for _, kd := range d.Deltas {
+		nk := KeyDelta{
+			Key:              kd.Key,
+			BaseMeanMW:       kd.CandMeanMW,
+			CandMeanMW:       kd.BaseMeanMW,
+			DeltaMW:          -kd.DeltaMW,
+			DeltaPct:         -kd.DeltaPct,
+			BaseCount:        kd.CandCount,
+			CandCount:        kd.BaseCount,
+			BaseImpactPct:    kd.CandImpactPct,
+			CandImpactPct:    kd.BaseImpactPct,
+			ImpactDeltaPct:   -kd.ImpactDeltaPct,
+			NewlyManifesting: kd.Disappeared,
+			Disappeared:      kd.NewlyManifesting,
+			OnsetTraces:      kd.OnsetTraces,
+			OnsetDeltaMW:     -kd.OnsetDeltaMW,
+		}
+		if kd.OnsetDeltaMW == 0 {
+			nk.OnsetDeltaMW = 0
+		}
+		if kd.DeltaMW == 0 {
+			nk.DeltaMW = 0
+		}
+		if kd.DeltaPct == 0 {
+			nk.DeltaPct = 0
+		}
+		if kd.ImpactDeltaPct == 0 {
+			nk.ImpactDeltaPct = 0
+		}
+		nk.Score = nk.ImpactDeltaPct + nk.DeltaPct
+		out.Deltas = append(out.Deltas, nk)
+	}
+	out.rankSuspects()
+	return out
+}
+
+// Empty reports whether the diff shows no change at all: identical
+// per-key powers, impact tables, and trace counts.
+func (d *Diff) Empty() bool {
+	if d.BaseTraces != d.CandTraces || d.BaseImpactedTraces != d.CandImpactedTraces {
+		return false
+	}
+	if d.MeanDeltaMW != 0 || d.EnergyDeltaMJ != 0 || len(d.NewKeys) > 0 || len(d.GoneKeys) > 0 {
+		return false
+	}
+	for _, kd := range d.Deltas {
+		if kd.DeltaMW != 0 || kd.ImpactDeltaPct != 0 || kd.BaseCount != kd.CandCount {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders the human-readable revision report.
+func (d *Diff) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("Energy revision diff for %s\n", d.AppID); err != nil {
+		return err
+	}
+	if err := p("  baseline: %d traces (%d impacted)   candidate: %d traces (%d impacted)\n",
+		d.BaseTraces, d.BaseImpactedTraces, d.CandTraces, d.CandImpactedTraces); err != nil {
+		return err
+	}
+	if err := p("  mean event power: %.1f mW -> %.1f mW  (%+.1f mW, %+.1f%%)\n",
+		d.BaseMeanMW, d.CandMeanMW, d.MeanDeltaMW, d.MeanDeltaPct); err != nil {
+		return err
+	}
+	if err := p("  corpus event energy: %.0f mJ -> %.0f mJ  (%+.0f mJ, %+.1f%%)\n",
+		d.BaseEnergyMJ, d.CandEnergyMJ, d.EnergyDeltaMJ, d.EnergyDeltaPct); err != nil {
+		return err
+	}
+	if err := p("  newly manifesting keys: %d\n", len(d.NewKeys)); err != nil {
+		return err
+	}
+	for _, k := range d.NewKeys {
+		if err := p("    + %s\n", k); err != nil {
+			return err
+		}
+	}
+	if err := p("  disappeared keys: %d\n", len(d.GoneKeys)); err != nil {
+		return err
+	}
+	for _, k := range d.GoneKeys {
+		if err := p("    - %s\n", k); err != nil {
+			return err
+		}
+	}
+	if len(d.Suspects) == 0 {
+		if err := p("  suspects: none (no key moved above the reporting floor)\n"); err != nil {
+			return err
+		}
+	} else {
+		if err := p("  suspects (culprit-ranked):\n"); err != nil {
+			return err
+		}
+		for i, s := range d.Suspects {
+			evidence := fmt.Sprintf("score %.1f", s.Score)
+			if s.OnsetTraces > 0 {
+				evidence = fmt.Sprintf("onset in %d traces %+.1f mW; score %.1f",
+					s.OnsetTraces, s.OnsetDeltaMW, s.Score)
+			}
+			if err := p("    %d. %s  %+.1f mW (%+.1f%%)  impact %+.1fpp  %s\n",
+				i+1, s.Key, s.DeltaMW, s.DeltaPct, s.ImpactDeltaPct, evidence); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("  per-key deltas (by |delta|):\n"); err != nil {
+		return err
+	}
+	byMag := append([]KeyDelta(nil), d.Deltas...)
+	sort.SliceStable(byMag, func(i, j int) bool {
+		return abs(byMag[i].DeltaMW) > abs(byMag[j].DeltaMW)
+	})
+	shown := 0
+	for _, kd := range byMag {
+		if shown >= 10 {
+			break
+		}
+		if err := p("    %-60s %9.1f -> %9.1f mW  (%+.1f%%)  n=%d->%d\n",
+			kd.Key.String(), kd.BaseMeanMW, kd.CandMeanMW, kd.DeltaPct, kd.BaseCount, kd.CandCount); err != nil {
+			return err
+		}
+		shown++
+	}
+	if rest := len(byMag) - shown; rest > 0 {
+		if err := p("    ... %d more keys\n", rest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,181 @@
+package revision
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// GateConfig is the threshold set of the CI-style energy regression
+// gate: how much a candidate version may move before the gate fails
+// the build.
+type GateConfig struct {
+	// MaxMeanDeltaPct fails the gate when the corpus-wide mean event
+	// power rises by more than this percentage.
+	MaxMeanDeltaPct float64 `json:"maxMeanDeltaPct"`
+	// MaxEnergyDeltaPct fails the gate when the corpus-wide event
+	// energy rises by more than this percentage. Energy neither
+	// saturates at the device power ceiling nor dilutes across event
+	// counts, and callback rewires conserve it — so this rule catches
+	// hot rewrites whose power signature hides under per-key noise.
+	MaxEnergyDeltaPct float64 `json:"maxEnergyDeltaPct"`
+	// MaxKeyDeltaPct fails the gate when any single event key's mean
+	// power rises by more than this percentage (keys with fewer than
+	// MinInstances instances on both sides combined are ignored).
+	MaxKeyDeltaPct float64 `json:"maxKeyDeltaPct"`
+	// MaxOnsetPerTraceMW fails the gate when a key with onset evidence
+	// in at least MinOnsetTraces paired traces drains more than this
+	// many milliwatts of downstream mean power per affected trace. This
+	// is the rule that catches drains whose cost surfaces away from the
+	// culprit's own instances (wakelock holds, background loops) and
+	// hot rewrites too diluted to move the corpus mean.
+	MaxOnsetPerTraceMW float64 `json:"maxOnsetPerTraceMilliwatts"`
+	// MinOnsetTraces is the pairing floor for MaxOnsetPerTraceMW.
+	MinOnsetTraces int `json:"minOnsetTraces"`
+	// MaxNewManifesting fails the gate when more than this many event
+	// keys newly coincide with manifestation windows.
+	MaxNewManifesting int `json:"maxNewManifesting"`
+	// MaxImpactedRisePct fails the gate when the fraction of traces
+	// containing a manifestation rises by more than this many
+	// percentage points.
+	MaxImpactedRisePct float64 `json:"maxImpactedRisePct"`
+	// MinInstances is the per-key noise guard for MaxKeyDeltaPct.
+	MinInstances int `json:"minInstances"`
+}
+
+// DefaultGate returns thresholds that tolerate benign refactor drift —
+// session-timing shifts from small latency tweaks, callback rewires
+// that move (but conserve) work between handlers — but fail on every
+// injected regression family. The gate presumes a healthy baseline: a
+// baseline that already drains amplifies any timing perturbation into
+// large deltas, and no threshold separates those from fresh drains.
+func DefaultGate() GateConfig {
+	return GateConfig{
+		MaxMeanDeltaPct:    8,
+		MaxEnergyDeltaPct:  10,
+		MaxKeyDeltaPct:     60,
+		MaxOnsetPerTraceMW: 120,
+		MinOnsetTraces:     2,
+		MaxNewManifesting:  0,
+		MaxImpactedRisePct: 10,
+		MinInstances:       3,
+	}
+}
+
+// LoadGate reads a gate threshold config from a JSON file. Absent
+// fields keep their default values, so a config can override a single
+// threshold.
+func LoadGate(path string) (GateConfig, error) {
+	g := DefaultGate()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return g, fmt.Errorf("revision: gate config: %w", err)
+	}
+	if err := json.Unmarshal(data, &g); err != nil {
+		return g, fmt.Errorf("revision: gate config %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Violation is one gate breach.
+type Violation struct {
+	// Rule names the breached threshold.
+	Rule string `json:"rule"`
+	// Key is the offending event key (per-key rules only).
+	Key *trace.EventKey `json:"key,omitempty"`
+	// Value and Limit quantify the breach.
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+}
+
+// String renders the violation for gate output.
+func (v Violation) String() string {
+	if v.Key != nil {
+		return fmt.Sprintf("%s: %s %.1f exceeds %.1f", v.Rule, *v.Key, v.Value, v.Limit)
+	}
+	return fmt.Sprintf("%s: %.1f exceeds %.1f", v.Rule, v.Value, v.Limit)
+}
+
+// GateResult is the gate verdict for one diff.
+type GateResult struct {
+	Pass       bool        `json:"pass"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Evaluate applies the thresholds to a diff.
+func (g GateConfig) Evaluate(d *Diff) GateResult {
+	var res GateResult
+	if d.MeanDeltaPct > g.MaxMeanDeltaPct {
+		res.Violations = append(res.Violations, Violation{
+			Rule: "mean-power-delta-pct", Value: d.MeanDeltaPct, Limit: g.MaxMeanDeltaPct,
+		})
+	}
+	if d.EnergyDeltaPct > g.MaxEnergyDeltaPct {
+		res.Violations = append(res.Violations, Violation{
+			Rule: "energy-delta-pct", Value: d.EnergyDeltaPct, Limit: g.MaxEnergyDeltaPct,
+		})
+	}
+	for _, kd := range d.Deltas {
+		if kd.BaseCount+kd.CandCount < g.MinInstances {
+			continue
+		}
+		if kd.DeltaPct > g.MaxKeyDeltaPct {
+			key := kd.Key
+			res.Violations = append(res.Violations, Violation{
+				Rule: "key-power-delta-pct", Key: &key, Value: kd.DeltaPct, Limit: g.MaxKeyDeltaPct,
+			})
+		}
+	}
+	for _, kd := range d.Deltas {
+		if kd.OnsetTraces == 0 || kd.OnsetTraces < g.MinOnsetTraces {
+			continue
+		}
+		if perTrace := kd.OnsetDeltaMW / float64(kd.OnsetTraces); perTrace > g.MaxOnsetPerTraceMW {
+			key := kd.Key
+			res.Violations = append(res.Violations, Violation{
+				Rule: "onset-drain-mw-per-trace", Key: &key, Value: perTrace, Limit: g.MaxOnsetPerTraceMW,
+			})
+		}
+	}
+	if n := len(d.NewKeys); n > g.MaxNewManifesting {
+		res.Violations = append(res.Violations, Violation{
+			Rule: "newly-manifesting-keys", Value: float64(n), Limit: float64(g.MaxNewManifesting),
+		})
+	}
+	baseImpactPct := pct(d.BaseImpactedTraces, d.BaseTraces)
+	candImpactPct := pct(d.CandImpactedTraces, d.CandTraces)
+	if rise := candImpactPct - baseImpactPct; rise > g.MaxImpactedRisePct {
+		res.Violations = append(res.Violations, Violation{
+			Rule: "impacted-traces-rise-pct", Value: rise, Limit: g.MaxImpactedRisePct,
+		})
+	}
+	res.Pass = len(res.Violations) == 0
+	return res
+}
+
+func pct(part, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// WriteText renders the gate verdict.
+func (r GateResult) WriteText(w io.Writer) error {
+	if r.Pass {
+		_, err := fmt.Fprintln(w, "energy regression gate: PASS")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "energy regression gate: FAIL (%d violations)\n", len(r.Violations)); err != nil {
+		return err
+	}
+	for _, v := range r.Violations {
+		if _, err := fmt.Fprintf(w, "  %s\n", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package revision
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func ruleNames(res GateResult) []string {
+	var out []string
+	for _, v := range res.Violations {
+		out = append(out, v.Rule)
+	}
+	return out
+}
+
+func hasRule(res GateResult, rule string) bool {
+	for _, v := range res.Violations {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGateRules triggers each threshold in isolation on synthetic
+// diffs.
+func TestGateRules(t *testing.T) {
+	g := DefaultGate()
+	key := trace.EventKey{Class: "Lcom/app/Main", Callback: "onClick"}
+	cases := []struct {
+		name string
+		diff Diff
+		rule string
+	}{
+		{
+			"mean-power",
+			Diff{MeanDeltaPct: g.MaxMeanDeltaPct + 1},
+			"mean-power-delta-pct",
+		},
+		{
+			"energy",
+			Diff{EnergyDeltaPct: g.MaxEnergyDeltaPct + 1},
+			"energy-delta-pct",
+		},
+		{
+			"key-power",
+			Diff{Deltas: []KeyDelta{{Key: key, BaseCount: 2, CandCount: 2, DeltaPct: g.MaxKeyDeltaPct + 1}}},
+			"key-power-delta-pct",
+		},
+		{
+			"onset-drain",
+			Diff{Deltas: []KeyDelta{{Key: key, OnsetTraces: 2, OnsetDeltaMW: 2 * (g.MaxOnsetPerTraceMW + 1)}}},
+			"onset-drain-mw-per-trace",
+		},
+		{
+			"newly-manifesting",
+			Diff{NewKeys: []trace.EventKey{key}},
+			"newly-manifesting-keys",
+		},
+		{
+			"impacted-rise",
+			Diff{BaseTraces: 10, CandTraces: 10, BaseImpactedTraces: 0, CandImpactedTraces: 3},
+			"impacted-traces-rise-pct",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := g.Evaluate(&tc.diff)
+			if res.Pass {
+				t.Fatalf("gate passed a diff violating %s", tc.rule)
+			}
+			if !hasRule(res, tc.rule) || len(res.Violations) != 1 {
+				t.Fatalf("want exactly [%s], got %v", tc.rule, ruleNames(res))
+			}
+		})
+	}
+}
+
+// TestGateGuards pins the noise guards: sparse keys are exempt from the
+// per-key rule, under-paired keys from the onset rule, and falls never
+// trip anything.
+func TestGateGuards(t *testing.T) {
+	g := DefaultGate()
+	key := trace.EventKey{Class: "Lcom/app/Main", Callback: "onClick"}
+	pass := []struct {
+		name string
+		diff Diff
+	}{
+		{"empty", Diff{}},
+		{"sparse-key", Diff{Deltas: []KeyDelta{{Key: key, BaseCount: 1, CandCount: 1, DeltaPct: 500}}}},
+		{"single-onset-trace", Diff{Deltas: []KeyDelta{{Key: key, OnsetTraces: 1, OnsetDeltaMW: 10000}}}},
+		{"improvement", Diff{
+			MeanDeltaPct:   -50,
+			EnergyDeltaPct: -50,
+			Deltas:         []KeyDelta{{Key: key, BaseCount: 5, CandCount: 5, DeltaPct: -90, OnsetTraces: 5, OnsetDeltaMW: -4000}},
+			GoneKeys:       []trace.EventKey{key},
+		}},
+		{"impacted-fall", Diff{BaseTraces: 10, CandTraces: 10, BaseImpactedTraces: 5, CandImpactedTraces: 0}},
+	}
+	for _, tc := range pass {
+		t.Run(tc.name, func(t *testing.T) {
+			if res := g.Evaluate(&tc.diff); !res.Pass {
+				t.Fatalf("gate tripped on %s: %v", tc.name, ruleNames(res))
+			}
+		})
+	}
+}
+
+// TestLoadGate: absent fields keep defaults, present fields override,
+// and unreadable or malformed files fail loudly.
+func TestLoadGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gate.json")
+	if err := os.WriteFile(path, []byte(`{"maxKeyDeltaPct": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxKeyDeltaPct != 99 {
+		t.Fatalf("override not applied: %+v", g)
+	}
+	def := DefaultGate()
+	if g.MaxMeanDeltaPct != def.MaxMeanDeltaPct || g.MinInstances != def.MinInstances {
+		t.Fatalf("defaults not preserved: %+v", g)
+	}
+	if _, err := LoadGate(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+	if err := os.WriteFile(path, []byte(`{bad json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGate(path); err == nil {
+		t.Fatal("malformed file did not error")
+	}
+}
+
+// TestGateWriteText covers both verdict renderings.
+func TestGateWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (GateResult{Pass: true}).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("pass rendering: %q", buf.String())
+	}
+	buf.Reset()
+	key := trace.EventKey{Class: "Lcom/app/Main", Callback: "onClick"}
+	res := GateResult{Violations: []Violation{
+		{Rule: "energy-delta-pct", Value: 42, Limit: 10},
+		{Rule: "key-power-delta-pct", Key: &key, Value: 80, Limit: 60},
+	}}
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FAIL", "2 violations", "energy-delta-pct", "onClick"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fail rendering missing %q:\n%s", want, out)
+		}
+	}
+}

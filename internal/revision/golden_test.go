@@ -1,0 +1,86 @@
+package revision
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// update regenerates the golden revision reports instead of comparing:
+//
+//	go test ./internal/revision -run TestGoldenRevisionReport -update
+//
+// Regenerate only for intentional report-format or algorithm changes,
+// and review the golden diff like code.
+var update = flag.Bool("update", false, "rewrite the golden revision reports under testdata")
+
+// goldenDiff builds the pinned revision diff: the k9mail hold-
+// regression hop of a fixed chain.
+func goldenDiff(t *testing.T) *Diff {
+	t.Helper()
+	app, err := apps.ByAppID("k9mail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := ChainConfig{App: app, Versions: 3, Seed: 3, EditsPerVersion: 2, RegressionAt: 2, Kind: KindHold}
+	chain, err := GenerateChain(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunChain(chain, ccfg, CorpusConfig{Users: 6, Seed: 5, BrowsePhases: 4}, AnalyzeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Diffs[chain.RegressionAt-1]
+}
+
+// TestGoldenRevisionReport locks both renderings of the revision diff
+// — the -diff text report and the JSON document — byte-for-byte.
+func TestGoldenRevisionReport(t *testing.T) {
+	d := goldenDiff(t)
+
+	var text bytes.Buffer
+	if err := d.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes = append(jsonBytes, '\n')
+
+	for _, tc := range []struct {
+		file string
+		got  []byte
+	}{
+		{"diff_hold.txt", text.Bytes()},
+		{"diff_hold.json", jsonBytes},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, tc.got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(tc.got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to record): %v", err)
+			}
+			if !bytes.Equal(tc.got, want) {
+				t.Fatalf("rendering differs from %s (%d vs %d bytes); run with -update if intentional:\n%s",
+					path, len(tc.got), len(want), tc.got)
+			}
+		})
+	}
+}

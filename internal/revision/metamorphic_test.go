@@ -1,0 +1,212 @@
+package revision
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func testApp(t *testing.T, appID string) *apps.App {
+	t.Helper()
+	app, err := apps.ByAppID(appID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func corpusOf(t *testing.T, v *Version) []*trace.TraceBundle {
+	t.Helper()
+	bundles, err := VersionCorpus(v, CorpusConfig{Users: 6, Seed: 5, BrowsePhases: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bundles
+}
+
+func batchReport(t *testing.T, bundles []*trace.TraceBundle) *core.Report {
+	t.Helper()
+	a, err := core.NewAnalyzer(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Analyze(bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestNoOpRevisionEmptyDiff: a revision with no edits, and one with
+// static-only edits (helper rewrites, logging calls), changes no
+// behavior — its corpus is byte-identical to the parent's and the diff
+// is empty.
+func TestNoOpRevisionEmptyDiff(t *testing.T) {
+	app := testApp(t, "k9mail")
+	base := &Version{Index: 0, App: app}
+
+	statics := staticKeys(app.Package(), app.Behaviors(false))
+	if len(statics) == 0 {
+		t.Fatal("k9mail has no static helper methods")
+	}
+	widgets := browseWidgetKeys(app)
+	cases := []struct {
+		name  string
+		edits []Edit
+	}{
+		{"no-edits", nil},
+		{"static-only", []Edit{
+			{Op: OpHelperEdit, Target: statics[0]},
+			{Op: OpAPIAdd, Target: widgets[0], Call: "Landroid/util/Log;->d"},
+		}},
+	}
+	baseRep := batchReport(t, corpusOf(t, base))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ver, err := Derive(app, 1, tc.edits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := Compare(baseRep, batchReport(t, corpusOf(t, ver)))
+			if !d.Empty() {
+				t.Fatalf("diff of a no-op revision is not empty:\nmean %+.3f mW, energy %+.3f mJ, %d new keys, %d gone keys",
+					d.MeanDeltaMW, d.EnergyDeltaMJ, len(d.NewKeys), len(d.GoneKeys))
+			}
+			if len(d.Suspects) != 0 {
+				t.Fatalf("no-op revision produced %d suspects", len(d.Suspects))
+			}
+		})
+	}
+}
+
+// TestRevertNegatesDiff: comparing vN back to v0 yields exactly the
+// negation of the forward diff — byte-for-byte after JSON encoding,
+// including the -0.0 guards and mirrored onset evidence.
+func TestRevertNegatesDiff(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			app := testApp(t, "sensorium")
+			ccfg := ChainConfig{App: app, Versions: 3, Seed: 9, RegressionAt: 1, Kind: kind}
+			chain, err := GenerateChain(ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r0 := batchReport(t, corpusOf(t, chain.Versions[0]))
+			rN := batchReport(t, corpusOf(t, chain.Versions[len(chain.Versions)-1]))
+			forward := Compare(r0, rN)
+			if forward.Empty() {
+				t.Fatal("regression chain produced an empty forward diff")
+			}
+			reverse := Compare(rN, r0)
+			negated := forward.Negation()
+			revJSON, negJSON := mustJSON(t, reverse), mustJSON(t, negated)
+			if !bytes.Equal(revJSON, negJSON) {
+				t.Fatalf("reverse diff is not the exact negation of the forward diff:\nreverse: %s\nnegated: %s", revJSON, negJSON)
+			}
+			// Double negation is the identity.
+			if back := mustJSON(t, negated.Negation()); !bytes.Equal(back, mustJSON(t, forward)) {
+				t.Fatal("double negation does not round-trip to the forward diff")
+			}
+		})
+	}
+}
+
+// TestReorderUnrelatedEdits: two behavioral edits on distinct callbacks
+// commute — applying them in either order across versions yields
+// byte-identical final corpora and reports.
+func TestReorderUnrelatedEdits(t *testing.T) {
+	app := testApp(t, "opencamera")
+	widgets := browseWidgetKeys(app)
+	if len(widgets) < 2 {
+		t.Fatal("need two widgets")
+	}
+	editA := Edit{Op: OpMethodTweak, Target: widgets[0], Factor: 1.04}
+	editB := Edit{Op: OpMethodTweak, Target: widgets[1], Factor: 0.97}
+
+	finalOf := func(first, second Edit) *Version {
+		v1, err := Derive(app, 1, []Edit{first})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := Derive(v1.App, 2, []Edit{second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v2
+	}
+	ab := finalOf(editA, editB)
+	ba := finalOf(editB, editA)
+
+	abBundles, baBundles := corpusOf(t, ab), corpusOf(t, ba)
+	if len(abBundles) != len(baBundles) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(abBundles), len(baBundles))
+	}
+	for i := range abBundles {
+		if trace.ContentKey(abBundles[i]) != trace.ContentKey(baBundles[i]) {
+			t.Fatalf("bundle %d differs between edit orders", i)
+		}
+	}
+	abJSON := mustJSON(t, batchReport(t, abBundles))
+	baJSON := mustJSON(t, batchReport(t, baBundles))
+	if !bytes.Equal(abJSON, baJSON) {
+		t.Fatal("final reports differ between edit orders")
+	}
+}
+
+// TestDuplicateVersionIdempotent: feeding the same version twice is a
+// no-op — zero add/remove delta, byte-identical report, empty diff.
+func TestDuplicateVersionIdempotent(t *testing.T) {
+	app := testApp(t, "k9mail")
+	ccfg := ChainConfig{App: app, Versions: 3, Seed: 4, RegressionAt: 2, Kind: KindLoop}
+	chain, err := GenerateChain(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpora, err := ChainCorpora(chain, ccfg, CorpusConfig{Users: 6, Seed: 5, BrowsePhases: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewAnalyzer(AnalyzeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *VersionResult
+	for i, bundles := range corpora {
+		vr, err := inc.AnalyzeVersion(i, bundles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dup, err := inc.AnalyzeVersion(i, bundles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dup.Delta.Added != 0 || dup.Delta.Removed != 0 {
+			t.Fatalf("version %d replay has nonzero delta %+v", i, dup.Delta)
+		}
+		if !bytes.Equal(mustJSON(t, vr.Report), mustJSON(t, dup.Report)) {
+			t.Fatalf("version %d replay changed the report", i)
+		}
+		if d := Compare(vr.Report, dup.Report); !d.Empty() {
+			t.Fatalf("version %d self-diff is not empty", i)
+		}
+		// Benign hops may be static-only (byte-identical corpora), but
+		// the regression hop must actually change the report.
+		if i == chain.RegressionAt && bytes.Equal(mustJSON(t, prev.Report), mustJSON(t, vr.Report)) {
+			t.Fatalf("regression version %d report is identical to its parent's", i)
+		}
+		prev = vr
+	}
+}

@@ -1,0 +1,437 @@
+// Package revision models app evolution: versioned APKs derived from a
+// base app by deterministic seeded mutation operators, a chain corpus
+// generator in which consecutive versions share most trace bundles, a
+// delta-fed analyzer that reuses one core.IncrementalAnalyzer (and its
+// Step-1 cache and order-statistic summaries) across the whole chain,
+// and a revision diff report with a CI-style regression gate.
+//
+// The workload follows Schuler & Kotsis ("Mining API Interactions to
+// Analyze Software Revisions for the Evolution of Energy Consumption"):
+// the high-value question is not whether one snapshot has an anomaly
+// but what changed between revisions. The injected regression kinds
+// follow Li et al.'s energy-issue taxonomy — wakelock additions, loop
+// tightening, hot rewrites — the edit classes that turn a healthy
+// version into an anomalous one.
+package revision
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/apps"
+	"repro/internal/trace"
+)
+
+// Op enumerates the mutation operators a revision edit can apply.
+type Op string
+
+const (
+	// OpMethodTweak scales a callback's hardware usage and latency by
+	// Factor (a small refactor that makes the callback slightly cheaper
+	// or dearer) and perturbs its source-line count.
+	OpMethodTweak Op = "method-tweak"
+	// OpAPIAdd inserts an API call into the method body. Static-only:
+	// the modelled call (logging, analytics) has no energy cost, so the
+	// version's corpus is byte-identical to its parent's.
+	OpAPIAdd Op = "api-add"
+	// OpAPIRemove removes an API call inserted by a previous OpAPIAdd
+	// (or is a no-op when none is present). Static-only.
+	OpAPIRemove Op = "api-remove"
+	// OpHelperEdit rewrites a non-callback helper method (line-count
+	// change). Static-only: helpers never execute in the workload.
+	OpHelperEdit Op = "helper-edit"
+	// OpConfigFlip rewrites the value written by a SetConfig effect.
+	OpConfigFlip Op = "config-flip"
+	// OpRewire swaps the behaviors of two widget callbacks on the same
+	// activity (a refactor that moves work between handlers).
+	OpRewire Op = "callback-rewire"
+	// OpRegression injects an energy regression of the given Kind into
+	// the target callback. The target is the chain's ground-truth
+	// culprit.
+	OpRegression Op = "regression"
+)
+
+// Kind enumerates the injected regression families, after Li et al.'s
+// taxonomy of energy-issue-introducing edits.
+type Kind string
+
+const (
+	// KindHold adds a resource acquire with no matching release to the
+	// target callback (wakelock addition): every invocation starts a
+	// sustained hold.
+	KindHold Kind = "hold"
+	// KindLoop starts an unstopped periodic background task from the
+	// target callback (loop tightening / sync storm).
+	KindLoop Kind = "loop"
+	// KindHot multiplies the target callback's own hardware usage
+	// (an expensive rewrite of the handler itself). The drain is
+	// confined to the callback's instances, so it never creates new
+	// manifestation points — only the per-key power delta catches it.
+	KindHot Kind = "hot"
+)
+
+// Kinds lists the regression families in deterministic order.
+func Kinds() []Kind { return []Kind{KindHold, KindLoop, KindHot} }
+
+// Edit is one mutation applied by a revision.
+type Edit struct {
+	// Op selects the mutation operator.
+	Op Op `json:"op"`
+	// Target is the edited method.
+	Target trace.EventKey `json:"target"`
+	// Other is the second widget of a callback-rewire.
+	Other trace.EventKey `json:"other,omitempty"`
+	// Factor scales usages for method tweaks and hot regressions.
+	Factor float64 `json:"factor,omitempty"`
+	// Call is the API descriptor for api-add / api-remove.
+	Call string `json:"call,omitempty"`
+	// ConfigKey / ConfigValue parameterize a config flip.
+	ConfigKey   string `json:"configKey,omitempty"`
+	ConfigValue string `json:"configValue,omitempty"`
+	// Kind is the regression family (regression edits only).
+	Kind Kind `json:"kind,omitempty"`
+}
+
+// String renders the edit compactly for logs and reports.
+func (e Edit) String() string {
+	switch e.Op {
+	case OpRegression:
+		return fmt.Sprintf("%s(%s) %s", e.Op, e.Kind, e.Target)
+	case OpRewire:
+		return fmt.Sprintf("%s %s <-> %s", e.Op, e.Target, e.Other)
+	case OpAPIAdd, OpAPIRemove:
+		return fmt.Sprintf("%s %s %s", e.Op, e.Target, e.Call)
+	case OpConfigFlip:
+		return fmt.Sprintf("%s %s %s=%s", e.Op, e.Target, e.ConfigKey, e.ConfigValue)
+	default:
+		return fmt.Sprintf("%s %s x%.3f", e.Op, e.Target, e.Factor)
+	}
+}
+
+// cloneBehavior deep-copies a behavior so edits never alias the parent
+// version's (or the base app's) usage and effect slices.
+func cloneBehavior(b android.Behavior) android.Behavior {
+	out := b
+	out.Usages = append([]android.ComponentUsage(nil), b.Usages...)
+	out.Effects = append([]android.Effect(nil), b.Effects...)
+	return out
+}
+
+// apply mutates (pkg, behaviors) — the working copies of one version
+// under construction — according to the edit.
+func (e Edit) apply(pkg *apk.Package, behaviors android.BehaviorMap, rev int) error {
+	switch e.Op {
+	case OpMethodTweak:
+		if e.Factor <= 0 {
+			return fmt.Errorf("revision: %s: factor must be positive", e)
+		}
+		b, ok := behaviors[e.Target]
+		if !ok {
+			return fmt.Errorf("revision: %s: target has no behavior", e)
+		}
+		b = cloneBehavior(b)
+		for i := range b.Usages {
+			b.Usages[i].DurationMS = scaleMS(b.Usages[i].DurationMS, e.Factor)
+		}
+		b.LatencyMS = scaleMS(b.LatencyMS, e.Factor)
+		behaviors[e.Target] = b
+		return pkg.TweakMethod(e.Target, int(e.Factor*10)-10)
+	case OpAPIAdd:
+		return pkg.AddCall(e.Target, e.Call)
+	case OpAPIRemove:
+		_, err := pkg.RemoveCall(e.Target, e.Call)
+		return err
+	case OpHelperEdit:
+		return pkg.TweakMethod(e.Target, 7)
+	case OpConfigFlip:
+		b, ok := behaviors[e.Target]
+		if !ok {
+			return fmt.Errorf("revision: %s: target has no behavior", e)
+		}
+		b = cloneBehavior(b)
+		found := false
+		for i := range b.Effects {
+			if b.Effects[i].Kind == android.EffectSetConfig && b.Effects[i].ConfigKey == e.ConfigKey {
+				b.Effects[i].ConfigValue = e.ConfigValue
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("revision: %s: target sets no config %q", e, e.ConfigKey)
+		}
+		behaviors[e.Target] = b
+		return pkg.TweakMethod(e.Target, 1)
+	case OpRewire:
+		a, okA := behaviors[e.Target]
+		b, okB := behaviors[e.Other]
+		if !okA || !okB {
+			return fmt.Errorf("revision: %s: both widgets need behaviors", e)
+		}
+		behaviors[e.Target], behaviors[e.Other] = cloneBehavior(b), cloneBehavior(a)
+		if err := pkg.TweakMethod(e.Target, 3); err != nil {
+			return err
+		}
+		return pkg.TweakMethod(e.Other, -3)
+	case OpRegression:
+		return e.applyRegression(pkg, behaviors, rev)
+	default:
+		return fmt.Errorf("revision: unknown op %q", e.Op)
+	}
+}
+
+// applyRegression injects the energy regression into the target
+// callback's behavior, with a matching static shadow in the APK.
+func (e Edit) applyRegression(pkg *apk.Package, behaviors android.BehaviorMap, rev int) error {
+	b, ok := behaviors[e.Target]
+	if !ok {
+		return fmt.Errorf("revision: %s: target has no behavior", e)
+	}
+	b = cloneBehavior(b)
+	name := fmt.Sprintf("rev%d-%s", rev, e.Kind)
+	switch e.Kind {
+	case KindHold:
+		b.Effects = append(b.Effects, android.Effect{
+			Kind:          android.EffectAcquire,
+			Name:          name,
+			HoldComponent: trace.CPU,
+			HoldLevel:     0.6,
+		})
+		behaviors[e.Target] = b
+		return pkg.AddAcquire(e.Target, name)
+	case KindLoop:
+		b.Effects = append(b.Effects, android.Effect{
+			Kind: android.EffectStartLoop,
+			Name: name,
+			Loop: android.LoopSpec{
+				PeriodMS: 1500,
+				BurstMS:  1100,
+				Usages: []android.ComponentUsage{
+					{Component: trace.WiFi, Level: 0.7},
+					{Component: trace.CPU, Level: 0.35},
+				},
+			},
+		})
+		behaviors[e.Target] = b
+		return pkg.AddCall(e.Target, "Landroid/os/Handler;->postDelayed")
+	case KindHot:
+		factor := e.Factor
+		if factor <= 1 {
+			factor = 3
+		}
+		newLatency := scaleMS(b.LatencyMS, factor)
+		for i := range b.Usages {
+			b.Usages[i].DurationMS = scaleMS(b.Usages[i].DurationMS, factor)
+			b.Usages[i].Level = min95(b.Usages[i].Level * 1.5)
+		}
+		// The rewrite also goes to the network on every invocation (the
+		// chatty-handler shape): a large absolute power bump confined to
+		// the callback's own instances.
+		b.Usages = append(b.Usages, android.ComponentUsage{
+			Component: trace.WiFi, Level: 0.85, DurationMS: newLatency,
+		})
+		b.LatencyMS = newLatency
+		behaviors[e.Target] = b
+		return pkg.TweakMethod(e.Target, 25)
+	default:
+		return fmt.Errorf("revision: unknown regression kind %q", e.Kind)
+	}
+}
+
+func scaleMS(ms int64, factor float64) int64 {
+	out := int64(float64(ms) * factor)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+func min95(level float64) float64 {
+	if level > 0.95 {
+		return 0.95
+	}
+	return level
+}
+
+// Version is one link of a chain: the derived app plus the edits that
+// produced it from its parent.
+type Version struct {
+	// Index is the version number (0 = the unmodified base app).
+	Index int
+	// App is the runnable derived app.
+	App *apps.App
+	// Edits were applied to the parent to obtain this version.
+	Edits []Edit
+}
+
+// Derive builds a new version from a parent app by applying edits in
+// order: the parent's APK is cloned, its behavior map copied, every
+// edit applied, and the result reassembled (and re-validated) as an
+// app. The parent is never mutated.
+func Derive(parent *apps.App, revIdx int, edits []Edit) (*Version, error) {
+	pkg := parent.Package().Clone()
+	behaviors := parent.Behaviors(false)
+	for _, e := range edits {
+		if err := e.apply(pkg, behaviors, revIdx); err != nil {
+			return nil, err
+		}
+	}
+	pkg.Stamp(revIdx, label(edits))
+	shell := *parent
+	app, err := apps.NewCustom(&shell, pkg, behaviors)
+	if err != nil {
+		return nil, fmt.Errorf("revision: derive v%d: %w", revIdx, err)
+	}
+	return &Version{Index: revIdx, App: app, Edits: edits}, nil
+}
+
+// label summarizes an edit list for the revision metadata.
+func label(edits []Edit) string {
+	if len(edits) == 0 {
+		return "no-op"
+	}
+	ops := make([]string, len(edits))
+	for i, e := range edits {
+		ops[i] = string(e.Op)
+	}
+	return fmt.Sprintf("%d edits: %v", len(edits), ops)
+}
+
+// staticKeys lists the package's methods that have no dynamic behavior
+// (helpers): editing one cannot change any trace.
+func staticKeys(pkg *apk.Package, behaviors android.BehaviorMap) []trace.EventKey {
+	var out []trace.EventKey
+	for _, k := range pkg.EventKeys() {
+		if _, ok := behaviors[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// browseWidgetKeys lists the widget callbacks normal users tap, sorted
+// deterministically. These are the targets whose edits actually move
+// power in a normal user's session.
+func browseWidgetKeys(app *apps.App) []trace.EventKey {
+	var out []trace.EventKey
+	for act, widgets := range app.Widgets {
+		for _, w := range widgets {
+			out = append(out, trace.EventKey{Class: act, Callback: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Callback < out[j].Callback
+	})
+	return out
+}
+
+// configKeys lists callbacks whose behavior writes a configuration
+// value, with the key they write.
+func configKeys(behaviors android.BehaviorMap) []Edit {
+	var out []Edit
+	for k, b := range behaviors {
+		for _, eff := range b.Effects {
+			if eff.Kind == android.EffectSetConfig {
+				out = append(out, Edit{Op: OpConfigFlip, Target: k, ConfigKey: eff.ConfigKey})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target.Class != out[j].Target.Class {
+			return out[i].Target.Class < out[j].Target.Class
+		}
+		return out[i].Target.Callback < out[j].Target.Callback
+	})
+	return out
+}
+
+// pickBenign draws one benign edit for the app, favoring static-only
+// operators so consecutive versions share most bundles.
+func pickBenign(app *apps.App, rng *rand.Rand) (Edit, bool) {
+	statics := staticKeys(app.Package(), app.Behaviors(false))
+	widgets := browseWidgetKeys(app)
+	flips := configKeys(app.Behaviors(false))
+	for attempt := 0; attempt < 8; attempt++ {
+		switch rng.Intn(6) {
+		case 0, 1: // helper edit (static-only)
+			if len(statics) == 0 {
+				continue
+			}
+			return Edit{Op: OpHelperEdit, Target: statics[rng.Intn(len(statics))]}, true
+		case 2: // api add (static-only)
+			if len(widgets) == 0 {
+				continue
+			}
+			return Edit{
+				Op:     OpAPIAdd,
+				Target: widgets[rng.Intn(len(widgets))],
+				Call:   fmt.Sprintf("Landroid/util/Log;->d%d", rng.Intn(4)),
+			}, true
+		case 3: // api remove (static-only; no-op if absent)
+			if len(widgets) == 0 {
+				continue
+			}
+			return Edit{
+				Op:     OpAPIRemove,
+				Target: widgets[rng.Intn(len(widgets))],
+				Call:   fmt.Sprintf("Landroid/util/Log;->d%d", rng.Intn(4)),
+			}, true
+		case 4: // small behavioral tweak on one widget
+			if len(widgets) == 0 {
+				continue
+			}
+			return Edit{
+				Op:     OpMethodTweak,
+				Target: widgets[rng.Intn(len(widgets))],
+				Factor: 0.95 + rng.Float64()*0.1,
+			}, true
+		default: // benign config flip (dormant unless the trigger runs)
+			if len(flips) == 0 {
+				continue
+			}
+			e := flips[rng.Intn(len(flips))]
+			e.ConfigValue = fmt.Sprintf("%d", 900*(1+rng.Intn(8)))
+			return e, true
+		}
+	}
+	return Edit{}, false
+}
+
+// pickRegression draws the chain's injected regression: a drain of the
+// given kind on a main-activity widget. Sessions start on the main
+// activity and tap its widgets throughout, so the culprit callback is
+// reliably exercised across the corpus — a regression on a widget no
+// user ever taps would be latent, and a latent edit is not a
+// regression the chain's diffs could or should surface.
+func pickRegression(app *apps.App, kind Kind, rng *rand.Rand) (Edit, error) {
+	widgets := browseWidgetKeys(app)
+	if main := app.MainActivity; main != "" {
+		var onMain []trace.EventKey
+		for _, w := range widgets {
+			if w.Class == main {
+				onMain = append(onMain, w)
+			}
+		}
+		if len(onMain) > 0 {
+			widgets = onMain
+		}
+	}
+	if len(widgets) == 0 {
+		return Edit{}, fmt.Errorf("revision: app %s has no browse widgets to regress", app.AppID)
+	}
+	if kind == "" {
+		kinds := Kinds()
+		kind = kinds[rng.Intn(len(kinds))]
+	}
+	return Edit{
+		Op:     OpRegression,
+		Target: widgets[rng.Intn(len(widgets))],
+		Kind:   kind,
+		Factor: 3 + rng.Float64()*2,
+	}, nil
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/revision"
+)
+
+var mDiffs = obs.Default.Counter("serve_diffs_total", "version diffs computed by the serving layer")
+
+// VersionDiff is the /analysis/diff response: the revision report
+// between two retained report versions of one app, with the snapshot
+// metadata of both endpoints.
+type VersionDiff struct {
+	App  string         `json:"app"`
+	From Snapshot       `json:"from"`
+	To   Snapshot       `json:"to"`
+	Diff *revision.Diff `json:"diff"`
+}
+
+// DiffVersions compares two report versions of an app that are still in
+// the history ring. Version 0 selects a default: the latest version for
+// `to`, the version preceding `to` for `from`. ok is false when the app
+// is unknown; err reports versions that were never installed or have
+// aged out of the ring.
+func (s *Service) DiffVersions(app string, from, to int64) (*VersionDiff, bool, error) {
+	s.mu.Lock()
+	st, ok := s.apps[app]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	history := make([]historyEntry, len(st.history))
+	copy(history, st.history)
+	s.mu.Unlock()
+
+	if len(history) < 2 {
+		return nil, true, fmt.Errorf("app %s has %d retained report versions; a diff needs 2", app, len(history))
+	}
+	if to == 0 {
+		to = history[len(history)-1].snap.Version
+	}
+	if from == 0 {
+		from = to - 1
+	}
+	find := func(version int64) (historyEntry, error) {
+		for _, e := range history {
+			if e.snap.Version == version {
+				return e, nil
+			}
+		}
+		return historyEntry{}, fmt.Errorf("report version %d of %s is not retained (ring holds %d..%d)",
+			version, app, history[0].snap.Version, history[len(history)-1].snap.Version)
+	}
+	base, err := find(from)
+	if err != nil {
+		return nil, true, err
+	}
+	cand, err := find(to)
+	if err != nil {
+		return nil, true, err
+	}
+	mDiffs.Inc()
+	return &VersionDiff{
+		App:  app,
+		From: base.snap,
+		To:   cand.snap,
+		Diff: revision.Compare(base.report, cand.report),
+	}, true, nil
+}
+
+// serveDiff handles GET /analysis/diff?app=X[&from=N][&to=M]: the
+// revision report between two retained versions as JSON. Omitted
+// versions default to the latest hop (to = newest, from = to-1).
+func (s *Service) serveDiff(w http.ResponseWriter, req *http.Request) {
+	if !requireGET(w, req) {
+		return
+	}
+	q := req.URL.Query()
+	app := q.Get("app")
+	if app == "" {
+		http.Error(w, "missing ?app= parameter", http.StatusBadRequest)
+		return
+	}
+	parseVersion := func(name string) (int64, bool) {
+		raw := q.Get(name)
+		if raw == "" {
+			return 0, true
+		}
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 1 {
+			http.Error(w, "bad ?"+name+"= parameter: want a positive report version", http.StatusBadRequest)
+			return 0, false
+		}
+		return v, true
+	}
+	from, ok := parseVersion("from")
+	if !ok {
+		return
+	}
+	to, ok := parseVersion("to")
+	if !ok {
+		return
+	}
+	vd, tracked, err := s.DiffVersions(app, from, to)
+	if !tracked {
+		http.Error(w, "unknown app "+app, http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(vd)
+}

@@ -174,8 +174,16 @@ type appState struct {
 	lastWall   time.Duration
 	analyses   int64
 	lastErr    string
-	history    []Snapshot    // ring of the last HistoryCap snapshots
-	waitCh     chan struct{} // closed on install; wakes long-polls
+	history    []historyEntry // ring of the last HistoryCap versions
+	waitCh     chan struct{}  // closed on install; wakes long-polls
+}
+
+// historyEntry is one retained report version: the snapshot metadata
+// the history endpoint serves plus the detached report itself, kept so
+// /analysis/diff can compare any two versions still in the ring.
+type historyEntry struct {
+	snap   Snapshot
+	report *core.Report
 }
 
 // Service owns the per-app incremental analyzers and the debounce
@@ -485,11 +493,12 @@ func (s *Service) installLocked(st *appState, report *core.Report, data []byte, 
 		WallMillis: float64(wall) / float64(time.Millisecond),
 		Summary:    st.summary,
 	}
+	entry := historyEntry{snap: snap, report: report}
 	if len(st.history) == s.cfg.HistoryCap {
 		copy(st.history, st.history[1:])
-		st.history[len(st.history)-1] = snap
+		st.history[len(st.history)-1] = entry
 	} else {
-		st.history = append(st.history, snap)
+		st.history = append(st.history, entry)
 	}
 	if st.waitCh != nil {
 		close(st.waitCh)
@@ -607,7 +616,9 @@ func (s *Service) History(app string) ([]Snapshot, bool) {
 		return nil, false
 	}
 	out := make([]Snapshot, len(st.history))
-	copy(out, st.history)
+	for i, e := range st.history {
+		out[i] = e.snap
+	}
 	return out, true
 }
 
@@ -625,6 +636,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/analysis/report/history", s.serveHistory)
 	mux.HandleFunc("/analysis/events", s.serveEvents)
 	mux.HandleFunc("/analysis/whatif", s.serveWhatIf)
+	mux.HandleFunc("/analysis/diff", s.serveDiff)
 	mux.HandleFunc("/analysis/flush", s.serveFlush)
 	mux.HandleFunc("/analysis/remove", s.serveRemove)
 	return mux

@@ -16,6 +16,10 @@
 //	                knobs (window size n, fence multiplier, impacted
 //	                percentage target) that re-run a READ-ONLY analysis
 //	                without touching serving state
+//	/ui/diff?app=X  version diff: the energy revision report between two
+//	                retained report versions (per-key power deltas,
+//	                newly-manifesting points, culprit-ranked suspects),
+//	                linked from each history row
 //
 // The dashboard only reads: every handler is GET, and the what-if path
 // goes through serve.Service.WhatIf, whose isolation guarantee (fresh
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -66,6 +71,7 @@ func (u *Server) Handler() http.Handler {
 	mux.HandleFunc("/ui", u.serveOverview)
 	mux.HandleFunc("/ui/", u.serveOverview)
 	mux.HandleFunc("/ui/app", u.serveApp)
+	mux.HandleFunc("/ui/diff", u.serveDiff)
 	return mux
 }
 
@@ -259,6 +265,56 @@ func (u *Server) serveApp(w http.ResponseWriter, req *http.Request) {
 // maxCharts caps the per-page chart count: one per impacted trace up to
 // this many (a 10k-trace corpus must not render 10k SVGs).
 const maxCharts = 6
+
+// diffData feeds templates/diff.html.
+type diffData struct {
+	App string
+	VD  *serve.VersionDiff
+	Err string
+}
+
+// serveDiff renders the version-diff page: the revision report between
+// two retained report versions, with culprit-ranked suspects. Version
+// selection errors render inline so the operator can correct the form.
+func (u *Server) serveDiff(w http.ResponseWriter, req *http.Request) {
+	if !requireGET(w, req) {
+		return
+	}
+	q := req.URL.Query()
+	app := q.Get("app")
+	if app == "" {
+		http.Error(w, "missing ?app= parameter", http.StatusBadRequest)
+		return
+	}
+	data := diffData{App: app}
+	parse := func(name string) (int64, bool) {
+		raw := q.Get(name)
+		if raw == "" {
+			return 0, true
+		}
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 1 {
+			data.Err = "bad " + name + " version: want a positive report version"
+			return 0, false
+		}
+		return v, true
+	}
+	from, okFrom := parse("from")
+	to, okTo := parse("to")
+	if okFrom && okTo {
+		vd, tracked, err := u.svc.DiffVersions(app, from, to)
+		if !tracked {
+			http.Error(w, "unknown app "+app, http.StatusNotFound)
+			return
+		}
+		if err != nil {
+			data.Err = err.Error()
+		} else {
+			data.VD = vd
+		}
+	}
+	u.render(w, "diff", data)
+}
 
 // runWhatIf executes the read-only what-if for the dashboard form and
 // packages the outcome for rendering; parameter and analysis errors

@@ -25,6 +25,7 @@ type cacheKey struct {
 	BrowsePhases      int
 	Scrub             bool
 	BatterySaverPhase int
+	Variant           string
 }
 
 // keyFor normalizes a Config into its cache key, applying the same
@@ -54,6 +55,7 @@ func keyFor(cfg Config) cacheKey {
 		BrowsePhases:      phases,
 		Scrub:             cfg.Scrub,
 		BatterySaverPhase: cfg.BatterySaverPhase,
+		Variant:           cfg.Variant,
 	}
 }
 

@@ -1,0 +1,41 @@
+package workload
+
+import "testing"
+
+// TestGenerateCachedVariantKey: Variant is an opaque cache-key
+// discriminator — behaviorally distinct app versions share every other
+// Config field, so without it the cache would hand version N's corpus
+// to version N+1. Same Variant shares the entry; a different Variant
+// forces a fresh generation even though the rest of the config is
+// identical.
+func TestGenerateCachedVariantKey(t *testing.T) {
+	FlushCache()
+	defer FlushCache()
+
+	cfg := cacheTestConfig(t, 31)
+	cfg.Variant = "rev:1"
+	a, err := GenerateCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same Variant did not share the cached corpus")
+	}
+
+	cfg2 := cfg
+	cfg2.Variant = "rev:2"
+	c, err := GenerateCached(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different Variants shared a corpus entry")
+	}
+	if CacheLen() != 2 {
+		t.Errorf("cache holds %d corpora, want 2", CacheLen())
+	}
+}

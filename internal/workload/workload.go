@@ -50,6 +50,12 @@ type Config struct {
 	// baseline power mid-session) and back off two phases later. Phases
 	// are counted from 1 so the zero value means "never".
 	BatterySaverPhase int
+	// Variant is an opaque discriminator folded into the GenerateCached
+	// key. The cache otherwise keys on App.AppID, so two distinct App
+	// values sharing an ID — e.g. revisions of the same app in a version
+	// chain — would silently alias; callers analyzing app variants set a
+	// distinct Variant per variant. Generation itself ignores it.
+	Variant string
 }
 
 // DefaultConfig returns the evaluation defaults: 30 users, 6 device

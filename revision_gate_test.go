@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The revision gate pins the version-diff engine's evaluation story:
+// across seeded regression chains the diff must rank the true culprit
+// edit first (ISSUE floor: >= 90%), the CI gate must catch the
+// regression hop at the same rate while staying silent on clean chains,
+// and the delta-fed analysis must demonstrably reuse work (shared
+// corpus fraction, Step-1 revisit hit rate). Opt-in like the other
+// gates and enforced in CI:
+//
+//	REVISION_GATE=1 go test -run TestRevisionGate .
+const revisionGateSeed = 2020
+
+func TestRevisionGate(t *testing.T) {
+	if os.Getenv("REVISION_GATE") == "" {
+		t.Skip("set REVISION_GATE=1 to run the version-diff regression gate")
+	}
+	res, err := experiments.RunRevisions(revisionGateSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*experiments.RevisionsResult)
+	if r.RegressionChains == 0 || r.CleanChains == 0 {
+		t.Fatalf("degenerate sweep: %d regression chains, %d clean chains", r.RegressionChains, r.CleanChains)
+	}
+
+	if acc := r.DetectionAccuracy(); acc < 0.9 {
+		t.Errorf("culprit detection accuracy %.2f (%d/%d), want >= 0.90",
+			acc, r.Detected, r.RegressionChains)
+	}
+	if rate := float64(r.GateCaught) / float64(r.RegressionChains); rate < 0.9 {
+		t.Errorf("gate caught %.2f of regressions (%d/%d), want >= 0.90",
+			rate, r.GateCaught, r.RegressionChains)
+	}
+	if r.FalseTrips != 0 {
+		t.Errorf("gate false-tripped %d/%d clean hops, want 0 (the gate presumes a healthy baseline)",
+			r.FalseTrips, r.CleanHops)
+	}
+
+	// Cache reuse: the chain analyzer must actually be delta-fed, not
+	// silently re-analyzing each version from scratch.
+	if r.MeanShared < 0.5 {
+		t.Errorf("mean shared corpus fraction %.2f, want >= 0.50", r.MeanShared)
+	}
+	if r.RevisitChains == 0 {
+		t.Fatal("no chain's revisit made any Step-1 cache lookups")
+	}
+	if r.MeanRevisitRate < 0.9 {
+		t.Errorf("mean revisit Step-1 hit rate %.2f over %d chains, want >= 0.90",
+			r.MeanRevisitRate, r.RevisitChains)
+	}
+}
