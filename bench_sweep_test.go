@@ -35,6 +35,10 @@ type sweepEntry struct {
 	SpeedupVsBatch float64 `json:"speedupVsBatch,omitempty"`
 	SpeedupVsInc   float64 `json:"speedupVsIncremental,omitempty"`
 	CacheHitRate   float64 `json:"cacheHitRate,omitempty"`
+	// Ingest-path entries (the group-commit benchmark) report
+	// throughput and durability amortization instead of allocations.
+	QPS             float64 `json:"qps,omitempty"`
+	FsyncsPerBundle float64 `json:"fsyncsPerBundle,omitempty"`
 }
 
 // growthFit is a fitted power law ns/op ~ N^exponent over one entry
@@ -69,6 +73,26 @@ type revisionsSweep struct {
 	RevisitChains       int     `json:"revisitChains"`
 }
 
+// fleetSweep is the fleet benchmark's BENCH_sweep block: the sharded
+// ingest path (router → hashed shards → group-commit log → per-shard
+// incremental analysis) measured end to end (ISSUE 10 acceptance
+// records QPS, ack latency, fsync amortization and report staleness
+// here).
+type fleetSweep struct {
+	Sessions        int     `json:"sessions"`
+	Apps            int     `json:"apps"`
+	Shards          int     `json:"shards"`
+	Uploaders       int     `json:"uploaders"`
+	ElapsedNs       int64   `json:"elapsedNs"`
+	QPS             float64 `json:"qps"`
+	AckP50Ns        int64   `json:"ackP50Ns"`
+	AckP99Ns        int64   `json:"ackP99Ns"`
+	FsyncsPerBundle float64 `json:"fsyncsPerBundle"`
+	StalenessP50Ns  int64   `json:"stalenessP50Ns"`
+	StalenessP99Ns  int64   `json:"stalenessP99Ns"`
+	AnalyzedApps    int     `json:"analyzedApps"`
+}
+
 // sweepReport is the BENCH_sweep.json document.
 type sweepReport struct {
 	GoVersion  string          `json:"goVersion"`
@@ -78,6 +102,7 @@ type sweepReport struct {
 	Entries    []sweepEntry    `json:"entries"`
 	Growth     []growthFit     `json:"growth,omitempty"`
 	Revisions  *revisionsSweep `json:"revisions,omitempty"`
+	Fleet      *fleetSweep     `json:"fleet,omitempty"`
 }
 
 // timeOne runs fn under testing.Benchmark and records per-op stats plus
@@ -181,6 +206,18 @@ func TestBenchSweepJSON(t *testing.T) {
 			p.parallel.Speedup = float64(p.serial.NsPerOp) / float64(p.parallel.NsPerOp)
 		}
 		report.Entries = append(report.Entries, p.serial, p.parallel)
+	}
+
+	// Pool serial fast path: at GOMAXPROCS=1 the "parallel" analyze
+	// configuration resolves to one effective worker and must degenerate
+	// to a plain loop. Before parallel.ForEach grew its fast path this
+	// sat at 0.83x serial (per-task gauge/histogram instrumentation);
+	// fail the sweep if that regression comes back.
+	if runtime.GOMAXPROCS(0) == 1 && pairs[0].parallel.NsPerOp > 0 {
+		speedup := float64(pairs[0].serial.NsPerOp) / float64(pairs[0].parallel.NsPerOp)
+		if speedup < 0.9 {
+			t.Errorf("analyze/parallel at GOMAXPROCS=1 runs at %.2fx serial, want >= 0.9x (pool serial fast path regressed)", speedup)
+		}
 	}
 
 	// Per-stage allocation profile: each of the four pipeline stages in
@@ -314,6 +351,13 @@ func TestBenchSweepJSON(t *testing.T) {
 		RevisitCacheHitRate: rr.MeanRevisitRate,
 		RevisitChains:       rr.RevisitChains,
 	}
+
+	// Fleet-scale ingest: the group-commit log vs the per-bundle-Sync
+	// store under the standard 64-uploader load, then the whole sharded
+	// fleet (router, shards, per-shard analysis) end to end. The same
+	// helpers back TestFleetGate's CI floors.
+	report.Entries = append(report.Entries, ingestSweepEntries(t)...)
+	report.Fleet, _ = fleetSweepBlock(t, benchSeed)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -33,11 +33,20 @@
 // history and what-if knobs. All debug-mux traffic is instrumented
 // with per-endpoint request counters and latency histograms.
 //
+// For fleet-scale ingest, -shards N splits the listener into N
+// in-process shards behind a hash(appID) router, each owning its apps'
+// store partition and analyzers, and -store-format seg switches the
+// durable store to the segmented binary log with group commit
+// (fsyncs are amortized across concurrent uploads). In sharded mode
+// the analysis surface is served through a fanout that delegates
+// app-scoped endpoints to the owning shard.
+//
 // Usage:
 //
 //	collectd -addr 127.0.0.1:7600 -out ./corpora
 //	collectd -store ./store -faults 'corrupt=0.1,drop=0.05,seed=7'
 //	collectd -debug-addr 127.0.0.1:7601 -serve-analysis
+//	collectd -shards 4 -store ./store -store-format seg
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/collect"
+	"repro/internal/collect/seglog"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -73,6 +83,8 @@ func run() error {
 		addr         = flag.String("addr", "127.0.0.1:7600", "listen address")
 		out          = flag.String("out", ".", "directory for per-app corpus dumps on shutdown")
 		storeDir     = flag.String("store", "", "durable store directory: bundles are persisted as they arrive and reloaded on restart")
+		storeFormat  = flag.String("store-format", "jsonl", "durable store format: 'jsonl' (one JSONL file per app, one fsync per bundle) or 'seg' (segmented binary log with group commit — the fleet-scale format)")
+		shards       = flag.Int("shards", 1, "in-process ingest shards partitioned by hash(appID) behind a router; each shard owns its apps' store partition and analyzers (1 = single server, no router)")
 		parallelism  = flag.Int("parallelism", 0, "worker count for the shutdown corpus dump (0 = GOMAXPROCS, 1 = serial)")
 		faultSpec    = flag.String("faults", "", "chaos fault injection on received lines, e.g. 'corrupt=0.1,truncate=0.05,duplicate=0.1,drop=0.05,delay=0.2,seed=7'")
 		maxLineBytes = flag.Int("max-line-bytes", 0, "reject serialized bundles over this size (0 = default 16 MiB)")
@@ -92,19 +104,19 @@ func run() error {
 	}
 	slog.SetDefault(logger)
 
-	var opts []collect.ServerOption
-	if *storeDir != "" {
-		store, err := collect.NewFileStore(*storeDir)
-		if err != nil {
-			return err
-		}
-		defer store.Close()
-		opts = append(opts, collect.WithFileStore(store))
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
-	opts = append(opts, collect.WithLimits(collect.Limits{
-		MaxLineBytes: *maxLineBytes,
-		MaxRecords:   *maxRecords,
-	}))
+	if *storeFormat != "jsonl" && *storeFormat != "seg" {
+		return fmt.Errorf("unknown -store-format %q (want jsonl or seg)", *storeFormat)
+	}
+	newStore := func(dir string) (collect.Store, error) {
+		if *storeFormat == "seg" {
+			return collect.NewSegStore(dir, seglog.Options{})
+		}
+		return collect.NewFileStore(dir)
+	}
+
 	var injector *faults.Injector
 	if *faultSpec != "" {
 		fcfg, err := faults.ParseSpec(*faultSpec)
@@ -115,26 +127,43 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		opts = append(opts, collect.WithServerFaults(injector))
 		logger.Warn("CHAOS MODE: injecting faults on received lines", "spec", *faultSpec)
 	}
+	// baseOpts are the options every ingest server (the single one, or
+	// each shard) runs with; store and analysis hook are added per shard.
+	baseOpts := func() []collect.ServerOption {
+		o := []collect.ServerOption{collect.WithLimits(collect.Limits{
+			MaxLineBytes: *maxLineBytes,
+			MaxRecords:   *maxRecords,
+		})}
+		if injector != nil {
+			o = append(o, collect.WithServerFaults(injector))
+		}
+		return o
+	}
 
-	var svc *serve.Service
+	// One serving layer per shard: each owns exactly its shard's apps, so
+	// the analysis partition mirrors the ingest partition. The HTTP
+	// surface is re-unified below (directly, or through serve.Fanout).
+	var svcs []*serve.Service
 	if *serveAnal {
 		if *debugAddr == "" {
 			return errors.New("-serve-analysis requires -debug-addr (reports are served on the debug mux)")
 		}
-		svc, err = serve.New(serve.Config{
-			Analysis: core.DefaultConfig(),
-			CacheCap: *analCache,
-			Debounce: *analDebounce,
-			Logger:   logger,
-		})
-		if err != nil {
-			return err
+		svcs = make([]*serve.Service, *shards)
+		for i := range svcs {
+			svc, err := serve.New(serve.Config{
+				Analysis: core.DefaultConfig(),
+				CacheCap: *analCache,
+				Debounce: *analDebounce,
+				Logger:   logger,
+			})
+			if err != nil {
+				return err
+			}
+			defer svc.Close()
+			svcs[i] = svc
 		}
-		defer svc.Close()
-		opts = append(opts, collect.WithIngestHook(svc.Notify))
 	}
 
 	health := obs.NewHealth()
@@ -142,16 +171,25 @@ func run() error {
 	if *debugAddr != "" {
 		mux := obs.DebugMux(obs.Default, health)
 		paths := "/metrics /healthz /readyz /debug/vars /debug/pprof"
-		if svc != nil {
-			mux.Handle("/analysis/", svc.Handler())
+		switch {
+		case len(svcs) == 1:
+			mux.Handle("/analysis/", svcs[0].Handler())
 			paths += " /analysis"
-			dash, err := ui.New(svc, obs.Default)
+			dash, err := ui.New(svcs[0], obs.Default)
 			if err != nil {
 				return err
 			}
 			mux.Handle("/ui/", dash.Handler())
 			mux.Handle("/ui", dash.Handler())
 			paths += " /ui"
+		case len(svcs) > 1:
+			fan, err := serve.NewFanout(svcs...)
+			if err != nil {
+				return err
+			}
+			mux.Handle("/analysis/", fan.Handler())
+			paths += " /analysis"
+			logger.Info("sharded analysis surface: app-scoped endpoints delegate to the owning shard; /analysis/events and /ui are single-shard only")
 		}
 		// Per-endpoint request counters and latency histograms over the
 		// whole debug surface (dashboard and SSE stream included).
@@ -163,23 +201,88 @@ func run() error {
 		logger.Info("debug endpoints up", "addr", debug.Addr(), "paths", paths)
 	}
 
-	srv, err := collect.NewServer(*addr, opts...)
-	if err != nil {
-		return err
+	// ingestServer is the surface shared by the single server and the
+	// sharded router, so startup/shutdown below handle both.
+	type ingestServer interface {
+		Addr() string
+		Close() error
+		Stats() collect.ServerStats
+		Count() int
+		QuarantineCount() int
+		Apps() []string
+		Bundles(appID string) []*trace.TraceBundle
 	}
-	// Warm the analysis service from the restored store so reports are
-	// available before the first new upload arrives.
-	if svc != nil && srv.Count() > 0 {
+	var srv ingestServer
+	var stores []collect.Store
+	defer func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	shardOpts := func(i int) ([]collect.ServerOption, error) {
+		o := baseOpts()
+		if *storeDir != "" {
+			dir := *storeDir
+			if *shards > 1 {
+				dir = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+			}
+			store, err := newStore(dir)
+			if err != nil {
+				return nil, err
+			}
+			stores = append(stores, store)
+			o = append(o, collect.WithStore(store))
+		}
+		if len(svcs) > 0 {
+			o = append(o, collect.WithIngestHook(svcs[i].Notify))
+		}
+		return o, nil
+	}
+	if *shards == 1 {
+		opts, err := shardOpts(0)
+		if err != nil {
+			return err
+		}
+		srv, err = collect.NewServer(*addr, opts...)
+		if err != nil {
+			return err
+		}
+	} else {
+		var buildErr error
+		ss, err := collect.NewShardedServer(*addr, *shards, func(i int) []collect.ServerOption {
+			o, err := shardOpts(i)
+			if err != nil && buildErr == nil {
+				buildErr = err
+			}
+			return o
+		})
+		if buildErr != nil {
+			return buildErr
+		}
+		if err != nil {
+			return err
+		}
+		srv = ss
+	}
+	// Warm the analysis services from the restored stores so reports are
+	// available before the first new upload arrives. Each app warms the
+	// service of the shard that owns it — the same partition the router
+	// enforces for live traffic.
+	if len(svcs) > 0 && srv.Count() > 0 {
 		for _, app := range srv.Apps() {
+			svc := svcs[collect.ShardOf(app, *shards)]
 			for _, b := range srv.Bundles(app) {
 				svc.Notify(b)
 			}
 		}
-		svc.Flush()
+		for _, svc := range svcs {
+			svc.Flush()
+		}
 		logger.Info("analysis warmed from restored store", "bundles", srv.Count())
 	}
 	health.SetReady(true)
-	logger.Info("listening", "addr", srv.Addr(), "restored_bundles", srv.Count())
+	logger.Info("listening", "addr", srv.Addr(), "restored_bundles", srv.Count(),
+		"shards", *shards, "store_format", *storeFormat)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -46,6 +46,7 @@ func run() error {
 		fixed     = flag.Bool("fixed", false, "simulate the fixed app variant")
 		out       = flag.String("out", "-", "output file ('-' for stdout); with -revisions, the per-version file prefix")
 		upload    = flag.String("upload", "", "upload to a collectd address instead of writing a file")
+		binary    = flag.Bool("binary", false, "negotiate the binary columnar wire codec for -upload (falls back to text if the server declines)")
 		revisions = flag.Int("revisions", 0, "generate a version chain of this many versions (including v0) and write one corpus per version to <out>.v<i>.jsonl")
 		regrAt    = flag.Int("regression-at", 0, "inject an energy regression at this chain version (1-based; 0 = clean chain)")
 		regrKind  = flag.String("kind", "", "regression family: hold|loop|hot (default: drawn from the seed)")
@@ -92,7 +93,11 @@ func run() error {
 		}
 		logger.Info("generated corpus", "bundles", len(res.Bundles), "app", app.Name,
 			"impacted_pct", fmt.Sprintf("%.1f", res.ImpactedPercent))
-		client := collect.NewClient(*upload)
+		var copts []collect.ClientOption
+		if *binary {
+			copts = append(copts, collect.WithBinary())
+		}
+		client := collect.NewClient(*upload, copts...)
 		state := collect.PhoneState{Charging: true, OnWiFi: true}
 		if err := client.Upload(state, res.Bundles); err != nil {
 			return fmt.Errorf("upload: %w", err)

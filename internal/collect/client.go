@@ -15,6 +15,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/trace/binenc"
 )
 
 // Upload-path metrics on the process registry, aggregated across every
@@ -70,7 +71,10 @@ type Client struct {
 	dial        func(addr string, timeout time.Duration) (net.Conn, error)
 	sleep       func(time.Duration)
 	injector    *faults.Injector
-	tracer      *obs.Tracer // optional span sink for upload attempts
+	tracer      *obs.Tracer         // optional span sink for upload attempts
+	ackObs      func(time.Duration) // optional per-bundle ack latency sink
+	binary      bool                // offer the binary codec on each connection
+	textOnly    atomic.Bool         // server declined the hello; stop offering
 
 	// Lock-free upload counters (see ClientStats).
 	attempts, linesSent, acked, rejected atomic.Int64
@@ -150,6 +154,16 @@ func WithClientTracer(tr *obs.Tracer) ClientOption {
 	return func(c *Client) { c.tracer = tr }
 }
 
+// WithAckObserver registers a sink for per-bundle acknowledgement
+// latency: the time from starting to write a bundle's wire bytes to
+// reading the server's matching ack. The fleet benchmark feeds these
+// samples into its p50/p99 ack-latency quantiles. obs must be safe for
+// the caller's own concurrency (one client uploads serially, so a
+// per-client observer needs no locking).
+func WithAckObserver(obs func(time.Duration)) ClientOption {
+	return func(c *Client) { c.ackObs = obs }
+}
+
 // WithFaults attaches a fault injector to the upload path: wire lines
 // may be corrupted, truncated, duplicated or dropped, batches may be
 // reordered, and sends may be delayed, exactly as an unreliable network
@@ -157,6 +171,17 @@ func WithClientTracer(tr *obs.Tracer) ClientOption {
 // leave it nil.
 func WithFaults(in *faults.Injector) ClientOption {
 	return func(c *Client) { c.injector = in }
+}
+
+// WithBinary makes the client offer the binary columnar codec on each
+// connection (hello "EDX1 bin"). A server that echoes the hello gets
+// length-prefixed CRC-framed binenc bundles — smaller on the wire and
+// cheaper to decode; one that rejects it (any pre-binary server
+// quarantines the hello as an undecodable line) flips the client into
+// text mode for the rest of its life, so a binary-capable phone talking
+// to an old backend just ingests via JSON as before.
+func WithBinary() ClientOption {
+	return func(c *Client) { c.binary = true }
 }
 
 // NewClient creates a client for the server at addr.
@@ -183,9 +208,26 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 
 // wireBundle is one bundle prepared for upload.
 type wireBundle struct {
-	orig int    // index in the caller's slice, for error reporting
-	key  string // idempotent content key
-	line []byte // serialized JSON line (no trailing newline)
+	orig     int                // index in the caller's slice, for error reporting
+	key      string             // idempotent content key
+	scrubbed *trace.TraceBundle // scrubbed, key-stamped bundle
+	line     []byte             // serialized JSON line (no trailing newline), encoded on first text-mode use
+	payload  []byte             // binenc payload, prepared when the binary codec is offered
+}
+
+// textLine returns (encoding on first use) the bundle's JSON wire line.
+// Lazy so a binary-mode upload never pays for the text fallback it does
+// not send; the line is still encoded exactly once if the server turns
+// out to speak text only.
+func (wb *wireBundle) textLine() ([]byte, error) {
+	if wb.line == nil {
+		var buf bytes.Buffer
+		if err := trace.EncodeBundle(&buf, wb.scrubbed); err != nil {
+			return nil, err
+		}
+		wb.line = bytes.TrimRight(buf.Bytes(), "\n")
+	}
+	return wb.line, nil
 }
 
 // Upload scrubs, stamps and sends the bundles if the phone state allows
@@ -201,14 +243,20 @@ func (c *Client) Upload(state PhoneState, bundles []*trace.TraceBundle) error {
 		return nil
 	}
 	wire := make([]wireBundle, len(bundles))
+	useBinary := c.binary && !c.textOnly.Load()
 	for i, b := range bundles {
 		scrubbed := trace.ScrubBundle(b) // PII never leaves the phone
 		scrubbed.Key = trace.ContentKey(scrubbed)
-		var buf bytes.Buffer
-		if err := trace.EncodeBundle(&buf, scrubbed); err != nil {
+		wire[i] = wireBundle{orig: i, key: scrubbed.Key, scrubbed: scrubbed}
+		if useBinary {
+			payload, err := binenc.EncodeBundle(nil, scrubbed)
+			if err != nil {
+				return fmt.Errorf("collect: binary encode bundle %d: %w", i, err)
+			}
+			wire[i].payload = payload
+		} else if _, err := wire[i].textLine(); err != nil {
 			return fmt.Errorf("collect: encode bundle %d: %w", i, err)
 		}
-		wire[i] = wireBundle{orig: i, key: scrubbed.Key, line: bytes.TrimRight(buf.Bytes(), "\n")}
 	}
 	if c.injector != nil {
 		perm := c.injector.Perm(len(wire))
@@ -270,7 +318,8 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d + jitter
 }
 
-// uploadOnce dials and sends pending bundles in order until all are
+// uploadOnce dials, negotiates the codec when the binary one is
+// offered, and sends pending bundles in order until all are
 // acknowledged or one fails, returning how many were acknowledged OK.
 func (c *Client) uploadOnce(pending []wireBundle) (acked int, err error) {
 	conn, err := c.dial(c.addr, c.timeout)
@@ -280,31 +329,75 @@ func (c *Client) uploadOnce(pending []wireBundle) (acked int, err error) {
 	defer conn.Close()
 	w := newLineWriter(conn)
 	r := newLineReader(conn)
-	for _, wb := range pending {
+	useBinary := false
+	if c.binary && !c.textOnly.Load() {
+		if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return 0, fmt.Errorf("deadline: %w", err)
+		}
+		if err := w.writeLine([]byte(helloBinary)); err != nil {
+			return 0, fmt.Errorf("hello: %w", err)
+		}
+		reply, err := r.readLine()
+		if err != nil {
+			return 0, fmt.Errorf("hello reply: %w", err)
+		}
+		if reply == helloBinary {
+			useBinary = true
+		} else {
+			// A pre-binary server just quarantined the hello and sent an
+			// ERR ack: it speaks text only. Remember that for every
+			// future connection and continue in text on this one.
+			c.textOnly.Store(true)
+		}
+	}
+	for i := range pending {
+		wb := &pending[i]
 		// Per-request deadline: each bundle gets a fresh budget.
 		if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 			return acked, fmt.Errorf("deadline: %w", err)
 		}
-		lines := [][]byte{wb.line}
+		var sendStart time.Time
+		if c.ackObs != nil {
+			sendStart = time.Now()
+		}
+		msg := wb.payload
+		if !useBinary {
+			if msg, err = wb.textLine(); err != nil {
+				return acked, fmt.Errorf("encode bundle %d: %w", wb.orig, err)
+			}
+		}
+		msgs := [][]byte{msg}
 		if c.injector != nil {
 			if d := c.injector.Delay(); d > 0 {
 				c.sleep(d)
 			}
 			var drop bool
-			lines, drop = c.injector.Apply(wb.line)
+			// In binary mode faults hit the frame payload before its CRC
+			// is computed, so corruption reaches the server's decoder and
+			// integrity checks (not just the framing layer) — same
+			// adversarial surface the text path exercises.
+			msgs, drop = c.injector.Apply(msg)
 			if drop {
 				return acked, errors.New("connection dropped (injected)")
 			}
 		}
-		for _, ln := range lines {
-			if err := w.writeLine(ln); err != nil {
+		for _, m := range msgs {
+			if useBinary {
+				err = w.writeFrame(m)
+			} else {
+				err = w.writeLine(m)
+			}
+			if err != nil {
 				return acked, fmt.Errorf("send bundle %d: %w", wb.orig, err)
 			}
 			c.linesSent.Add(1)
 			mCliSent.Inc()
 		}
-		if err := c.awaitAck(r, wb); err != nil {
+		if err := c.awaitAck(r, *wb); err != nil {
 			return acked, err
+		}
+		if c.ackObs != nil {
+			c.ackObs(time.Since(sendStart))
 		}
 		acked++
 		c.acked.Add(1)
@@ -380,6 +473,14 @@ func (l *lineWriter) writeLine(b []byte) error {
 		return err
 	}
 	if err := l.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return l.w.Flush()
+}
+
+// writeFrame sends one binenc frame (binary mode; no newline framing).
+func (l *lineWriter) writeFrame(payload []byte) error {
+	if err := binenc.WriteFrame(l.w, payload); err != nil {
 		return err
 	}
 	return l.w.Flush()

@@ -25,9 +25,9 @@ func bundle(app, user, traceID string) *trace.TraceBundle {
 	}
 }
 
-func startServer(t *testing.T) *Server {
+func startServer(t *testing.T, opts ...ServerOption) *Server {
 	t.Helper()
-	s, err := NewServer("127.0.0.1:0")
+	s, err := NewServer("127.0.0.1:0", opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/trace/binenc"
 )
 
 // Ingestion-path metrics on the process registry, aggregated across
@@ -61,6 +64,18 @@ const (
 
 // ackErrPrefix is the textual prefix of a rejection ack.
 const ackErrPrefix = ackErr + " "
+
+// helloBinary is the protocol hello a client sends (and a server
+// echoes) to negotiate the binary columnar codec on a connection. Text
+// clients never send it — a JSON bundle line starts with '{' — and an
+// old server treats it as one undecodable line and rejects it, which
+// the client reads as "speak text", so both fallback directions work
+// with no version handshake beyond this single line. Acks stay
+// newline-delimited text in both modes.
+const helloBinary = "EDX1 bin"
+
+// helloLine is the hello as it appears on the wire.
+const helloLine = helloBinary + "\n"
 
 // Limits bounds what one client may ingest. The zero value of any
 // field means its default.
@@ -157,7 +172,7 @@ type ServerStats struct {
 // Server receives and stores trace bundles.
 type Server struct {
 	ln       net.Listener
-	store    *FileStore // optional durable store
+	store    Store // optional durable store
 	limits   Limits
 	injector *faults.Injector         // optional chaos injector on received lines
 	tracer   *obs.Tracer              // optional span sink for the ingest path
@@ -170,11 +185,22 @@ type Server struct {
 
 	mu         sync.Mutex
 	byApp      map[string][]*trace.TraceBundle
-	dupes      map[string]struct{} // upload-key dedup across reconnects
-	quarantine []QuarantineEntry   // most recent maxQuarantineKept rejects
-	quarCount  int                 // total rejects, including rotated-out ones
+	dupes      map[string]struct{}  // upload-key dedup across reconnects
+	inflight   map[string]*inflight // keys being persisted right now
+	quarantine []QuarantineEntry    // most recent maxQuarantineKept rejects
+	quarCount  int                  // total rejects, including rotated-out ones
 	closed     bool
 	handler    sync.WaitGroup
+}
+
+// inflight tracks one dedup key whose store append is in progress on
+// some handler goroutine. Concurrent uploads of the same key wait for
+// the leader's verdict instead of double-appending — the dedup check
+// alone cannot cover the window because the append happens outside the
+// state lock (it must: group commit wants many handlers inside
+// store.Append at once).
+type inflight struct {
+	done chan struct{}
 }
 
 // ServerOption configures a server.
@@ -184,6 +210,13 @@ type ServerOption func(*Server)
 // startup, reloads (and deduplicates against) everything the store
 // already holds — so a restarted server continues where it stopped.
 func WithFileStore(store *FileStore) ServerOption {
+	return WithStore(store)
+}
+
+// WithStore is WithFileStore for any Store implementation — in
+// particular SegStore, the group-committing segmented log that the
+// fleet-scale deployment uses.
+func WithStore(store Store) ServerOption {
 	return func(s *Server) { s.store = store }
 }
 
@@ -228,10 +261,11 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 		return nil, fmt.Errorf("collect: listen: %w", err)
 	}
 	s := &Server{
-		ln:     ln,
-		limits: DefaultLimits(),
-		byApp:  make(map[string][]*trace.TraceBundle),
-		dupes:  make(map[string]struct{}),
+		ln:       ln,
+		limits:   DefaultLimits(),
+		byApp:    make(map[string][]*trace.TraceBundle),
+		dupes:    make(map[string]struct{}),
+		inflight: make(map[string]*inflight),
 	}
 	for _, o := range opts {
 		o(s)
@@ -338,12 +372,91 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.connsOpen.Add(-1)
 		gSrvConnsOpen.Dec()
 	}()
-	sc := bufio.NewScanner(conn)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	w := bufio.NewWriter(conn)
+	// Codec negotiation: a binary client leads with the hello line; a
+	// text client's first bytes are a JSON bundle ('{'), which cannot
+	// collide with it. Real bundle lines are far longer than the hello,
+	// so peeking this much never stalls a live upload.
+	if peek, err := br.Peek(len(helloLine)); err == nil && string(peek) == helloLine {
+		br.Discard(len(helloLine))
+		s.bytesIngested.Add(int64(len(helloLine)))
+		mSrvBytes.Add(int64(len(helloLine)))
+		if _, err := w.WriteString(helloLine); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		s.handleBinary(br, w)
+		return
+	}
+	s.handleText(br, w)
+}
+
+// handleBinary is the frame loop of a negotiated binary connection:
+// length-prefixed CRC-checked binenc frames in, text acks out.
+func (s *Server) handleBinary(br *bufio.Reader, w *bufio.Writer) {
+	bundles, bad := 0, 0
+	for {
+		payload, err := binenc.ReadFrame(br, s.limits.MaxLineBytes)
+		if err != nil {
+			if err == io.EOF {
+				return // clean end of upload
+			}
+			// A torn or corrupt frame cannot be resynced past (the next
+			// length prefix is untrustworthy), so like an over-long text
+			// line this closes the connection; the client retries.
+			s.quarantineLine(nil, "", fmt.Errorf("binary framing: %v", err), nil)
+			fmt.Fprintf(w, "%s %s binary framing: %v\n", ackErr, ackUnknownKey, err)
+			w.Flush()
+			return
+		}
+		bundles++
+		if bundles > s.limits.MaxBundlesPerConn {
+			fmt.Fprintf(w, "%s %s connection bundle limit (%d) exceeded\n",
+				ackErr, ackUnknownKey, s.limits.MaxBundlesPerConn)
+			w.Flush()
+			return
+		}
+		payloads := [][]byte{payload}
+		if s.injector != nil {
+			if d := s.injector.Delay(); d > 0 {
+				time.Sleep(d)
+			}
+			var drop bool
+			payloads, drop = s.injector.Apply(payload)
+			if drop {
+				return // injected connection cut; the client retries
+			}
+		}
+		for _, p := range payloads {
+			s.bytesIngested.Add(int64(len(p)) + binenc.FrameOverhead)
+			mSrvBytes.Add(int64(len(p)) + binenc.FrameOverhead)
+			var sp *obs.Span
+			if s.tracer != nil {
+				sp = s.tracer.Start("server.ingest")
+			}
+			start := time.Now()
+			key, stored, dup, err := s.ingestBinary(p)
+			hSrvIngest.Observe(time.Since(start).Seconds())
+			if !s.ackIngest(w, p, key, stored, dup, err, sp, &bad) {
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handleText is the newline-delimited JSON loop (the Fig-5 wire format).
+func (s *Server) handleText(br *bufio.Reader, w *bufio.Writer) {
+	sc := bufio.NewScanner(br)
 	// The scanner's max token size is the larger of the cap argument and
 	// the initial buffer, so the initial buffer must not exceed the
 	// configured line limit.
 	sc.Buffer(make([]byte, 0, min(64*1024, s.limits.MaxLineBytes)), s.limits.MaxLineBytes)
-	w := bufio.NewWriter(conn)
 	bundles, bad := 0, 0
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -378,32 +491,8 @@ func (s *Server) handleConn(conn net.Conn) {
 			start := time.Now()
 			key, stored, dup, err := s.ingest(ln)
 			hSrvIngest.Observe(time.Since(start).Seconds())
-			if err != nil {
-				bad++
-				s.quarantineLine(ln, key, err, sp)
-				fmt.Fprintf(w, "%s %s %v\n", ackErr, keyOrUnknown(key), err)
-				if bad > s.limits.MaxBadLinesPerConn {
-					if sp != nil {
-						sp.End()
-					}
-					w.Flush()
-					return
-				}
-			} else {
-				if dup {
-					s.duplicated.Add(1)
-					mSrvDuplicated.Inc()
-				} else {
-					s.accepted.Add(1)
-					mSrvAccepted.Inc()
-					if s.hook != nil {
-						s.hook(stored)
-					}
-				}
-				fmt.Fprintf(w, "%s %s\n", ackOK, keyOrUnknown(key))
-			}
-			if sp != nil {
-				sp.End()
+			if !s.ackIngest(w, ln, key, stored, dup, err, sp, &bad) {
+				return
 			}
 		}
 		if err := w.Flush(); err != nil {
@@ -428,15 +517,79 @@ func keyOrUnknown(key string) string {
 	return key
 }
 
-// ingest validates, scrubs and stores one serialized bundle, returning
-// the bundle's stamped key when one could be decoded, the stored
-// (scrubbed) bundle on acceptance, and whether the bundle was a
+// ackIngest translates one ingest verdict into counters, quarantine and
+// a (buffered, not yet flushed) ack line. It returns false when the
+// connection has exhausted its bad-line budget and must close.
+func (s *Server) ackIngest(w *bufio.Writer, raw []byte, key string, stored *trace.TraceBundle, dup bool, err error, sp *obs.Span, bad *int) bool {
+	defer func() {
+		if sp != nil {
+			sp.End()
+		}
+	}()
+	if err != nil {
+		*bad++
+		s.quarantineLine(raw, key, err, sp)
+		fmt.Fprintf(w, "%s %s %v\n", ackErr, keyOrUnknown(key), err)
+		if *bad > s.limits.MaxBadLinesPerConn {
+			w.Flush()
+			return false
+		}
+		return true
+	}
+	if dup {
+		s.duplicated.Add(1)
+		mSrvDuplicated.Inc()
+	} else {
+		s.accepted.Add(1)
+		mSrvAccepted.Inc()
+		if s.hook != nil {
+			s.hook(stored)
+		}
+	}
+	fmt.Fprintf(w, "%s %s\n", ackOK, keyOrUnknown(key))
+	return true
+}
+
+// ingest validates, scrubs and stores one serialized text bundle,
+// returning the bundle's stamped key when one could be decoded, the
+// stored (scrubbed) bundle on acceptance, and whether the bundle was a
 // content-key duplicate of an already stored one.
 func (s *Server) ingest(line []byte) (key string, stored *trace.TraceBundle, dup bool, err error) {
 	b, err := trace.DecodeBundle(bytes.NewReader(line))
 	if err != nil {
 		return "", nil, false, fmt.Errorf("decode: %v", err)
 	}
+	return s.ingestBundle(b)
+}
+
+// ingestBinary is ingest for a binary frame payload.
+func (s *Server) ingestBinary(payload []byte) (key string, stored *trace.TraceBundle, dup bool, err error) {
+	b, err := binenc.DecodeBundle(payload)
+	if err != nil {
+		return "", nil, false, fmt.Errorf("decode: %v", err)
+	}
+	// The binary codec is a pure serialization layer and will carry
+	// NaN/Inf utilization bit patterns (JSON structurally cannot), but
+	// the content-key hash goes through JSON — reject non-finite floats
+	// here so a hostile frame cannot reach it.
+	for i := range b.Util.Samples {
+		for _, v := range b.Util.Samples[i].Util {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return b.Key, nil, false, errors.New("utilization not finite")
+			}
+		}
+	}
+	return s.ingestBundle(b)
+}
+
+// ingestBundle validates, scrubs and stores one decoded bundle. The
+// store append runs OUTSIDE the state lock: with a group-committing
+// store many handler goroutines must be inside Append at once for
+// batching to exist at all. Exactly-once across that window is kept by
+// the inflight map — the first uploader of a key becomes its persist
+// leader, concurrent uploads of the same key wait for the leader's
+// verdict, and the ack is only ever sent after durability.
+func (s *Server) ingestBundle(b *trace.TraceBundle) (key string, stored *trace.TraceBundle, dup bool, err error) {
 	key = b.Key
 	// Integrity before anything else: a line altered in flight must not
 	// reach the store even if it still parses.
@@ -460,23 +613,51 @@ func (s *Server) ingest(line []byte) (key string, stored *trace.TraceBundle, dup
 	}
 	scrubbed := trace.ScrubBundle(b)
 	dk := dedupKey(scrubbed)
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return key, nil, false, errors.New("server shutting down")
-	}
-	if _, seen := s.dupes[dk]; seen {
-		return key, nil, true, nil // idempotent: re-uploads after a lost ack are fine
-	}
-	if s.store != nil {
-		// Persist before acknowledging: an acked bundle survives a
-		// crash; a failed write is reported so the phone retries.
-		if err := s.store.Append(scrubbed); err != nil {
-			return key, nil, false, err
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return key, nil, false, errors.New("server shutting down")
 		}
+		if _, seen := s.dupes[dk]; seen {
+			s.mu.Unlock()
+			return key, nil, true, nil // idempotent: re-uploads after a lost ack are fine
+		}
+		leader, busy := s.inflight[dk]
+		if !busy {
+			break
+		}
+		// Another connection is persisting this exact key right now.
+		// Wait for its verdict: if it succeeds we are a duplicate; if
+		// it fails we take over as the new leader.
+		s.mu.Unlock()
+		<-leader.done
+		s.mu.Lock()
 	}
-	s.dupes[dk] = struct{}{}
-	s.byApp[scrubbed.Event.AppID] = append(s.byApp[scrubbed.Event.AppID], scrubbed)
+	fl := &inflight{done: make(chan struct{})}
+	s.inflight[dk] = fl
+	s.mu.Unlock()
+
+	// Persist before acknowledging: an acked bundle survives a crash; a
+	// failed write is reported so the phone retries. Off-lock, so
+	// concurrent handlers share the store's group commit.
+	var aerr error
+	if s.store != nil {
+		aerr = s.store.Append(scrubbed)
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, dk)
+	if aerr == nil {
+		s.dupes[dk] = struct{}{}
+		s.byApp[scrubbed.Event.AppID] = append(s.byApp[scrubbed.Event.AppID], scrubbed)
+	}
+	close(fl.done)
+	s.mu.Unlock()
+	if aerr != nil {
+		return key, nil, false, aerr
+	}
 	return key, scrubbed, false, nil
 }
 

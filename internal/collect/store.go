@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -12,6 +13,26 @@ import (
 
 	"repro/internal/trace"
 )
+
+// Store is the durable persistence contract the server writes through:
+// every Append/AppendQuarantine must be durable (fsynced) before it
+// returns, because the server acknowledges the upload on return. Two
+// implementations exist: FileStore (one JSONL file per app, one fsync
+// per bundle) and SegStore (segmented binary log with group commit —
+// the fleet-scale default).
+type Store interface {
+	// Append durably persists one accepted bundle.
+	Append(b *trace.TraceBundle) error
+	// Load reads every persisted bundle back, keyed by app ID, plus the
+	// count of torn/undecodable records skipped.
+	Load() (map[string][]*trace.TraceBundle, int, error)
+	// AppendQuarantine durably records one rejected wire line.
+	AppendQuarantine(entry QuarantineEntry) error
+	// LoadQuarantine reads back every quarantined line.
+	LoadQuarantine() ([]QuarantineEntry, error)
+	// Close releases the store's file handles.
+	Close() error
+}
 
 // FileStore persists accepted bundles as they arrive: one append-only
 // JSONL file per app under a directory. Each write is flushed before
@@ -181,9 +202,14 @@ func (s *FileStore) Close() error {
 	return firstErr
 }
 
-// sanitizeAppID keeps store file names path-safe.
+// sanitizeAppID keeps store file names path-safe. When sanitization has
+// to change anything, a hash of the original ID is appended so two
+// distinct app IDs can never collide onto one file (e.g. "a/b" and
+// "a_b" both used to map to "a_b.jsonl", silently merging two apps'
+// corpora). IDs that are already clean keep their exact historical
+// name, so existing stores load unchanged.
 func sanitizeAppID(appID string) string {
-	return strings.Map(func(r rune) rune {
+	mapped := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '-', r == '_', r == '.':
@@ -192,4 +218,10 @@ func sanitizeAppID(appID string) string {
 			return '_'
 		}
 	}, appID)
+	if mapped == appID {
+		return mapped
+	}
+	h := fnv.New64a()
+	h.Write([]byte(appID))
+	return fmt.Sprintf("%s-%016x", mapped, h.Sum64())
 }

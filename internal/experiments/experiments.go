@@ -112,6 +112,7 @@ func Registry() []registryEntry {
 		{"unknown", "Extension: diagnosing an un-taxonomized (unknown) fault class", RunUnknown},
 		{"matrix", "Extension: scenario × detector accuracy matrix with bootstrap CIs", RunMatrix},
 		{"ingest", "Extension: fault-injected ingestion convergence (chaos collection tier)", RunIngest},
+		{"fleet", "Extension: fleet-scale sharded binary ingest benchmark (QPS, ack latency, fsyncs/bundle, report staleness)", RunFleet},
 		{"revisions", "Extension: version-diff regression engine (culprit detection + gate)", RunRevisions},
 	}
 	for i := range entries {

@@ -89,18 +89,23 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		return nil
 	}
 	workers = Workers(workers, n)
-	gQueued.Add(float64(n))
 	if workers == 1 {
+		// Serial fast path: skip the per-task metric plumbing (two gauge
+		// swings, a histogram observation, two clock reads per item) that
+		// made a single-worker ForEach measurably slower than the bare
+		// loop it degenerates to. The task counter still advances — in
+		// one batch per call instead of one increment per item — so the
+		// pool's throughput metric stays live at parallelism 1.
 		for i := 0; i < n; i++ {
-			if err := instrument(fn, i); err != nil {
-				// The serial loop stops at the first error; the items it
-				// never dispatched leave the queue gauge with them.
-				gQueued.Add(float64(-(n - i - 1)))
+			if err := fn(i); err != nil {
+				mTasks.Add(int64(i + 1))
 				return err
 			}
 		}
+		mTasks.Add(int64(n))
 		return nil
 	}
+	gQueued.Add(float64(n))
 
 	errs := make([]error, n)
 	var next atomic.Int64

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// twoShardFanout builds two services, feeds k9mail into shard 0 and
+// opengps into shard 1, flushes, and returns the fanout.
+func twoShardFanout(t *testing.T) (*Fanout, []*Service) {
+	t.Helper()
+	mk := func(appID string, seed int64) []*trace.TraceBundle {
+		app, err := apps.ByAppID(appID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := workload.DefaultConfig(app, seed)
+		cfg.Users = 4
+		res, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Bundles
+	}
+	svcs := make([]*Service, 2)
+	for i := range svcs {
+		svc, err := New(Config{Analysis: core.DefaultConfig(), Debounce: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(svc.Close)
+		svcs[i] = svc
+	}
+	for _, b := range mk("k9mail", 3) {
+		svcs[0].Notify(b)
+	}
+	for _, b := range mk("opengps", 4) {
+		svcs[1].Notify(b)
+	}
+	fan, err := NewFanout(svcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan.Flush()
+	return fan, svcs
+}
+
+// TestFanoutMergesApps: /analysis/apps lists every shard's apps in one
+// sorted response with the single-service row shape.
+func TestFanoutMergesApps(t *testing.T) {
+	fan, _ := twoShardFanout(t)
+	h := fan.Handler()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/apps", nil))
+	if rr.Code != 200 {
+		t.Fatalf("apps status %d: %s", rr.Code, rr.Body.String())
+	}
+	var rows []AppStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].App != "k9mail" || rows[1].App != "opengps" {
+		t.Fatalf("merged rows = %+v", rows)
+	}
+	for _, row := range rows {
+		if row.Version != 1 || row.Traces == 0 {
+			t.Errorf("row %s missing analysis state: %+v", row.App, row)
+		}
+	}
+}
+
+// TestFanoutRoutesReportToOwner: ?app= endpoints answer from the shard
+// tracking the app, byte-identical to asking that shard directly.
+func TestFanoutRoutesReportToOwner(t *testing.T) {
+	fan, svcs := twoShardFanout(t)
+	h := fan.Handler()
+	for i, app := range []string{"k9mail", "opengps"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/report?app="+app, nil))
+		if rr.Code != 200 {
+			t.Fatalf("report %s status %d: %s", app, rr.Code, rr.Body.String())
+		}
+		direct := httptest.NewRecorder()
+		svcs[i].Handler().ServeHTTP(direct, httptest.NewRequest("GET", "/analysis/report?app="+app, nil))
+		if rr.Body.String() != direct.Body.String() {
+			t.Errorf("fanout report for %s differs from owning shard's", app)
+		}
+		// ETag validation flows through the delegation.
+		req := httptest.NewRequest("GET", "/analysis/report?app="+app, nil)
+		req.Header.Set("If-None-Match", rr.Header().Get("ETag"))
+		rr304 := httptest.NewRecorder()
+		h.ServeHTTP(rr304, req)
+		if rr304.Code != 304 {
+			t.Errorf("conditional report for %s = %d, want 304", app, rr304.Code)
+		}
+	}
+}
+
+// TestFanoutErrorSurface: unknown app 404, missing app 400, events 501,
+// flush re-analyzes every shard.
+func TestFanoutErrorSurface(t *testing.T) {
+	fan, svcs := twoShardFanout(t)
+	h := fan.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/report?app=nosuch", nil))
+	if rr.Code != 404 {
+		t.Errorf("unknown app status %d, want 404", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/report", nil))
+	if rr.Code != 400 {
+		t.Errorf("missing app status %d, want 400", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/events", nil))
+	if rr.Code != 501 {
+		t.Errorf("events status %d, want 501", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/analysis/flush", nil))
+	if rr.Code != 405 {
+		t.Errorf("GET flush status %d, want 405", rr.Code)
+	}
+
+	// New arrivals on both shards, one fanout flush covers both.
+	for i, appID := range []string{"k9mail", "opengps"} {
+		app, err := apps.ByAppID(appID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := workload.DefaultConfig(app, int64(40+i))
+		cfg.Users = 2
+		res, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range res.Bundles {
+			svcs[i].Notify(b)
+		}
+	}
+	if fan.OldestDirtyAge() <= 0 {
+		t.Error("dirty shards report zero staleness")
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/analysis/flush", nil))
+	if rr.Code != 200 {
+		t.Fatalf("flush status %d: %s", rr.Code, rr.Body.String())
+	}
+	if fan.OldestDirtyAge() != 0 {
+		t.Error("staleness nonzero after fanout flush")
+	}
+	for i, app := range []string{"k9mail", "opengps"} {
+		_, snap, ok := svcs[i].AppReport(app)
+		if !ok || snap.Version != 2 {
+			t.Errorf("%s version = %d after fanout flush, want 2", app, snap.Version)
+		}
+	}
+}

@@ -622,6 +622,26 @@ func (s *Service) History(app string) ([]Snapshot, bool) {
 	return out, true
 }
 
+// OldestDirtyAge returns the age of the oldest arrival not yet covered
+// by an installed report (0 when nothing is dirty). It is the
+// report-staleness probe the fleet benchmark samples: unlike the
+// serve_report_staleness_seconds gauge it reads live state with no
+// snapshot TTL.
+func (s *Service) OldestDirtyAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	var worst time.Duration
+	for _, st := range s.apps {
+		if st.dirty && !st.dirtySince.IsZero() {
+			if age := now.Sub(st.dirtySince); age > worst {
+				worst = age
+			}
+		}
+	}
+	return worst
+}
+
 // AnalysisConfig returns the effective analysis configuration the
 // serving layer runs with (SkipInvalidTraces forced on) — the defaults
 // a what-if form is pre-filled from.
